@@ -1,0 +1,89 @@
+//! Criterion benches of the compute kernels: XNOR/popcount vs float dot
+//! products, matmul, im2col convolution lowering, and deployed binary dense
+//! layers — quantifying the arithmetic advantage BNNs hand to hardware.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rbnn_binary::BinaryDense;
+use rbnn_tensor::{im2col1d, BitMatrix, BitVec, Conv1dGeom, Tensor};
+
+fn pm1_vec(n: usize, rng: &mut StdRng) -> Vec<f32> {
+    (0..n).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect()
+}
+
+/// Eq. 3's core operation vs its float equivalent at the paper's classifier
+/// fan-in (2520, Table I).
+fn bench_xnor_vs_float_dot(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("dot_2520");
+    let a = pm1_vec(2520, &mut rng);
+    let b = pm1_vec(2520, &mut rng);
+    let ba = BitVec::from_signs(&a);
+    let bb = BitVec::from_signs(&b);
+    group.bench_function("f32", |bench| {
+        bench.iter(|| {
+            let s: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            black_box(s)
+        })
+    });
+    group.bench_function("xnor_popcount", |bench| {
+        bench.iter(|| black_box(ba.dot_pm1(&bb)))
+    });
+    group.finish();
+}
+
+/// One full classifier layer: 80 neurons × 2520 inputs (Table I).
+fn bench_dense_layer(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let (out, inp) = (80, 2520);
+    let wf = pm1_vec(out * inp, &mut rng);
+    let xf = pm1_vec(inp, &mut rng);
+    let wt = Tensor::from_vec(wf.clone(), [out, inp]);
+    let xt = Tensor::from_vec(xf.clone(), [1, inp]);
+    let bd = BinaryDense::new(
+        BitMatrix::from_signs(&wf, out, inp),
+        vec![1.0; out],
+        vec![0.0; out],
+    );
+    let xb = BitVec::from_signs(&xf);
+    let mut group = c.benchmark_group("dense_80x2520");
+    group.bench_function("f32_matmul", |bench| {
+        bench.iter(|| black_box(xt.matmul_nt(&wt)))
+    });
+    group.bench_function("binary_popcounts", |bench| {
+        bench.iter(|| black_box(bd.popcounts(&xb)))
+    });
+    group.finish();
+}
+
+fn bench_matmul_sizes(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 128] {
+        let a = Tensor::randn([n, n], 1.0, &mut rng);
+        let b = Tensor::randn([n, n], 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)))
+        });
+    }
+    group.finish();
+}
+
+/// The ECG first layer's im2col lowering (Table II: 12 leads, kernel 13).
+fn bench_im2col(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let geom = Conv1dGeom::new(12, 750, 13, 1, 0);
+    let x = Tensor::randn([12, 750], 1.0, &mut rng);
+    c.bench_function("im2col1d_ecg_layer1", |bench| {
+        bench.iter(|| black_box(im2col1d(&x, &geom)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_xnor_vs_float_dot, bench_dense_layer, bench_matmul_sizes, bench_im2col
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Extension experiment (refs [15], [16] of the paper): deployed-classifier
+//! accuracy versus weight bit-error rate — why ECC-less operation is safe
+//! at 2T2R error levels.
+
+use rbnn_bench::{archive_json, banner, parse_scale, RunScale};
+use rram_bnn::experiments::ext_ber;
+use rram_bnn::Task;
+
+fn main() {
+    let scale = parse_scale();
+    banner("Extension — classifier accuracy vs weight BER", scale);
+    let mut cfg = ext_ber::BerSweepConfig::quick();
+    if scale == RunScale::Full {
+        cfg.trials = 25;
+        cfg.epochs = 40;
+    }
+    for task in [Task::Ecg, Task::Eeg] {
+        let result = ext_ber::run(task, &cfg);
+        println!("{result}");
+        archive_json(&format!("ext_ber_{}", task.name().to_lowercase()), &result);
+    }
+    println!("Fig 4 context: 2T2R lifetime BER ≈ 1e-4 → no measurable accuracy loss;");
+    println!("1T1R BER ≈ 1e-2 begins to cost accuracy — the paper's case for 2T2R without ECC.");
+}

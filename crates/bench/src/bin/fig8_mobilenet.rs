@@ -1,0 +1,25 @@
+//! Regenerates Fig 8 (and the vision row of Table III): MobileNet with a
+//! binarized two-layer classifier vs the original real classifier —
+//! top-1/top-5 training curves on the 16-class vision proxy.
+
+use rbnn_bench::{archive_json, banner, parse_scale, RunScale};
+use rram_bnn::experiments::fig8;
+
+fn main() {
+    let scale = parse_scale();
+    banner("Fig 8 — MobileNet with binarized classifier (vision proxy)", scale);
+    let cfg = match scale {
+        RunScale::Quick => fig8::Fig8Config::quick().with_fully_binarized(),
+        RunScale::Full => fig8::Fig8Config {
+            per_class: 60,
+            epochs: 40,
+            eval_every: 4,
+            ..fig8::Fig8Config::quick().with_fully_binarized()
+        },
+    };
+    let result = fig8::run(&cfg);
+    println!("{result}");
+    println!("Paper (ImageNet, MobileNet-224): top-1 70.6% real vs 70% bin-classifier,");
+    println!("54.4% fully binarized [30]; the *relative* pattern is the reproduction target.");
+    archive_json("fig8_mobilenet", &result);
+}

@@ -1,0 +1,36 @@
+//! Umbrella binary: regenerates every table and figure at quick scale in
+//! one run (Tables I–IV, Figs 4, 7, 8, plus the BER extension).
+
+use rbnn_bench::{banner, parse_scale, RunScale};
+use rbnn_rram::EnduranceConfig;
+use rram_bnn::experiments::{ext_ber, fig4, fig7, fig8, table3, table4, tables12, CvRunConfig};
+use rram_bnn::{Scale, Task};
+
+fn main() {
+    let scale = parse_scale();
+    banner("paperbench — all tables and figures", scale);
+    let t0 = std::time::Instant::now();
+
+    println!("{}", tables12::table1_eeg());
+    println!("{}", tables12::table2_ecg());
+    println!("{}", table4::run());
+    println!("{}", fig4::run(&EnduranceConfig::fig4_quick()));
+
+    let cv = match scale {
+        RunScale::Quick => CvRunConfig::quick(),
+        RunScale::Full => CvRunConfig::paper(),
+    };
+    let run_scale = match scale {
+        RunScale::Quick => Scale::Quick,
+        RunScale::Full => Scale::Paper,
+    };
+    println!("{}", table3::run(run_scale, &cv));
+
+    let mut sweep_cfg = cv.clone();
+    sweep_cfg.folds_to_run = 1;
+    println!("{}", fig7::run(run_scale, &[1, 2, 4, 8], Some(4), &sweep_cfg));
+    println!("{}", fig8::run(&fig8::Fig8Config::quick().with_fully_binarized()));
+    println!("{}", ext_ber::run(Task::Ecg, &ext_ber::BerSweepConfig::quick()));
+
+    println!("total wall time: {:.0}s", t0.elapsed().as_secs_f32());
+}

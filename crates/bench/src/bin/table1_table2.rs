@@ -1,0 +1,18 @@
+//! Regenerates Tables I and II: the EEG and ECG network architectures with
+//! per-layer output shapes and parameter counts, at paper dimensions.
+
+use rbnn_bench::{archive_json, banner, parse_scale};
+use rram_bnn::experiments::tables12;
+
+fn main() {
+    let scale = parse_scale();
+    banner("Tables I & II — network architectures (paper dimensions)", scale);
+    let t1 = tables12::table1_eeg();
+    let t2 = tables12::table2_ecg();
+    println!("{t1}");
+    println!("{t2}");
+    println!("Paper Table I milestones: 961×64×40 → 961×1×40 → 63×1×40 → 2520 → 80 → 2");
+    println!("Paper Table II milestones: 738 → 369 → 359 → 179 → 171 → 165 → 161 → 5152 → 75 → 2");
+    archive_json("table1_eeg", &t1);
+    archive_json("table2_ecg", &t2);
+}

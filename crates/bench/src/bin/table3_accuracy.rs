@@ -1,0 +1,28 @@
+//! Regenerates the medical rows of Table III: cross-validated accuracy of
+//! real-weight, fully binarized (1× and augmented) and binarized-classifier
+//! networks on the EEG and ECG tasks.
+
+use rbnn_bench::{archive_json, banner, parse_scale, RunScale};
+use rram_bnn::experiments::{table3, CvRunConfig};
+use rram_bnn::Scale;
+
+fn main() {
+    let scale = parse_scale();
+    banner("Table III — accuracy vs binarization strategy (EEG & ECG)", scale);
+    let (run_scale, cfg) = match scale {
+        RunScale::Quick => (Scale::Quick, CvRunConfig::quick()),
+        RunScale::Full => (Scale::Paper, CvRunConfig::paper()),
+    };
+    let result = table3::run(run_scale, &cfg);
+    println!("{result}");
+    println!();
+    for row in &result.rows {
+        println!(
+            "{}: ordering real ≥ bin-classifier ≥ BNN(1x) holds within 2%: {}",
+            row.task,
+            row.ordering_holds(0.02)
+        );
+    }
+    println!("(ImageNet row of Table III is produced by fig8_mobilenet on the vision proxy.)");
+    archive_json("table3_accuracy", &result);
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table IV: parameter counts, model sizes and the memory saved
+//! by classifier binarization — exact architecture arithmetic.
+
+use rbnn_bench::{archive_json, banner, parse_scale};
+use rram_bnn::experiments::table4;
+
+fn main() {
+    let scale = parse_scale();
+    banner("Table IV — model memory usage and classifier-binarization savings", scale);
+    let result = table4::run();
+    println!("{result}");
+    archive_json("table4_memory", &result);
+}

@@ -1,0 +1,125 @@
+//! # rbnn-bench
+//!
+//! Benchmark harness of the rram-bnn reproduction. Each table and figure of
+//! the paper has a dedicated binary (see DESIGN.md §4 for the index):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1_table2` | Tables I & II (architectures) |
+//! | `fig4_ber` | Fig 4 (1T1R vs 2T2R BER vs cycles) |
+//! | `table3_accuracy` | Table III medical rows |
+//! | `table4_memory` | Table IV (memory/savings) |
+//! | `fig7_filter_sweep` | Fig 7 (accuracy vs filter augmentation) |
+//! | `fig8_mobilenet` | Fig 8 + Table III vision row |
+//! | `ext_ber_accuracy` | accuracy-vs-BER extension (refs [15],[16]) |
+//! | `paperbench` | everything above, quick settings |
+//!
+//! Every binary accepts `--quick` (default; minutes on a laptop) or
+//! `--full` (closer to paper scale) and archives a JSON result into
+//! `bench_results/` next to its stdout table.
+//!
+//! Criterion kernel benches (`cargo bench`) live in `benches/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Execution scale requested on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunScale {
+    /// Reduced dimensions/trials: minutes on a laptop (default).
+    Quick,
+    /// Paper-leaning dimensions: expect long CPU runs.
+    Full,
+}
+
+/// Parses `--quick` / `--full` from the process arguments.
+///
+/// Unknown arguments abort with a usage message — benches should never
+/// silently ignore a flag the user believed was in effect.
+pub fn parse_scale() -> RunScale {
+    let mut scale = RunScale::Quick;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => scale = RunScale::Quick,
+            "--full" => scale = RunScale::Full,
+            "--help" | "-h" => {
+                eprintln!("usage: [--quick|--full]   (default --quick)");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other}; usage: [--quick|--full]");
+                std::process::exit(2);
+            }
+        }
+    }
+    scale
+}
+
+/// Directory where JSON results are archived (`bench_results/`, created on
+/// demand; falls back to the current directory).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("bench_results");
+    if dir.exists() || fs::create_dir_all(&dir).is_ok() {
+        dir
+    } else {
+        PathBuf::from(".")
+    }
+}
+
+/// Serializes `value` to `bench_results/<name>.json`; failures are reported
+/// but never fatal (the stdout table is the primary artifact).
+pub fn archive_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("(json archived to {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Prints the standard bench header.
+pub fn banner(title: &str, scale: RunScale) {
+    println!("==============================================================");
+    println!("{title}");
+    println!(
+        "scale: {}",
+        match scale {
+            RunScale::Quick => "--quick (reduced dimensions; see EXPERIMENTS.md)",
+            RunScale::Full => "--full",
+        }
+    );
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let d = results_dir();
+        assert!(d.exists() || d == PathBuf::from("."));
+    }
+
+    #[test]
+    fn archive_json_roundtrip() {
+        #[derive(Serialize)]
+        struct Tiny {
+            x: u32,
+        }
+        archive_json("selftest", &Tiny { x: 7 });
+        let path = results_dir().join("selftest.json");
+        if path.exists() {
+            let text = fs::read_to_string(&path).unwrap();
+            assert!(text.contains('7'));
+            let _ = fs::remove_file(path);
+        }
+    }
+}

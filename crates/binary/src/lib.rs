@@ -1,0 +1,45 @@
+//! # rbnn-binary
+//!
+//! The deployment-side inference engine of the
+//! [rram-bnn](https://arxiv.org/abs/2006.11595) reproduction: bit-packed ±1
+//! weights, XNOR + popcount arithmetic, and integer activation thresholds.
+//!
+//! This is the *software model of what the paper's chip executes*: Eq. 3
+//! (`y = sign(popcount(XNOR(w, x)) − b)`) with the training-time BatchNorm
+//! folded into the integer threshold `b` ([`fold_batchnorm_sign`]), so the
+//! whole hidden-layer datapath is XNOR gates, a popcount tree and one
+//! comparison — no multipliers, no floating point (§II-A of the paper).
+//!
+//! * [`BinaryDense`] — one deployed fully-connected layer;
+//! * [`BinaryNetwork`] — a layer stack with binary hidden activations and
+//!   float logits at the output;
+//! * [`export_classifier`] — converts a trained `rbnn-nn` binarized
+//!   classifier into a [`BinaryNetwork`], bit-exactly.
+//!
+//! ```
+//! use rbnn_binary::BinaryDense;
+//! use rbnn_tensor::{BitMatrix, BitVec};
+//!
+//! // A 2-neuron layer over 3 inputs with unit thresholds.
+//! let weights = BitMatrix::from_signs(&[1.0, -1.0, 1.0, 1.0, 1.0, 1.0], 2, 3);
+//! let layer = BinaryDense::new(weights, vec![1.0, 1.0], vec![0.0, 0.0]);
+//! let x = BitVec::from_signs(&[1.0, 1.0, -1.0]);
+//! let y = layer.forward_sign(&x);
+//! assert_eq!(y.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod conv;
+mod dense;
+mod export;
+mod network;
+pub mod stochastic;
+mod threshold;
+
+pub use conv::BinaryConv1d;
+pub use dense::BinaryDense;
+pub use export::{export_classifier, ExportError};
+pub use network::BinaryNetwork;
+pub use threshold::{fold_batchnorm_sign, FoldedThreshold};

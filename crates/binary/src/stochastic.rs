@@ -1,0 +1,160 @@
+//! Stochastic input binarization (ref [14] of the paper: Hirtzlin et al.,
+//! *"Stochastic Computing for Hardware Implementation of Binarized Neural
+//! Networks"*, IEEE Access 2019).
+//!
+//! The paper's introduction notes that "the memory footprint can also be
+//! reduced with binary representation of the inputs using stochastic
+//! sampling": a real-valued input `x ∈ [−1, 1]` becomes a stream of `T`
+//! random bits, each `+1` with probability `(x + 1)/2`, so the stream
+//! *average* is an unbiased estimate of `x`. Feeding each bit-plane through
+//! the XNOR/popcount datapath and averaging the popcounts recovers the
+//! real-input dot product in expectation — letting the all-binary hardware
+//! consume analog-ish inputs at the cost of `T` passes.
+
+use rand::Rng;
+
+use rbnn_tensor::BitVec;
+
+use crate::BinaryDense;
+
+/// Encodes a real vector (clamped to `[−1, 1]`) into `t` stochastic
+/// bit-planes.
+///
+/// # Panics
+///
+/// Panics if `t == 0`.
+pub fn encode_stochastic(x: &[f32], t: usize, rng: &mut impl Rng) -> Vec<BitVec> {
+    assert!(t > 0, "need at least one bit-plane");
+    (0..t)
+        .map(|_| {
+            x.iter()
+                .map(|&v| {
+                    let p = (v.clamp(-1.0, 1.0) + 1.0) * 0.5;
+                    rng.gen::<f32>() < p
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Decodes bit-planes back to a real vector (the stream average in ±1).
+pub fn decode_stochastic(planes: &[BitVec]) -> Vec<f32> {
+    assert!(!planes.is_empty(), "no bit-planes to decode");
+    let n = planes[0].len();
+    let mut sums = vec![0.0f32; n];
+    for plane in planes {
+        assert_eq!(plane.len(), n, "bit-plane lengths differ");
+        for (i, s) in sums.iter_mut().enumerate() {
+            *s += if plane.get(i) { 1.0 } else { -1.0 };
+        }
+    }
+    let inv = 1.0 / planes.len() as f32;
+    sums.iter_mut().for_each(|s| *s *= inv);
+    sums
+}
+
+/// Evaluates a [`BinaryDense`] layer on a stochastically encoded input:
+/// runs each bit-plane through the XNOR/popcount datapath and averages the
+/// resulting ±1 pre-activations, then applies the layer affine.
+///
+/// As `t → ∞` this converges to the layer's response to the *real-valued*
+/// input — the stochastic-computing bridge between analog inputs and the
+/// binary in-memory datapath.
+pub fn forward_affine_stochastic(
+    layer: &BinaryDense,
+    x: &[f32],
+    t: usize,
+    rng: &mut impl Rng,
+) -> Vec<f32> {
+    let planes = encode_stochastic(x, t, rng);
+    let n = layer.in_features() as f32;
+    let (scale, shift) = layer.affine();
+    let mut acc = vec![0.0f32; layer.out_features()];
+    for plane in &planes {
+        for (o, &p) in layer.popcounts(plane).iter().enumerate() {
+            acc[o] += 2.0 * p as f32 - n;
+        }
+    }
+    let inv = 1.0 / t as f32;
+    acc.iter()
+        .enumerate()
+        .map(|(o, &a)| scale[o] * (a * inv) + shift[o])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rbnn_tensor::BitMatrix;
+
+    #[test]
+    fn encode_decode_is_unbiased() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = vec![-1.0f32, -0.5, 0.0, 0.5, 1.0];
+        let planes = encode_stochastic(&x, 4000, &mut rng);
+        let decoded = decode_stochastic(&planes);
+        for (orig, dec) in x.iter().zip(&decoded) {
+            assert!(
+                (orig - dec).abs() < 0.06,
+                "decode of {orig} drifted to {dec}"
+            );
+        }
+    }
+
+    #[test]
+    fn extremes_are_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let planes = encode_stochastic(&[1.0, -1.0], 50, &mut rng);
+        for p in &planes {
+            assert!(p.get(0), "+1 must always encode as bit 1");
+            assert!(!p.get(1), "−1 must always encode as bit 0");
+        }
+    }
+
+    #[test]
+    fn stochastic_forward_converges_to_real_dot() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (out, inp) = (3, 40);
+        let w: Vec<f32> = (0..out * inp)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
+        let scale = vec![1.0f32; out];
+        let shift = vec![0.0f32; out];
+        let layer =
+            BinaryDense::new(BitMatrix::from_signs(&w, out, inp), scale, shift);
+        let x: Vec<f32> = (0..inp).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let expect: Vec<f32> = (0..out)
+            .map(|o| (0..inp).map(|i| w[o * inp + i] * x[i]).sum())
+            .collect();
+        let got = forward_affine_stochastic(&layer, &x, 3000, &mut rng);
+        for (g, e) in got.iter().zip(&expect) {
+            assert!(
+                (g - e).abs() < 0.15 * inp as f32 / 10.0,
+                "stochastic {g} vs real {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_planes_reduce_variance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = BinaryDense::new(BitMatrix::from_signs(&vec![1.0; 64], 1, 64), vec![1.0], vec![0.0]);
+        let x = vec![0.3f32; 64];
+        let expect = 0.3 * 64.0;
+        let spread = |t: usize, rng: &mut StdRng| -> f32 {
+            let runs: Vec<f32> =
+                (0..30).map(|_| forward_affine_stochastic(&layer, &x, t, rng)[0]).collect();
+            let mean = runs.iter().sum::<f32>() / runs.len() as f32;
+            assert!((mean - expect).abs() < 4.0, "bias at t={t}: {mean} vs {expect}");
+            runs.iter().map(|r| (r - mean) * (r - mean)).sum::<f32>() / runs.len() as f32
+        };
+        let var_small = spread(8, &mut rng);
+        let var_large = spread(128, &mut rng);
+        assert!(
+            var_large < var_small,
+            "variance must shrink with planes: {var_small} → {var_large}"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Folding BatchNorm + sign into integer popcount thresholds.
+//!
+//! Eq. 3 of the paper, `y = sign(popcount(XNOR(w, x)) − b)`, hides the whole
+//! affine batch-normalization inside the learned threshold `b`. This module
+//! performs that fold exactly: given the inference-time affine coefficients
+//! `(scale, shift)` of a BatchNorm channel and the fan-in `n`, the neuron
+//!
+//! ```text
+//! y = sign(scale · (2·popcount − n) + shift)
+//! ```
+//!
+//! reduces to an integer comparison `popcount ≥ min_popcount`, possibly
+//! negated when `scale < 0`. No floating point survives into the in-memory
+//! datapath — which is exactly why the paper's architecture only needs
+//! XNOR-augmented sense amplifiers plus a popcount tree.
+
+/// An integer-only binarized-neuron activation rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FoldedThreshold {
+    /// The neuron fires (+1) when `popcount ≥ min_popcount` …
+    pub min_popcount: i64,
+    /// … unless `negate` is set, in which case the comparison is inverted
+    /// (arises from negative BatchNorm scales).
+    pub negate: bool,
+}
+
+impl FoldedThreshold {
+    /// Evaluates the rule on a popcount value.
+    pub fn fire(&self, popcount: u32) -> bool {
+        (popcount as i64 >= self.min_popcount) ^ self.negate
+    }
+}
+
+/// Folds the affine `y = scale · d + shift` (with `d = 2·popcount − n` the
+/// ±1 dot product over fan-in `n`) followed by `sign` into a
+/// [`FoldedThreshold`].
+///
+/// The convention `sign(0) = +1` matches
+/// [`Tensor::signum_binary`](rbnn_tensor::Tensor::signum_binary).
+pub fn fold_batchnorm_sign(scale: f32, shift: f32, fan_in: usize) -> FoldedThreshold {
+    let n = fan_in as f64;
+    if scale == 0.0 {
+        // Constant output: +1 iff shift ≥ 0.
+        return FoldedThreshold {
+            min_popcount: 0,
+            negate: shift < 0.0,
+        };
+    }
+    // a = scale·(2p − n) + shift ≥ 0
+    //   ⇔ 2p − n ≥ −shift/scale          (scale > 0)
+    //   ⇔ p ≥ (n − shift/scale) / 2
+    let t = -shift as f64 / scale as f64;
+    let boundary = (t + n) / 2.0;
+    if scale > 0.0 {
+        FoldedThreshold { min_popcount: boundary.ceil() as i64, negate: false }
+    } else {
+        // a ≥ 0 ⇔ p ≤ boundary ⇔ ¬(p ≥ floor(boundary) + 1)
+        FoldedThreshold { min_popcount: boundary.floor() as i64 + 1, negate: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The float reference the fold must match for every popcount value.
+    fn float_sign(scale: f32, shift: f32, n: usize, p: u32) -> bool {
+        let d = 2.0 * p as f32 - n as f32;
+        scale * d + shift >= 0.0
+    }
+
+    #[test]
+    fn fold_matches_float_exhaustively() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..500 {
+            let n = rng.gen_range(1..200usize);
+            let scale = rng.gen_range(-3.0f32..3.0);
+            let shift = rng.gen_range(-(n as f32)..n as f32);
+            let th = fold_batchnorm_sign(scale, shift, n);
+            for p in 0..=n as u32 {
+                assert_eq!(
+                    th.fire(p),
+                    float_sign(scale, shift, n, p),
+                    "mismatch at n={n}, scale={scale}, shift={shift}, p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_scale_is_constant() {
+        let pos = fold_batchnorm_sign(0.0, 1.0, 10);
+        let neg = fold_batchnorm_sign(0.0, -1.0, 10);
+        for p in 0..=10 {
+            assert!(pos.fire(p));
+            assert!(!neg.fire(p));
+        }
+    }
+
+    #[test]
+    fn integer_boundary_inclusive() {
+        // scale 1, shift 0, n = 4: fire iff 2p − 4 ≥ 0 ⇔ p ≥ 2.
+        let th = fold_batchnorm_sign(1.0, 0.0, 4);
+        assert_eq!(th.min_popcount, 2);
+        assert!(!th.fire(1));
+        assert!(th.fire(2));
+    }
+
+    #[test]
+    fn negative_scale_flips_comparison() {
+        // scale −1, shift 0, n = 4: fire iff −(2p − 4) ≥ 0 ⇔ p ≤ 2.
+        let th = fold_batchnorm_sign(-1.0, 0.0, 4);
+        assert!(th.fire(0) && th.fire(2));
+        assert!(!th.fire(3));
+    }
+}

@@ -1,0 +1,123 @@
+//! Fig 4: mean bit-error rate of 1T1R (BL and BLb) versus 2T2R sensing as
+//! a function of programming cycles.
+
+use std::fmt;
+
+use serde::Serialize;
+
+use rbnn_rram::{endurance, DeviceParams, EnduranceConfig, PcsaParams};
+
+/// One rendered row of the Fig 4 data.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Row {
+    /// Cycle count (millions).
+    pub mcycles: f64,
+    /// Monte-Carlo 1T1R BL error rate.
+    pub mc_1t1r_bl: f64,
+    /// Monte-Carlo 1T1R BLb error rate.
+    pub mc_1t1r_blb: f64,
+    /// Monte-Carlo 2T2R error rate.
+    pub mc_2t2r: f64,
+    /// Closed-form 1T1R BL error rate.
+    pub an_1t1r_bl: f64,
+    /// Closed-form 1T1R BLb error rate.
+    pub an_1t1r_blb: f64,
+    /// Closed-form 2T2R error rate.
+    pub an_2t2r: f64,
+}
+
+/// The full Fig 4 reproduction: Monte-Carlo measurement plus the
+/// closed-form curve of the same device model.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Result {
+    /// Per-checkpoint rows.
+    pub rows: Vec<Fig4Row>,
+    /// Monte-Carlo trials per checkpoint (resolution floor `1/trials`).
+    pub trials: usize,
+}
+
+impl Fig4Result {
+    /// Mean 1T1R/2T2R error-rate ratio across checkpoints (the paper quotes
+    /// "two orders of magnitude"), computed on the analytic curve.
+    pub fn mean_gap(&self) -> f64 {
+        let gaps: Vec<f64> =
+            self.rows.iter().map(|r| r.an_1t1r_bl / r.an_2t2r.max(1e-30)).collect();
+        gaps.iter().map(|g| g.log10()).sum::<f64>() / gaps.len() as f64
+    }
+}
+
+impl fmt::Display for Fig4Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig 4 — bit error rate vs programming cycles (MC trials/point: {})",
+            self.trials
+        )?;
+        writeln!(
+            f,
+            "{:>8} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
+            "Mcycles", "1T1R BL", "1T1R BLb", "2T2R", "an BL", "an BLb", "an 2T2R"
+        )?;
+        writeln!(f, "{}", "-".repeat(84))?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>8.0} | {:>10.2e} {:>10.2e} {:>10.2e} | {:>10.2e} {:>10.2e} {:>10.2e}",
+                r.mcycles, r.mc_1t1r_bl, r.mc_1t1r_blb, r.mc_2t2r, r.an_1t1r_bl, r.an_1t1r_blb, r.an_2t2r
+            )?;
+        }
+        writeln!(
+            f,
+            "mean 1T1R/2T2R gap: 10^{:.2} (paper: ~two orders of magnitude)",
+            self.mean_gap()
+        )
+    }
+}
+
+/// Runs the Fig 4 experiment.
+pub fn run(cfg: &EnduranceConfig) -> Fig4Result {
+    let device = DeviceParams::hfo2_default();
+    let pcsa = PcsaParams::default_130nm();
+    let mc = endurance::run(&device, &pcsa, cfg);
+    let an = endurance::analytic_curve(&device, &pcsa, &cfg.checkpoints, cfg.blb_wear_scale);
+    let rows = mc
+        .iter()
+        .zip(&an)
+        .map(|(m, a)| Fig4Row {
+            mcycles: m.cycles as f64 / 1e6,
+            mc_1t1r_bl: m.ber_1t1r_bl,
+            mc_1t1r_blb: m.ber_1t1r_blb,
+            mc_2t2r: m.ber_2t2r,
+            an_1t1r_bl: a.ber_1t1r_bl,
+            an_1t1r_blb: a.ber_1t1r_blb,
+            an_2t2r: a.ber_2t2r,
+        })
+        .collect();
+    Fig4Result { rows, trials: cfg.trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reproduces_fig4_shape() {
+        let mut cfg = EnduranceConfig::fig4_quick();
+        cfg.trials = 30_000; // test-speed
+        let result = run(&cfg);
+        assert_eq!(result.rows.len(), 7);
+        // Analytic 1T1R grows monotonically and ends ≈ 1e-2.
+        let first = &result.rows[0];
+        let last = result.rows.last().unwrap();
+        assert!(last.an_1t1r_bl > first.an_1t1r_bl);
+        assert!((3e-3..3e-2).contains(&last.an_1t1r_bl));
+        // 2T2R sits well below 1T1R everywhere (paper: ~2 orders).
+        assert!(result.mean_gap() > 1.5, "gap 10^{:.2}", result.mean_gap());
+        // Monte-Carlo sees the percent-level 1T1R errors at high wear.
+        assert!(last.mc_1t1r_bl > 1e-3);
+        // Rendering contains the header and a scientific-notation value.
+        let text = result.to_string();
+        assert!(text.contains("Fig 4"));
+        assert!(text.contains("e-"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Fig 7: cross-validated ECG accuracy versus filter augmentation for the
+//! three precision strategies.
+//!
+//! The paper's claims encoded here: (1) the fully binarized network starts
+//! clearly below the real network at 1× and climbs with augmentation;
+//! (2) the real and binarized-classifier curves are flat and
+//! indistinguishable within error bars; (3) even at 16× the BNN does not
+//! decisively pass the real network.
+
+use std::fmt;
+
+use serde::Serialize;
+
+use rbnn_models::BinarizationStrategy;
+
+use crate::experiments::cv::{cross_validate, CvOutcome, CvRunConfig};
+use crate::tasks::{Scale, Task, TaskSetup};
+
+/// One strategy's accuracy series over the augmentation sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Series {
+    /// Strategy label.
+    pub strategy: String,
+    /// `(augmentation, outcome)` per sweep point.
+    pub points: Vec<(usize, CvOutcome)>,
+}
+
+/// The reproduced Fig 7 data.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Result {
+    /// Augmentation factors swept.
+    pub augmentations: Vec<usize>,
+    /// One series per strategy.
+    pub series: Vec<Fig7Series>,
+}
+
+impl Fig7Result {
+    /// Accuracy series of one strategy, if present.
+    pub fn series_for(&self, label: &str) -> Option<&Fig7Series> {
+        self.series.iter().find(|s| s.strategy == label)
+    }
+
+    /// Whether the BNN series improves from its first to its best point —
+    /// the headline trend of Fig 7.
+    pub fn bnn_improves_with_width(&self) -> bool {
+        let Some(s) = self.series_for("All-Binarized") else {
+            return false;
+        };
+        let first = s.points.first().map(|(_, o)| o.mean).unwrap_or(0.0);
+        let best = s.points.iter().map(|(_, o)| o.mean).fold(f32::MIN, f32::max);
+        best > first
+    }
+}
+
+impl fmt::Display for Fig7Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig 7 — ECG accuracy vs filter augmentation (mean ± std, %)")?;
+        write!(f, "{:<16}", "Augmentation")?;
+        for a in &self.augmentations {
+            write!(f, " {:>13}", format!("{a}x"))?;
+        }
+        writeln!(f)?;
+        writeln!(f, "{}", "-".repeat(16 + 14 * self.augmentations.len()))?;
+        for s in &self.series {
+            write!(f, "{:<16}", s.strategy)?;
+            for a in &self.augmentations {
+                if let Some((_, o)) = s.points.iter().find(|(x, _)| x == a) {
+                    write!(f, " {:>7.1}±{:>4.1} ", o.mean * 100.0, o.std * 100.0)?;
+                } else {
+                    write!(f, " {:>13}", "—")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the Fig 7 sweep.
+///
+/// `base_filters` overrides the network's base width so the 16× point stays
+/// affordable at quick scale (the paper sweeps 32 base filters on GPU).
+pub fn run(
+    scale: Scale,
+    augmentations: &[usize],
+    base_filters: Option<usize>,
+    cfg: &CvRunConfig,
+) -> Fig7Result {
+    let mut setup = TaskSetup::new(Task::Ecg, scale, 71);
+    if let Some(f) = base_filters {
+        setup = setup.with_base_filters(f);
+    }
+    let mut series = Vec::new();
+    for strategy in BinarizationStrategy::ALL {
+        let points = augmentations
+            .iter()
+            .map(|&a| (a, cross_validate(&setup, strategy, a, cfg)))
+            .collect();
+        series.push(Fig7Series { strategy: strategy.label().into(), points });
+    }
+    Fig7Result { augmentations: augmentations.to_vec(), series }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_sweep_runs_and_renders() {
+        let mut cfg = CvRunConfig::quick();
+        cfg.folds_to_run = 1;
+        cfg.epochs = 3;
+        let result = run(Scale::Quick, &[1, 2], Some(4), &cfg);
+        assert_eq!(result.series.len(), 3);
+        assert_eq!(result.series[0].points.len(), 2);
+        let text = result.to_string();
+        assert!(text.contains("Fig 7"));
+        assert!(text.contains("All-Binarized"));
+        assert!(text.contains("1x") && text.contains("2x"));
+        assert!(result.series_for("Real Weights").is_some());
+    }
+}

@@ -1,0 +1,110 @@
+//! Tables I and II: the EEG and ECG network architectures, rendered as
+//! layer/output-shape/parameter tables from the actual built models.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use rbnn_models::{ecg::EcgNetConfig, eeg::EegNetConfig};
+
+/// One architecture table.
+#[derive(Debug, Clone, Serialize)]
+pub struct ArchitectureTable {
+    /// "Table I (EEG)" or "Table II (ECG)".
+    pub title: String,
+    /// Per-sample input shape.
+    pub input_shape: Vec<usize>,
+    /// `(layer name, output shape, params)` rows.
+    pub rows: Vec<(String, Vec<usize>, usize)>,
+    /// Total parameters.
+    pub total_params: usize,
+}
+
+impl fmt::Display for ArchitectureTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        writeln!(f, "{:<42} {:>20} {:>10}", "Layer", "Output shape", "Params")?;
+        writeln!(f, "{}", "-".repeat(74))?;
+        writeln!(f, "{:<42} {:>20} {:>10}", "Input", format!("{:?}", self.input_shape), "")?;
+        for (name, shape, params) in &self.rows {
+            writeln!(f, "{:<42} {:>20} {:>10}", name, format!("{shape:?}"), params)?;
+        }
+        writeln!(f, "{}", "-".repeat(74))?;
+        writeln!(f, "Total params: {}", self.total_params)
+    }
+}
+
+/// Builds the Table I (EEG, paper dimensions) architecture table.
+pub fn table1_eeg() -> ArchitectureTable {
+    let mut rng = StdRng::seed_from_u64(0);
+    let cfg = EegNetConfig::paper();
+    let model = cfg.build(&mut rng);
+    let summary = model.summary(&cfg.input_shape());
+    ArchitectureTable {
+        title: "Table I — EEG classification network (paper dimensions)".into(),
+        input_shape: cfg.input_shape(),
+        rows: summary
+            .rows
+            .iter()
+            .map(|r| (r.name.clone(), r.out_shape.clone(), r.params))
+            .collect(),
+        total_params: summary.total_params(),
+    }
+}
+
+/// Builds the Table II (ECG, paper dimensions) architecture table.
+pub fn table2_ecg() -> ArchitectureTable {
+    let mut rng = StdRng::seed_from_u64(0);
+    let cfg = EcgNetConfig::paper();
+    let model = cfg.build(&mut rng);
+    let summary = model.summary(&cfg.input_shape());
+    ArchitectureTable {
+        title: "Table II — ECG classification network (paper dimensions)".into(),
+        input_shape: cfg.input_shape(),
+        rows: summary
+            .rows
+            .iter()
+            .map(|r| (r.name.clone(), r.out_shape.clone(), r.params))
+            .collect(),
+        total_params: summary.total_params(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_papers_key_shapes() {
+        let t = table1_eeg();
+        let shapes: Vec<&Vec<usize>> = t.rows.iter().map(|(_, s, _)| s).collect();
+        // The five Table I milestones.
+        assert!(shapes.contains(&&vec![40, 961, 64]));
+        assert!(shapes.contains(&&vec![40, 961, 1]));
+        assert!(shapes.contains(&&vec![40, 63, 1]));
+        assert!(shapes.contains(&&vec![2520]));
+        assert!(shapes.contains(&&vec![80]));
+        assert_eq!(t.rows.last().unwrap().1, vec![2]);
+    }
+
+    #[test]
+    fn table2_contains_papers_key_shapes() {
+        let t = table2_ecg();
+        let shapes: Vec<&Vec<usize>> = t.rows.iter().map(|(_, s, _)| s).collect();
+        assert!(shapes.contains(&&vec![32, 738]));
+        assert!(shapes.contains(&&vec![32, 369]));
+        assert!(shapes.contains(&&vec![32, 161]));
+        assert!(shapes.contains(&&vec![5152]));
+        assert!(shapes.contains(&&vec![75]));
+    }
+
+    #[test]
+    fn rendering_is_complete() {
+        let text = table1_eeg().to_string();
+        assert!(text.contains("Table I"));
+        assert!(text.contains("Total params"));
+        assert!(text.contains("Flatten"));
+    }
+}

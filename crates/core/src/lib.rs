@@ -1,0 +1,51 @@
+//! # rram-bnn
+//!
+//! Umbrella crate of the reproduction of *"In-Memory Resistive RAM
+//! Implementation of Binarized Neural Networks for Medical Applications"*
+//! (Penkovsky et al., DATE 2020, [arXiv:2006.11595]).
+//!
+//! It wires the workspace's substrates into the paper's two pipelines:
+//!
+//! 1. **Algorithm**: synthetic medical datasets ([`rbnn_data`]) → the
+//!    paper's networks under three precision strategies ([`rbnn_models`])
+//!    → cross-validated training ([`rbnn_nn`]) — Tables I–III, Fig 7,
+//!    Fig 8;
+//! 2. **Hardware**: trained binarized classifiers → bit-packed
+//!    XNOR/popcount form ([`rbnn_binary`]) → simulated 2T2R RRAM arrays
+//!    with PCSA sensing ([`rbnn_rram`]) → accuracy under device wear and
+//!    bit errors — Fig 4 and the ECC-less operation argument.
+//!
+//! The [`deploy`] module is the end-to-end chain; [`experiments`] holds one
+//! module per table/figure (see DESIGN.md §4 for the index); [`tasks`]
+//! couples datasets with matched architectures at laptop (`Quick`) or
+//! paper (`Paper`) scale.
+//!
+//! ```no_run
+//! use rram_bnn::tasks::{Scale, Task, TaskSetup};
+//! use rram_bnn::deploy::deploy_and_evaluate;
+//! use rbnn_models::BinarizationStrategy;
+//! use rbnn_rram::EngineConfig;
+//!
+//! // Train (elsewhere), then deploy the classifier onto simulated RRAM.
+//! let setup = TaskSetup::new(Task::Ecg, Scale::Quick, 0);
+//! let mut model = setup.build_model(BinarizationStrategy::BinarizedClassifier, 1, 0);
+//! let report = deploy_and_evaluate(
+//!     &mut model,
+//!     setup.dataset(),
+//!     &EngineConfig::test_chip(0),
+//!     500_000_000,
+//! ).unwrap();
+//! println!("hardware accuracy: {:.1}%", report.hardware_accuracy * 100.0);
+//! ```
+//!
+//! [arXiv:2006.11595]: https://arxiv.org/abs/2006.11595
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod deploy;
+pub mod experiments;
+pub mod tasks;
+
+pub use deploy::{deploy_and_evaluate, DeploymentReport};
+pub use tasks::{Scale, Task, TaskSetup};

@@ -1,0 +1,175 @@
+//! Task setups: dataset + matched network architecture, at laptop or paper
+//! scale.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rbnn_data::{ecg, eeg, Dataset};
+use rbnn_models::{ecg::EcgNetConfig, eeg::EegNetConfig, BinarizationStrategy};
+use rbnn_nn::SplitModel;
+
+/// The two medical signal tasks of §III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Task {
+    /// EEG motor imagery (left vs right fist), Table I network.
+    Eeg,
+    /// ECG electrode-inversion detection, Table II network.
+    Ecg,
+}
+
+impl Task {
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Task::Eeg => "EEG",
+            Task::Ecg => "ECG",
+        }
+    }
+}
+
+impl std::fmt::Display for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Experiment scale: reduced dimensions for laptop runs, paper dimensions
+/// for full runs (same topology either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Laptop-scale: reduced signal lengths, channels and filters.
+    #[default]
+    Quick,
+    /// Paper-scale dimensions (Tables I–II, §III datasets).
+    Paper,
+}
+
+/// A dataset paired with a function building the matching network.
+#[derive(Debug)]
+pub struct TaskSetup {
+    task: Task,
+    scale: Scale,
+    dataset: Dataset,
+    base_filters_override: Option<usize>,
+}
+
+impl TaskSetup {
+    /// Generates the synthetic dataset and records how to build matching
+    /// models.
+    pub fn new(task: Task, scale: Scale, seed: u64) -> Self {
+        let dataset = match (task, scale) {
+            (Task::Eeg, Scale::Quick) => {
+                let mut cfg = eeg::EegConfig::reduced();
+                cfg.seed = seed;
+                eeg::generate(&cfg)
+            }
+            (Task::Eeg, Scale::Paper) => {
+                let mut cfg = eeg::EegConfig::paper();
+                cfg.seed = seed;
+                eeg::generate(&cfg)
+            }
+            (Task::Ecg, Scale::Quick) => {
+                let mut cfg = ecg::EcgConfig::reduced();
+                cfg.seed = seed;
+                ecg::generate(&cfg)
+            }
+            (Task::Ecg, Scale::Paper) => {
+                let mut cfg = ecg::EcgConfig::paper();
+                cfg.seed = seed;
+                ecg::generate(&cfg)
+            }
+        };
+        Self { task, scale, dataset, base_filters_override: None }
+    }
+
+    /// Overrides the base filter count (used by the Fig 7 sweep to keep
+    /// 16× augmentation affordable at quick scale).
+    pub fn with_base_filters(mut self, filters: usize) -> Self {
+        self.base_filters_override = Some(filters);
+        self
+    }
+
+    /// The task.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+
+    /// The scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The generated dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Builds a model for the given strategy and filter augmentation,
+    /// matched to this setup's dataset dimensions.
+    pub fn build_model(
+        &self,
+        strategy: BinarizationStrategy,
+        augmentation: usize,
+        seed: u64,
+    ) -> SplitModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match (self.task, self.scale) {
+            (Task::Eeg, scale) => {
+                let mut cfg = match scale {
+                    Scale::Quick => EegNetConfig::reduced(),
+                    Scale::Paper => EegNetConfig::paper(),
+                };
+                if let Some(f) = self.base_filters_override {
+                    cfg.filters = f;
+                }
+                cfg.with_strategy(strategy)
+                    .with_filter_augmentation(augmentation)
+                    .build(&mut rng)
+            }
+            (Task::Ecg, scale) => {
+                let mut cfg = match scale {
+                    Scale::Quick => EcgNetConfig::reduced(),
+                    Scale::Paper => EcgNetConfig::paper(),
+                };
+                if let Some(f) = self.base_filters_override {
+                    cfg.filters = f;
+                }
+                cfg.with_strategy(strategy)
+                    .with_filter_augmentation(augmentation)
+                    .build(&mut rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbnn_nn::Layer;
+
+    #[test]
+    fn quick_setups_have_matched_shapes() {
+        for task in [Task::Eeg, Task::Ecg] {
+            let setup = TaskSetup::new(task, Scale::Quick, 1);
+            let model =
+                setup.build_model(BinarizationStrategy::RealWeights, 1, 2);
+            let out = model.out_shape(&setup.dataset().sample_shape());
+            assert_eq!(out, vec![2], "{task}: model must map dataset samples to 2 classes");
+        }
+    }
+
+    #[test]
+    fn filter_override_applies() {
+        let setup = TaskSetup::new(Task::Ecg, Scale::Quick, 1).with_base_filters(4);
+        let model = setup.build_model(BinarizationStrategy::FullyBinarized, 2, 3);
+        // 4 base filters × 2 augmentation = 8 output channels in conv 1.
+        let summary = model.summary(&setup.dataset().sample_shape());
+        assert_eq!(summary.rows[0].out_shape[0], 8);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Task::Eeg.to_string(), "EEG");
+        assert_eq!(Task::Ecg.name(), "ECG");
+    }
+}

@@ -1,0 +1,131 @@
+//! Elementary signal-synthesis building blocks shared by the EEG and ECG
+//! generators: pink noise, oscillatory bursts, Gaussian wavelets.
+
+use rand::Rng;
+
+/// Generates `n` samples of approximately 1/f ("pink") noise with unit-ish
+/// variance, using the Voss–McCartney multi-rate sum of white-noise rows.
+///
+/// EEG background activity is famously 1/f; the generator feeds the
+/// synthetic motor-imagery dataset.
+pub fn pink_noise(n: usize, rng: &mut impl Rng) -> Vec<f32> {
+    const ROWS: usize = 8;
+    let mut rows = [0.0f32; ROWS];
+    for r in rows.iter_mut() {
+        *r = rng.gen_range(-1.0..1.0);
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        // Update row k when bit k of the counter toggles (trailing zeros).
+        let k = (i + 1).trailing_zeros() as usize;
+        if k < ROWS {
+            rows[k] = rng.gen_range(-1.0..1.0);
+        }
+        let sum: f32 = rows.iter().sum();
+        // White top-up decorrelates the highest octave.
+        out.push((sum + rng.gen_range(-1.0..1.0)) / ((ROWS + 1) as f32).sqrt());
+    }
+    out
+}
+
+/// A sinusoidal oscillation `amp · sin(2π f t + phase)` sampled at `fs` Hz,
+/// with an amplitude envelope supplied per sample.
+pub fn oscillation(
+    n: usize,
+    fs: f32,
+    freq: f32,
+    amp: f32,
+    phase: f32,
+    envelope: impl Fn(usize) -> f32,
+) -> Vec<f32> {
+    let w = 2.0 * std::f32::consts::PI * freq / fs;
+    (0..n)
+        .map(|i| amp * envelope(i) * (w * i as f32 + phase).sin())
+        .collect()
+}
+
+/// A Gaussian wavelet `amp · exp(−(t − center)² / (2 width²))` evaluated at
+/// integer sample positions — the building block of the ECG dipole
+/// trajectory (McSharry-style P/Q/R/S/T waves).
+pub fn gaussian_wave(t: f32, center: f32, width: f32, amp: f32) -> f32 {
+    let d = (t - center) / width;
+    amp * (-0.5 * d * d).exp()
+}
+
+/// Mean power of a signal in the band `[lo, hi]` Hz, estimated with a direct
+/// Goertzel-style projection on a discrete frequency grid.
+///
+/// Used by tests to verify that the synthetic EEG carries its class
+/// information in band power (event-related desynchronization), like real
+/// motor-imagery EEG.
+pub fn band_power(signal: &[f32], fs: f32, lo: f32, hi: f32) -> f32 {
+    let n = signal.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let df = fs / n as f32;
+    let k_lo = (lo / df).ceil() as usize;
+    let k_hi = ((hi / df).floor() as usize).min(n / 2);
+    if k_hi < k_lo {
+        return 0.0;
+    }
+    let mut power = 0.0f32;
+    for k in k_lo..=k_hi {
+        let w = 2.0 * std::f32::consts::PI * k as f32 / n as f32;
+        let (mut re, mut im) = (0.0f32, 0.0f32);
+        for (i, &v) in signal.iter().enumerate() {
+            let a = w * i as f32;
+            re += v * a.cos();
+            im += v * a.sin();
+        }
+        power += (re * re + im * im) / (n as f32 * n as f32);
+    }
+    power
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pink_noise_has_more_low_frequency_power() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let sig = pink_noise(4096, &mut rng);
+        let low = band_power(&sig, 256.0, 1.0, 8.0);
+        let high = band_power(&sig, 256.0, 64.0, 128.0);
+        assert!(
+            low > 2.0 * high,
+            "pink noise should be low-frequency dominated: low {low} vs high {high}"
+        );
+    }
+
+    #[test]
+    fn oscillation_peaks_at_its_frequency() {
+        let sig = oscillation(1024, 256.0, 10.0, 1.0, 0.3, |_| 1.0);
+        let at_10 = band_power(&sig, 256.0, 9.0, 11.0);
+        let at_40 = band_power(&sig, 256.0, 39.0, 41.0);
+        assert!(at_10 > 100.0 * at_40.max(1e-9));
+    }
+
+    #[test]
+    fn envelope_modulates_amplitude() {
+        let full = oscillation(512, 256.0, 10.0, 1.0, 0.0, |_| 1.0);
+        let half = oscillation(512, 256.0, 10.0, 1.0, 0.0, |_| 0.5);
+        let pf: f32 = full.iter().map(|v| v * v).sum();
+        let ph: f32 = half.iter().map(|v| v * v).sum();
+        assert!((ph / pf - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn gaussian_wave_peak_and_decay() {
+        assert!((gaussian_wave(5.0, 5.0, 1.0, 2.0) - 2.0).abs() < 1e-6);
+        assert!(gaussian_wave(10.0, 5.0, 1.0, 2.0) < 1e-4);
+    }
+
+    #[test]
+    fn band_power_empty_signal_is_zero() {
+        assert_eq!(band_power(&[], 100.0, 1.0, 10.0), 0.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! The custom ECG electrode-inversion network of Table II.
+//!
+//! Five 1-D convolutions (kernels 13/11/9/7/5) with two interleaved 2×1 max
+//! pools, then a dense classifier `flatten → 75 → 2`. Each weighted layer is
+//! followed by batch normalization and an activation (hardtanh in the real
+//! network, sign in the binarized settings); dropout regularizes the
+//! convolutional stack (keep 0.95) and the classifier (keep 0.85) — all as
+//! described in §III-B of the paper.
+//!
+//! With the paper's dimensions (750 samples × 12 leads, 32 filters) the
+//! layer outputs match Table II exactly:
+//! `738 → 369 → 359 → 179 → 171 → 165 → 161 → 5152 → 75 → 2`.
+
+use rand::Rng;
+
+use rbnn_nn::{
+    Activation, ActivationKind, BatchNorm, Conv1d, Dense, Dropout, Flatten, Pool1d, Sequential,
+    SplitModel,
+};
+
+use crate::BinarizationStrategy;
+
+/// Configuration of the ECG network.
+#[derive(Debug, Clone)]
+pub struct EcgNetConfig {
+    /// Input length in samples (paper: 750).
+    pub samples: usize,
+    /// Input lead count (paper: 12).
+    pub leads: usize,
+    /// Base filter count per conv layer (paper: 32), multiplied by
+    /// `filter_augmentation`.
+    pub filters: usize,
+    /// Filter augmentation factor (Fig 7 sweeps 1–16×).
+    pub filter_augmentation: usize,
+    /// The five convolution kernel lengths (paper: 13, 11, 9, 7, 5).
+    pub kernels: [usize; 5],
+    /// Hidden classifier width (paper: 75).
+    pub hidden: usize,
+    /// Output classes (paper: 2 — correct vs inverted).
+    pub classes: usize,
+    /// Dropout keep probability in convolutional layers (paper: 0.95).
+    pub conv_keep: f32,
+    /// Dropout keep probability in the classifier (paper: 0.85).
+    pub classifier_keep: f32,
+    /// Precision strategy.
+    pub strategy: BinarizationStrategy,
+    /// Seed for the dropout masks.
+    pub dropout_seed: u64,
+}
+
+impl EcgNetConfig {
+    /// Paper-scale architecture (Table II).
+    pub fn paper() -> Self {
+        Self {
+            samples: 750,
+            leads: 12,
+            filters: 32,
+            filter_augmentation: 1,
+            kernels: [13, 11, 9, 7, 5],
+            hidden: 75,
+            classes: 2,
+            conv_keep: 0.95,
+            classifier_keep: 0.85,
+            strategy: BinarizationStrategy::RealWeights,
+            dropout_seed: 0xD0,
+        }
+    }
+
+    /// Laptop-scale architecture with the same topology (matches
+    /// `rbnn_data::ecg::EcgConfig::reduced`: 250 samples).
+    pub fn reduced() -> Self {
+        Self {
+            samples: 250,
+            leads: 12,
+            filters: 8,
+            filter_augmentation: 1,
+            kernels: [7, 5, 5, 3, 3],
+            hidden: 32,
+            classes: 2,
+            conv_keep: 0.95,
+            classifier_keep: 0.85,
+            strategy: BinarizationStrategy::RealWeights,
+            dropout_seed: 0xD0,
+        }
+    }
+
+    /// Builder-style strategy selection.
+    pub fn with_strategy(mut self, strategy: BinarizationStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Builder-style filter augmentation.
+    pub fn with_filter_augmentation(mut self, factor: usize) -> Self {
+        assert!(factor >= 1, "augmentation factor must be at least 1");
+        self.filter_augmentation = factor;
+        self
+    }
+
+    /// Effective filter count.
+    pub fn effective_filters(&self) -> usize {
+        self.filters * self.filter_augmentation
+    }
+
+    /// Per-sample input shape `[leads, samples]`.
+    pub fn input_shape(&self) -> Vec<usize> {
+        vec![self.leads, self.samples]
+    }
+
+    /// Signal length after layer `i` of the conv stack (pools after conv 1
+    /// and conv 2, matching Table II).
+    fn lengths(&self) -> [usize; 7] {
+        let l1 = self.samples - self.kernels[0] + 1;
+        let p1 = l1 / 2;
+        let l2 = p1 - self.kernels[1] + 1;
+        let p2 = l2 / 2;
+        let l3 = p2 - self.kernels[2] + 1;
+        let l4 = l3 - self.kernels[3] + 1;
+        let l5 = l4 - self.kernels[4] + 1;
+        [l1, p1, l2, p2, l3, l4, l5]
+    }
+
+    /// Flattened feature count entering the classifier.
+    pub fn flat_features(&self) -> usize {
+        self.effective_filters() * self.lengths()[6]
+    }
+
+    /// Builds the trainable network, split at the paper's binarization
+    /// boundary: convolutional feature extractor vs dense classifier.
+    pub fn build(&self, rng: &mut impl Rng) -> SplitModel {
+        let s = self.strategy;
+        let f = self.effective_filters();
+        let act = ActivationKind::HardTanh;
+        let mut seed = self.dropout_seed;
+        let mut next_seed = || {
+            seed += 1;
+            seed
+        };
+
+        let mut features = Sequential::new();
+        let mut in_ch = self.leads;
+        for (i, &k) in self.kernels.iter().enumerate() {
+            features.push(Conv1d::new(in_ch, f, k, 1, 0, s.conv_mode(), rng).without_bias());
+            features.push(BatchNorm::new(f));
+            features.push(s.conv_activation(act));
+            if self.conv_keep < 1.0 {
+                features.push(Dropout::new(self.conv_keep, next_seed()));
+            }
+            if i < 2 {
+                features.push(Pool1d::max(2));
+            }
+            in_ch = f;
+        }
+        features.push(Flatten::new());
+        if s.classifier_mode().is_binary() {
+            // Binarize the feature/classifier interface (the hardware
+            // classifier's inputs are single bits; see the EEG builder).
+            features.push(BatchNorm::new(self.flat_features()));
+            features.push(Activation::sign_ste());
+        }
+
+        let mut classifier = Sequential::new();
+        if self.classifier_keep < 1.0 {
+            classifier.push(Dropout::new(self.classifier_keep, next_seed()));
+        }
+        classifier.push(
+            Dense::new(self.flat_features(), self.hidden, s.classifier_mode(), rng).without_bias(),
+        );
+        classifier.push(BatchNorm::new(self.hidden));
+        classifier.push(s.classifier_activation(act));
+        classifier
+            .push(Dense::new(self.hidden, self.classes, s.classifier_mode(), rng).without_bias());
+        classifier.push(BatchNorm::new(self.classes));
+        SplitModel::new(features, classifier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rbnn_nn::{Layer, Phase};
+    use rbnn_tensor::Tensor;
+
+    #[test]
+    fn paper_lengths_match_table2() {
+        let cfg = EcgNetConfig::paper();
+        assert_eq!(cfg.lengths(), [738, 369, 359, 179, 171, 165, 161]);
+        assert_eq!(cfg.flat_features(), 5152);
+    }
+
+    #[test]
+    fn paper_summary_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = EcgNetConfig::paper();
+        let net = cfg.build(&mut rng);
+        let out = net.out_shape(&cfg.input_shape());
+        assert_eq!(out, vec![2]);
+        let summary = net.summary(&cfg.input_shape());
+        // Find the flatten row.
+        let flat = summary
+            .rows
+            .iter()
+            .find(|r| r.name == "Flatten")
+            .expect("flatten row");
+        assert_eq!(flat.out_shape, vec![5152]);
+    }
+
+    #[test]
+    fn forward_backward_all_strategies() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = EcgNetConfig::reduced();
+        for s in BinarizationStrategy::ALL {
+            let mut net = cfg.clone().with_strategy(s).build(&mut rng);
+            let x = Tensor::randn([2, 12, cfg.samples], 0.5, &mut rng);
+            let y = net.forward(&x, Phase::Train);
+            assert_eq!(y.dims(), &[2, 2], "strategy {s}");
+            let gx = net.backward(&Tensor::ones([2, 2]));
+            assert_eq!(gx.dims(), x.dims());
+        }
+    }
+
+    #[test]
+    fn classifier_dominates_parameters() {
+        // The paper's memory argument (§III-C): most ECG parameters live in
+        // the dense classifier.
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = EcgNetConfig::paper();
+        let net = cfg.build(&mut rng);
+        let summary = net.summary(&cfg.input_shape());
+        let classifier: usize = summary
+            .rows
+            .iter()
+            .filter(|r| r.name.contains("Dense"))
+            .map(|r| r.params)
+            .sum();
+        let total = summary.total_params();
+        assert!(
+            classifier as f32 / total as f32 > 0.8,
+            "classifier fraction {:.2} should dominate",
+            classifier as f32 / total as f32
+        );
+    }
+
+    #[test]
+    fn augmentation_grows_conv_width_not_depth() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = EcgNetConfig::reduced();
+        let aug = EcgNetConfig::reduced().with_filter_augmentation(4);
+        let n_base = base.build(&mut rng).summary(&base.input_shape()).rows.len();
+        let n_aug = aug.build(&mut rng).summary(&aug.input_shape()).rows.len();
+        assert_eq!(n_base, n_aug, "depth unchanged");
+        assert_eq!(aug.effective_filters(), 32);
+    }
+}

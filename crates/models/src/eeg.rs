@@ -1,0 +1,258 @@
+//! The end-to-end EEG classification network of Table I (after Dose et al.).
+//!
+//! The model treats a trial as a single-channel 2-D image `[1, T, C]`
+//! (time × electrodes) and applies:
+//!
+//! 1. **Conv in time** — `F` kernels of shape `30×1`, padding `15×0`;
+//! 2. **Conv in space** — `F` kernels of shape `1×C` correlating all
+//!    electrodes (and all `F` maps);
+//! 3. average pooling `30×1`, stride `15×1`;
+//! 4. a dense classifier `flatten → 80 → 2`.
+//!
+//! With the paper's dimensions (`T = 960`, `C = 64`, `F = 40`) the layer
+//! outputs match Table I exactly: `961×64×40 → 961×1×40 → 63×1×40 → 2520 →
+//! 80 → 2`.
+
+use rand::Rng;
+
+use rbnn_nn::{
+    Activation, ActivationKind, BatchNorm, Conv2d, Dense, Flatten, Pool2d, PoolKind, Sequential,
+    SplitModel,
+};
+
+use crate::BinarizationStrategy;
+
+/// Configuration of the EEG network.
+#[derive(Debug, Clone)]
+pub struct EegNetConfig {
+    /// Trial length in samples (paper: 960).
+    pub time_steps: usize,
+    /// Electrode count (paper: 64).
+    pub channels: usize,
+    /// Base number of convolution filters (paper: 40). Multiplied by
+    /// `filter_augmentation`.
+    pub filters: usize,
+    /// Filter augmentation factor for BNN capacity recovery (Fig 7 / Table
+    /// III report 1× and 11× for EEG).
+    pub filter_augmentation: usize,
+    /// Temporal kernel length (paper: 30).
+    pub temporal_kernel: usize,
+    /// Temporal padding (paper: 15).
+    pub temporal_padding: usize,
+    /// Average-pooling window along time (paper: 30).
+    pub pool_kernel: usize,
+    /// Average-pooling stride along time (paper: 15).
+    pub pool_stride: usize,
+    /// Hidden classifier width (paper: 80).
+    pub hidden: usize,
+    /// Output classes (paper: 2 — left vs right fist).
+    pub classes: usize,
+    /// Precision strategy.
+    pub strategy: BinarizationStrategy,
+}
+
+impl EegNetConfig {
+    /// Paper-scale architecture (Table I).
+    pub fn paper() -> Self {
+        Self {
+            time_steps: 960,
+            channels: 64,
+            filters: 40,
+            filter_augmentation: 1,
+            temporal_kernel: 30,
+            temporal_padding: 15,
+            pool_kernel: 30,
+            pool_stride: 15,
+            hidden: 80,
+            classes: 2,
+            strategy: BinarizationStrategy::RealWeights,
+        }
+    }
+
+    /// Laptop-scale architecture with the same topology (matches
+    /// `rbnn_data::eeg::EegConfig::reduced`: 192 time steps, 16 channels).
+    pub fn reduced() -> Self {
+        Self {
+            time_steps: 192,
+            channels: 16,
+            filters: 8,
+            filter_augmentation: 1,
+            temporal_kernel: 10,
+            temporal_padding: 5,
+            pool_kernel: 10,
+            pool_stride: 5,
+            hidden: 32,
+            classes: 2,
+            strategy: BinarizationStrategy::RealWeights,
+        }
+    }
+
+    /// Builder-style strategy selection.
+    pub fn with_strategy(mut self, strategy: BinarizationStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Builder-style filter augmentation.
+    pub fn with_filter_augmentation(mut self, factor: usize) -> Self {
+        assert!(factor >= 1, "augmentation factor must be at least 1");
+        self.filter_augmentation = factor;
+        self
+    }
+
+    /// Effective filter count (`filters × filter_augmentation`).
+    pub fn effective_filters(&self) -> usize {
+        self.filters * self.filter_augmentation
+    }
+
+    /// Per-sample input shape `[1, T, C]`.
+    pub fn input_shape(&self) -> Vec<usize> {
+        vec![1, self.time_steps, self.channels]
+    }
+
+    /// Builds the trainable network, split at the paper's binarization
+    /// boundary: convolutional feature extractor vs dense classifier.
+    ///
+    /// Every weighted layer is followed by BatchNorm (which carries the
+    /// learned threshold `b` of Eq. 3 in the binarized setting) and the
+    /// strategy's activation; the paper's real EEG model uses ReLU.
+    pub fn build(&self, rng: &mut impl Rng) -> SplitModel {
+        let s = self.strategy;
+        let f = self.effective_filters();
+        let act = ActivationKind::Relu;
+        let mut features = Sequential::new();
+
+        // Conv in time: [1, T, C] → [F, T', C].
+        features.push(
+            Conv2d::new(
+                1,
+                f,
+                (self.temporal_kernel, 1),
+                (1, 1),
+                (self.temporal_padding, 0),
+                s.conv_mode(),
+                rng,
+            )
+            .without_bias(),
+        );
+        features.push(BatchNorm::new(f));
+        features.push(s.conv_activation(act));
+
+        // Conv in space: [F, T', C] → [F, T', 1].
+        features.push(
+            Conv2d::new(f, f, (1, self.channels), (1, 1), (0, 0), s.conv_mode(), rng)
+                .without_bias(),
+        );
+        features.push(BatchNorm::new(f));
+        features.push(s.conv_activation(act));
+
+        // Average pool along time.
+        features.push(Pool2d::new(
+            PoolKind::Avg,
+            (self.pool_kernel, 1),
+            (self.pool_stride, 1),
+        ));
+        features.push(Flatten::new());
+
+        // Classifier: flatten → hidden → classes.
+        let t_after_conv = self.time_steps + 2 * self.temporal_padding - self.temporal_kernel + 1;
+        let t_after_pool = (t_after_conv - self.pool_kernel) / self.pool_stride + 1;
+        let flat = f * t_after_pool;
+        if s.classifier_mode().is_binary() {
+            // A binarized classifier consumes *binary* activations in the
+            // paper's hardware (XNOR-PCSA inputs are single bits), so the
+            // feature/classifier interface is binarized during training:
+            // per-feature BatchNorm + sign, trained through the STE.
+            features.push(BatchNorm::new(flat));
+            features.push(Activation::sign_ste());
+        }
+        let mut classifier = Sequential::new();
+        classifier.push(Dense::new(flat, self.hidden, s.classifier_mode(), rng).without_bias());
+        classifier.push(BatchNorm::new(self.hidden));
+        classifier.push(s.classifier_activation(act));
+        classifier
+            .push(Dense::new(self.hidden, self.classes, s.classifier_mode(), rng).without_bias());
+        classifier.push(BatchNorm::new(self.classes));
+        SplitModel::new(features, classifier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rbnn_nn::{Layer, Phase};
+    use rbnn_tensor::Tensor;
+
+    #[test]
+    fn paper_shapes_match_table1() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = EegNetConfig::paper();
+        let net = cfg.build(&mut rng);
+        let summary = net.summary(&cfg.input_shape());
+        // Table I row by row (our summary interleaves BN/activation rows).
+        assert_eq!(summary.rows[0].out_shape, vec![40, 961, 64], "conv in time");
+        assert_eq!(summary.rows[3].out_shape, vec![40, 961, 1], "conv in space");
+        assert_eq!(summary.rows[6].out_shape, vec![40, 63, 1], "avg pool");
+        assert_eq!(summary.rows[7].out_shape, vec![2520], "flatten");
+        assert_eq!(summary.rows[8].out_shape, vec![80], "hidden FC");
+        let last = summary.rows.last().unwrap();
+        assert_eq!(last.out_shape, vec![2], "output");
+    }
+
+    #[test]
+    fn paper_parameter_count_matches_table4_order() {
+        // Weight-only counts (we use bias-free conv + BN): conv1 40·30 =
+        // 1200, conv2 40·40·64 = 102 400, FC1 2520·80 = 201 600,
+        // FC2 80·2 = 160 → ≈ 0.31 M as Table IV reports.
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = EegNetConfig::paper().build(&mut rng);
+        let total = net.param_count();
+        assert!(
+            (300_000..320_000).contains(&total),
+            "total params {total} should be ≈ 0.31M"
+        );
+    }
+
+    #[test]
+    fn reduced_network_forward_pass() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = EegNetConfig::reduced();
+        for s in BinarizationStrategy::ALL {
+            let mut net = cfg.clone().with_strategy(s).build(&mut rng);
+            let x = Tensor::randn(
+                [2, 1, cfg.time_steps, cfg.channels],
+                1.0,
+                &mut rng,
+            );
+            let y = net.forward(&x, Phase::Train);
+            assert_eq!(y.dims(), &[2, 2], "strategy {s}");
+            let gx = net.backward(&Tensor::ones([2, 2]));
+            assert_eq!(gx.dims(), x.dims());
+        }
+    }
+
+    #[test]
+    fn filter_augmentation_scales_width() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = EegNetConfig::reduced().with_filter_augmentation(2);
+        assert_eq!(cfg.effective_filters(), 16);
+        let net = cfg.build(&mut rng);
+        let summary = net.summary(&cfg.input_shape());
+        assert_eq!(summary.rows[0].out_shape[0], 16);
+    }
+
+    #[test]
+    fn binarized_strategies_mark_dense_layers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = EegNetConfig::reduced()
+            .with_strategy(BinarizationStrategy::BinarizedClassifier);
+        let net = cfg.build(&mut rng);
+        let names: Vec<String> =
+            net.summary(&cfg.input_shape()).rows.iter().map(|r| r.name.clone()).collect();
+        assert!(names.iter().any(|n| n.starts_with("BinDense")), "{names:?}");
+        assert!(names.iter().any(|n| n.starts_with("Conv2d")), "{names:?}");
+        assert!(!names.iter().any(|n| n.starts_with("BinConv2d")), "{names:?}");
+    }
+}

@@ -1,0 +1,42 @@
+//! # rbnn-models
+//!
+//! The model zoo of the [rram-bnn](https://arxiv.org/abs/2006.11595)
+//! reproduction:
+//!
+//! * [`eeg::EegNetConfig`] — the end-to-end EEG motor-imagery network of
+//!   Table I (temporal + spatial convolution, average pooling, dense
+//!   classifier);
+//! * [`ecg::EcgNetConfig`] — the custom five-convolution ECG
+//!   electrode-inversion network of Table II;
+//! * [`mobilenet::MobileNetConfig`] — MobileNet V1 with depthwise-separable
+//!   blocks, in a trainable laptop-scale variant and the full 224×224
+//!   specification used for memory accounting;
+//! * [`BinarizationStrategy`] — the paper's three precision strategies
+//!   (real weights / all-binarized / binarized classifier);
+//! * [`memory`] — the exact architecture arithmetic behind Table IV.
+//!
+//! Every model builder takes a strategy and an optional filter-augmentation
+//! factor, the two axes of the paper's evaluation (Table III, Fig 7).
+//!
+//! ```
+//! use rbnn_models::{eeg::EegNetConfig, BinarizationStrategy};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let cfg = EegNetConfig::reduced()
+//!     .with_strategy(BinarizationStrategy::BinarizedClassifier);
+//! let net = cfg.build(&mut rng);
+//! let summary = net.summary(&cfg.input_shape());
+//! assert!(summary.total_params() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ecg;
+pub mod eeg;
+pub mod memory;
+pub mod mobilenet;
+mod strategy;
+
+pub use strategy::BinarizationStrategy;

@@ -1,0 +1,292 @@
+//! MobileNet V1 (§IV of the paper): depthwise-separable convolutions with a
+//! replaceable classifier head.
+//!
+//! Two variants are provided:
+//!
+//! * [`MobileNetConfig::mini`] — a trainable, laptop-scale MobileNet for
+//!   32×32 synthetic images, used by the Fig 8 / Table III row-3
+//!   reproduction;
+//! * [`MobileNetConfig::paper_224`] — the full MobileNet-224 architecture
+//!   used **analytically** by the Table IV memory accounting (4.2 M
+//!   parameters; training it is out of scope for a CPU reproduction and is
+//!   not needed for the memory numbers).
+//!
+//! The paper replaces MobileNet's single dense classifier with a two-layer
+//! *binarized* classifier; [`MobileNetConfig::with_strategy`] reproduces
+//! that surgery.
+
+use rand::Rng;
+
+use rbnn_nn::{
+    Activation, ActivationKind, BatchNorm, Conv2d, Dense, DepthwiseConv2d, Flatten,
+    GlobalAvgPool2d, Sequential, SplitModel, WeightMode,
+};
+
+use crate::BinarizationStrategy;
+
+/// One depthwise-separable block: channels and stride of the depthwise
+/// stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSpec {
+    /// Input channels of the block.
+    pub in_channels: usize,
+    /// Output channels (after the pointwise stage).
+    pub out_channels: usize,
+    /// Stride of the depthwise convolution.
+    pub stride: usize,
+}
+
+/// Configuration of a MobileNet V1 style network.
+#[derive(Debug, Clone)]
+pub struct MobileNetConfig {
+    /// Input `(channels, height, width)`.
+    pub input: (usize, usize, usize),
+    /// Stem convolution output channels and stride.
+    pub stem: (usize, usize),
+    /// Depthwise-separable block stack.
+    pub blocks: Vec<BlockSpec>,
+    /// Output classes.
+    pub classes: usize,
+    /// Hidden width of the *binarized* two-layer classifier; `None` keeps
+    /// MobileNet's original single dense layer.
+    pub binary_classifier_hidden: Option<usize>,
+    /// Precision strategy.
+    pub strategy: BinarizationStrategy,
+}
+
+impl MobileNetConfig {
+    /// The full MobileNet-224 of the paper (width multiplier 1.0, 1000
+    /// classes). Suitable for parameter accounting; too large to train here.
+    pub fn paper_224() -> Self {
+        let chain = [
+            (32, 64, 1),
+            (64, 128, 2),
+            (128, 128, 1),
+            (128, 256, 2),
+            (256, 256, 1),
+            (256, 512, 2),
+            (512, 512, 1),
+            (512, 512, 1),
+            (512, 512, 1),
+            (512, 512, 1),
+            (512, 512, 1),
+            (512, 1024, 2),
+            (1024, 1024, 1),
+        ];
+        Self {
+            input: (3, 224, 224),
+            stem: (32, 2),
+            blocks: chain
+                .iter()
+                .map(|&(i, o, s)| BlockSpec { in_channels: i, out_channels: o, stride: s })
+                .collect(),
+            classes: 1000,
+            binary_classifier_hidden: None,
+            strategy: BinarizationStrategy::RealWeights,
+        }
+    }
+
+    /// The paper's binarized two-layer classifier for MobileNet-224: hidden
+    /// width 2816 gives 1024·2816 + 2816·1000 ≈ 5.7 M binary parameters, the
+    /// figure quoted in §IV.
+    pub fn paper_224_bin_classifier() -> Self {
+        let mut cfg = Self::paper_224();
+        cfg.binary_classifier_hidden = Some(2816);
+        cfg.strategy = BinarizationStrategy::BinarizedClassifier;
+        cfg
+    }
+
+    /// Laptop-scale MobileNet for 32×32 synthetic images (Fig 8 proxy).
+    pub fn mini(classes: usize) -> Self {
+        let chain = [(16, 32, 1), (32, 64, 2), (64, 64, 1), (64, 128, 2), (128, 128, 1)];
+        Self {
+            input: (3, 32, 32),
+            stem: (16, 1),
+            blocks: chain
+                .iter()
+                .map(|&(i, o, s)| BlockSpec { in_channels: i, out_channels: o, stride: s })
+                .collect(),
+            classes,
+            binary_classifier_hidden: None,
+            strategy: BinarizationStrategy::RealWeights,
+        }
+    }
+
+    /// Builder-style strategy selection. Selecting
+    /// [`BinarizationStrategy::BinarizedClassifier`] without a configured
+    /// hidden width installs a two-layer binarized head of width
+    /// `2 × feature_channels` (the paper's head is likewise wider than the
+    /// feature dimension).
+    pub fn with_strategy(mut self, strategy: BinarizationStrategy) -> Self {
+        self.strategy = strategy;
+        if strategy.classifier_mode() == WeightMode::Binary
+            && self.binary_classifier_hidden.is_none()
+        {
+            self.binary_classifier_hidden = Some(2 * self.feature_channels());
+        }
+        self
+    }
+
+    /// Channels produced by the final block (the global-pooled feature
+    /// dimension feeding the classifier).
+    pub fn feature_channels(&self) -> usize {
+        self.blocks.last().map(|b| b.out_channels).unwrap_or(self.stem.0)
+    }
+
+    /// Per-sample input shape.
+    pub fn input_shape(&self) -> Vec<usize> {
+        vec![self.input.0, self.input.1, self.input.2]
+    }
+
+    /// Builds the trainable network, split at the paper's binarization
+    /// boundary: depthwise-separable feature extractor vs dense classifier.
+    pub fn build(&self, rng: &mut impl Rng) -> SplitModel {
+        let s = self.strategy;
+        let act = ActivationKind::Relu;
+        let mut features = Sequential::new();
+
+        // Stem: standard 3×3 convolution.
+        let (stem_ch, stem_stride) = self.stem;
+        features.push(
+            Conv2d::new(
+                self.input.0,
+                stem_ch,
+                (3, 3),
+                (stem_stride, stem_stride),
+                (1, 1),
+                s.conv_mode(),
+                rng,
+            )
+            .without_bias(),
+        );
+        features.push(BatchNorm::new(stem_ch));
+        features.push(s.conv_activation(act));
+
+        // Depthwise-separable stack.
+        for b in &self.blocks {
+            features.push(
+                DepthwiseConv2d::new(
+                    b.in_channels,
+                    (3, 3),
+                    (b.stride, b.stride),
+                    (1, 1),
+                    s.conv_mode(),
+                    rng,
+                )
+                .without_bias(),
+            );
+            features.push(BatchNorm::new(b.in_channels));
+            features.push(s.conv_activation(act));
+            features.push(
+                Conv2d::pointwise(b.in_channels, b.out_channels, s.conv_mode(), rng)
+                    .without_bias(),
+            );
+            features.push(BatchNorm::new(b.out_channels));
+            features.push(s.conv_activation(act));
+        }
+
+        features.push(GlobalAvgPool2d::new());
+        features.push(Flatten::new());
+
+        let feat = self.feature_channels();
+        if s.classifier_mode() == WeightMode::Binary {
+            // Binarize the feature/classifier interface (see the EEG
+            // builder): the hardware classifier's inputs are single bits.
+            features.push(BatchNorm::new(feat));
+            features.push(Activation::sign_ste());
+        }
+        let mut classifier = Sequential::new();
+        match (s.classifier_mode(), self.binary_classifier_hidden) {
+            (WeightMode::Binary, hidden) => {
+                // The paper's two-layer binarized classifier.
+                let h = hidden.unwrap_or(2 * feat);
+                classifier.push(Dense::new(feat, h, WeightMode::Binary, rng).without_bias());
+                classifier.push(BatchNorm::new(h));
+                classifier.push(s.classifier_activation(act));
+                classifier.push(Dense::new(h, self.classes, WeightMode::Binary, rng).without_bias());
+                classifier.push(BatchNorm::new(self.classes));
+            }
+            (WeightMode::Real, _) => {
+                // Original MobileNet single dense classifier.
+                classifier.push(Dense::new(feat, self.classes, WeightMode::Real, rng));
+            }
+        }
+        SplitModel::new(features, classifier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rbnn_nn::{Layer, Phase};
+    use rbnn_tensor::Tensor;
+
+    #[test]
+    fn paper_224_parameter_count_is_4_2m() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = MobileNetConfig::paper_224();
+        let net = cfg.build(&mut rng);
+        let total = net.param_count();
+        // The canonical MobileNet V1 1.0-224 has ≈ 4.23 M parameters
+        // (including BatchNorm); the paper rounds to 4.2 M.
+        assert!(
+            (4_100_000..4_350_000).contains(&total),
+            "MobileNet-224 params {total} should be ≈ 4.2M"
+        );
+    }
+
+    #[test]
+    fn paper_binarized_classifier_is_5_7m() {
+        let cfg = MobileNetConfig::paper_224_bin_classifier();
+        let h = cfg.binary_classifier_hidden.unwrap();
+        let params = 1024 * h + h * cfg.classes;
+        assert!(
+            (5_600_000..5_800_000).contains(&params),
+            "binary classifier params {params} should be ≈ 5.7M"
+        );
+    }
+
+    #[test]
+    fn mini_forward_backward_all_strategies() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for s in BinarizationStrategy::ALL {
+            let cfg = MobileNetConfig::mini(16).with_strategy(s);
+            let mut net = cfg.build(&mut rng);
+            let x = Tensor::randn([2, 3, 32, 32], 1.0, &mut rng);
+            let y = net.forward(&x, Phase::Train);
+            assert_eq!(y.dims(), &[2, 16], "strategy {s}");
+            let gx = net.backward(&Tensor::ones([2, 16]));
+            assert_eq!(gx.dims(), x.dims());
+        }
+    }
+
+    #[test]
+    fn downsampling_reaches_small_feature_map() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = MobileNetConfig::mini(16);
+        let net = cfg.build(&mut rng);
+        let summary = net.summary(&cfg.input_shape());
+        // Before global pooling: 128 channels at 8×8 (two stride-2 blocks).
+        let gap_row = summary.rows.iter().position(|r| r.name == "GlobalAvgPool").unwrap();
+        assert_eq!(summary.rows[gap_row - 1].out_shape, vec![128, 8, 8]);
+        assert_eq!(summary.rows[gap_row].out_shape, vec![128]);
+    }
+
+    #[test]
+    fn bin_classifier_head_is_two_layers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = MobileNetConfig::mini(16)
+            .with_strategy(BinarizationStrategy::BinarizedClassifier);
+        let net = cfg.build(&mut rng);
+        let summary = net.summary(&cfg.input_shape());
+        let dense_rows: Vec<_> =
+            summary.rows.iter().filter(|r| r.name.contains("Dense")).collect();
+        assert_eq!(dense_rows.len(), 2);
+        assert!(dense_rows.iter().all(|r| r.name.starts_with("BinDense")));
+        // Convolutions stay real.
+        assert!(!summary.rows.iter().any(|r| r.name.starts_with("BinConv")
+            || r.name.starts_with("BinDwConv")));
+    }
+}

@@ -1,0 +1,116 @@
+//! The paper's three precision strategies.
+
+use rbnn_nn::{Activation, ActivationKind, WeightMode};
+use serde::{Deserialize, Serialize};
+
+/// How a network's precision is allocated — the central algorithmic axis of
+/// the paper (§III-C, Table III):
+///
+/// * [`RealWeights`](BinarizationStrategy::RealWeights) — the 32-bit float
+///   baseline;
+/// * [`FullyBinarized`](BinarizationStrategy::FullyBinarized) — every
+///   weighted layer binarized, sign activations everywhere (a classic BNN);
+/// * [`BinarizedClassifier`](BinarizationStrategy::BinarizedClassifier) —
+///   convolutional feature extractor kept real, dense classifier binarized;
+///   the paper's recommended operating point: accuracy within the error bar
+///   of the real network while the classifier-dominated memory shrinks 32×.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum BinarizationStrategy {
+    /// Full-precision weights and activations everywhere.
+    #[default]
+    RealWeights,
+    /// Binary (±1) weights and sign activations in every layer.
+    FullyBinarized,
+    /// Real convolutions, binarized dense classifier.
+    BinarizedClassifier,
+}
+
+impl BinarizationStrategy {
+    /// All three strategies, in the column order of Table III.
+    pub const ALL: [BinarizationStrategy; 3] = [
+        BinarizationStrategy::RealWeights,
+        BinarizationStrategy::FullyBinarized,
+        BinarizationStrategy::BinarizedClassifier,
+    ];
+
+    /// Weight mode of convolutional (feature-extractor) layers.
+    pub fn conv_mode(self) -> WeightMode {
+        match self {
+            BinarizationStrategy::FullyBinarized => WeightMode::Binary,
+            _ => WeightMode::Real,
+        }
+    }
+
+    /// Weight mode of dense (classifier) layers.
+    pub fn classifier_mode(self) -> WeightMode {
+        match self {
+            BinarizationStrategy::RealWeights => WeightMode::Real,
+            _ => WeightMode::Binary,
+        }
+    }
+
+    /// Activation after convolutional layers: the real activation the task
+    /// model uses (`real_kind`), or sign when the convolutions are binary.
+    pub fn conv_activation(self, real_kind: ActivationKind) -> Activation {
+        match self.conv_mode() {
+            WeightMode::Binary => Activation::sign_ste(),
+            WeightMode::Real => Activation::new(real_kind),
+        }
+    }
+
+    /// Activation inside the classifier.
+    pub fn classifier_activation(self, real_kind: ActivationKind) -> Activation {
+        match self.classifier_mode() {
+            WeightMode::Binary => Activation::sign_ste(),
+            WeightMode::Real => Activation::new(real_kind),
+        }
+    }
+
+    /// Display label matching the paper's table headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            BinarizationStrategy::RealWeights => "Real Weights",
+            BinarizationStrategy::FullyBinarized => "All-Binarized",
+            BinarizationStrategy::BinarizedClassifier => "Bin Classifier",
+        }
+    }
+}
+
+impl std::fmt::Display for BinarizationStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_per_strategy() {
+        use BinarizationStrategy::*;
+        assert_eq!(RealWeights.conv_mode(), WeightMode::Real);
+        assert_eq!(RealWeights.classifier_mode(), WeightMode::Real);
+        assert_eq!(FullyBinarized.conv_mode(), WeightMode::Binary);
+        assert_eq!(FullyBinarized.classifier_mode(), WeightMode::Binary);
+        assert_eq!(BinarizedClassifier.conv_mode(), WeightMode::Real);
+        assert_eq!(BinarizedClassifier.classifier_mode(), WeightMode::Binary);
+    }
+
+    #[test]
+    fn activations_follow_modes() {
+        use rbnn_nn::ActivationKind::*;
+        let s = BinarizationStrategy::BinarizedClassifier;
+        assert_eq!(s.conv_activation(Relu).kind(), Relu);
+        assert_eq!(s.classifier_activation(Relu).kind(), SignSte);
+        let b = BinarizationStrategy::FullyBinarized;
+        assert_eq!(b.conv_activation(HardTanh).kind(), SignSte);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<_> = BinarizationStrategy::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 3);
+        assert!(labels.contains(&"Bin Classifier"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Flatten layer: collapses per-sample dimensions to a feature vector.
+
+use rbnn_tensor::Tensor;
+
+use crate::{Layer, Phase};
+
+/// Flattens `[N, d₁, d₂, …]` into `[N, d₁·d₂·…]` — the bridge between the
+/// convolutional feature extractor and the dense classifier (the boundary at
+/// which the paper's *classifier binarization* strategy switches precision).
+#[derive(Debug, Default)]
+pub struct Flatten {
+    cached_dims: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+        assert!(x.shape().ndim() >= 2, "Flatten expects a batched tensor");
+        let n = x.dim(0);
+        let features: usize = x.dims()[1..].iter().product();
+        if phase.is_train() {
+            self.cached_dims = x.dims().to_vec();
+        }
+        x.reshape([n, features])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(
+            !self.cached_dims.is_empty(),
+            "Flatten::backward called without forward(Phase::Train)"
+        );
+        let dims = std::mem::take(&mut self.cached_dims);
+        grad_out.reshape(dims)
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        vec![in_shape.iter().product()]
+    }
+
+    fn name(&self) -> String {
+        "Flatten".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_flatten_is_2520() {
+        // Paper Table I: 63×1×40 → 2520.
+        let f = Flatten::new();
+        assert_eq!(f.out_shape(&[40, 63, 1]), vec![2520]);
+    }
+
+    #[test]
+    fn table2_flatten_is_5152() {
+        // Paper Table II: 161×1×32 → 5152.
+        let f = Flatten::new();
+        assert_eq!(f.out_shape(&[32, 161]), vec![5152]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_fn([2, 3, 4], |i| i as f32);
+        let y = f.forward(&x, Phase::Train);
+        assert_eq!(y.dims(), &[2, 12]);
+        let gx = f.backward(&y);
+        assert_eq!(gx.dims(), &[2, 3, 4]);
+        assert_eq!(gx.as_slice(), x.as_slice());
+    }
+}

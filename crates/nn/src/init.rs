@@ -1,0 +1,54 @@
+//! Weight initialization schemes.
+
+use rand::Rng;
+use rbnn_tensor::Tensor;
+
+/// He (Kaiming) normal initialization: `N(0, √(2 / fan_in))`.
+///
+/// Appropriate for layers followed by ReLU; also a good default for the
+/// sign-activated binarized layers (their effective gain is similar).
+pub fn he_normal(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::randn(shape, std, rng)
+}
+
+/// Glorot (Xavier) uniform initialization:
+/// `U(−√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
+pub fn glorot_uniform(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut impl Rng,
+) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    Tensor::rand_uniform(shape, -limit, limit, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_normal_std_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = he_normal(&[100, 100], 100, &mut rng);
+        let std = t.variance().sqrt();
+        let expect = (2.0f32 / 100.0).sqrt();
+        assert!(
+            (std - expect).abs() < 0.02,
+            "std {std} too far from expected {expect}"
+        );
+    }
+
+    #[test]
+    fn glorot_uniform_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = glorot_uniform(&[50, 50], 50, 50, &mut rng);
+        let limit = (6.0f32 / 100.0).sqrt();
+        assert!(t.max() <= limit && t.min() >= -limit);
+        // Not degenerate.
+        assert!(t.variance() > 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! The layer abstraction all network blocks implement.
+
+use std::fmt;
+
+use rbnn_tensor::Tensor;
+
+use crate::Param;
+
+/// Whether the network is training or evaluating.
+///
+/// Training mode enables dropout, batch statistics in BatchNorm, and input
+/// caching for the backward pass; evaluation mode uses running statistics and
+/// skips stochastic regularizers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Forward pass that will be followed by `backward` (caches activations).
+    Train,
+    /// Pure inference.
+    Eval,
+}
+
+impl Phase {
+    /// True in [`Phase::Train`].
+    pub fn is_train(self) -> bool {
+        matches!(self, Phase::Train)
+    }
+}
+
+/// Whether a layer's weights are used as stored or binarized to ±1 on the
+/// forward pass.
+///
+/// [`WeightMode::Binary`] implements the BNN training scheme the paper uses
+/// (Courbariaux et al.): latent real weights are kept for the optimizer, the
+/// forward pass sees `sign(w)`, and the straight-through estimator passes
+/// gradients back only where the latent weight has not saturated
+/// (`|w| ≤ 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WeightMode {
+    /// Full-precision weights.
+    #[default]
+    Real,
+    /// Weights binarized to ±1 with straight-through gradient estimation.
+    Binary,
+}
+
+impl WeightMode {
+    /// True in [`WeightMode::Binary`].
+    pub fn is_binary(self) -> bool {
+        matches!(self, WeightMode::Binary)
+    }
+}
+
+/// A differentiable network block.
+///
+/// Layers operate on batched tensors whose leading dimension is the batch.
+/// `forward(Phase::Train)` must cache whatever `backward` needs; `backward`
+/// consumes the cache, accumulates parameter gradients, and returns the
+/// gradient with respect to the layer input.
+pub trait Layer: fmt::Debug + Send {
+    /// Self as [`std::any::Any`], enabling downcasting for model surgery
+    /// (e.g. exporting trained binarized layers to the bit-packed inference
+    /// engine in `rbnn-binary`).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Computes the layer output for a batched input.
+    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor;
+
+    /// Propagates the output gradient, accumulating parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called without a preceding
+    /// `forward(Phase::Train)`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Immutable access to the layer's parameters (possibly empty).
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Mutable access to the layer's parameters (possibly empty).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Per-sample output shape for a given per-sample input shape
+    /// (batch dimension excluded). Used for model summaries (Tables I–II).
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize>;
+
+    /// Human-readable layer name for summaries.
+    fn name(&self) -> String;
+
+    /// Total scalar parameter count.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Clears all parameter gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_and_mode_predicates() {
+        assert!(Phase::Train.is_train());
+        assert!(!Phase::Eval.is_train());
+        assert!(WeightMode::Binary.is_binary());
+        assert!(!WeightMode::Real.is_binary());
+        assert_eq!(WeightMode::default(), WeightMode::Real);
+    }
+}

@@ -1,0 +1,82 @@
+//! # rbnn-nn
+//!
+//! A from-scratch, training-capable neural-network framework sized for the
+//! [rram-bnn](https://arxiv.org/abs/2006.11595) reproduction. It provides
+//! every building block the paper's models need:
+//!
+//! * layers: [`Dense`], [`Conv1d`], [`Conv2d`], [`DepthwiseConv2d`],
+//!   [`Pool1d`]/[`Pool2d`]/[`GlobalAvgPool2d`], [`BatchNorm`], [`Dropout`],
+//!   [`Flatten`], [`Activation`] (ReLU / hardtanh / sign);
+//! * binarization: every weighted layer accepts a [`WeightMode`]; in
+//!   [`WeightMode::Binary`] it trains latent real weights with the
+//!   straight-through estimator and presents `sign(w)` to the forward pass —
+//!   the training-time counterpart of weights stored in differential 2T2R
+//!   RRAM pairs;
+//! * optimization: [`Sgd`] and [`Adam`] with post-step weight clamping;
+//! * a mini-batch [`train::fit`] loop with history, plus
+//!   [`metrics`] and softmax cross-entropy [`loss`];
+//! * [`gradcheck`] — finite-difference validation used throughout the
+//!   test-suite.
+//!
+//! ```
+//! use rbnn_nn::{Activation, Adam, Dense, Sequential, WeightMode, train};
+//! use rbnn_tensor::Tensor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut net = Sequential::new();
+//! net.push(Dense::new(4, 8, WeightMode::Real, &mut rng));
+//! net.push(Activation::relu());
+//! net.push(Dense::new(8, 2, WeightMode::Real, &mut rng));
+//!
+//! let x = Tensor::randn([16, 4], 1.0, &mut rng);
+//! let y = vec![0usize; 16];
+//! let mut opt = Adam::new(0.01);
+//! let cfg = train::TrainConfig { epochs: 2, ..Default::default() };
+//! let history = train::fit(
+//!     &mut net,
+//!     train::Labelled::new(&x, &y),
+//!     None,
+//!     &mut opt,
+//!     &cfg,
+//! );
+//! assert_eq!(history.train_loss.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod activation;
+mod batchnorm;
+mod conv1d;
+mod conv2d;
+mod dense;
+mod dropout;
+mod flatten;
+pub mod gradcheck;
+pub mod init;
+mod layer;
+pub mod loss;
+pub mod metrics;
+mod optim;
+mod param;
+mod pool;
+mod schedule;
+mod sequential;
+mod split;
+pub mod train;
+
+pub use activation::{Activation, ActivationKind};
+pub use batchnorm::BatchNorm;
+pub use conv1d::Conv1d;
+pub use conv2d::{Conv2d, DepthwiseConv2d};
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use layer::{Layer, Phase, WeightMode};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use param::Param;
+pub use pool::{GlobalAvgPool2d, Pool1d, Pool2d, PoolKind};
+pub use schedule::LrSchedule;
+pub use sequential::{ModelSummary, Sequential, SummaryRow};
+pub use split::SplitModel;

@@ -1,0 +1,95 @@
+//! Learning-rate schedules.
+//!
+//! The paper trains its medical models for 1000 epochs with Adam and
+//! MobileNet for 255 epochs with SGD — budgets at which a decaying learning
+//! rate matters. These schedules compute the rate for an epoch; the training
+//! loop applies it via [`Optimizer::set_learning_rate`](crate::Optimizer::set_learning_rate).
+
+/// A learning-rate schedule: a map from epoch index to learning rate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrSchedule {
+    /// A constant rate.
+    Constant {
+        /// The rate used for every epoch.
+        lr: f32,
+    },
+    /// Multiply the rate by `gamma` every `step` epochs.
+    StepDecay {
+        /// Initial rate.
+        lr: f32,
+        /// Epochs between decays.
+        step: usize,
+        /// Multiplicative factor per decay (0 < γ ≤ 1).
+        gamma: f32,
+    },
+    /// Cosine annealing from `lr` down to `min_lr` over `total` epochs.
+    Cosine {
+        /// Initial (maximum) rate.
+        lr: f32,
+        /// Final (minimum) rate.
+        min_lr: f32,
+        /// Schedule length in epochs.
+        total: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate for `epoch` (0-based).
+    pub fn rate(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::StepDecay { lr, step, gamma } => {
+                lr * gamma.powi((epoch / step.max(1)) as i32)
+            }
+            LrSchedule::Cosine { lr, min_lr, total } => {
+                if total <= 1 {
+                    return min_lr;
+                }
+                let progress =
+                    (epoch.min(total - 1)) as f32 / (total - 1) as f32;
+                min_lr
+                    + 0.5 * (lr - min_lr) * (1.0 + (std::f32::consts::PI * progress).cos())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.01 };
+        assert_eq!(s.rate(0), 0.01);
+        assert_eq!(s.rate(999), 0.01);
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::StepDecay { lr: 0.1, step: 10, gamma: 0.5 };
+        assert_eq!(s.rate(0), 0.1);
+        assert_eq!(s.rate(9), 0.1);
+        assert!((s.rate(10) - 0.05).abs() < 1e-7);
+        assert!((s.rate(25) - 0.025).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_endpoints_and_monotonicity() {
+        let s = LrSchedule::Cosine { lr: 0.1, min_lr: 0.001, total: 100 };
+        assert!((s.rate(0) - 0.1).abs() < 1e-6);
+        assert!((s.rate(99) - 0.001).abs() < 1e-6);
+        // Monotone decreasing over the schedule.
+        for e in 1..100 {
+            assert!(s.rate(e) <= s.rate(e - 1) + 1e-7, "rose at epoch {e}");
+        }
+        // Clamped beyond the end.
+        assert!((s.rate(500) - 0.001).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_cosine() {
+        let s = LrSchedule::Cosine { lr: 0.1, min_lr: 0.01, total: 1 };
+        assert_eq!(s.rate(0), 0.01);
+    }
+}

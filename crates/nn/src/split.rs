@@ -1,0 +1,144 @@
+//! A model split into feature extractor and classifier.
+//!
+//! The paper's central algorithmic move is treating these two sections at
+//! different precisions (§III-C: "binarizing solely the classifier part").
+//! [`SplitModel`] makes the boundary explicit so deployment code can run the
+//! feature extractor in float and hand the classifier to the bit-packed
+//! engine in `rbnn-binary`.
+
+use rbnn_tensor::Tensor;
+
+use crate::{Layer, Param, Phase, Sequential};
+
+/// A network composed of a convolutional `features` section followed by a
+/// dense `classifier` section. Implements [`Layer`] by chaining the two.
+#[derive(Debug, Default)]
+pub struct SplitModel {
+    /// Convolutional feature extractor (everything up to and including the
+    /// flatten).
+    pub features: Sequential,
+    /// Dense classifier.
+    pub classifier: Sequential,
+}
+
+impl SplitModel {
+    /// Creates a model from its two sections.
+    pub fn new(features: Sequential, classifier: Sequential) -> Self {
+        Self { features, classifier }
+    }
+
+    /// Runs only the feature extractor (used when the classifier executes on
+    /// simulated RRAM hardware instead).
+    pub fn forward_features(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+        self.features.forward(x, phase)
+    }
+
+    /// Total parameters in the feature section.
+    pub fn feature_params(&self) -> usize {
+        self.features.param_count()
+    }
+
+    /// Total parameters in the classifier section.
+    pub fn classifier_params(&self) -> usize {
+        self.classifier.param_count()
+    }
+
+    /// Layer-by-layer summary across both sections (Tables I–II style).
+    pub fn summary(&self, input_shape: &[usize]) -> crate::ModelSummary {
+        let mut s = self.features.summary(input_shape);
+        let boundary = self.features.out_shape(input_shape);
+        let tail = self.classifier.summary(&boundary);
+        s.rows.extend(tail.rows);
+        s
+    }
+}
+
+impl Layer for SplitModel {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+        let h = self.features.forward(x, phase);
+        self.classifier.forward(&h, phase)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.classifier.backward(grad_out);
+        self.features.backward(&g)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut v = self.features.params();
+        v.extend(self.classifier.params());
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = self.features.params_mut();
+        v.extend(self.classifier.params_mut());
+        v
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        self.classifier.out_shape(&self.features.out_shape(in_shape))
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "SplitModel[features={}, classifier={}]",
+            self.features.len(),
+            self.classifier.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, Dense, WeightMode};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build() -> SplitModel {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut features = Sequential::new();
+        features.push(Dense::new(6, 4, WeightMode::Real, &mut rng));
+        features.push(Activation::relu());
+        let mut classifier = Sequential::new();
+        classifier.push(Dense::new(4, 2, WeightMode::Binary, &mut rng));
+        SplitModel::new(features, classifier)
+    }
+
+    #[test]
+    fn chains_sections() {
+        let mut m = build();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::randn([3, 6], 1.0, &mut rng);
+        let y = m.forward(&x, Phase::Train);
+        assert_eq!(y.dims(), &[3, 2]);
+        let gx = m.backward(&Tensor::ones([3, 2]));
+        assert_eq!(gx.dims(), &[3, 6]);
+        assert_eq!(m.out_shape(&[6]), vec![2]);
+    }
+
+    #[test]
+    fn forward_features_stops_at_boundary() {
+        let mut m = build();
+        let x = Tensor::zeros([2, 6]);
+        let h = m.forward_features(&x, Phase::Eval);
+        assert_eq!(h.dims(), &[2, 4]);
+    }
+
+    #[test]
+    fn param_sections_add_up() {
+        let m = build();
+        assert_eq!(
+            m.param_count(),
+            m.feature_params() + m.classifier_params()
+        );
+        // features: 6·4+4; classifier: 4·2+2.
+        assert_eq!(m.feature_params(), 28);
+        assert_eq!(m.classifier_params(), 10);
+    }
+}

@@ -1,0 +1,337 @@
+//! Mini-batch training loop, evaluation helpers and training history.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use rbnn_tensor::Tensor;
+
+use crate::{loss, metrics, Layer, LrSchedule, Optimizer, Phase};
+
+/// Configuration of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// RNG seed for shuffling.
+    pub seed: u64,
+    /// If set, evaluation on the validation set happens every `n` epochs
+    /// (always on the last epoch).
+    pub eval_every: usize,
+    /// Print one progress line per evaluation to stderr.
+    pub verbose: bool,
+    /// Optional learning-rate schedule applied at the start of each epoch
+    /// (overrides the optimizer's configured rate).
+    pub lr_schedule: Option<LrSchedule>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 10,
+            batch_size: 32,
+            seed: 0,
+            eval_every: 1,
+            verbose: false,
+            lr_schedule: None,
+        }
+    }
+}
+
+/// Per-epoch record of a training run.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// Mean training loss per epoch.
+    pub train_loss: Vec<f32>,
+    /// Training accuracy per epoch (over the batches as seen).
+    pub train_acc: Vec<f32>,
+    /// `(epoch, accuracy)` validation measurements.
+    pub val_acc: Vec<(usize, f32)>,
+    /// `(epoch, accuracy)` validation top-5 measurements (empty when the
+    /// task has fewer than 6 classes).
+    pub val_top5: Vec<(usize, f32)>,
+}
+
+impl History {
+    /// The last validation accuracy, if any evaluation ran.
+    pub fn final_val_acc(&self) -> Option<f32> {
+        self.val_acc.last().map(|&(_, a)| a)
+    }
+
+    /// The best validation accuracy seen, if any.
+    pub fn best_val_acc(&self) -> Option<f32> {
+        self.val_acc
+            .iter()
+            .map(|&(_, a)| a)
+            .max_by(|a, b| a.partial_cmp(b).expect("accuracy is never NaN"))
+    }
+}
+
+/// A labelled batch-major dataset view: samples stacked on axis 0 plus one
+/// integer label per sample.
+#[derive(Debug, Clone)]
+pub struct Labelled<'a> {
+    /// Stacked samples `[N, …]`.
+    pub x: &'a Tensor,
+    /// One class index per sample.
+    pub y: &'a [usize],
+}
+
+impl<'a> Labelled<'a> {
+    /// Bundles samples and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` differs from the leading dimension of `x`.
+    pub fn new(x: &'a Tensor, y: &'a [usize]) -> Self {
+        assert_eq!(x.dim(0), y.len(), "sample/label count mismatch");
+        Self { x, y }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+}
+
+/// Gathers `indices` of the leading axis into a new batch tensor.
+pub fn gather(x: &Tensor, indices: &[usize]) -> Tensor {
+    let items: Vec<Tensor> = indices.iter().map(|&i| x.index_axis0(i)).collect();
+    Tensor::stack(&items)
+}
+
+/// Runs the model over `data` in batches and returns the logits `[N, C]`.
+pub fn predict_logits(model: &mut dyn Layer, x: &Tensor, batch_size: usize) -> Tensor {
+    let n = x.dim(0);
+    let mut outputs = Vec::new();
+    let mut start = 0;
+    while start < n {
+        let end = (start + batch_size).min(n);
+        let idx: Vec<usize> = (start..end).collect();
+        let batch = gather(x, &idx);
+        let logits = model.forward(&batch, Phase::Eval);
+        for i in 0..logits.dim(0) {
+            outputs.push(logits.index_axis0(i));
+        }
+        start = end;
+    }
+    Tensor::stack(&outputs)
+}
+
+/// Evaluates top-1 accuracy of `model` on a labelled set.
+pub fn evaluate(model: &mut dyn Layer, data: Labelled<'_>, batch_size: usize) -> f32 {
+    let logits = predict_logits(model, data.x, batch_size);
+    metrics::accuracy(&logits, data.y)
+}
+
+/// Evaluates top-k accuracy of `model` on a labelled set.
+pub fn evaluate_top_k(
+    model: &mut dyn Layer,
+    data: Labelled<'_>,
+    batch_size: usize,
+    k: usize,
+) -> f32 {
+    let logits = predict_logits(model, data.x, batch_size);
+    metrics::top_k_accuracy(&logits, data.y, k)
+}
+
+/// Trains `model` on `train` with softmax cross-entropy, optionally
+/// evaluating on `val`, and returns the per-epoch [`History`].
+///
+/// The model sees shuffled mini-batches; gradients are zeroed before each
+/// batch and the optimizer steps after each backward pass.
+pub fn fit(
+    model: &mut dyn Layer,
+    train: Labelled<'_>,
+    val: Option<Labelled<'_>>,
+    opt: &mut dyn Optimizer,
+    cfg: &TrainConfig,
+) -> History {
+    assert!(cfg.epochs >= 1, "need at least one epoch");
+    assert!(cfg.batch_size >= 1, "need a positive batch size");
+    let n = train.len();
+    assert!(n > 0, "empty training set");
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut history = History::default();
+    let track_top5 = val
+        .as_ref()
+        .map(|v| v.x.dim(0) > 0)
+        .unwrap_or(false);
+
+    for epoch in 0..cfg.epochs {
+        if let Some(schedule) = &cfg.lr_schedule {
+            opt.set_learning_rate(schedule.rate(epoch));
+        }
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f32;
+        let mut epoch_hits = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let xb = gather(train.x, chunk);
+            let yb: Vec<usize> = chunk.iter().map(|&i| train.y[i]).collect();
+            model.zero_grad();
+            let logits = model.forward(&xb, Phase::Train);
+            let (loss_value, grad) = loss::softmax_cross_entropy(&logits, &yb);
+            epoch_hits += metrics::accuracy(&logits, &yb) * yb.len() as f32;
+            model.backward(&grad);
+            let mut params = model.params_mut();
+            opt.step(&mut params);
+            epoch_loss += loss_value;
+            batches += 1;
+        }
+        history.train_loss.push(epoch_loss / batches.max(1) as f32);
+        history.train_acc.push(epoch_hits / n as f32);
+
+        let is_last = epoch + 1 == cfg.epochs;
+        if let Some(v) = &val {
+            if is_last || cfg.eval_every != 0 && epoch % cfg.eval_every.max(1) == 0 {
+                let logits = predict_logits(model, v.x, cfg.batch_size);
+                let acc = metrics::accuracy(&logits, v.y);
+                history.val_acc.push((epoch, acc));
+                if track_top5 && logits.dim(1) > 5 {
+                    history
+                        .val_top5
+                        .push((epoch, metrics::top_k_accuracy(&logits, v.y, 5)));
+                }
+                if cfg.verbose {
+                    eprintln!(
+                        "epoch {:>4}: loss {:.4}  train acc {:.3}  val acc {:.3}",
+                        epoch,
+                        history.train_loss.last().unwrap(),
+                        history.train_acc.last().unwrap(),
+                        acc
+                    );
+                }
+            }
+        } else if cfg.verbose {
+            eprintln!(
+                "epoch {:>4}: loss {:.4}  train acc {:.3}",
+                epoch,
+                history.train_loss.last().unwrap(),
+                history.train_acc.last().unwrap()
+            );
+        }
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, Adam, Dense, Sequential, WeightMode};
+    use rand::Rng;
+
+    /// Two-class linearly separable blobs.
+    fn blobs(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Tensor::zeros([n, 2]);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % 2;
+            let cx = if label == 0 { -1.5 } else { 1.5 };
+            x.as_mut_slice()[i * 2] = cx + rng.gen_range(-0.5..0.5);
+            x.as_mut_slice()[i * 2 + 1] = rng.gen_range(-0.5..0.5);
+            y.push(label);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn fit_learns_separable_blobs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 8, WeightMode::Real, &mut rng));
+        net.push(Activation::relu());
+        net.push(Dense::new(8, 2, WeightMode::Real, &mut rng));
+
+        let (x, y) = blobs(128, 2);
+        let (vx, vy) = blobs(64, 3);
+        let mut opt = Adam::new(0.01);
+        let cfg = TrainConfig { epochs: 20, batch_size: 16, ..Default::default() };
+        let hist = fit(
+            &mut net,
+            Labelled::new(&x, &y),
+            Some(Labelled::new(&vx, &vy)),
+            &mut opt,
+            &cfg,
+        );
+        assert!(hist.final_val_acc().unwrap() > 0.95, "val acc {:?}", hist.final_val_acc());
+        // Loss decreased.
+        assert!(hist.train_loss.last().unwrap() < hist.train_loss.first().unwrap());
+    }
+
+    #[test]
+    fn binary_dense_model_also_learns() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 16, WeightMode::Binary, &mut rng));
+        net.push(crate::BatchNorm::new(16));
+        net.push(Activation::sign_ste());
+        net.push(Dense::new(16, 2, WeightMode::Binary, &mut rng));
+        net.push(crate::BatchNorm::new(2));
+
+        let (x, y) = blobs(128, 5);
+        let mut opt = Adam::new(0.02);
+        let cfg = TrainConfig { epochs: 30, batch_size: 16, ..Default::default() };
+        let hist = fit(&mut net, Labelled::new(&x, &y), Some(Labelled::new(&x, &y)), &mut opt, &cfg);
+        assert!(
+            hist.best_val_acc().unwrap() > 0.9,
+            "BNN failed to fit blobs: {:?}",
+            hist.best_val_acc()
+        );
+    }
+
+    #[test]
+    fn gather_stacks_selected_rows() {
+        let x = Tensor::from_fn([4, 2], |i| i as f32);
+        let g = gather(&x, &[2, 0]);
+        assert_eq!(g.dims(), &[2, 2]);
+        assert_eq!(g.as_slice(), &[4.0, 5.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn predict_logits_matches_direct_forward() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut net = Sequential::new();
+        net.push(Dense::new(3, 2, WeightMode::Real, &mut rng));
+        let x = Tensor::randn([10, 3], 1.0, &mut rng);
+        let direct = net.forward(&x, Phase::Eval);
+        let batched = predict_logits(&mut net, &x, 3);
+        assert!(direct.allclose(&batched, 1e-5));
+    }
+
+    #[test]
+    fn lr_schedule_is_applied() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, WeightMode::Real, &mut rng));
+        let (x, y) = blobs(16, 10);
+        let mut opt = Adam::new(1.0);
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            lr_schedule: Some(crate::LrSchedule::StepDecay { lr: 0.1, step: 1, gamma: 0.5 }),
+            ..Default::default()
+        };
+        let _ = fit(&mut net, Labelled::new(&x, &y), None, &mut opt, &cfg);
+        // After epochs 0, 1, 2 the last applied rate is 0.1 · 0.5² = 0.025.
+        assert!((opt.learning_rate() - 0.025).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample/label count mismatch")]
+    fn labelled_rejects_mismatched_lengths() {
+        let x = Tensor::zeros([3, 2]);
+        let y = vec![0usize; 4];
+        let _ = Labelled::new(&x, &y);
+    }
+}

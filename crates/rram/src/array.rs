@@ -1,0 +1,283 @@
+//! The 2T2R memory array with word/bit-line addressing and XNOR-PCSA
+//! column sensing (Fig 2(a) of the paper: 32×32 synapses = 2K devices on
+//! the fabricated die).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rbnn_tensor::{BitMatrix, BitVec};
+
+use crate::{DeviceParams, Pcsa, PcsaParams, Synapse2T2R};
+
+/// Running operation counters of an array (feed the energy model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArrayStats {
+    /// Device-pair programming events.
+    pub programs: u64,
+    /// PCSA sense operations (one per column per row read).
+    pub senses: u64,
+}
+
+/// A rows × cols array of 2T2R synapses with one PCSA per column.
+///
+/// Word lines select a row; all columns are sensed in parallel, optionally
+/// with per-column XNOR inputs (the architecture of Fig 5 builds
+/// fully-connected BNN layers from this primitive plus popcount logic).
+#[derive(Debug)]
+pub struct RramArray {
+    rows: usize,
+    cols: usize,
+    synapses: Vec<Synapse2T2R>,
+    pcsas: Vec<Pcsa>,
+    device_params: DeviceParams,
+    stats: ArrayStats,
+    rng: StdRng,
+}
+
+impl RramArray {
+    /// Builds an array with all synapses initially programmed to −1.
+    ///
+    /// Each column gets its own PCSA instance with an independent mismatch
+    /// offset, as on the real die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `cols == 0`.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        device_params: DeviceParams,
+        pcsa_params: PcsaParams,
+        seed: u64,
+    ) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let synapses = (0..rows * cols)
+            .map(|_| Synapse2T2R::new(false, &device_params, &mut rng))
+            .collect();
+        let pcsas = (0..cols).map(|_| Pcsa::new(&pcsa_params, &mut rng)).collect();
+        Self { rows, cols, synapses, pcsas, device_params, stats: ArrayStats::default(), rng }
+    }
+
+    /// The paper's test-chip geometry: 32×32 synapses (1K synapses / 2K
+    /// RRAM cells, Fig 2(c)).
+    pub fn test_chip(seed: u64) -> Self {
+        Self::new(32, 32, DeviceParams::hfo2_default(), PcsaParams::default_130nm(), seed)
+    }
+
+    /// Row count (word lines).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count (bit-line pairs / PCSAs).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Operation counters so far.
+    pub fn stats(&self) -> ArrayStats {
+        self.stats
+    }
+
+    /// Device parameters in use.
+    pub fn device_params(&self) -> &DeviceParams {
+        &self.device_params
+    }
+
+    fn index(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.rows && col < self.cols, "({row},{col}) out of range");
+        row * self.cols + col
+    }
+
+    /// Programs a single synapse.
+    pub fn program_bit(&mut self, row: usize, col: usize, weight: bool) {
+        let idx = self.index(row, col);
+        self.synapses[idx].program(weight, &self.device_params, &mut self.rng);
+        self.stats.programs += 1;
+    }
+
+    /// Programs one word line from a bit vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != cols`.
+    pub fn program_row(&mut self, row: usize, weights: &BitVec) {
+        assert_eq!(weights.len(), self.cols, "row width mismatch");
+        for col in 0..self.cols {
+            self.program_bit(row, col, weights.get(col));
+        }
+    }
+
+    /// Programs the top-left `matrix.rows() × matrix.cols()` region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix exceeds the array in either dimension.
+    pub fn program_matrix(&mut self, matrix: &BitMatrix) {
+        assert!(
+            matrix.rows() <= self.rows && matrix.cols() <= self.cols,
+            "matrix {}×{} exceeds array {}×{}",
+            matrix.rows(),
+            matrix.cols(),
+            self.rows,
+            self.cols
+        );
+        for row in 0..matrix.rows() {
+            for col in 0..matrix.cols() {
+                self.program_bit(row, col, matrix.get(row, col));
+            }
+        }
+    }
+
+    /// Fast-forwards the wear state of every device.
+    pub fn set_cycles(&mut self, cycles: u64) {
+        for s in &mut self.synapses {
+            s.set_cycles(cycles);
+        }
+    }
+
+    /// Reads one word line through the column PCSAs.
+    pub fn read_row(&mut self, row: usize) -> BitVec {
+        let mut out = BitVec::zeros(self.cols);
+        for col in 0..self.cols {
+            let idx = self.index(row, col);
+            let bit =
+                self.synapses[idx].read(&self.pcsas[col], &self.device_params, &mut self.rng);
+            out.set(col, bit);
+            self.stats.senses += 1;
+        }
+        out
+    }
+
+    /// Reads one word line with per-column XNOR inputs (Fig 3(b)/Fig 5):
+    /// returns the column-wise `XNOR(weight, input)` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != cols`.
+    pub fn xnor_read_row(&mut self, row: usize, input: &BitVec) -> BitVec {
+        assert_eq!(input.len(), self.cols, "input width mismatch");
+        let mut out = BitVec::zeros(self.cols);
+        for col in 0..self.cols {
+            let idx = self.index(row, col);
+            let bit = self.synapses[idx].read_xnor(
+                input.get(col),
+                &self.pcsas[col],
+                &self.device_params,
+                &mut self.rng,
+            );
+            out.set(col, bit);
+            self.stats.senses += 1;
+        }
+        out
+    }
+
+    /// One fully-connected-layer partial sum (Fig 5): XNOR-read row `row`
+    /// against `input` and popcount the result in the shared logic.
+    pub fn xnor_popcount_row(&mut self, row: usize, input: &BitVec) -> u32 {
+        self.xnor_read_row(row, input).count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn checkerboard(rows: usize, cols: usize) -> BitMatrix {
+        let vals: Vec<f32> = (0..rows * cols)
+            .map(|i| if (i / cols + i % cols) % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        BitMatrix::from_signs(&vals, rows, cols)
+    }
+
+    #[test]
+    fn program_read_roundtrip_on_fresh_devices() {
+        let mut array = RramArray::test_chip(0);
+        let pattern = checkerboard(32, 32);
+        array.program_matrix(&pattern);
+        for row in 0..32 {
+            let bits = array.read_row(row);
+            for col in 0..32 {
+                assert_eq!(
+                    bits.get(col),
+                    pattern.get(row, col),
+                    "mismatch at ({row},{col})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xnor_popcount_matches_software_reference() {
+        let mut array = RramArray::test_chip(1);
+        let pattern = checkerboard(32, 32);
+        array.program_matrix(&pattern);
+        let mut rng = StdRng::seed_from_u64(2);
+        for row in 0..8 {
+            let input: BitVec = (0..32).map(|_| rng.gen::<bool>()).collect();
+            let hw = array.xnor_popcount_row(row, &input);
+            let sw = pattern.row(row).xnor_popcount(&input);
+            assert_eq!(hw, sw, "row {row}");
+        }
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut array = RramArray::new(
+            4,
+            8,
+            DeviceParams::hfo2_default(),
+            PcsaParams::default_130nm(),
+            3,
+        );
+        assert_eq!(array.stats(), ArrayStats::default());
+        let row: BitVec = (0..8).map(|i| i % 2 == 0).collect();
+        array.program_row(0, &row);
+        let _ = array.read_row(0);
+        assert_eq!(array.stats().programs, 8);
+        assert_eq!(array.stats().senses, 8);
+    }
+
+    #[test]
+    fn worn_array_shows_read_errors() {
+        let mut array = RramArray::test_chip(4);
+        let pattern = checkerboard(32, 32);
+        // Wear out, then reprogram at high wear.
+        array.set_cycles(700_000_000);
+        array.program_matrix(&pattern);
+        array.set_cycles(700_000_000);
+        let mut errors = 0u32;
+        let reads = 200;
+        for _ in 0..reads {
+            for row in 0..32 {
+                let bits = array.read_row(row);
+                for col in 0..32 {
+                    if bits.get(col) != pattern.get(row, col) {
+                        errors += 1;
+                    }
+                }
+            }
+        }
+        let total = reads * 32 * 32;
+        let ber = errors as f64 / total as f64;
+        // 2T2R at 7e8 cycles: ≈ 1e-3 scale; definitely nonzero yet ≪ 1T1R's
+        // percent scale.
+        assert!(ber > 1e-5, "expected some worn-out errors, ber {ber}");
+        assert!(ber < 3e-2, "2T2R ber {ber} should stay small");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds array")]
+    fn oversized_matrix_rejected() {
+        let mut array = RramArray::new(
+            4,
+            4,
+            DeviceParams::hfo2_default(),
+            PcsaParams::default_130nm(),
+            5,
+        );
+        array.program_matrix(&checkerboard(5, 4));
+    }
+}

@@ -1,0 +1,322 @@
+//! Behavioural model of a hafnium-oxide resistive memory cell.
+//!
+//! The paper's test chip stores weights in HfO₂ RRAM integrated in the BEOL
+//! of a 130 nm CMOS process (§II-B, Fig 2). What matters for the system-level
+//! claims is the *statistics* of the two programmable states and how they
+//! degrade with programming cycles:
+//!
+//! * LRS and HRS resistances are **log-normally distributed** across
+//!   programming events (cycle-to-cycle variability), the HRS spread being
+//!   wider — the standard observation for filamentary oxide RRAM;
+//! * repeated SET/RESET cycling **widens** both distributions (device
+//!   wear), driving the growing bit-error rates of Fig 4;
+//! * occasionally a programming event leaves the device in a **weak,
+//!   borderline state** near the LRS/HRS boundary. A single-ended (1T1R)
+//!   read of a weak device is a coin flip, while a differential 2T2R read
+//!   still resolves correctly unless *both* devices of the pair are weak —
+//!   the mechanism by which differential storage buys its ~two orders of
+//!   magnitude (the paper's companion studies [15], [16] liken it to a
+//!   single-error-correction code of equivalent redundancy).
+
+use rand::Rng;
+
+use crate::stats;
+
+/// The two programmable resistance states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResistiveState {
+    /// Low-resistance state (SET).
+    Lrs,
+    /// High-resistance state (RESET).
+    Hrs,
+}
+
+impl ResistiveState {
+    /// The complementary state.
+    pub fn complement(self) -> Self {
+        match self {
+            ResistiveState::Lrs => ResistiveState::Hrs,
+            ResistiveState::Hrs => ResistiveState::Lrs,
+        }
+    }
+}
+
+/// Statistical parameters of the device model. All resistances are handled
+/// in natural-log space (`ln Ω`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceParams {
+    /// Median LRS resistance, `ln Ω` (default `ln 5 kΩ`).
+    pub lrs_mu: f64,
+    /// Fresh-device LRS log-spread.
+    pub lrs_sigma: f64,
+    /// Median HRS resistance, `ln Ω` (default `ln 100 kΩ`).
+    pub hrs_mu: f64,
+    /// Fresh-device HRS log-spread.
+    pub hrs_sigma: f64,
+    /// Linear distribution-widening coefficient per 10⁸ cycles:
+    /// `σ(c) = σ₀ · (1 + wear_rate · c/10⁸)`.
+    pub wear_rate: f64,
+    /// Probability of a *weak* programming event at 10⁸ cycles; grows
+    /// quadratically with cycles (`p(c) = p₀ · (c/10⁸)²`, capped at 0.5).
+    pub weak_prob_1e8: f64,
+    /// Half-width of the weak-state band around the LRS/HRS log-midpoint.
+    pub weak_band: f64,
+    /// Multiplicative read noise (log-space σ per read).
+    pub read_noise: f64,
+}
+
+impl DeviceParams {
+    /// Parameters calibrated so the endurance experiment reproduces the
+    /// shape of Fig 4: 1T1R BER ≈ 10⁻⁴ at 10⁸ cycles rising to ≈ 10⁻² at
+    /// 7×10⁸, with the 2T2R BER about two orders of magnitude lower.
+    pub fn hfo2_default() -> Self {
+        Self {
+            lrs_mu: (5.0e3f64).ln(),
+            lrs_sigma: 0.363,
+            hrs_mu: (100.0e3f64).ln(),
+            hrs_sigma: 0.363,
+            wear_rate: 0.111,
+            weak_prob_1e8: 2.0e-4,
+            weak_band: 0.3,
+            read_noise: 0.02,
+        }
+    }
+
+    /// Log-resistance midpoint between the two state medians — the natural
+    /// single-ended read reference.
+    pub fn log_midpoint(&self) -> f64 {
+        0.5 * (self.lrs_mu + self.hrs_mu)
+    }
+
+    /// Distribution-widening factor after `cycles` programming events.
+    pub fn sigma_multiplier(&self, cycles: u64) -> f64 {
+        1.0 + self.wear_rate * cycles as f64 / 1.0e8
+    }
+
+    /// Weak-programming probability after `cycles` events.
+    pub fn weak_probability(&self, cycles: u64) -> f64 {
+        let x = cycles as f64 / 1.0e8;
+        (self.weak_prob_1e8 * x * x).min(0.5)
+    }
+
+    /// Effective log-spread of a state at a given wear level.
+    pub fn state_sigma(&self, state: ResistiveState, cycles: u64) -> f64 {
+        let base = match state {
+            ResistiveState::Lrs => self.lrs_sigma,
+            ResistiveState::Hrs => self.hrs_sigma,
+        };
+        base * self.sigma_multiplier(cycles)
+    }
+
+    /// Median log-resistance of a state.
+    pub fn state_mu(&self, state: ResistiveState) -> f64 {
+        match state {
+            ResistiveState::Lrs => self.lrs_mu,
+            ResistiveState::Hrs => self.hrs_mu,
+        }
+    }
+}
+
+impl Default for DeviceParams {
+    fn default() -> Self {
+        Self::hfo2_default()
+    }
+}
+
+/// One resistive memory cell: its programmed state, the resistance realized
+/// by the most recent programming event, and its cycling history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RramCell {
+    state: ResistiveState,
+    log_resistance: f64,
+    cycles: u64,
+    /// Per-device wear asymmetry factor (≈1.0); lets an array model
+    /// fabrication spread, and the endurance bench model the slightly
+    /// different BL/BLb wear visible in Fig 4.
+    wear_scale: f64,
+}
+
+impl RramCell {
+    /// A fresh cell, formed and programmed once into `state`.
+    pub fn new(state: ResistiveState, params: &DeviceParams, rng: &mut impl Rng) -> Self {
+        let mut cell =
+            Self { state, log_resistance: 0.0, cycles: 0, wear_scale: 1.0 };
+        cell.sample_resistance(params, rng);
+        cell
+    }
+
+    /// Builder-style per-device wear asymmetry.
+    pub fn with_wear_scale(mut self, scale: f64) -> Self {
+        self.wear_scale = scale;
+        self
+    }
+
+    /// The programmed state.
+    pub fn state(&self) -> ResistiveState {
+        self.state
+    }
+
+    /// Total programming events experienced.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Jumps the wear counter (endurance experiments fast-forward through
+    /// millions of cycles instead of simulating each one).
+    pub fn set_cycles(&mut self, cycles: u64) {
+        self.cycles = cycles;
+    }
+
+    /// Effective cycles after the per-device wear asymmetry.
+    fn effective_cycles(&self) -> u64 {
+        (self.cycles as f64 * self.wear_scale) as u64
+    }
+
+    fn sample_resistance(&mut self, params: &DeviceParams, rng: &mut impl Rng) {
+        let cycles = self.effective_cycles();
+        let p_weak = params.weak_probability(cycles);
+        if rng.gen::<f64>() < p_weak {
+            // Weak event: the filament ends up borderline, uniformly within
+            // a band around the read midpoint.
+            let mid = params.log_midpoint();
+            self.log_resistance = mid + rng.gen_range(-params.weak_band..params.weak_band);
+        } else {
+            let mu = params.state_mu(self.state);
+            let sigma = params.state_sigma(self.state, cycles);
+            self.log_resistance = stats::normal(mu, sigma, rng);
+        }
+    }
+
+    /// Programs the cell to `state`: increments the wear counter and
+    /// resamples the realized resistance.
+    pub fn program(&mut self, state: ResistiveState, params: &DeviceParams, rng: &mut impl Rng) {
+        self.state = state;
+        self.cycles += 1;
+        self.sample_resistance(params, rng);
+    }
+
+    /// Reads the resistance (log-space), with read noise.
+    pub fn read_log_resistance(&self, params: &DeviceParams, rng: &mut impl Rng) -> f64 {
+        self.log_resistance + stats::normal(0.0, params.read_noise, rng)
+    }
+
+    /// Reads the resistance in ohms.
+    pub fn read_resistance(&self, params: &DeviceParams, rng: &mut impl Rng) -> f64 {
+        self.read_log_resistance(params, rng).exp()
+    }
+
+    /// Single-ended (1T1R) digital read: compares against a reference
+    /// log-resistance; below the reference reads as LRS.
+    pub fn read_1t1r(
+        &self,
+        reference_log: f64,
+        params: &DeviceParams,
+        rng: &mut impl Rng,
+    ) -> ResistiveState {
+        if self.read_log_resistance(params, rng) < reference_log {
+            ResistiveState::Lrs
+        } else {
+            ResistiveState::Hrs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fresh_states_are_well_separated() {
+        let params = DeviceParams::hfo2_default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut errors = 0;
+        let n = 20_000;
+        let reference = params.log_midpoint();
+        for i in 0..n {
+            let state = if i % 2 == 0 { ResistiveState::Lrs } else { ResistiveState::Hrs };
+            let cell = RramCell::new(state, &params, &mut rng);
+            if cell.read_1t1r(reference, &params, &mut rng) != state {
+                errors += 1;
+            }
+        }
+        // Fresh z ≈ 4.1 → error ≈ 2e-5; expect ~0 errors out of 20k.
+        assert!(errors <= 3, "{errors} errors on fresh devices");
+    }
+
+    #[test]
+    fn wear_widens_distributions() {
+        let params = DeviceParams::hfo2_default();
+        assert!(params.sigma_multiplier(0) == 1.0);
+        let s1 = params.state_sigma(ResistiveState::Lrs, 100_000_000);
+        let s7 = params.state_sigma(ResistiveState::Lrs, 700_000_000);
+        assert!(s7 > s1 && s1 > params.lrs_sigma);
+        // Calibration: ×1.6 spread growth from 1e8 to 7e8 cycles.
+        assert!((s7 / s1 - 1.6).abs() < 0.05, "ratio {}", s7 / s1);
+    }
+
+    #[test]
+    fn weak_probability_grows_quadratically() {
+        let params = DeviceParams::hfo2_default();
+        let p1 = params.weak_probability(100_000_000);
+        let p2 = params.weak_probability(200_000_000);
+        assert!((p2 / p1 - 4.0).abs() < 1e-6);
+        assert!((p1 - 2e-4).abs() < 1e-9);
+        // Capped.
+        assert!(params.weak_probability(u64::MAX / 2) <= 0.5);
+    }
+
+    #[test]
+    fn worn_device_errs_more() {
+        let params = DeviceParams::hfo2_default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let reference = params.log_midpoint();
+        let count_errors = |cycles: u64, rng: &mut StdRng| {
+            let mut errors = 0;
+            let n = 30_000;
+            for i in 0..n {
+                let state = if i % 2 == 0 { ResistiveState::Lrs } else { ResistiveState::Hrs };
+                let mut cell = RramCell::new(state, &params, rng);
+                cell.set_cycles(cycles);
+                cell.program(state, &params, rng);
+                if cell.read_1t1r(reference, &params, rng) != state {
+                    errors += 1;
+                }
+            }
+            errors
+        };
+        let fresh = count_errors(0, &mut rng);
+        let worn = count_errors(700_000_000, &mut rng);
+        assert!(
+            worn > fresh + 50,
+            "worn device must err far more: fresh {fresh}, worn {worn}"
+        );
+    }
+
+    #[test]
+    fn program_flips_state_and_counts_cycles() {
+        let params = DeviceParams::hfo2_default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cell = RramCell::new(ResistiveState::Lrs, &params, &mut rng);
+        assert_eq!(cell.state(), ResistiveState::Lrs);
+        cell.program(ResistiveState::Hrs, &params, &mut rng);
+        assert_eq!(cell.state(), ResistiveState::Hrs);
+        assert_eq!(cell.cycles(), 1);
+    }
+
+    #[test]
+    fn complement_involution() {
+        assert_eq!(ResistiveState::Lrs.complement(), ResistiveState::Hrs);
+        assert_eq!(ResistiveState::Hrs.complement().complement(), ResistiveState::Hrs);
+    }
+
+    #[test]
+    fn read_resistance_is_positive_and_near_median() {
+        let params = DeviceParams::hfo2_default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cell = RramCell::new(ResistiveState::Lrs, &params, &mut rng);
+        let r = cell.read_resistance(&params, &mut rng);
+        assert!(r > 100.0 && r < 1.0e6, "LRS resistance {r} out of plausible range");
+    }
+}

@@ -1,0 +1,151 @@
+//! First-order energy model: in-memory BNN inference versus digital
+//! references.
+//!
+//! The paper's motivation (§I) is that "the major drain of energy … comes
+//! from data shuffling between processing logic and memory". This module
+//! quantifies that argument for the deployed classifier: an in-RRAM layer
+//! spends one PCSA sense plus one popcount-adder step per synapse and moves
+//! no weights at all, whereas a digital implementation spends a MAC *and* a
+//! weight fetch per synapse.
+//!
+//! The constants are deliberately coarse, literature-ballpark figures
+//! (45 nm estimates after Horowitz, ISSCC 2014, and typical RRAM/PCSA
+//! publications); the tests therefore assert *relations* (orderings,
+//! scalings), never absolute values. Absolute numbers are printed by the
+//! bench for qualitative comparison only.
+
+use rbnn_binary::BinaryNetwork;
+
+/// Energy constants in femtojoules per elementary operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyParams {
+    /// One PCSA differential sense (includes the XNOR).
+    pub sense_fj: f64,
+    /// One popcount adder-tree bit accumulation.
+    pub popcount_bit_fj: f64,
+    /// One device-pair programming event (amortized over inferences; only
+    /// reported separately).
+    pub program_fj: f64,
+    /// One 8-bit integer MAC in digital logic.
+    pub mac_int8_fj: f64,
+    /// One 32-bit floating-point MAC.
+    pub mac_fp32_fj: f64,
+    /// Fetching one weight byte from on-chip SRAM.
+    pub sram_byte_fj: f64,
+}
+
+impl EnergyParams {
+    /// Ballpark 45–130 nm figures.
+    pub fn default_figures() -> Self {
+        Self {
+            sense_fj: 30.0,
+            popcount_bit_fj: 3.0,
+            program_fj: 10_000.0,
+            mac_int8_fj: 230.0,
+            mac_fp32_fj: 4_600.0,
+            sram_byte_fj: 650.0,
+        }
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self::default_figures()
+    }
+}
+
+/// Per-inference energy estimate of one classifier, in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceEnergy {
+    /// In-RRAM execution (senses + popcount logic, zero weight movement).
+    pub rram_nj: f64,
+    /// Digital 8-bit execution (MACs + SRAM weight fetches).
+    pub int8_nj: f64,
+    /// Digital 32-bit float execution.
+    pub fp32_nj: f64,
+}
+
+impl InferenceEnergy {
+    /// Energy advantage of the in-memory implementation over the 8-bit
+    /// digital reference.
+    pub fn gain_vs_int8(&self) -> f64 {
+        self.int8_nj / self.rram_nj
+    }
+
+    /// Energy advantage over the 32-bit float reference.
+    pub fn gain_vs_fp32(&self) -> f64 {
+        self.fp32_nj / self.rram_nj
+    }
+}
+
+/// Estimates one inference of a deployed [`BinaryNetwork`].
+pub fn estimate_network(net: &BinaryNetwork, p: &EnergyParams) -> InferenceEnergy {
+    let mut rram_fj = 0.0;
+    let mut int8_fj = 0.0;
+    let mut fp32_fj = 0.0;
+    for layer in net.layers() {
+        let synapses = (layer.in_features() * layer.out_features()) as f64;
+        // In-memory: one XNOR-sense and one popcount accumulation per
+        // synapse; weights never move.
+        rram_fj += synapses * (p.sense_fj + p.popcount_bit_fj);
+        // Digital: one MAC per synapse plus fetching each weight once per
+        // inference (1 byte int8, 4 bytes fp32).
+        int8_fj += synapses * (p.mac_int8_fj + p.sram_byte_fj);
+        fp32_fj += synapses * (p.mac_fp32_fj + 4.0 * p.sram_byte_fj);
+    }
+    InferenceEnergy {
+        rram_nj: rram_fj / 1e6,
+        int8_nj: int8_fj / 1e6,
+        fp32_nj: fp32_fj / 1e6,
+    }
+}
+
+/// One-time programming energy of the whole network, in nanojoules.
+pub fn programming_energy_nj(net: &BinaryNetwork, p: &EnergyParams) -> f64 {
+    net.weight_bits() as f64 * p.program_fj / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbnn_binary::BinaryDense;
+    use rbnn_tensor::BitMatrix;
+
+    fn classifier(inputs: usize, hidden: usize, classes: usize) -> BinaryNetwork {
+        let l1 =
+            BinaryDense::new(BitMatrix::zeros(hidden, inputs), vec![1.0; hidden], vec![0.0; hidden]);
+        let l2 =
+            BinaryDense::new(BitMatrix::zeros(classes, hidden), vec![1.0; classes], vec![0.0; classes]);
+        BinaryNetwork::new(vec![l1, l2])
+    }
+
+    #[test]
+    fn in_memory_wins_by_large_factors() {
+        let net = classifier(2520, 80, 2);
+        let e = estimate_network(&net, &EnergyParams::default_figures());
+        assert!(e.gain_vs_int8() > 10.0, "int8 gain {}", e.gain_vs_int8());
+        assert!(e.gain_vs_fp32() > 100.0, "fp32 gain {}", e.gain_vs_fp32());
+        assert!(e.fp32_nj > e.int8_nj && e.int8_nj > e.rram_nj);
+    }
+
+    #[test]
+    fn energy_scales_with_synapse_count() {
+        let p = EnergyParams::default_figures();
+        let small = estimate_network(&classifier(100, 10, 2), &p);
+        let large = estimate_network(&classifier(1000, 100, 2), &p);
+        let synapse_ratio = (1000.0 * 100.0 + 100.0 * 2.0) / (100.0 * 10.0 + 10.0 * 2.0);
+        let energy_ratio = large.rram_nj / small.rram_nj;
+        assert!(
+            (energy_ratio / synapse_ratio - 1.0).abs() < 1e-6,
+            "energy must scale exactly with synapses: {energy_ratio} vs {synapse_ratio}"
+        );
+    }
+
+    #[test]
+    fn programming_energy_counts_all_bits() {
+        let net = classifier(16, 8, 2);
+        let p = EnergyParams::default_figures();
+        let expect = (16 * 8 + 8 * 2) as f64 * p.program_fj / 1e6;
+        assert!((programming_energy_nj(&net, &p) - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,377 @@
+//! The in-memory BNN layer engine of Fig 5: RRAM arrays + XNOR-PCSAs +
+//! shared popcount/threshold logic composing fully-connected layers.
+//!
+//! A weight matrix larger than one physical array is tiled: row tiles split
+//! the output neurons across arrays, column tiles split each neuron's
+//! fan-in, and the shared logic sums the per-tile popcounts before the
+//! threshold — exactly the "basic architecture for implementing fully
+//! connected BNN layer from in-memory computing basic blocks" of the paper.
+
+use rbnn_binary::{BinaryDense, BinaryNetwork};
+use rbnn_tensor::{BitVec, Tensor};
+
+use crate::{ArrayStats, DeviceParams, PcsaParams, RramArray};
+
+/// Physical configuration of the array fabric.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Word lines per array (the paper's test chip: 32).
+    pub array_rows: usize,
+    /// Synapse columns per array (the paper's test chip: 32).
+    pub array_cols: usize,
+    /// Device statistics.
+    pub device: DeviceParams,
+    /// Sense-amplifier statistics.
+    pub pcsa: PcsaParams,
+    /// Master seed for device sampling.
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// The paper's 1K-synapse test-chip geometry with default device/PCSA
+    /// models.
+    pub fn test_chip(seed: u64) -> Self {
+        Self {
+            array_rows: 32,
+            array_cols: 32,
+            device: DeviceParams::hfo2_default(),
+            pcsa: PcsaParams::default_130nm(),
+            seed,
+        }
+    }
+}
+
+/// One fully-connected layer mapped onto a grid of physical arrays.
+#[derive(Debug)]
+pub struct DenseEngine {
+    // tiles[row_tile][col_tile]
+    tiles: Vec<Vec<RramArray>>,
+    tile_rows: usize,
+    tile_cols: usize,
+    in_features: usize,
+    out_features: usize,
+    scale: Vec<f32>,
+    shift: Vec<f32>,
+}
+
+impl DenseEngine {
+    /// Programs a trained [`BinaryDense`] layer into freshly instantiated
+    /// arrays.
+    pub fn program(layer: &BinaryDense, cfg: &EngineConfig) -> Self {
+        let in_features = layer.in_features();
+        let out_features = layer.out_features();
+        let row_tiles = out_features.div_ceil(cfg.array_rows);
+        let col_tiles = in_features.div_ceil(cfg.array_cols);
+        let (scale, shift) = layer.affine();
+
+        let mut tiles = Vec::with_capacity(row_tiles);
+        let mut seed = cfg.seed;
+        for rt in 0..row_tiles {
+            let mut row = Vec::with_capacity(col_tiles);
+            for ct in 0..col_tiles {
+                seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+                let mut array =
+                    RramArray::new(cfg.array_rows, cfg.array_cols, cfg.device.clone(), cfg.pcsa.clone(), seed);
+                let r0 = rt * cfg.array_rows;
+                let c0 = ct * cfg.array_cols;
+                for r in r0..(r0 + cfg.array_rows).min(out_features) {
+                    for c in c0..(c0 + cfg.array_cols).min(in_features) {
+                        array.program_bit(r - r0, c - c0, layer.weights().get(r, c));
+                    }
+                }
+                row.push(array);
+            }
+            tiles.push(row);
+        }
+        Self {
+            tiles,
+            tile_rows: cfg.array_rows,
+            tile_cols: cfg.array_cols,
+            in_features,
+            out_features,
+            scale: scale.to_vec(),
+            shift: shift.to_vec(),
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output neuron count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Number of physical arrays used.
+    pub fn array_count(&self) -> usize {
+        self.tiles.iter().map(|r| r.len()).sum()
+    }
+
+    /// Fast-forwards device wear across every array.
+    pub fn set_cycles(&mut self, cycles: u64) {
+        for row in &mut self.tiles {
+            for array in row {
+                array.set_cycles(cycles);
+            }
+        }
+    }
+
+    /// Aggregated operation counters across arrays.
+    pub fn stats(&self) -> ArrayStats {
+        let mut total = ArrayStats::default();
+        for row in &self.tiles {
+            for array in row {
+                total.programs += array.stats().programs;
+                total.senses += array.stats().senses;
+            }
+        }
+        total
+    }
+
+    /// Hardware popcounts per output neuron: XNOR-senses along the word
+    /// line of each tile, popcount summed by the shared logic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_features()`.
+    pub fn popcounts(&mut self, x: &BitVec) -> Vec<u32> {
+        assert_eq!(x.len(), self.in_features, "input width mismatch");
+        let mut out = vec![0u32; self.out_features];
+        for (rt, tile_row) in self.tiles.iter_mut().enumerate() {
+            let r0 = rt * self.tile_rows;
+            let rows_used = (self.out_features - r0).min(self.tile_rows);
+            for (ct, array) in tile_row.iter_mut().enumerate() {
+                let c0 = ct * self.tile_cols;
+                let cols_used = (self.in_features - c0).min(self.tile_cols);
+                // Slice the input bits feeding this column tile; pad with
+                // −1, then discard padded columns from the count.
+                let mut tile_input = BitVec::zeros(self.tile_cols);
+                for c in 0..cols_used {
+                    tile_input.set(c, x.get(c0 + c));
+                }
+                for r in 0..rows_used {
+                    let bits = array.xnor_read_row(r, &tile_input);
+                    let mut count = 0u32;
+                    for c in 0..cols_used {
+                        if bits.get(c) {
+                            count += 1;
+                        }
+                    }
+                    out[r0 + r] += count;
+                }
+            }
+        }
+        out
+    }
+
+    /// Affine outputs (logits): `scale · (2·popcount − n) + shift`.
+    pub fn forward_affine(&mut self, x: &BitVec) -> Vec<f32> {
+        let n = self.in_features as f32;
+        self.popcounts(x)
+            .iter()
+            .zip(self.scale.iter().zip(&self.shift))
+            .map(|(&p, (&s, &b))| s * (2.0 * p as f32 - n) + b)
+            .collect()
+    }
+
+    /// Binary outputs through the folded integer thresholds.
+    pub fn forward_sign(&mut self, x: &BitVec) -> BitVec {
+        self.forward_affine(x).iter().map(|&v| v >= 0.0).collect()
+    }
+}
+
+/// A whole deployed classifier running in simulated RRAM.
+#[derive(Debug)]
+pub struct NetworkEngine {
+    layers: Vec<DenseEngine>,
+}
+
+impl NetworkEngine {
+    /// Programs every layer of a [`BinaryNetwork`] onto array fabric.
+    pub fn program(network: &BinaryNetwork, cfg: &EngineConfig) -> Self {
+        let layers = network
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let mut layer_cfg = cfg.clone();
+                layer_cfg.seed = cfg.seed.wrapping_add(1 + i as u64);
+                DenseEngine::program(l, &layer_cfg)
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// The per-layer engines.
+    pub fn layers(&self) -> &[DenseEngine] {
+        &self.layers
+    }
+
+    /// Total physical arrays across layers.
+    pub fn array_count(&self) -> usize {
+        self.layers.iter().map(|l| l.array_count()).sum()
+    }
+
+    /// Fast-forwards wear on every device.
+    pub fn set_cycles(&mut self, cycles: u64) {
+        for l in &mut self.layers {
+            l.set_cycles(cycles);
+        }
+    }
+
+    /// Aggregated operation counters.
+    pub fn stats(&self) -> ArrayStats {
+        let mut total = ArrayStats::default();
+        for l in &self.layers {
+            let s = l.stats();
+            total.programs += s.programs;
+            total.senses += s.senses;
+        }
+        total
+    }
+
+    /// Logits for a real-valued feature vector (sign-binarized at the
+    /// input interface).
+    pub fn logits(&mut self, x: &[f32]) -> Vec<f32> {
+        let mut h = BitVec::from_signs(x);
+        let n = self.layers.len();
+        for l in &mut self.layers[..n - 1] {
+            h = l.forward_sign(&h);
+        }
+        self.layers[n - 1].forward_affine(&h)
+    }
+
+    /// Predicted class.
+    pub fn classify(&mut self, x: &[f32]) -> usize {
+        let logits = self.logits(x);
+        let mut best = 0;
+        for (i, &v) in logits.iter().enumerate() {
+            if v > logits[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Top-1 accuracy over a feature matrix `[N, in]` — the hardware
+    /// counterpart of [`BinaryNetwork::accuracy`].
+    pub fn accuracy(&mut self, features: &Tensor, labels: &[usize]) -> f32 {
+        assert_eq!(features.dim(0), labels.len(), "label count mismatch");
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let f = features.dim(1);
+        let xs = features.as_slice();
+        let mut hits = 0usize;
+        for (i, &y) in labels.iter().enumerate() {
+            if self.classify(&xs[i * f..(i + 1) * f]) == y {
+                hits += 1;
+            }
+        }
+        hits as f32 / labels.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rbnn_tensor::BitMatrix;
+
+    /// Independently seeded RNG stream for engine-level tests.
+    fn engine_rng(seed: u64) -> impl Rng {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn random_network(rng: &mut impl Rng) -> BinaryNetwork {
+        let mk = |out: usize, inp: usize, rng: &mut dyn FnMut() -> bool| {
+            let w: Vec<f32> =
+                (0..out * inp).map(|_| if rng() { 1.0 } else { -1.0 }).collect();
+            BinaryDense::new(
+                BitMatrix::from_signs(&w, out, inp),
+                vec![1.0; out],
+                (0..out).map(|i| (i as f32 - out as f32 / 2.0) * 0.1).collect(),
+            )
+        };
+        let mut flip = || rng.gen::<bool>();
+        let l1 = mk(40, 70, &mut flip); // forces 2×3 tiling on 32×32 arrays
+        let l2 = mk(4, 40, &mut flip);
+        BinaryNetwork::new(vec![l1, l2])
+    }
+
+    #[test]
+    fn fresh_engine_matches_software_network_exactly() {
+        let mut rng = engine_rng(0);
+        let net = random_network(&mut rng);
+        let cfg = EngineConfig::test_chip(7);
+        let mut engine = NetworkEngine::program(&net, &cfg);
+        for _ in 0..30 {
+            let x: Vec<f32> =
+                (0..70).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            let hw = engine.logits(&x);
+            let sw = net.logits(&x);
+            for (h, s) in hw.iter().zip(&sw) {
+                assert!((h - s).abs() < 1e-3, "hw {h} vs sw {s}");
+            }
+            assert_eq!(engine.classify(&x), net.classify(&x));
+        }
+    }
+
+    #[test]
+    fn tiling_geometry() {
+        let mut rng = engine_rng(1);
+        let net = random_network(&mut rng);
+        let cfg = EngineConfig::test_chip(8);
+        let engine = NetworkEngine::program(&net, &cfg);
+        // Layer 1: 40×70 → ceil(40/32)=2 row tiles × ceil(70/32)=3 col
+        // tiles = 6 arrays; layer 2: 4×40 → 1×2 = 2 arrays.
+        assert_eq!(engine.layers()[0].array_count(), 6);
+        assert_eq!(engine.layers()[1].array_count(), 2);
+        assert_eq!(engine.array_count(), 8);
+    }
+
+    #[test]
+    fn stats_accumulate_per_inference() {
+        let mut rng = engine_rng(2);
+        let net = random_network(&mut rng);
+        let cfg = EngineConfig::test_chip(9);
+        let mut engine = NetworkEngine::program(&net, &cfg);
+        let programs_after_mapping = engine.stats().programs;
+        assert_eq!(programs_after_mapping, 40 * 70 + 4 * 40);
+        let x = vec![1.0f32; 70];
+        let _ = engine.logits(&x);
+        assert!(engine.stats().senses > 0);
+    }
+
+    #[test]
+    fn worn_engine_accuracy_degrades_gracefully() {
+        // At 7e8 cycles the 2T2R BER is ~1e-3; a 2-layer network on a
+        // linearly separable task should still classify mostly correctly.
+        let mut rng = engine_rng(3);
+        let net = random_network(&mut rng);
+        let cfg = EngineConfig::test_chip(10);
+        let mut engine = NetworkEngine::program(&net, &cfg);
+
+        // Reference labels from the software network.
+        let n = 40;
+        let mut xs = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let x: Vec<f32> =
+                (0..70).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            labels.push(net.classify(&x));
+            xs.extend_from_slice(&x);
+        }
+        let features = Tensor::from_vec(xs, [n, 70]);
+        let fresh_acc = engine.accuracy(&features, &labels);
+        assert!(fresh_acc > 0.99, "fresh engine should agree with software: {fresh_acc}");
+
+        engine.set_cycles(700_000_000);
+        let worn_acc = engine.accuracy(&features, &labels);
+        // Graceful: still far above chance for 4 classes.
+        assert!(worn_acc > 0.5, "worn accuracy collapsed: {worn_acc}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Behavioural precharge sense amplifier (PCSA), plain and XNOR-augmented.
+//!
+//! Fig 3 of the paper: both branch nodes are precharged high, then
+//! discharged through the two resistive devices of a 2T2R pair; the branch
+//! with the *lower* resistance discharges faster and latches the output.
+//! The decision is therefore a comparison of the two resistances, corrupted
+//! by transistor mismatch (a fixed per-instance input offset) and thermal
+//! noise (a per-read random term). Adding four transistors folds the BNN
+//! XNOR into the amplifier (Fig 3(b)): the input bit swaps which branch
+//! drives which output, so the latched value is `XNOR(weight, input)`
+//! with no extra gate delay — a key enabler of the paper's in-memory
+//! architecture.
+
+use rand::Rng;
+
+use crate::stats;
+
+/// PCSA non-idealities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcsaParams {
+    /// Standard deviation of the fixed per-instance input-referred offset,
+    /// expressed in log-resistance units (transistor mismatch).
+    pub offset_sigma: f64,
+    /// Per-read comparison noise (log-resistance units).
+    pub noise_sigma: f64,
+}
+
+impl PcsaParams {
+    /// Defaults calibrated together with
+    /// [`DeviceParams::hfo2_default`](crate::DeviceParams::hfo2_default) to
+    /// reproduce Fig 4's 2T2R error curve.
+    pub fn default_130nm() -> Self {
+        Self { offset_sigma: 0.27, noise_sigma: 0.02 }
+    }
+}
+
+impl Default for PcsaParams {
+    fn default() -> Self {
+        Self::default_130nm()
+    }
+}
+
+/// One precharge sense amplifier instance with its sampled mismatch offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pcsa {
+    offset: f64,
+    noise_sigma: f64,
+}
+
+impl Pcsa {
+    /// Instantiates an amplifier, sampling its fixed mismatch offset.
+    pub fn new(params: &PcsaParams, rng: &mut impl Rng) -> Self {
+        Self {
+            offset: stats::normal(0.0, params.offset_sigma, rng),
+            noise_sigma: params.noise_sigma,
+        }
+    }
+
+    /// An ideal amplifier (no offset, no noise) for reference tests.
+    pub fn ideal() -> Self {
+        Self { offset: 0.0, noise_sigma: 0.0 }
+    }
+
+    /// The fixed input-referred offset of this instance.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Senses a 2T2R pair: returns `true` (weight +1) when the BL branch
+    /// resistance is lower than the BLb branch (i.e. BL discharges first).
+    ///
+    /// Inputs are log-resistances as produced by
+    /// [`RramCell::read_log_resistance`](crate::RramCell::read_log_resistance).
+    pub fn sense(&self, log_r_bl: f64, log_r_blb: f64, rng: &mut impl Rng) -> bool {
+        let noise = if self.noise_sigma > 0.0 {
+            stats::normal(0.0, self.noise_sigma, rng)
+        } else {
+            0.0
+        };
+        log_r_blb - log_r_bl + self.offset + noise > 0.0
+    }
+
+    /// XNOR-augmented sense (Fig 3(b)): the input bit swaps the branches,
+    /// so the latched output is `XNOR(weight, input)`.
+    pub fn sense_xnor(
+        &self,
+        log_r_bl: f64,
+        log_r_blb: f64,
+        input: bool,
+        rng: &mut impl Rng,
+    ) -> bool {
+        if input {
+            self.sense(log_r_bl, log_r_blb, rng)
+        } else {
+            // Swapping the branches inverts the comparison — including the
+            // sign of the instance offset, exactly as the transistor-level
+            // swap would.
+            !self.sense(log_r_bl, log_r_blb, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_sense_is_a_comparator() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = Pcsa::ideal();
+        assert!(p.sense(8.0, 11.0, &mut rng)); // BL lower → +1
+        assert!(!p.sense(11.0, 8.0, &mut rng)); // BL higher → −1
+    }
+
+    #[test]
+    fn xnor_truth_table() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Pcsa::ideal();
+        // weight encoded by resistance order: (bl=8, blb=11) ⇒ weight = +1.
+        let plus = (8.0, 11.0);
+        let minus = (11.0, 8.0);
+        // XNOR(+1, 1) = 1 ; XNOR(+1, 0) = 0 ; XNOR(−1, 1) = 0 ; XNOR(−1, 0) = 1.
+        assert!(p.sense_xnor(plus.0, plus.1, true, &mut rng));
+        assert!(!p.sense_xnor(plus.0, plus.1, false, &mut rng));
+        assert!(!p.sense_xnor(minus.0, minus.1, true, &mut rng));
+        assert!(p.sense_xnor(minus.0, minus.1, false, &mut rng));
+    }
+
+    #[test]
+    fn offset_biases_marginal_decisions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Large positive offset: even a slightly higher-resistance BL branch
+        // reads as +1.
+        let p = Pcsa { offset: 0.5, noise_sigma: 0.0 };
+        assert!(p.sense(9.0, 8.8, &mut rng));
+        // But a clear difference still wins.
+        assert!(!p.sense(11.0, 8.0, &mut rng));
+    }
+
+    #[test]
+    fn noise_makes_marginal_decisions_stochastic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = Pcsa { offset: 0.0, noise_sigma: 0.1 };
+        let mut ones = 0;
+        let n = 2000;
+        for _ in 0..n {
+            if p.sense(9.0, 9.0, &mut rng) {
+                ones += 1;
+            }
+        }
+        // Exactly balanced inputs: ≈ 50/50.
+        assert!((ones as f64 / n as f64 - 0.5).abs() < 0.05, "{ones}/{n}");
+    }
+
+    #[test]
+    fn instance_offsets_vary_but_average_zero() {
+        let params = PcsaParams::default_130nm();
+        let mut rng = StdRng::seed_from_u64(4);
+        let offsets: Vec<f64> = (0..2000).map(|_| Pcsa::new(&params, &mut rng).offset()).collect();
+        let mean = offsets.iter().sum::<f64>() / offsets.len() as f64;
+        let var =
+            offsets.iter().map(|o| (o - mean) * (o - mean)).sum::<f64>() / offsets.len() as f64;
+        assert!(mean.abs() < 0.03, "offset mean {mean}");
+        assert!((var.sqrt() - params.offset_sigma).abs() < 0.02, "offset std {}", var.sqrt());
+    }
+}

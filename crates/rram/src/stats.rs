@@ -1,0 +1,112 @@
+//! Small statistics toolkit: normal/log-normal sampling and Gaussian tail
+//! probabilities.
+//!
+//! Implemented in-crate (Box–Muller + an Abramowitz–Stegun `erfc`
+//! approximation) to keep the workspace's dependency set to the allowed
+//! list; `rand_distr` is deliberately not used.
+
+use rand::Rng;
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn randn(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples `N(mean, std²)`.
+pub fn normal(mean: f64, std: f64, rng: &mut impl Rng) -> f64 {
+    mean + std * randn(rng)
+}
+
+/// Samples a log-normal: `exp(N(mu_log, sigma_log²))`.
+///
+/// `mu_log` and `sigma_log` parameterize the distribution of the *logarithm*
+/// — the natural parameterization for resistive-memory resistance spreads.
+pub fn lognormal(mu_log: f64, sigma_log: f64, rng: &mut impl Rng) -> f64 {
+    normal(mu_log, sigma_log, rng).exp()
+}
+
+/// Complementary error function, Abramowitz & Stegun 7.1.26 (max absolute
+/// error ≈ 1.5e−7 — ample for bit-error-rate curves spanning decades).
+pub fn erfc(x: f64) -> f64 {
+    let sign_negative = x < 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let result = poly * (-x * x).exp();
+    if sign_negative {
+        2.0 - result
+    } else {
+        result
+    }
+}
+
+/// Upper-tail probability of the standard normal, `P(Z > z)`.
+pub fn gaussian_tail(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 40_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(3.0, 2.0, &mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut xs: Vec<f64> = (0..n).map(|_| lognormal(9.0, 0.5, &mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        // Median of a log-normal is exp(mu).
+        assert!((median.ln() - 9.0).abs() < 0.02, "median ln {}", median.ln());
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn erfc_reference_values() {
+        // erfc(0) = 1, erfc(∞) → 0, erfc(−x) = 2 − erfc(x).
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!(erfc(4.0) < 2e-8);
+        assert!((erfc(-1.0) - (2.0 - erfc(1.0))).abs() < 1e-9);
+        // erfc(1) ≈ 0.157299.
+        assert!((erfc(1.0) - 0.157299).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gaussian_tail_matches_known_quantiles() {
+        // P(Z > 1.2816) ≈ 0.10 ; P(Z > 2.3263) ≈ 0.01 ; P(Z > 3.0902) ≈ 1e-3.
+        assert!((gaussian_tail(1.2816) - 0.10).abs() < 1e-3);
+        assert!((gaussian_tail(2.3263) - 0.01).abs() < 2e-4);
+        assert!((gaussian_tail(3.0902) - 1e-3).abs() < 5e-5);
+    }
+
+    #[test]
+    fn gaussian_tail_agrees_with_monte_carlo() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let z = 1.5;
+        let hits = (0..n).filter(|_| randn(&mut rng) > z).count();
+        let mc = hits as f64 / n as f64;
+        assert!(
+            (mc - gaussian_tail(z)).abs() < 0.005,
+            "MC {mc} vs analytic {}",
+            gaussian_tail(z)
+        );
+    }
+}

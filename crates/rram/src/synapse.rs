@@ -1,0 +1,205 @@
+//! The 2T2R differential synapse.
+//!
+//! §II-B of the paper: "synaptic weights are stored in a differential
+//! fashion: a device pair programmed in the low resistance/high resistance
+//! state means a synaptic weight of +1, and reciprocally". This module pairs
+//! two [`RramCell`]s on complementary bit lines (BL / BLb) and exposes both
+//! the differential (2T2R + PCSA) and the single-ended (1T1R) read paths so
+//! the two can be compared, as Fig 4 does.
+
+use rand::Rng;
+
+use crate::{DeviceParams, Pcsa, ResistiveState, RramCell};
+
+/// A differential pair of RRAM cells storing one binary weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Synapse2T2R {
+    bl: RramCell,
+    blb: RramCell,
+}
+
+impl Synapse2T2R {
+    /// Creates a synapse programmed to `weight` (`true` = +1 = BL:LRS,
+    /// BLb:HRS).
+    pub fn new(weight: bool, params: &DeviceParams, rng: &mut impl Rng) -> Self {
+        let (s_bl, s_blb) = Self::states_for(weight);
+        Self {
+            bl: RramCell::new(s_bl, params, rng),
+            blb: RramCell::new(s_blb, params, rng),
+        }
+    }
+
+    /// Creates a synapse whose BLb device wears slightly faster than the BL
+    /// device (fabrication asymmetry; gives the distinct 1T1R BL/BLb curves
+    /// of Fig 4).
+    pub fn with_wear_asymmetry(
+        weight: bool,
+        blb_wear_scale: f64,
+        params: &DeviceParams,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let (s_bl, s_blb) = Self::states_for(weight);
+        Self {
+            bl: RramCell::new(s_bl, params, rng),
+            blb: RramCell::new(s_blb, params, rng).with_wear_scale(blb_wear_scale),
+        }
+    }
+
+    fn states_for(weight: bool) -> (ResistiveState, ResistiveState) {
+        if weight {
+            (ResistiveState::Lrs, ResistiveState::Hrs)
+        } else {
+            (ResistiveState::Hrs, ResistiveState::Lrs)
+        }
+    }
+
+    /// The weight this synapse was last programmed to.
+    pub fn programmed_weight(&self) -> bool {
+        self.bl.state() == ResistiveState::Lrs
+    }
+
+    /// Programs the pair to `weight` (both devices cycle once).
+    pub fn program(&mut self, weight: bool, params: &DeviceParams, rng: &mut impl Rng) {
+        let (s_bl, s_blb) = Self::states_for(weight);
+        self.bl.program(s_bl, params, rng);
+        self.blb.program(s_blb, params, rng);
+    }
+
+    /// Fast-forwards the wear counters of both devices.
+    pub fn set_cycles(&mut self, cycles: u64) {
+        self.bl.set_cycles(cycles);
+        self.blb.set_cycles(cycles);
+    }
+
+    /// Programming cycles seen by the BL device.
+    pub fn cycles(&self) -> u64 {
+        self.bl.cycles()
+    }
+
+    /// Mutable access to the two devices `(BL, BLb)` — used by the
+    /// program-verify controller, which pulses each device individually.
+    pub fn cells_mut(&mut self) -> (&mut RramCell, &mut RramCell) {
+        (&mut self.bl, &mut self.blb)
+    }
+
+    /// Differential read through a PCSA: the stored weight.
+    pub fn read(&self, pcsa: &Pcsa, params: &DeviceParams, rng: &mut impl Rng) -> bool {
+        let r_bl = self.bl.read_log_resistance(params, rng);
+        let r_blb = self.blb.read_log_resistance(params, rng);
+        pcsa.sense(r_bl, r_blb, rng)
+    }
+
+    /// Differential read with the XNOR of an input bit folded into the
+    /// sense amplifier (Fig 3(b)): returns `XNOR(weight, input)`.
+    pub fn read_xnor(
+        &self,
+        input: bool,
+        pcsa: &Pcsa,
+        params: &DeviceParams,
+        rng: &mut impl Rng,
+    ) -> bool {
+        let r_bl = self.bl.read_log_resistance(params, rng);
+        let r_blb = self.blb.read_log_resistance(params, rng);
+        pcsa.sense_xnor(r_bl, r_blb, input, rng)
+    }
+
+    /// Single-ended read of the BL device against a reference: `true` when
+    /// the device reads LRS (weight +1 convention).
+    pub fn read_1t1r_bl(&self, params: &DeviceParams, rng: &mut impl Rng) -> bool {
+        self.bl.read_1t1r(params.log_midpoint(), params, rng) == ResistiveState::Lrs
+    }
+
+    /// Single-ended read of the BLb device: `true` when the *weight* reads
+    /// +1, i.e. the complementary device reads HRS.
+    pub fn read_1t1r_blb(&self, params: &DeviceParams, rng: &mut impl Rng) -> bool {
+        self.blb.read_1t1r(params.log_midpoint(), params, rng) == ResistiveState::Hrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fresh_synapse_reads_back_correctly() {
+        let params = DeviceParams::hfo2_default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let pcsa = Pcsa::ideal();
+        for weight in [true, false] {
+            let syn = Synapse2T2R::new(weight, &params, &mut rng);
+            assert_eq!(syn.programmed_weight(), weight);
+            for _ in 0..100 {
+                assert_eq!(syn.read(&pcsa, &params, &mut rng), weight);
+            }
+        }
+    }
+
+    #[test]
+    fn xnor_read_matches_logic() {
+        let params = DeviceParams::hfo2_default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let pcsa = Pcsa::ideal();
+        for weight in [true, false] {
+            let syn = Synapse2T2R::new(weight, &params, &mut rng);
+            for input in [true, false] {
+                let got = syn.read_xnor(input, &pcsa, &params, &mut rng);
+                assert_eq!(got, weight == input, "XNOR({weight}, {input})");
+            }
+        }
+    }
+
+    #[test]
+    fn one_t_one_r_reads_agree_when_fresh() {
+        let params = DeviceParams::hfo2_default();
+        let mut rng = StdRng::seed_from_u64(2);
+        for weight in [true, false] {
+            let syn = Synapse2T2R::new(weight, &params, &mut rng);
+            assert_eq!(syn.read_1t1r_bl(&params, &mut rng), weight);
+            assert_eq!(syn.read_1t1r_blb(&params, &mut rng), weight);
+        }
+    }
+
+    #[test]
+    fn reprogramming_flips_weight() {
+        let params = DeviceParams::hfo2_default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pcsa = Pcsa::ideal();
+        let mut syn = Synapse2T2R::new(true, &params, &mut rng);
+        syn.program(false, &params, &mut rng);
+        assert!(!syn.programmed_weight());
+        assert!(!syn.read(&pcsa, &params, &mut rng));
+        assert_eq!(syn.cycles(), 1);
+    }
+
+    #[test]
+    fn worn_pair_errs_single_ended_before_differential() {
+        // The core 2T2R claim at device level: at high wear, single-ended
+        // reads fail much more often than differential reads.
+        let params = DeviceParams::hfo2_default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let pcsa = Pcsa::ideal();
+        let trials = 60_000;
+        let mut err_1t1r = 0u32;
+        let mut err_2t2r = 0u32;
+        let mut syn = Synapse2T2R::new(true, &params, &mut rng);
+        syn.set_cycles(700_000_000);
+        for t in 0..trials {
+            let w = t % 2 == 0;
+            syn.program(w, &params, &mut rng);
+            syn.set_cycles(700_000_000); // hold wear level constant
+            if syn.read_1t1r_bl(&params, &mut rng) != w {
+                err_1t1r += 1;
+            }
+            if syn.read(&pcsa, &params, &mut rng) != w {
+                err_2t2r += 1;
+            }
+        }
+        assert!(
+            err_1t1r > 10 * err_2t2r.max(1),
+            "1T1R errors {err_1t1r} should dwarf 2T2R errors {err_2t2r}"
+        );
+        assert!(err_1t1r > 100, "expected ~1% 1T1R error rate, got {err_1t1r}/{trials}");
+    }
+}

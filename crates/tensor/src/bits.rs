@@ -1,0 +1,415 @@
+//! Bit-packed ±1 vectors and matrices with XNOR/popcount kernels.
+//!
+//! A binarized neural network layer evaluates Eq. 3 of the paper,
+//! `y = sign(popcount(XNOR(w, x)) − b)`: weights and activations take values
+//! in {−1, +1}, encoded here as single bits (`1 ↔ +1`, `0 ↔ −1`) packed into
+//! `u64` words. The XNOR of two bits is `1` exactly when the corresponding
+//! ±1 values multiply to +1, so the ±1 dot product of two length-`n` vectors
+//! is `2·popcount(XNOR) − n`.
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+#[inline]
+fn words_for(len: usize) -> usize {
+    len.div_ceil(WORD_BITS)
+}
+
+/// Mask with ones in the valid bit positions of the final word.
+#[inline]
+fn tail_mask(len: usize) -> u64 {
+    let rem = len % WORD_BITS;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    }
+}
+
+/// Counts positions where `a` and `b` hold the same bit, over `len` bits.
+///
+/// This is `popcount(XNOR(a, b))` restricted to the first `len` bits; the
+/// corresponding ±1 dot product is `2 · xnor_popcount(a, b, len) − len`.
+///
+/// # Panics
+///
+/// Panics if either slice is shorter than `len` bits requires.
+pub fn xnor_popcount(a: &[u64], b: &[u64], len: usize) -> u32 {
+    let nw = words_for(len);
+    assert!(a.len() >= nw && b.len() >= nw, "operand shorter than {len} bits");
+    let mut count = 0u32;
+    for w in 0..nw {
+        let mut x = !(a[w] ^ b[w]);
+        if w == nw - 1 {
+            x &= tail_mask(len);
+        }
+        count += x.count_ones();
+    }
+    count
+}
+
+/// A bit-packed vector of ±1 values (`1 ↔ +1`, `0 ↔ −1`).
+///
+/// ```
+/// use rbnn_tensor::BitVec;
+///
+/// let w = BitVec::from_signs(&[1.0, -1.0, 1.0, 1.0]);
+/// let x = BitVec::from_signs(&[1.0, 1.0, -1.0, 1.0]);
+/// // ±1 dot product: 1·1 + (−1)·1 + 1·(−1) + 1·1 = 0
+/// assert_eq!(w.dot_pm1(&x), 0);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an all-zero (all −1) vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self { words: vec![0; words_for(len)], len }
+    }
+
+    /// Packs the signs of a float slice (`x ≥ 0` becomes bit 1 / value +1,
+    /// matching [`Tensor::signum_binary`](crate::Tensor::signum_binary)).
+    pub fn from_signs(values: &[f32]) -> Self {
+        let mut v = Self::zeros(values.len());
+        for (i, &x) in values.iter().enumerate() {
+            if x >= 0.0 {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Packs a boolean slice.
+    pub fn from_bools(values: &[bool]) -> Self {
+        let mut v = Self::zeros(values.len());
+        for (i, &b) in values.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            self.words[i / WORD_BITS] |= mask;
+        } else {
+            self.words[i / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Flips bit `i` (used by the RRAM fault-injection model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        self.words[i / WORD_BITS] ^= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Number of set bits (+1 values).
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// The packed words (tail bits beyond `len` are always zero).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of positions where `self` and `other` agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xnor_popcount(&self, other: &BitVec) -> u32 {
+        assert_eq!(self.len, other.len, "xnor_popcount: length mismatch");
+        xnor_popcount(&self.words, &other.words, self.len)
+    }
+
+    /// ±1 dot product: `2 · xnor_popcount − len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot_pm1(&self, other: &BitVec) -> i32 {
+        2 * self.xnor_popcount(other) as i32 - self.len as i32
+    }
+
+    /// Expands back to a ±1 float vector.
+    pub fn to_signs(&self) -> Vec<f32> {
+        (0..self.len).map(|i| if self.get(i) { 1.0 } else { -1.0 }).collect()
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec(len={}, ones={})", self.len, self.count_ones())
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bools: Vec<bool> = iter.into_iter().collect();
+        Self::from_bools(&bools)
+    }
+}
+
+/// A dense matrix of ±1 values, bit-packed row by row.
+///
+/// Each row starts on a fresh `u64` boundary so rows can be handed to
+/// [`xnor_popcount`] directly — this mirrors how weight rows map onto RRAM
+/// array word lines in the paper's architecture (Fig 5).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an all −1 matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let wpr = words_for(cols);
+        Self { rows, cols, words_per_row: wpr, data: vec![0; wpr * rows] }
+    }
+
+    /// Packs the signs of a row-major float matrix of shape `[rows, cols]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != rows * cols`.
+    pub fn from_signs(values: &[f32], rows: usize, cols: usize) -> Self {
+        assert_eq!(values.len(), rows * cols, "from_signs: size mismatch");
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if values[r * cols + c] >= 0.0 {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Bit at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        (self.data[r * self.words_per_row + c / WORD_BITS] >> (c % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, r: usize, c: usize, value: bool) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        let mask = 1u64 << (c % WORD_BITS);
+        let w = &mut self.data[r * self.words_per_row + c / WORD_BITS];
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Flips bit `(r, c)` (fault injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn flip(&mut self, r: usize, c: usize) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        self.data[r * self.words_per_row + c / WORD_BITS] ^= 1u64 << (c % WORD_BITS);
+    }
+
+    /// The packed words of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_words(&self, r: usize) -> &[u64] {
+        assert!(r < self.rows, "row {r} out of range");
+        &self.data[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Copies row `r` into an owned [`BitVec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> BitVec {
+        BitVec { words: self.row_words(r).to_vec(), len: self.cols }
+    }
+
+    /// Matrix–vector ±1 product: element `r` is `2·popcount(XNOR(row_r, x)) − cols`.
+    ///
+    /// This is the operation one RRAM array + XNOR-PCSA column bank +
+    /// popcount tree performs for a fully-connected BNN layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec_pm1(&self, x: &BitVec) -> Vec<i32> {
+        assert_eq!(x.len(), self.cols, "matvec_pm1: length mismatch");
+        (0..self.rows)
+            .map(|r| 2 * xnor_popcount(self.row_words(r), x.as_words(), self.cols) as i32
+                - self.cols as i32)
+            .collect()
+    }
+
+    /// Total number of +1 entries.
+    pub fn count_ones(&self) -> u64 {
+        self.data.iter().map(|w| w.count_ones() as u64).sum()
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitMatrix({}×{}, ones={})", self.rows, self.cols, self.count_ones())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn set_get_flip_roundtrip() {
+        let mut v = BitVec::zeros(130);
+        assert!(!v.get(129));
+        v.set(129, true);
+        assert!(v.get(129));
+        v.flip(129);
+        assert!(!v.get(129));
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    fn from_signs_zero_is_plus_one() {
+        let v = BitVec::from_signs(&[0.0, -0.1, 0.1]);
+        assert!(v.get(0));
+        assert!(!v.get(1));
+        assert!(v.get(2));
+    }
+
+    #[test]
+    fn dot_pm1_matches_float_dot() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for len in [1usize, 7, 64, 65, 200] {
+            let a: Vec<f32> = (0..len).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            let b: Vec<f32> = (0..len).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            let fa = a.iter().zip(&b).map(|(x, y)| x * y).sum::<f32>() as i32;
+            let bv_a = BitVec::from_signs(&a);
+            let bv_b = BitVec::from_signs(&b);
+            assert_eq!(bv_a.dot_pm1(&bv_b), fa, "len {len}");
+        }
+    }
+
+    #[test]
+    fn tail_bits_do_not_leak() {
+        // 65 bits: the second word has 63 padding bits; XNOR of equal
+        // vectors must count exactly 65, not 128.
+        let v = BitVec::zeros(65);
+        assert_eq!(v.xnor_popcount(&v), 65);
+    }
+
+    #[test]
+    fn to_signs_roundtrip() {
+        let signs = [1.0f32, -1.0, -1.0, 1.0, 1.0];
+        let v = BitVec::from_signs(&signs);
+        assert_eq!(v.to_signs(), signs);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let v: BitVec = [true, false, true].into_iter().collect();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn matrix_roundtrip_and_rows() {
+        let vals: Vec<f32> = vec![1.0, -1.0, -1.0, 1.0, 1.0, 1.0];
+        let m = BitMatrix::from_signs(&vals, 2, 3);
+        assert!(m.get(0, 0) && !m.get(0, 1) && !m.get(0, 2));
+        assert!(m.get(1, 0) && m.get(1, 1) && m.get(1, 2));
+        assert_eq!(m.row(1).count_ones(), 3);
+    }
+
+    #[test]
+    fn matvec_pm1_matches_float() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let (rows, cols) = (5, 97);
+        let w: Vec<f32> = (0..rows * cols)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
+        let x: Vec<f32> = (0..cols).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+        let m = BitMatrix::from_signs(&w, rows, cols);
+        let xv = BitVec::from_signs(&x);
+        let got = m.matvec_pm1(&xv);
+        for r in 0..rows {
+            let expect: f32 = (0..cols).map(|c| w[r * cols + c] * x[c]).sum();
+            assert_eq!(got[r], expect as i32, "row {r}");
+        }
+    }
+
+    #[test]
+    fn flip_changes_exactly_one_dot_term() {
+        let mut m = BitMatrix::from_signs(&vec![1.0; 64], 1, 64);
+        let x = BitVec::from_signs(&vec![1.0; 64]);
+        assert_eq!(m.matvec_pm1(&x)[0], 64);
+        m.flip(0, 10);
+        assert_eq!(m.matvec_pm1(&x)[0], 62);
+    }
+}

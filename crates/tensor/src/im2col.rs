@@ -1,0 +1,423 @@
+//! `im2col` lowering for 1-D and 2-D convolutions.
+//!
+//! The paper's networks are built from temporal/spatial 1-D convolutions
+//! (EEG/ECG, Fig 1 and Tables I–II) and 2-D convolutions (MobileNet V1).
+//! Both are executed as matrix multiplications over patch matrices built
+//! here; the `*_backward` functions scatter patch-matrix gradients back to
+//! input gradients (the exact adjoint of the gather).
+
+use crate::Tensor;
+
+/// Geometry of a 1-D convolution over a `[channels, len]` signal.
+///
+/// ```
+/// use rbnn_tensor::Conv1dGeom;
+/// // EEG temporal convolution from Table I: kernel 30, padding 15 on 960
+/// // samples gives 961 output steps.
+/// let g = Conv1dGeom::new(64, 960, 30, 1, 15);
+/// assert_eq!(g.out_len(), 961);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv1dGeom {
+    /// Input channel count.
+    pub channels: usize,
+    /// Input signal length.
+    pub len: usize,
+    /// Kernel width.
+    pub kernel: usize,
+    /// Stride between output steps.
+    pub stride: usize,
+    /// Symmetric zero padding on both ends.
+    pub padding: usize,
+}
+
+impl Conv1dGeom {
+    /// Creates a geometry descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`, `kernel == 0` or the padded signal is shorter
+    /// than the kernel.
+    pub fn new(channels: usize, len: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(kernel > 0, "kernel must be positive");
+        assert!(
+            len + 2 * padding >= kernel,
+            "kernel {kernel} longer than padded signal {}",
+            len + 2 * padding
+        );
+        Self { channels, len, kernel, stride, padding }
+    }
+
+    /// Output length: `(len + 2·padding − kernel) / stride + 1`.
+    pub fn out_len(&self) -> usize {
+        (self.len + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Rows of the patch matrix (`channels × kernel`).
+    pub fn patch_rows(&self) -> usize {
+        self.channels * self.kernel
+    }
+}
+
+/// Builds the `[channels·kernel, out_len]` patch matrix of `input`.
+///
+/// Column `t` holds the padded window starting at `t·stride − padding`,
+/// laid out channel-major then tap-major, so a weight matrix of shape
+/// `[out_channels, channels·kernel]` left-multiplies it directly.
+///
+/// # Panics
+///
+/// Panics if `input` is not `[channels, len]` as described by `geom`.
+pub fn im2col1d(input: &Tensor, geom: &Conv1dGeom) -> Tensor {
+    assert_eq!(
+        input.dims(),
+        &[geom.channels, geom.len],
+        "im2col1d: input shape {:?} does not match geometry",
+        input.dims()
+    );
+    let out_len = geom.out_len();
+    let mut cols = Tensor::zeros([geom.patch_rows(), out_len]);
+    let src = input.as_slice();
+    let dst = cols.as_mut_slice();
+    for c in 0..geom.channels {
+        for kk in 0..geom.kernel {
+            let row = c * geom.kernel + kk;
+            let base = row * out_len;
+            for t in 0..out_len {
+                let pos = t * geom.stride + kk;
+                // pos indexes the padded signal; translate to the raw signal.
+                if pos >= geom.padding && pos < geom.padding + geom.len {
+                    dst[base + t] = src[c * geom.len + (pos - geom.padding)];
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// Adjoint of [`im2col1d`]: accumulates a patch-matrix gradient back into an
+/// input-shaped gradient.
+///
+/// # Panics
+///
+/// Panics if `grad_cols` is not `[channels·kernel, out_len]`.
+pub fn im2col1d_backward(grad_cols: &Tensor, geom: &Conv1dGeom) -> Tensor {
+    let out_len = geom.out_len();
+    assert_eq!(
+        grad_cols.dims(),
+        &[geom.patch_rows(), out_len],
+        "im2col1d_backward: gradient shape {:?} does not match geometry",
+        grad_cols.dims()
+    );
+    let mut grad_input = Tensor::zeros([geom.channels, geom.len]);
+    let src = grad_cols.as_slice();
+    let dst = grad_input.as_mut_slice();
+    for c in 0..geom.channels {
+        for kk in 0..geom.kernel {
+            let row = c * geom.kernel + kk;
+            let base = row * out_len;
+            for t in 0..out_len {
+                let pos = t * geom.stride + kk;
+                if pos >= geom.padding && pos < geom.padding + geom.len {
+                    dst[c * geom.len + (pos - geom.padding)] += src[base + t];
+                }
+            }
+        }
+    }
+    grad_input
+}
+
+/// Geometry of a 2-D convolution over a `[channels, height, width]` image.
+///
+/// Strides and paddings are independent per axis so the paper's EEG network
+/// (Table I: kernel 30×1 with padding 15 along time only, pooling 30×1 with
+/// stride 15×1) maps directly.
+///
+/// ```
+/// use rbnn_tensor::Conv2dGeom;
+/// // EEG "conv in time": 960×64 single-channel image, kernel (30, 1),
+/// // padding (15, 0) → output 961×64.
+/// let g = Conv2dGeom::new(1, 960, 64, (30, 1), (1, 1), (15, 0));
+/// assert_eq!((g.out_h(), g.out_w()), (961, 64));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dGeom {
+    /// Input channel count.
+    pub channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride along height.
+    pub stride_h: usize,
+    /// Stride along width.
+    pub stride_w: usize,
+    /// Symmetric zero padding along height.
+    pub pad_h: usize,
+    /// Symmetric zero padding along width.
+    pub pad_w: usize,
+}
+
+impl Conv2dGeom {
+    /// Creates a geometry descriptor with `(height, width)` tuples for
+    /// kernel, stride and padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stride or kernel extent is zero, or the padded image is
+    /// smaller than the kernel.
+    pub fn new(
+        channels: usize,
+        height: usize,
+        width: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: (usize, usize),
+    ) -> Self {
+        let (kernel_h, kernel_w) = kernel;
+        let (stride_h, stride_w) = stride;
+        let (pad_h, pad_w) = padding;
+        assert!(stride_h > 0 && stride_w > 0, "stride must be positive");
+        assert!(kernel_h > 0 && kernel_w > 0, "kernel must be positive");
+        assert!(
+            height + 2 * pad_h >= kernel_h && width + 2 * pad_w >= kernel_w,
+            "kernel ({kernel_h}×{kernel_w}) larger than padded image ({}×{})",
+            height + 2 * pad_h,
+            width + 2 * pad_w,
+        );
+        Self { channels, height, width, kernel_h, kernel_w, stride_h, stride_w, pad_h, pad_w }
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.height + 2 * self.pad_h - self.kernel_h) / self.stride_h + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.width + 2 * self.pad_w - self.kernel_w) / self.stride_w + 1
+    }
+
+    /// Rows of the patch matrix (`channels · kernel_h · kernel_w`).
+    pub fn patch_rows(&self) -> usize {
+        self.channels * self.kernel_h * self.kernel_w
+    }
+}
+
+/// Builds the `[channels·kh·kw, out_h·out_w]` patch matrix of `input`.
+///
+/// # Panics
+///
+/// Panics if `input` is not `[channels, height, width]` as described by
+/// `geom`.
+pub fn im2col2d(input: &Tensor, geom: &Conv2dGeom) -> Tensor {
+    assert_eq!(
+        input.dims(),
+        &[geom.channels, geom.height, geom.width],
+        "im2col2d: input shape {:?} does not match geometry",
+        input.dims()
+    );
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let mut cols = Tensor::zeros([geom.patch_rows(), oh * ow]);
+    let src = input.as_slice();
+    let dst = cols.as_mut_slice();
+    let plane = geom.height * geom.width;
+    for c in 0..geom.channels {
+        for ky in 0..geom.kernel_h {
+            for kx in 0..geom.kernel_w {
+                let row = (c * geom.kernel_h + ky) * geom.kernel_w + kx;
+                let base = row * oh * ow;
+                for oy in 0..oh {
+                    let iy = oy * geom.stride_h + ky;
+                    if iy < geom.pad_h || iy >= geom.pad_h + geom.height {
+                        continue;
+                    }
+                    let iy = iy - geom.pad_h;
+                    for ox in 0..ow {
+                        let ix = ox * geom.stride_w + kx;
+                        if ix < geom.pad_w || ix >= geom.pad_w + geom.width {
+                            continue;
+                        }
+                        let ix = ix - geom.pad_w;
+                        dst[base + oy * ow + ox] = src[c * plane + iy * geom.width + ix];
+                    }
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// Adjoint of [`im2col2d`].
+///
+/// # Panics
+///
+/// Panics if `grad_cols` is not `[channels·kh·kw, out_h·out_w]`.
+pub fn im2col2d_backward(grad_cols: &Tensor, geom: &Conv2dGeom) -> Tensor {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    assert_eq!(
+        grad_cols.dims(),
+        &[geom.patch_rows(), oh * ow],
+        "im2col2d_backward: gradient shape {:?} does not match geometry",
+        grad_cols.dims()
+    );
+    let mut grad_input = Tensor::zeros([geom.channels, geom.height, geom.width]);
+    let src = grad_cols.as_slice();
+    let dst = grad_input.as_mut_slice();
+    let plane = geom.height * geom.width;
+    for c in 0..geom.channels {
+        for ky in 0..geom.kernel_h {
+            for kx in 0..geom.kernel_w {
+                let row = (c * geom.kernel_h + ky) * geom.kernel_w + kx;
+                let base = row * oh * ow;
+                for oy in 0..oh {
+                    let iy = oy * geom.stride_h + ky;
+                    if iy < geom.pad_h || iy >= geom.pad_h + geom.height {
+                        continue;
+                    }
+                    let iy = iy - geom.pad_h;
+                    for ox in 0..ow {
+                        let ix = ox * geom.stride_w + kx;
+                        if ix < geom.pad_w || ix >= geom.pad_w + geom.width {
+                            continue;
+                        }
+                        let ix = ix - geom.pad_w;
+                        dst[c * plane + iy * geom.width + ix] += src[base + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    grad_input
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Direct (definition-level) 1-D convolution for cross-checking.
+    fn naive_conv1d(input: &Tensor, weight: &Tensor, geom: &Conv1dGeom) -> Tensor {
+        let co = weight.dim(0);
+        let out_len = geom.out_len();
+        let mut out = Tensor::zeros([co, out_len]);
+        for o in 0..co {
+            for t in 0..out_len {
+                let mut acc = 0.0;
+                for c in 0..geom.channels {
+                    for kk in 0..geom.kernel {
+                        let pos = t as isize * geom.stride as isize + kk as isize
+                            - geom.padding as isize;
+                        if pos >= 0 && (pos as usize) < geom.len {
+                            acc += input.at(&[c, pos as usize])
+                                * weight.at(&[o, c * geom.kernel + kk]);
+                        }
+                    }
+                }
+                *out.at_mut(&[o, t]) = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn table1_table2_output_shapes() {
+        // Paper Table I: conv(30×1, pad 15×0) over a 960×64 image → 961×64.
+        let g1 = Conv2dGeom::new(1, 960, 64, (30, 1), (1, 1), (15, 0));
+        assert_eq!((g1.out_h(), g1.out_w()), (961, 64));
+        // Conv in space: kernel 1×64 over 961×64 → 961×1.
+        let g2 = Conv2dGeom::new(40, 961, 64, (1, 64), (1, 1), (0, 0));
+        assert_eq!((g2.out_h(), g2.out_w()), (961, 1));
+        // Avg pool 30×1 stride 15 → 63×1.
+        let gp = Conv2dGeom::new(40, 961, 1, (30, 1), (15, 1), (0, 0));
+        assert_eq!((gp.out_h(), gp.out_w()), (63, 1));
+        // Paper Table II: conv(13, no pad) over 750 samples → 738 steps.
+        assert_eq!(Conv1dGeom::new(12, 750, 13, 1, 0).out_len(), 738);
+    }
+
+    #[test]
+    fn im2col1d_conv_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(c, l, k, s, p) in &[(1, 10, 3, 1, 0), (2, 16, 5, 2, 2), (3, 9, 3, 1, 1)] {
+            let geom = Conv1dGeom::new(c, l, k, s, p);
+            let input = Tensor::randn([c, l], 1.0, &mut rng);
+            let weight = Tensor::randn([4, c * k], 1.0, &mut rng);
+            let cols = im2col1d(&input, &geom);
+            let fast = weight.matmul(&cols);
+            let slow = naive_conv1d(&input, &weight, &geom);
+            assert!(fast.allclose(&slow, 1e-4), "mismatch for {geom:?}");
+        }
+    }
+
+    #[test]
+    fn im2col1d_backward_is_adjoint() {
+        // <im2col(x), y> == <x, im2col_backward(y)> for all x, y — the
+        // defining property of the adjoint, checked with random probes.
+        let mut rng = StdRng::seed_from_u64(13);
+        let geom = Conv1dGeom::new(3, 12, 4, 2, 1);
+        let x = Tensor::randn([3, 12], 1.0, &mut rng);
+        let y = Tensor::randn([geom.patch_rows(), geom.out_len()], 1.0, &mut rng);
+        let lhs = im2col1d(&x, &geom).dot(&y);
+        let rhs = x.dot(&im2col1d_backward(&y, &geom));
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn im2col2d_identity_kernel_is_flatten() {
+        let geom = Conv2dGeom::new(1, 4, 4, (1, 1), (1, 1), (0, 0));
+        let input = Tensor::from_fn([1, 4, 4], |i| i as f32);
+        let cols = im2col2d(&input, &geom);
+        assert_eq!(cols.dims(), &[1, 16]);
+        assert_eq!(cols.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn im2col2d_backward_is_adjoint() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let geom = Conv2dGeom::new(2, 6, 5, (3, 3), (2, 2), (1, 1));
+        let x = Tensor::randn([2, 6, 5], 1.0, &mut rng);
+        let y = Tensor::randn([geom.patch_rows(), geom.out_h() * geom.out_w()], 1.0, &mut rng);
+        let lhs = im2col2d(&x, &geom).dot(&y);
+        let rhs = x.dot(&im2col2d_backward(&y, &geom));
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn asymmetric_padding_only_pads_requested_axis() {
+        // Padding along height only: a kernel tap reaching above the image
+        // reads zero, but width is never padded.
+        let geom = Conv2dGeom::new(1, 3, 3, (3, 3), (1, 1), (1, 0));
+        let input = Tensor::ones([1, 3, 3]);
+        let cols = im2col2d(&input, &geom);
+        assert_eq!((geom.out_h(), geom.out_w()), (3, 1));
+        // Row 0 = tap (ky=0, kx=0); first output row reads padding → 0.
+        assert_eq!(cols.at(&[0, 0]), 0.0);
+        // Centre tap always reads real pixels.
+        assert_eq!(cols.at(&[4, 0]), 1.0);
+    }
+
+    #[test]
+    fn padding_produces_zero_rows() {
+        let geom = Conv1dGeom::new(1, 4, 3, 1, 1);
+        let input = Tensor::ones([1, 4]);
+        let cols = im2col1d(&input, &geom);
+        // First column, first tap reaches into the left padding.
+        assert_eq!(cols.at(&[0, 0]), 0.0);
+        // Interior taps are ones.
+        assert_eq!(cols.at(&[1, 0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match geometry")]
+    fn im2col1d_rejects_wrong_shape() {
+        let geom = Conv1dGeom::new(2, 8, 3, 1, 0);
+        let input = Tensor::zeros([2, 9]);
+        let _ = im2col1d(&input, &geom);
+    }
+}

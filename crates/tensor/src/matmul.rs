@@ -1,0 +1,251 @@
+//! Blocked matrix multiplication kernels.
+//!
+//! Convolution in `rbnn-nn` is lowered to matrix multiplication through
+//! `im2col`, so these kernels are the hot path of the whole training stack.
+//! They use a simple cache-blocked `ikj` loop order with a parallel split
+//! over output rows — no unsafe, no SIMD intrinsics; the inner loop is
+//! written so the auto-vectorizer picks it up.
+
+use crate::{par, Tensor};
+
+const BLOCK: usize = 64;
+
+impl Tensor {
+    /// Matrix product `self × rhs` for 2-D tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the inner dimensions disagree.
+    ///
+    /// ```
+    /// use rbnn_tensor::Tensor;
+    /// let a = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]);
+    /// let b = Tensor::from_vec(vec![5., 6., 7., 8.], &[2, 2]);
+    /// assert_eq!(a.matmul(&b).as_slice(), &[19., 22., 43., 50.]);
+    /// ```
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "matmul: lhs must be 2-D");
+        assert_eq!(rhs.shape().ndim(), 2, "matmul: rhs must be 2-D");
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (k2, n) = (rhs.dim(0), rhs.dim(1));
+        assert_eq!(k, k2, "matmul: inner dimensions {k} and {k2} disagree");
+
+        let mut out = Tensor::zeros([m, n]);
+        matmul_into(self.as_slice(), rhs.as_slice(), out.as_mut_slice(), m, k, n);
+        out
+    }
+
+    /// Matrix product `selfᵀ × rhs` without materializing the transpose.
+    ///
+    /// `self` is `[k, m]`, `rhs` is `[k, n]`, the result is `[m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the leading dimensions disagree.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "matmul_tn: lhs must be 2-D");
+        assert_eq!(rhs.shape().ndim(), 2, "matmul_tn: rhs must be 2-D");
+        let (k, m) = (self.dim(0), self.dim(1));
+        let (k2, n) = (rhs.dim(0), rhs.dim(1));
+        assert_eq!(k, k2, "matmul_tn: leading dimensions {k} and {k2} disagree");
+
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let mut out = Tensor::zeros([m, n]);
+        let o = out.as_mut_slice();
+        // out[i, j] = Σ_p a[p, i] * b[p, j]  — accumulate row-by-row of a/b so
+        // both operands stream contiguously.
+        for p in 0..k {
+            let arow = &a[p * m..(p + 1) * m];
+            let brow = &b[p * n..(p + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut o[i * n..(i + 1) * n];
+                for (ov, &bv) in orow.iter_mut().zip(brow) {
+                    *ov += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self × rhsᵀ` without materializing the transpose.
+    ///
+    /// `self` is `[m, k]`, `rhs` is `[n, k]`, the result is `[m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the trailing dimensions
+    /// disagree.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "matmul_nt: lhs must be 2-D");
+        assert_eq!(rhs.shape().ndim(), 2, "matmul_nt: rhs must be 2-D");
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (n, k2) = (rhs.dim(0), rhs.dim(1));
+        assert_eq!(k, k2, "matmul_nt: trailing dimensions {k} and {k2} disagree");
+
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let mut out = Tensor::zeros([m, n]);
+        let o = out.as_mut_slice();
+        par::par_for(m, |i| {
+            // Rows are disjoint; reconstruct a mutable view per worker.
+            let orow = unsafe {
+                std::slice::from_raw_parts_mut(o.as_ptr().add(i * n) as *mut f32, n)
+            };
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                orow[j] = acc;
+            }
+        });
+        out
+    }
+
+    /// Matrix–vector product `self × v` for a 2-D tensor and 1-D vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or dimension mismatch.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "matvec: lhs must be 2-D");
+        assert_eq!(v.shape().ndim(), 1, "matvec: rhs must be 1-D");
+        let (m, k) = (self.dim(0), self.dim(1));
+        assert_eq!(k, v.dim(0), "matvec: dimension mismatch");
+        let a = self.as_slice();
+        let x = v.as_slice();
+        let mut out = Tensor::zeros([m]);
+        for (i, o) in out.as_mut_slice().iter_mut().enumerate() {
+            let row = &a[i * k..(i + 1) * k];
+            *o = row.iter().zip(x).map(|(&p, &q)| p * q).sum();
+        }
+        out
+    }
+}
+
+/// Writes `A(m×k) × B(k×n)` into `out` (which must be zeroed, length `m·n`).
+///
+/// Exposed at crate level so the benchmark suite can time the raw kernel.
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    // Parallel over blocks of output rows; each worker owns disjoint rows.
+    let row_blocks = m.div_ceil(BLOCK);
+    par::par_for(row_blocks, |bi| {
+        let i0 = bi * BLOCK;
+        let i1 = (i0 + BLOCK).min(m);
+        let out_ptr = &out_ptr;
+        for p0 in (0..k).step_by(BLOCK) {
+            let p1 = (p0 + BLOCK).min(k);
+            for i in i0..i1 {
+                let orow =
+                    unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(i * n), n) };
+                for p in p0..p1 {
+                    let av = a[i * k + p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (ov, &bv) in orow.iter_mut().zip(brow) {
+                        *ov += av * bv;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Raw pointer wrapper that asserts cross-thread transferability; the caller
+/// guarantees workers touch disjoint rows.
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dim(0), a.dim(1));
+        let n = b.dim(1);
+        let mut out = Tensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                *out.at_mut(&[i, j]) = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (17, 33, 9), (70, 65, 130)] {
+            let a = Tensor::randn([m, k], 1.0, &mut rng);
+            let b = Tensor::randn([k, n], 1.0, &mut rng);
+            let fast = a.matmul(&b);
+            let slow = naive_matmul(&a, &b);
+            assert!(fast.allclose(&slow, 1e-3), "mismatch at ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Tensor::randn([13, 7], 1.0, &mut rng);
+        let b = Tensor::randn([13, 11], 1.0, &mut rng);
+        let expect = a.transpose().matmul(&b);
+        let got = a.matmul_tn(&b);
+        assert!(got.allclose(&expect, 1e-3));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = Tensor::randn([13, 7], 1.0, &mut rng);
+        let b = Tensor::randn([11, 7], 1.0, &mut rng);
+        let expect = a.matmul(&b.transpose());
+        let got = a.matmul_nt(&b);
+        assert!(got.allclose(&expect, 1e-3));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = Tensor::randn([9, 14], 1.0, &mut rng);
+        let v = Tensor::randn([14], 1.0, &mut rng);
+        let expect = a.matmul(&v.reshape([14, 1])).reshape([9]);
+        assert!(a.matvec(&v).allclose(&expect, 1e-4));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Tensor::randn([6, 6], 1.0, &mut rng);
+        assert!(a.matmul(&Tensor::eye(6)).allclose(&a, 1e-6));
+        assert!(Tensor::eye(6).matmul(&a).allclose(&a, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_inner_dims_panic() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,126 @@
+//! Minimal scoped-thread parallelism helpers.
+//!
+//! The training loops in `rbnn-nn` are embarrassingly parallel over the batch
+//! dimension; this module provides just enough machinery to exploit that with
+//! `crossbeam`'s scoped threads, without introducing a global thread-pool or
+//! work-stealing runtime.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Returns the number of worker threads to use for data-parallel sections.
+///
+/// Defaults to the number of available CPUs, clamped to at least 1. Can be
+/// overridden (e.g. for deterministic single-thread debugging) with the
+/// `RBNN_THREADS` environment variable.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("RBNN_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f(i)` for every `i in 0..n`, distributing iterations across threads.
+///
+/// Iterations are claimed dynamically from an atomic counter, so uneven
+/// per-item cost still balances. Falls back to a plain loop when `n < 2` or
+/// only one thread is configured. `f` must be `Sync` because it is shared by
+/// every worker.
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// let hits = AtomicUsize::new(0);
+/// rbnn_tensor::par::par_for(100, |_i| {
+///     hits.fetch_add(1, Ordering::Relaxed);
+/// });
+/// assert_eq!(hits.load(Ordering::Relaxed), 100);
+/// ```
+pub fn par_for<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let workers = num_threads().min(n.max(1));
+    if workers <= 1 || n < 2 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                f(i);
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Maps `f` over `0..n` in parallel, preserving order of results.
+///
+/// ```
+/// let squares = rbnn_tensor::par::par_map(5, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send + Default,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out: Vec<T> = (0..n).map(|_| T::default()).collect();
+    {
+        let slots: Vec<std::sync::Mutex<&mut T>> =
+            out.iter_mut().map(std::sync::Mutex::new).collect();
+        par_for(n, |i| {
+            let mut slot = slots[i].lock().expect("poisoned par_map slot");
+            **slot = f(i);
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn par_for_covers_every_index_once() {
+        let n = 1000;
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        par_for(n, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_for_handles_zero_and_one() {
+        par_for(0, |_| panic!("must not run"));
+        let hit = AtomicUsize::new(0);
+        par_for(1, |_| {
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v = par_map(257, |i| i as i64 * 3);
+        assert_eq!(v.len(), 257);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as i64 * 3);
+        }
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

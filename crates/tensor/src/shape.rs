@@ -1,0 +1,204 @@
+//! Shape bookkeeping for contiguous, row-major tensors.
+
+use std::fmt;
+
+/// The dimensions of a [`Tensor`](crate::Tensor).
+///
+/// A `Shape` is an ordered list of dimension extents, e.g. `[batch, channels,
+/// length]` for a 1-D signal batch. Tensors in this crate are always
+/// contiguous and row-major, so the shape fully determines the memory layout.
+///
+/// ```
+/// use rbnn_tensor::Shape;
+///
+/// let s = Shape::new(&[4, 64, 960]);
+/// assert_eq!(s.numel(), 4 * 64 * 960);
+/// assert_eq!(s.ndim(), 3);
+/// assert_eq!(s.dim(1), 64);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimension extents.
+    ///
+    /// A zero-dimensional shape (`&[]`) denotes a scalar with one element.
+    pub fn new(dims: &[usize]) -> Self {
+        Self { dims: dims.to_vec() }
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.ndim()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// All dimension extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of elements (product of all extents; 1 for a scalar).
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    ///
+    /// ```
+    /// use rbnn_tensor::Shape;
+    /// assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank differs from the shape rank or any coordinate
+    /// is out of range (debug builds check every coordinate).
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.dims.len(),
+            "index rank {} does not match shape rank {}",
+            index.len(),
+            self.dims.len()
+        );
+        let mut off = 0;
+        let mut stride = 1;
+        for axis in (0..self.dims.len()).rev() {
+            debug_assert!(
+                index[axis] < self.dims[axis],
+                "index {} out of range for axis {} with extent {}",
+                index[axis],
+                axis,
+                self.dims[axis]
+            );
+            off += index[axis] * stride;
+            stride *= self.dims[axis];
+        }
+        off
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape { dims: dims.to_vec() }
+    }
+}
+
+impl<const N: usize> From<&[usize; N]> for Shape {
+    fn from(dims: &[usize; N]) -> Self {
+        Shape { dims: dims.to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_ndim() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.ndim(), 3);
+        assert_eq!(s.dims(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.ndim(), 0);
+        assert_eq!(s.offset(&[]), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert_eq!(Shape::new(&[2, 3]).strides(), vec![3, 1]);
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        let strides = s.strides();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let expect = i * strides[0] + j * strides[1] + k * strides[2];
+                    assert_eq!(s.offset(&[i, j, k]), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "index rank")]
+    fn offset_wrong_rank_panics() {
+        Shape::new(&[2, 3]).offset(&[1]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(&[961, 64, 40]).to_string(), "[961×64×40]");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Shape = [2usize, 3].into();
+        let b: Shape = vec![2usize, 3].into();
+        let c: Shape = (&[2usize, 3][..]).into();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+}

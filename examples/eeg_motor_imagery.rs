@@ -1,0 +1,66 @@
+//! EEG motor-imagery classification end to end (§III-A of the paper):
+//! synthesizes lateralized mu-rhythm trials, trains the Table I network
+//! (real weights vs binarized classifier), and reports the accuracy and
+//! memory trade-off.
+//!
+//! Run with: `cargo run --example eeg_motor_imagery --release`
+
+use rbnn_data::{eeg, signal};
+use rbnn_models::{memory, BinarizationStrategy};
+use rbnn_nn::{train, Adam};
+use rram_bnn::tasks::{Scale, Task, TaskSetup};
+
+fn main() {
+    let setup = TaskSetup::new(Task::Eeg, Scale::Quick, 7);
+    let ds = setup.dataset();
+    println!("EEG motor-imagery task: {} trials of shape {:?}", ds.len(), ds.sample_shape());
+
+    // Show the physiological class signal the network must find: the
+    // C4/C3 mu-band power ratio separates left- from right-fist imagery.
+    let cfg = eeg::EegConfig::reduced();
+    let (t_len, c_len) = (cfg.samples, cfg.channels);
+    let mut ratio_sum = [0.0f32; 2];
+    let mut counts = [0usize; 2];
+    for i in 0..ds.len() {
+        let s = ds.samples().index_axis0(i);
+        let xs = s.as_slice();
+        let chan = |ch: usize| -> Vec<f32> { (0..t_len).map(|t| xs[t * c_len + ch]).collect() };
+        let p3 = signal::band_power(&chan(cfg.c3()), cfg.sample_rate, 8.0, 13.0);
+        let p4 = signal::band_power(&chan(cfg.c4()), cfg.sample_rate, 8.0, 13.0);
+        ratio_sum[ds.labels()[i]] += p4 / (p3 + 1e-9);
+        counts[ds.labels()[i]] += 1;
+    }
+    println!(
+        "mean C4/C3 mu-power ratio: left-fist {:.2}, right-fist {:.2} (ERD lateralization)\n",
+        ratio_sum[eeg::LEFT_FIST] / counts[eeg::LEFT_FIST] as f32,
+        ratio_sum[eeg::RIGHT_FIST] / counts[eeg::RIGHT_FIST] as f32,
+    );
+
+    let (train_ds, val_ds) = ds.cv_fold(5, 0);
+    for strategy in [BinarizationStrategy::RealWeights, BinarizationStrategy::BinarizedClassifier] {
+        let mut model = setup.build_model(strategy, 1, 3);
+        let mut opt = Adam::new(0.01);
+        let tc = train::TrainConfig { epochs: 30, batch_size: 32, eval_every: 30, ..Default::default() };
+        let hist = train::fit(
+            &mut model,
+            train::Labelled::new(train_ds.samples(), train_ds.labels()),
+            Some(train::Labelled::new(val_ds.samples(), val_ds.labels())),
+            &mut opt,
+            &tc,
+        );
+        println!(
+            "{:<16} val accuracy {:.1}%",
+            strategy.label(),
+            hist.final_val_acc().unwrap_or(0.0) * 100.0
+        );
+    }
+
+    let m = memory::eeg_paper();
+    println!(
+        "\npaper-dimension EEG model: {} params, classifier {:.0}%; classifier \
+         binarization saves {:.0}% vs 32-bit (Table IV: 64%)",
+        m.total_params(),
+        m.classifier_fraction() * 100.0,
+        m.bin_classifier_saving(32) * 100.0
+    );
+}

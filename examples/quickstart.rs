@@ -1,0 +1,58 @@
+//! Quickstart: train a binarized-classifier ECG model, fold it to the
+//! bit-packed XNOR/popcount form, program it into simulated 2T2R RRAM
+//! arrays, and compare accuracy along the whole deployment chain.
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use rbnn_models::BinarizationStrategy;
+use rbnn_nn::{train, Adam};
+use rbnn_rram::EngineConfig;
+use rram_bnn::deploy::deploy_and_evaluate;
+use rram_bnn::tasks::{Scale, Task, TaskSetup};
+
+fn main() {
+    // 1. Synthetic 12-lead ECG electrode-inversion dataset (laptop scale).
+    let setup = TaskSetup::new(Task::Ecg, Scale::Quick, 42);
+    println!(
+        "dataset: {} recordings of shape {:?} ({} classes)",
+        setup.dataset().len(),
+        setup.dataset().sample_shape(),
+        setup.dataset().classes()
+    );
+
+    // 2. Table II's network with the paper's recommended strategy:
+    //    real convolutions, binarized classifier.
+    let mut model = setup.build_model(BinarizationStrategy::BinarizedClassifier, 1, 7);
+    let (train_ds, val_ds) = setup.dataset().cv_fold(5, 0);
+
+    // 3. Train with Adam (the paper's optimizer for the medical tasks).
+    let mut opt = Adam::new(0.01);
+    let cfg = train::TrainConfig { epochs: 25, batch_size: 32, eval_every: 5, verbose: true, ..Default::default() };
+    let history = train::fit(
+        &mut model,
+        train::Labelled::new(train_ds.samples(), train_ds.labels()),
+        Some(train::Labelled::new(val_ds.samples(), val_ds.labels())),
+        &mut opt,
+        &cfg,
+    );
+    println!(
+        "trained: final validation accuracy {:.1}%",
+        history.final_val_acc().unwrap_or(0.0) * 100.0
+    );
+
+    // 4. Deploy: export the classifier to XNOR/popcount form, program it
+    //    into 32×32 2T2R arrays (the paper's test-chip geometry), and
+    //    evaluate — fresh and after 500 million programming cycles.
+    let report = deploy_and_evaluate(&mut model, &val_ds, &EngineConfig::test_chip(1), 500_000_000)
+        .expect("classifier is binarized and deployable");
+    println!("\ndeployment chain accuracy:");
+    println!("  software (float graph)     {:.1}%", report.software_accuracy * 100.0);
+    println!("  exported (bit-packed)      {:.1}%", report.exported_accuracy * 100.0);
+    println!("  RRAM arrays (fresh)        {:.1}%", report.hardware_accuracy * 100.0);
+    println!(
+        "  RRAM arrays ({}M cycles)  {:.1}%",
+        report.cycles / 1_000_000,
+        report.worn_accuracy * 100.0
+    );
+    println!("  physical 32×32 arrays used: {}", report.arrays);
+}

@@ -1,0 +1,18 @@
+//! # rram-bnn-repro
+//!
+//! Workspace façade of the reproduction of *"In-Memory Resistive RAM
+//! Implementation of Binarized Neural Networks for Medical Applications"*
+//! (Penkovsky et al., DATE 2020). Re-exports every member crate so the
+//! examples and integration tests can address the whole system through one
+//! dependency.
+//!
+//! Start with the [`rram_bnn`] umbrella crate (deployment pipeline and
+//! experiment harness), or run `cargo run --example quickstart --release`.
+
+pub use rbnn_binary as binary;
+pub use rbnn_data as data;
+pub use rbnn_models as models;
+pub use rbnn_nn as nn;
+pub use rbnn_rram as rram;
+pub use rbnn_tensor as tensor;
+pub use rram_bnn as core;

@@ -1,0 +1,95 @@
+//! Integration tests pinning the reproduction to the paper's published
+//! numbers wherever those are exact (architecture shapes, parameter
+//! arithmetic, memory savings) and to calibrated anchors where they are
+//! statistical (Fig 4 bit-error rates).
+
+use rram_bnn::experiments::{fig4, table4, tables12};
+use rbnn_rram::{endurance, DeviceParams, EnduranceConfig, PcsaParams};
+
+#[test]
+fn table1_shapes_match_paper() {
+    let t = tables12::table1_eeg();
+    let shapes: Vec<&Vec<usize>> = t.rows.iter().map(|(_, s, _)| s).collect();
+    for expect in [
+        vec![40usize, 961, 64],
+        vec![40, 961, 1],
+        vec![40, 63, 1],
+        vec![2520],
+        vec![80],
+        vec![2],
+    ] {
+        assert!(shapes.contains(&&expect), "missing Table I shape {expect:?}");
+    }
+}
+
+#[test]
+fn table2_shapes_match_paper() {
+    let t = tables12::table2_ecg();
+    let shapes: Vec<&Vec<usize>> = t.rows.iter().map(|(_, s, _)| s).collect();
+    for expect in [
+        vec![32usize, 738],
+        vec![32, 369],
+        vec![32, 359],
+        vec![32, 179],
+        vec![32, 171],
+        vec![32, 165],
+        vec![32, 161],
+        vec![5152],
+        vec![75],
+        vec![2],
+    ] {
+        assert!(shapes.contains(&&expect), "missing Table II shape {expect:?}");
+    }
+}
+
+#[test]
+fn table4_savings_match_paper() {
+    let t = table4::run();
+    // EEG row: 64% / 57.8% (paper), exact arithmetic.
+    assert!((t.rows[0].saving_32 - 64.0).abs() < 0.5);
+    assert!((t.rows[0].saving_8 - 57.8).abs() < 0.5);
+    // ImageNet row: 20% / 7.3%.
+    assert!((t.rows[2].saving_32 - 20.0).abs() < 0.5);
+    assert!((t.rows[2].saving_8 - 7.3).abs() < 0.5);
+    // MobileNet total parameter count is the canonical 4 231 976.
+    assert_eq!(t.rows[2].total_params, 4_231_976);
+    // EEG totals: 305 522 params, 1.17 MB.
+    assert_eq!(t.rows[0].total_params, 305_522);
+    assert!((t.rows[0].size_32bit_mib - 1.17).abs() < 0.01);
+}
+
+#[test]
+fn fig4_anchors_and_gap() {
+    let device = DeviceParams::hfo2_default();
+    let pcsa = PcsaParams::default_130nm();
+    // 1T1R ≈ 1e-4 at 100M cycles, ≈ 1e-2 at 700M (the Fig 4 envelope).
+    let lo = endurance::analytic_point(&device, &pcsa, 100_000_000, 1.15);
+    let hi = endurance::analytic_point(&device, &pcsa, 700_000_000, 1.15);
+    assert!((3e-5..3e-4).contains(&lo.ber_1t1r_bl), "{:.2e}", lo.ber_1t1r_bl);
+    assert!((3e-3..3e-2).contains(&hi.ber_1t1r_bl), "{:.2e}", hi.ber_1t1r_bl);
+    // Mean 1T1R/2T2R gap across the sweep ≈ two orders of magnitude.
+    let mut cfg = EnduranceConfig::fig4_quick();
+    cfg.trials = 20_000;
+    let result = fig4::run(&cfg);
+    assert!(
+        result.mean_gap() > 1.4,
+        "2T2R should sit orders of magnitude below 1T1R, gap 10^{:.2}",
+        result.mean_gap()
+    );
+}
+
+#[test]
+fn binarized_classifier_fits_test_chip_arrays() {
+    // The paper's EEG classifier (2520→80→2) maps onto 32×32 arrays:
+    // ceil(80/32)·ceil(2520/32) + ceil(2/32)·ceil(80/32) = 3·79 + 1·3 = 240.
+    use rbnn_binary::{BinaryDense, BinaryNetwork};
+    use rbnn_rram::{EngineConfig, NetworkEngine};
+    use rbnn_tensor::BitMatrix;
+    let l1 = BinaryDense::new(BitMatrix::zeros(80, 2520), vec![1.0; 80], vec![0.0; 80]);
+    let l2 = BinaryDense::new(BitMatrix::zeros(2, 80), vec![1.0; 2], vec![0.0; 2]);
+    let net = BinaryNetwork::new(vec![l1, l2]);
+    let engine = NetworkEngine::program(&net, &EngineConfig::test_chip(0));
+    assert_eq!(engine.array_count(), 3 * 79 + 3);
+    // Weight bits = RRAM synapse pairs: 2520·80 + 80·2.
+    assert_eq!(net.weight_bits(), 2520 * 80 + 160);
+}

@@ -1,0 +1,98 @@
+//! End-to-end integration: train → binarize → export → program simulated
+//! RRAM → evaluate, across tasks and strategies.
+
+use rbnn_binary::export_classifier;
+use rbnn_models::BinarizationStrategy;
+use rbnn_nn::{train, Adam, Layer, Phase};
+use rbnn_rram::EngineConfig;
+use rram_bnn::deploy::{classifier_features, deploy_and_evaluate};
+use rram_bnn::tasks::{Scale, Task, TaskSetup};
+
+fn train_quick(
+    setup: &TaskSetup,
+    strategy: BinarizationStrategy,
+    epochs: usize,
+) -> (rbnn_nn::SplitModel, rbnn_data::Dataset) {
+    let mut model = setup.build_model(strategy, 1, 5);
+    let (train_ds, val_ds) = setup.dataset().cv_fold(5, 0);
+    let mut opt = Adam::new(0.01);
+    let cfg = train::TrainConfig { epochs, batch_size: 32, eval_every: epochs, ..Default::default() };
+    let _ = train::fit(
+        &mut model,
+        train::Labelled::new(train_ds.samples(), train_ds.labels()),
+        None,
+        &mut opt,
+        &cfg,
+    );
+    (model, val_ds)
+}
+
+#[test]
+fn ecg_binarized_classifier_full_chain() {
+    let setup = TaskSetup::new(Task::Ecg, Scale::Quick, 101);
+    let (mut model, val) = train_quick(&setup, BinarizationStrategy::BinarizedClassifier, 15);
+    let report =
+        deploy_and_evaluate(&mut model, &val, &EngineConfig::test_chip(3), 400_000_000)
+            .expect("deployable");
+    // The trained model must be clearly above chance in software…
+    assert!(report.software_accuracy > 0.7, "{report:?}");
+    // …and fresh hardware must track the exported bit-packed network.
+    assert!(
+        (report.hardware_accuracy - report.exported_accuracy).abs() <= 0.05,
+        "{report:?}"
+    );
+    // Worn hardware stays above chance (graceful degradation, the ECC-less
+    // operating point).
+    assert!(report.worn_accuracy > 0.5, "{report:?}");
+}
+
+#[test]
+fn fully_binarized_classifier_also_deploys() {
+    // In the fully binarized strategy the classifier is binary too, so the
+    // same deployment path must work.
+    let setup = TaskSetup::new(Task::Ecg, Scale::Quick, 102);
+    let (model, val) = train_quick(&setup, BinarizationStrategy::FullyBinarized, 10);
+    let mut model = model;
+    let report = deploy_and_evaluate(&mut model, &val, &EngineConfig::test_chip(4), 0)
+        .expect("deployable");
+    assert!(report.arrays > 0);
+    assert!((0.0..=1.0).contains(&report.hardware_accuracy));
+}
+
+#[test]
+fn exported_classifier_is_bit_exact_on_sign_features() {
+    // On ±1 classifier inputs, the bit-packed network must agree with the
+    // float graph exactly (threshold folding is exact, not approximate).
+    let setup = TaskSetup::new(Task::Ecg, Scale::Quick, 103);
+    let (mut model, val) = train_quick(&setup, BinarizationStrategy::BinarizedClassifier, 6);
+    let network = export_classifier(&model.classifier).expect("export");
+    let (features, _) = classifier_features(&mut model, &val);
+    let n = features.dim(0).min(32);
+    let f = features.dim(1);
+    for i in 0..n {
+        let row = &features.as_slice()[i * f..(i + 1) * f];
+        let signed: Vec<f32> =
+            row.iter().map(|&v| if v >= 0.0 { 1.0 } else { -1.0 }).collect();
+        let x = rbnn_tensor::Tensor::from_vec(signed.clone(), [1, f]);
+        let float_logits = model.classifier.forward(&x, Phase::Eval);
+        let bit_logits = network.logits(&signed);
+        let float_arg = float_logits.index_axis0(0).argmax();
+        let bit_arg = bit_logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(k, _)| k)
+            .unwrap();
+        assert_eq!(float_arg, bit_arg, "sample {i}");
+    }
+}
+
+#[test]
+fn eeg_pipeline_trains_and_deploys() {
+    let setup = TaskSetup::new(Task::Eeg, Scale::Quick, 104);
+    let (mut model, val) = train_quick(&setup, BinarizationStrategy::BinarizedClassifier, 12);
+    let report = deploy_and_evaluate(&mut model, &val, &EngineConfig::test_chip(5), 100_000_000)
+        .expect("deployable");
+    assert!(report.software_accuracy > 0.6, "{report:?}");
+    assert!(report.hardware_accuracy > 0.5, "{report:?}");
+}

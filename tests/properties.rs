@@ -1,0 +1,125 @@
+//! Property-based tests of the core invariants, spanning crates.
+
+use proptest::prelude::*;
+
+use rbnn_binary::{fold_batchnorm_sign, BinaryDense};
+use rbnn_rram::{DeviceParams, Pcsa, PcsaParams, RramArray, Synapse2T2R};
+use rbnn_tensor::{im2col1d, im2col1d_backward, BitMatrix, BitVec, Conv1dGeom, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. 3 equivalence: the packed XNOR/popcount ±1 dot product equals
+    /// the float dot product for arbitrary sign patterns and lengths.
+    #[test]
+    fn xnor_dot_equals_float_dot(bits_a in prop::collection::vec(any::<bool>(), 1..300),
+                                 seed in any::<u64>()) {
+        let n = bits_a.len();
+        let bits_b: Vec<bool> = (0..n).map(|i| (seed >> (i % 64)) & 1 == 1).collect();
+        let fa: Vec<f32> = bits_a.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let fb: Vec<f32> = bits_b.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let dot: f32 = fa.iter().zip(&fb).map(|(x, y)| x * y).sum();
+        let ba = BitVec::from_bools(&bits_a);
+        let bb = BitVec::from_bools(&bits_b);
+        prop_assert_eq!(ba.dot_pm1(&bb), dot as i32);
+    }
+
+    /// The folded integer threshold agrees with float BatchNorm + sign for
+    /// every reachable popcount value.
+    #[test]
+    fn threshold_fold_is_exact(scale in -4.0f32..4.0, shift in -50.0f32..50.0,
+                               fan_in in 1usize..300) {
+        let th = fold_batchnorm_sign(scale, shift, fan_in);
+        for p in 0..=fan_in as u32 {
+            let d = 2.0 * p as f32 - fan_in as f32;
+            let float_fire = scale * d + shift >= 0.0;
+            prop_assert_eq!(th.fire(p), float_fire,
+                "p={}, scale={}, shift={}, fan_in={}", p, scale, shift, fan_in);
+        }
+    }
+
+    /// im2col backward is the exact adjoint of im2col for arbitrary
+    /// geometry (random probe identity ⟨Ax, y⟩ = ⟨x, Aᵀy⟩).
+    #[test]
+    fn im2col_adjoint_identity(channels in 1usize..4, len in 4usize..24,
+                               kernel in 1usize..5, stride in 1usize..3,
+                               padding in 0usize..3, seed in any::<u64>()) {
+        prop_assume!(len + 2 * padding >= kernel);
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let geom = Conv1dGeom::new(channels, len, kernel, stride, padding);
+        let x = Tensor::randn([channels, len], 1.0, &mut rng);
+        let y = Tensor::randn([geom.patch_rows(), geom.out_len()], 1.0, &mut rng);
+        let lhs = im2col1d(&x, &geom).dot(&y);
+        let rhs = x.dot(&im2col1d_backward(&y, &geom));
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()),
+            "adjoint mismatch: {} vs {}", lhs, rhs);
+    }
+
+    /// Fresh 2T2R synapses read back the programmed weight through a real
+    /// (mismatched) PCSA — the margin is large enough that fabrication
+    /// offsets never flip a fresh read.
+    #[test]
+    fn fresh_synapse_roundtrip(weight in any::<bool>(), seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = DeviceParams::hfo2_default();
+        let pcsa = Pcsa::new(&PcsaParams::default_130nm(), &mut rng);
+        let syn = Synapse2T2R::new(weight, &params, &mut rng);
+        prop_assert_eq!(syn.read(&pcsa, &params, &mut rng), weight);
+    }
+
+    /// A fresh array stores and retrieves arbitrary bit patterns exactly.
+    #[test]
+    fn array_roundtrip(pattern in prop::collection::vec(any::<bool>(), 64), seed in any::<u64>()) {
+        let mut array = RramArray::new(
+            8, 8, DeviceParams::hfo2_default(), PcsaParams::default_130nm(), seed);
+        let signs: Vec<f32> = pattern.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let m = BitMatrix::from_signs(&signs, 8, 8);
+        array.program_matrix(&m);
+        for r in 0..8 {
+            let bits = array.read_row(r);
+            for c in 0..8 {
+                prop_assert_eq!(bits.get(c), m.get(r, c), "({}, {})", r, c);
+            }
+        }
+    }
+
+    /// Deployed binary dense layers: forward_sign equals the sign of
+    /// forward_affine for random weights and thresholds.
+    #[test]
+    fn binary_dense_sign_affine_agree(out in 1usize..8, inp in 1usize..80, seed in any::<u64>()) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w: Vec<f32> = (0..out * inp)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
+        let scale: Vec<f32> = (0..out).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let shift: Vec<f32> = (0..out).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let layer = BinaryDense::new(BitMatrix::from_signs(&w, out, inp), scale, shift);
+        let x: BitVec = (0..inp).map(|_| rng.gen::<bool>()).collect();
+        let signs = layer.forward_sign(&x);
+        let affine = layer.forward_affine(&x);
+        for (i, &a) in affine.iter().enumerate() {
+            prop_assert_eq!(signs.get(i), a >= 0.0, "neuron {}: affine {}", i, a);
+        }
+    }
+
+    /// Dataset k-fold partitions: folds are disjoint and complete for any
+    /// size/k combination.
+    #[test]
+    fn kfold_partitions(n in 10usize..60, k in 2usize..6) {
+        prop_assume!(k <= n);
+        let ds = rbnn_data::Dataset::new(
+            Tensor::zeros([n, 2]), (0..n).map(|i| i % 2).collect(), 2);
+        let folds = ds.fold_indices(k);
+        let mut seen = vec![false; n];
+        for fold in &folds {
+            for &i in fold {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,48 @@
+//! Learning-behaviour integration tests: the reproduction's reduced tasks
+//! must be learnable within test-sized budgets, and the precision
+//! strategies must order the way the paper's Table III orders them.
+
+use rbnn_models::BinarizationStrategy;
+use rbnn_nn::{train, Adam};
+use rram_bnn::tasks::{Scale, Task, TaskSetup};
+
+fn val_acc(setup: &TaskSetup, strategy: BinarizationStrategy, aug: usize, epochs: usize) -> f32 {
+    let mut model = setup.build_model(strategy, aug, 17);
+    let (train_ds, val_ds) = setup.dataset().cv_fold(5, 0);
+    let mut opt = Adam::new(0.01);
+    let cfg = train::TrainConfig { epochs, batch_size: 32, eval_every: epochs, ..Default::default() };
+    let hist = train::fit(
+        &mut model,
+        train::Labelled::new(train_ds.samples(), train_ds.labels()),
+        Some(train::Labelled::new(val_ds.samples(), val_ds.labels())),
+        &mut opt,
+        &cfg,
+    );
+    hist.final_val_acc().unwrap()
+}
+
+#[test]
+fn ecg_real_weights_learn_the_task() {
+    let setup = TaskSetup::new(Task::Ecg, Scale::Quick, 201);
+    let acc = val_acc(&setup, BinarizationStrategy::RealWeights, 1, 25);
+    assert!(acc > 0.85, "real-weight ECG should exceed 85%, got {acc}");
+}
+
+#[test]
+fn ecg_binarized_classifier_tracks_real() {
+    let setup = TaskSetup::new(Task::Ecg, Scale::Quick, 202);
+    let real = val_acc(&setup, BinarizationStrategy::RealWeights, 1, 25);
+    let binclf = val_acc(&setup, BinarizationStrategy::BinarizedClassifier, 1, 25);
+    // The paper's headline: classifier binarization costs (almost) nothing.
+    assert!(
+        binclf >= real - 0.08,
+        "bin-classifier {binclf} should track real {real} closely"
+    );
+}
+
+#[test]
+fn eeg_real_weights_learn_the_task() {
+    let setup = TaskSetup::new(Task::Eeg, Scale::Quick, 203);
+    let acc = val_acc(&setup, BinarizationStrategy::RealWeights, 1, 25);
+    assert!(acc > 0.85, "real-weight EEG should exceed 85%, got {acc}");
+}
