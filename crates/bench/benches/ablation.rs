@@ -16,16 +16,17 @@ fn bench_ber_vs_pcsa_offset(c: &mut Criterion) {
     let device = DeviceParams::hfo2_default();
     let mut group = c.benchmark_group("analytic_ber");
     for &offset in &[0.05f64, 0.27, 0.5] {
-        let pcsa = PcsaParams { offset_sigma: offset, noise_sigma: 0.02 };
+        let pcsa = PcsaParams {
+            offset_sigma: offset,
+            noise_sigma: 0.02,
+        };
         let point = endurance::analytic_point(&device, &pcsa, 400_000_000, 1.15);
         println!(
             "[ablation] PCSA offset σ={offset}: 2T2R BER {:.2e} (1T1R {:.2e})",
             point.ber_2t2r, point.ber_1t1r_bl
         );
         group.bench_with_input(BenchmarkId::from_parameter(offset), &offset, |bench, _| {
-            bench.iter(|| {
-                black_box(endurance::analytic_point(&device, &pcsa, 400_000_000, 1.15))
-            })
+            bench.iter(|| black_box(endurance::analytic_point(&device, &pcsa, 400_000_000, 1.15)))
         });
     }
     group.finish();
@@ -36,7 +37,9 @@ fn bench_ber_vs_pcsa_offset(c: &mut Criterion) {
 fn bench_threshold_fold(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
     let (out, inp) = (80, 2520);
-    let w: Vec<f32> = (0..out * inp).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+    let w: Vec<f32> = (0..out * inp)
+        .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+        .collect();
     let scale: Vec<f32> = (0..out).map(|_| rng.gen_range(0.1..2.0)).collect();
     let shift: Vec<f32> = (0..out).map(|_| rng.gen_range(-3.0..3.0)).collect();
     let layer = BinaryDense::new(BitMatrix::from_signs(&w, out, inp), scale, shift);
@@ -71,7 +74,10 @@ fn bench_program_verify(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(7);
     let pcsa = Pcsa::ideal();
     // Report the BER trade-off once, then time the two programming styles.
-    for (label, cfg) in [("no-verify", VerifyConfig::none()), ("verify", VerifyConfig::standard())] {
+    for (label, cfg) in [
+        ("no-verify", VerifyConfig::none()),
+        ("verify", VerifyConfig::standard()),
+    ] {
         let mut synapse = Synapse2T2R::new(true, &params, &mut rng);
         let trials = 20_000;
         let mut errors = 0u32;
@@ -92,7 +98,10 @@ fn bench_program_verify(c: &mut Criterion) {
         );
     }
     let mut group = c.benchmark_group("program_verify");
-    for (label, cfg) in [("none", VerifyConfig::none()), ("standard", VerifyConfig::standard())] {
+    for (label, cfg) in [
+        ("none", VerifyConfig::none()),
+        ("standard", VerifyConfig::standard()),
+    ] {
         let mut synapse = Synapse2T2R::new(true, &params, &mut rng);
         synapse.set_cycles(700_000_000);
         let mut w = false;

@@ -10,7 +10,9 @@ use rbnn_binary::BinaryDense;
 use rbnn_tensor::{im2col1d, BitMatrix, BitVec, Conv1dGeom, Tensor};
 
 fn pm1_vec(n: usize, rng: &mut StdRng) -> Vec<f32> {
-    (0..n).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect()
+    (0..n)
+        .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+        .collect()
 }
 
 /// Eq. 3's core operation vs its float equivalent at the paper's classifier

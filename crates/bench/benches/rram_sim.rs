@@ -39,7 +39,9 @@ fn bench_array_row_ops(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let input: BitVec = (0..32).map(|_| rng.gen::<bool>()).collect();
     let mut group = c.benchmark_group("array_32x32");
-    group.bench_function("read_row", |bench| bench.iter(|| black_box(array.read_row(0))));
+    group.bench_function("read_row", |bench| {
+        bench.iter(|| black_box(array.read_row(0)))
+    });
     group.bench_function("xnor_popcount_row", |bench| {
         bench.iter(|| black_box(array.xnor_popcount_row(0, &input)))
     });
@@ -51,13 +53,20 @@ fn bench_array_row_ops(c: &mut Criterion) {
 fn bench_network_engine(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let mk = |out: usize, inp: usize, rng: &mut StdRng| {
-        let w: Vec<f32> =
-            (0..out * inp).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
-        BinaryDense::new(BitMatrix::from_signs(&w, out, inp), vec![1.0; out], vec![0.0; out])
+        let w: Vec<f32> = (0..out * inp)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
+        BinaryDense::new(
+            BitMatrix::from_signs(&w, out, inp),
+            vec![1.0; out],
+            vec![0.0; out],
+        )
     };
     let net = BinaryNetwork::new(vec![mk(80, 2520, &mut rng), mk(2, 80, &mut rng)]);
     let mut engine = NetworkEngine::program(&net, &EngineConfig::test_chip(4));
-    let x: Vec<f32> = (0..2520).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+    let x: Vec<f32> = (0..2520)
+        .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+        .collect();
     c.bench_function("network_engine_eeg_classifier", |bench| {
         bench.iter(|| black_box(engine.logits(&x)))
     });

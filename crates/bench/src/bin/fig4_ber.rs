@@ -7,7 +7,10 @@ use rram_bnn::experiments::fig4;
 
 fn main() {
     let scale = parse_scale();
-    banner("Fig 4 — 1T1R vs 2T2R bit error rate vs programming cycles", scale);
+    banner(
+        "Fig 4 — 1T1R vs 2T2R bit error rate vs programming cycles",
+        scale,
+    );
     let mut cfg = EnduranceConfig::fig4_quick();
     if scale == RunScale::Full {
         cfg.trials = 5_000_000;
@@ -15,6 +18,9 @@ fn main() {
     let result = fig4::run(&cfg);
     println!("{result}");
     println!("Paper: 2T2R error rate is two orders of magnitude below 1T1R (Fig 4).");
-    println!("Monte-Carlo resolution floor: {:.1e} per point.", 1.0 / cfg.trials as f64);
+    println!(
+        "Monte-Carlo resolution floor: {:.1e} per point.",
+        1.0 / cfg.trials as f64
+    );
     archive_json("fig4_ber", &result);
 }

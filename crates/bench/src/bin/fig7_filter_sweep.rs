@@ -15,9 +15,7 @@ fn main() {
             cfg.folds_to_run = 1;
             fig7::run(Scale::Quick, &[1, 2, 4, 8, 16], Some(4), &cfg)
         }
-        RunScale::Full => {
-            fig7::run(Scale::Paper, &[1, 2, 4, 8, 16], None, &CvRunConfig::paper())
-        }
+        RunScale::Full => fig7::run(Scale::Paper, &[1, 2, 4, 8, 16], None, &CvRunConfig::paper()),
     };
     println!("{result}");
     println!(

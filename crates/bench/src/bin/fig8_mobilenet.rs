@@ -7,7 +7,10 @@ use rram_bnn::experiments::fig8;
 
 fn main() {
     let scale = parse_scale();
-    banner("Fig 8 — MobileNet with binarized classifier (vision proxy)", scale);
+    banner(
+        "Fig 8 — MobileNet with binarized classifier (vision proxy)",
+        scale,
+    );
     let cfg = match scale {
         RunScale::Quick => fig8::Fig8Config::quick().with_fully_binarized(),
         RunScale::Full => fig8::Fig8Config {

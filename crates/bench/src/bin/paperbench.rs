@@ -28,9 +28,18 @@ fn main() {
 
     let mut sweep_cfg = cv.clone();
     sweep_cfg.folds_to_run = 1;
-    println!("{}", fig7::run(run_scale, &[1, 2, 4, 8], Some(4), &sweep_cfg));
-    println!("{}", fig8::run(&fig8::Fig8Config::quick().with_fully_binarized()));
-    println!("{}", ext_ber::run(Task::Ecg, &ext_ber::BerSweepConfig::quick()));
+    println!(
+        "{}",
+        fig7::run(run_scale, &[1, 2, 4, 8], Some(4), &sweep_cfg)
+    );
+    println!(
+        "{}",
+        fig8::run(&fig8::Fig8Config::quick().with_fully_binarized())
+    );
+    println!(
+        "{}",
+        ext_ber::run(Task::Ecg, &ext_ber::BerSweepConfig::quick())
+    );
 
     println!("total wall time: {:.0}s", t0.elapsed().as_secs_f32());
 }

@@ -1,0 +1,288 @@
+//! Load generator for the `rbnn-serve` runtime.
+//!
+//! Drives a pool of engine replicas with pipelined concurrent clients and
+//! reports throughput plus latency percentiles. "Batch size N" means the
+//! system processes N samples per dispatch end to end: clients submit
+//! N-sample window requests ([`ServeHandle::enqueue_window`]) and each
+//! worker dispatch evaluates one window through the batched kernels —
+//! batch size 1 is therefore exactly the single-sample serving the
+//! workspace had before this subsystem. A separate row shows the
+//! server-side merge path (single-sample requests coalesced by the
+//! adaptive batcher) for clients that cannot batch.
+//!
+//! Acceptance experiment: with a 4-engine pool on the ECG classifier,
+//! batch 64 must clear ≥4× the throughput of batch 1, p99 reported.
+//!
+//! Usage: `cargo run --release --bin serve_bench [--quick|--full] [--strict]`
+//! (`--strict` exits non-zero when the ≥4× acceptance fails — for gating on
+//! dedicated hardware; wall-clock ratios on shared/1-core machines vary).
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use rbnn_bench::{archive_json, banner, parse_scale_with, RunScale};
+use rbnn_rram::EngineConfig;
+use rbnn_serve::{
+    demo_network, Backend, BatchPolicy, ModelRegistry, ServeConfig, ServeTask, Server,
+};
+
+/// One measured operating point.
+#[derive(Debug, Clone, Serialize)]
+struct OperatingPoint {
+    label: String,
+    backend: String,
+    batch_size: usize,
+    workers: usize,
+    clients: usize,
+    samples: u64,
+    samples_per_s: f64,
+    mean_dispatch: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    senses: u64,
+}
+
+/// Full archive of one serve_bench run.
+#[derive(Debug, Clone, Serialize)]
+struct ServeBenchResult {
+    task: String,
+    points: Vec<OperatingPoint>,
+    speedup_batch64_vs_1: f64,
+}
+
+/// Drives the server with `clients` pipelined clients submitting
+/// `samples_per_request`-sample windows until each has pushed
+/// `samples_per_client` samples; `max_batch` is the server-side merge
+/// ceiling in requests.
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    label: &str,
+    registry: &ModelRegistry,
+    backend: Backend,
+    samples_per_request: usize,
+    max_batch: usize,
+    workers: usize,
+    clients: usize,
+    samples_per_client: usize,
+) -> OperatingPoint {
+    let config = ServeConfig {
+        workers,
+        backend,
+        batch: BatchPolicy {
+            max_batch,
+            max_delay: Duration::from_micros(250),
+        },
+        // Smaller than the total outstanding window: the bench measures the
+        // server *at capacity*, with producers held back by backpressure —
+        // the regime where batch formation is the throughput lever.
+        queue_capacity: 1024,
+        seed: 0xBEEF,
+    };
+    let server = Server::start(registry, &config);
+    let width = registry
+        .in_features(ServeTask::Ecg)
+        .expect("ECG registered");
+    // Keep ~256 samples outstanding per client regardless of request size.
+    let window_requests = (256 / samples_per_request).max(1);
+    let requests_per_client = (samples_per_client / samples_per_request).max(1);
+
+    let t0 = Instant::now();
+    let client_threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let handle = server.handle();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xC11E47 + c as u64);
+                // Pre-generated shared request pool: feature synthesis and
+                // request copying must not be the bottleneck being
+                // measured, so windows are submitted zero-copy.
+                let pool: Vec<std::sync::Arc<Vec<Vec<f32>>>> = (0..8)
+                    .map(|_| {
+                        std::sync::Arc::new(
+                            (0..samples_per_request)
+                                .map(|_| (0..width).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                let mut in_flight = std::collections::VecDeque::new();
+                for i in 0..requests_per_client {
+                    if in_flight.len() >= window_requests {
+                        let oldest: rbnn_serve::PendingWindow =
+                            in_flight.pop_front().expect("non-empty window");
+                        let _ = oldest.wait().expect("served");
+                    }
+                    let rows = std::sync::Arc::clone(&pool[i % pool.len()]);
+                    in_flight
+                        .push_back(handle.enqueue_shared(ServeTask::Ecg, rows).expect("queued"));
+                }
+                for pending in in_flight {
+                    let _ = pending.wait().expect("served");
+                }
+            })
+        })
+        .collect();
+    for t in client_threads {
+        t.join().expect("client thread");
+    }
+    let elapsed = t0.elapsed();
+    let snap = server.shutdown();
+    let samples = snap.engines.iter().map(|e| e.samples).sum::<u64>();
+    OperatingPoint {
+        label: label.to_string(),
+        backend: format!("{backend:?}"),
+        batch_size: samples_per_request * max_batch,
+        workers,
+        clients,
+        samples,
+        samples_per_s: samples as f64 / elapsed.as_secs_f64(),
+        mean_dispatch: snap.mean_batch,
+        p50_us: snap.p50.as_secs_f64() * 1e6,
+        p95_us: snap.p95.as_secs_f64() * 1e6,
+        p99_us: snap.p99.as_secs_f64() * 1e6,
+        senses: snap.engines.iter().map(|e| e.senses).sum(),
+    }
+}
+
+fn print_point(p: &OperatingPoint) {
+    println!(
+        "{:<26} {:>10.0} samples/s  mean dispatch {:>6.1}  p50 {:>8.0}µs  p95 {:>8.0}µs  p99 {:>8.0}µs{}",
+        p.label,
+        p.samples_per_s,
+        p.mean_dispatch,
+        p.p50_us,
+        p.p95_us,
+        p.p99_us,
+        if p.senses > 0 { format!("  senses {}", p.senses) } else { String::new() }
+    );
+}
+
+fn main() {
+    let (scale, flags) = parse_scale_with(&["--strict"]);
+    let strict = flags[0];
+    banner(
+        "serve_bench — batched multi-engine serving throughput (ECG classifier)",
+        scale,
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host parallelism: {cores} core(s)");
+
+    // Two ECG classifier scales: the shape this repo's own pipeline deploys
+    // at laptop (`Quick`) scale — flatten 408 → 75 → 2, exactly what
+    // `examples/serving.rs` exports — and the paper's Table I shape
+    // (2520 → 80 → 2).
+    let mut deployed = ModelRegistry::new();
+    deployed.insert(
+        ServeTask::Ecg,
+        demo_network(&[408, 75, 2], 0xD47E),
+        EngineConfig::test_chip(1),
+    );
+    let mut paper = ModelRegistry::new();
+    paper.insert(
+        ServeTask::Ecg,
+        demo_network(&[2520, 80, 2], 0xD47E),
+        EngineConfig::test_chip(2),
+    );
+
+    let workers = 4;
+    let clients = 16;
+    let (samples_per_client, rram_samples) = match scale {
+        RunScale::Quick => (60_000usize, 64usize),
+        RunScale::Full => (300_000, 320),
+    };
+
+    let mut points = Vec::new();
+    println!(
+        "\ndeployed ECG classifier 408→75→2 (software backend, {workers}-engine pool, \
+         {clients} pipelined clients):"
+    );
+    for batch in [1usize, 8, 64, 256] {
+        let p = drive(
+            &format!("batch {batch}"),
+            &deployed,
+            Backend::Software,
+            batch,
+            1,
+            workers,
+            clients,
+            samples_per_client,
+        );
+        print_point(&p);
+        points.push(p);
+    }
+    // Server-side merge: clients that cannot batch still get engine
+    // batches through the adaptive batcher.
+    let merge = drive(
+        "server merge ≤64",
+        &deployed,
+        Backend::Software,
+        1,
+        64,
+        workers,
+        clients,
+        samples_per_client,
+    );
+    print_point(&merge);
+
+    let t1 = points[0].samples_per_s;
+    let t64 = points[2].samples_per_s;
+    let speedup = t64 / t1;
+    println!("\nspeedup batch 64 vs batch 1: {speedup:.1}×");
+    let accepted = speedup >= 4.0;
+    if accepted {
+        println!("acceptance: PASS (≥4× with a {workers}-engine pool)");
+    } else {
+        println!("acceptance: FAIL (<4×)");
+    }
+    points.push(merge);
+
+    println!("\npaper-scale ECG classifier 2520→80→2 (software backend):");
+    for batch in [1usize, 64] {
+        let p = drive(
+            &format!("paper batch {batch}"),
+            &paper,
+            Backend::Software,
+            batch,
+            1,
+            workers,
+            clients,
+            samples_per_client / 4,
+        );
+        print_point(&p);
+        points.push(p);
+    }
+
+    println!("\nrram backend (Monte-Carlo PCSA senses; {workers}-engine pool):");
+    for batch in [1usize, 64] {
+        let p = drive(
+            &format!("rram batch {batch}"),
+            &paper,
+            Backend::Rram,
+            batch,
+            1,
+            workers,
+            clients,
+            rram_samples,
+        );
+        print_point(&p);
+        points.push(p);
+    }
+
+    archive_json(
+        "serve_bench",
+        &ServeBenchResult {
+            task: "ecg".into(),
+            points,
+            speedup_batch64_vs_1: speedup,
+        },
+    );
+
+    if strict && !accepted {
+        std::process::exit(1);
+    }
+}

@@ -6,7 +6,10 @@ use rram_bnn::experiments::tables12;
 
 fn main() {
     let scale = parse_scale();
-    banner("Tables I & II — network architectures (paper dimensions)", scale);
+    banner(
+        "Tables I & II — network architectures (paper dimensions)",
+        scale,
+    );
     let t1 = tables12::table1_eeg();
     let t2 = tables12::table2_ecg();
     println!("{t1}");

@@ -8,7 +8,10 @@ use rram_bnn::Scale;
 
 fn main() {
     let scale = parse_scale();
-    banner("Table III — accuracy vs binarization strategy (EEG & ECG)", scale);
+    banner(
+        "Table III — accuracy vs binarization strategy (EEG & ECG)",
+        scale,
+    );
     let (run_scale, cfg) = match scale {
         RunScale::Quick => (Scale::Quick, CvRunConfig::quick()),
         RunScale::Full => (Scale::Paper, CvRunConfig::paper()),

@@ -6,7 +6,10 @@ use rram_bnn::experiments::table4;
 
 fn main() {
     let scale = parse_scale();
-    banner("Table IV — model memory usage and classifier-binarization savings", scale);
+    banner(
+        "Table IV — model memory usage and classifier-binarization savings",
+        scale,
+    );
     let result = table4::run();
     println!("{result}");
     archive_json("table4_memory", &result);

@@ -39,22 +39,41 @@ pub enum RunScale {
 /// Unknown arguments abort with a usage message — benches should never
 /// silently ignore a flag the user believed was in effect.
 pub fn parse_scale() -> RunScale {
+    let (scale, _) = parse_scale_with(&[]);
+    scale
+}
+
+/// [`parse_scale`] plus a set of bench-specific boolean flags: returns the
+/// scale and, for each flag in `extra` (e.g. `"--strict"`), whether it was
+/// passed. Anything else still aborts with a usage message.
+pub fn parse_scale_with(extra: &[&str]) -> (RunScale, Vec<bool>) {
+    let usage = {
+        let mut u = String::from("[--quick|--full]");
+        for f in extra {
+            u.push_str(&format!(" [{f}]"));
+        }
+        u
+    };
     let mut scale = RunScale::Quick;
+    let mut seen = vec![false; extra.len()];
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--quick" => scale = RunScale::Quick,
             "--full" => scale = RunScale::Full,
             "--help" | "-h" => {
-                eprintln!("usage: [--quick|--full]   (default --quick)");
+                eprintln!("usage: {usage}   (default --quick)");
                 std::process::exit(0);
             }
-            other => {
-                eprintln!("unknown argument {other}; usage: [--quick|--full]");
-                std::process::exit(2);
-            }
+            other => match extra.iter().position(|f| *f == other) {
+                Some(i) => seen[i] = true,
+                None => {
+                    eprintln!("unknown argument {other}; usage: {usage}");
+                    std::process::exit(2);
+                }
+            },
         }
     }
-    scale
+    (scale, seen)
 }
 
 /// Directory where JSON results are archived (`bench_results/`, created on

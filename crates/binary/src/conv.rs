@@ -42,10 +42,20 @@ impl BinaryConv1d {
         scale: Vec<f32>,
         shift: Vec<f32>,
     ) -> Self {
-        assert_eq!(weights.cols(), in_channels * kernel, "weight width mismatch");
+        assert_eq!(
+            weights.cols(),
+            in_channels * kernel,
+            "weight width mismatch"
+        );
         assert_eq!(scale.len(), weights.rows(), "scale length mismatch");
         assert_eq!(shift.len(), weights.rows(), "shift length mismatch");
-        Self { weights, in_channels, kernel, scale, shift }
+        Self {
+            weights,
+            in_channels,
+            kernel,
+            scale,
+            shift,
+        }
     }
 
     /// Packs the signs of a float filter tensor `[out, in·kernel]`.
@@ -56,7 +66,11 @@ impl BinaryConv1d {
         scale: Vec<f32>,
         shift: Vec<f32>,
     ) -> Self {
-        assert_eq!(weights.shape().ndim(), 2, "weights must be [out, in·kernel]");
+        assert_eq!(
+            weights.shape().ndim(),
+            2,
+            "weights must be [out, in·kernel]"
+        );
         let (rows, cols) = (weights.dim(0), weights.dim(1));
         Self::new(
             BitMatrix::from_signs(weights.as_slice(), rows, cols),
@@ -110,7 +124,10 @@ impl BinaryConv1d {
     pub fn popcounts(&self, input: &[BitVec]) -> Vec<Vec<u32>> {
         assert_eq!(input.len(), self.in_channels, "channel count mismatch");
         let len = input[0].len();
-        assert!(input.iter().all(|c| c.len() == len), "channel lengths differ");
+        assert!(
+            input.iter().all(|c| c.len() == len),
+            "channel lengths differ"
+        );
         let ol = self.out_len(len);
         let taps = self.in_channels * self.kernel;
 
@@ -125,11 +142,8 @@ impl BinaryConv1d {
                 }
             }
             for (o, row) in out.iter_mut().enumerate() {
-                row[t] = rbnn_tensor::xnor_popcount(
-                    self.weights.row_words(o),
-                    window.as_words(),
-                    taps,
-                );
+                row[t] =
+                    rbnn_tensor::xnor_popcount(self.weights.row_words(o), window.as_words(), taps);
             }
         }
         out
@@ -188,7 +202,11 @@ mod tests {
             .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
             .collect();
         let x: Vec<Vec<f32>> = (0..in_ch)
-            .map(|_| (0..len).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect())
+            .map(|_| {
+                (0..len)
+                    .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                    .collect()
+            })
             .collect();
         let scale: Vec<f32> = (0..out_ch).map(|_| rng.gen_range(0.2..2.0)).collect();
         let shift: Vec<f32> = (0..out_ch).map(|_| rng.gen_range(-3.0..3.0)).collect();

@@ -33,7 +33,11 @@ impl BinaryDense {
     pub fn new(weights: BitMatrix, scale: Vec<f32>, shift: Vec<f32>) -> Self {
         assert_eq!(scale.len(), weights.rows(), "scale length mismatch");
         assert_eq!(shift.len(), weights.rows(), "shift length mismatch");
-        Self { weights, scale, shift }
+        Self {
+            weights,
+            scale,
+            shift,
+        }
     }
 
     /// Packs the signs of a float weight matrix `[out, in]` (e.g. the
@@ -45,7 +49,11 @@ impl BinaryDense {
     pub fn from_sign_tensor(weights: &Tensor, scale: Vec<f32>, shift: Vec<f32>) -> Self {
         assert_eq!(weights.shape().ndim(), 2, "weights must be [out, in]");
         let (rows, cols) = (weights.dim(0), weights.dim(1));
-        Self::new(BitMatrix::from_signs(weights.as_slice(), rows, cols), scale, shift)
+        Self::new(
+            BitMatrix::from_signs(weights.as_slice(), rows, cols),
+            scale,
+            shift,
+        )
     }
 
     /// Input feature count.
@@ -122,6 +130,71 @@ impl BinaryDense {
     pub fn weight_bits(&self) -> usize {
         self.weights.rows() * self.weights.cols()
     }
+
+    /// Batched XNOR-popcounts: row `i` of the result holds the per-neuron
+    /// popcounts for sample `i` of the packed `[N, in_features]` batch.
+    ///
+    /// Bit-for-bit identical to calling [`popcounts`](Self::popcounts) per
+    /// sample; faster because each weight row's words stay hot across the
+    /// whole batch and no per-sample `BitVec` is materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_features()`.
+    pub fn popcounts_batch(&self, x: &BitMatrix) -> Vec<u32> {
+        assert_eq!(x.cols(), self.in_features(), "input width mismatch");
+        let n = x.rows();
+        let out = self.out_features();
+        let bits = self.in_features();
+        let mut counts = vec![0u32; n * out];
+        for r in 0..out {
+            let w = self.weights.row_words(r);
+            for i in 0..n {
+                counts[i * out + r] = rbnn_tensor::xnor_popcount(w, x.row_words(i), bits);
+            }
+        }
+        counts
+    }
+
+    /// Batched hidden-layer forward: `[N, in]` bits to `[N, out]` bits.
+    ///
+    /// Folds the integer thresholds once for the whole batch (the
+    /// single-sample path re-folds them per call).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_features()`.
+    pub fn forward_sign_batch(&self, x: &BitMatrix) -> BitMatrix {
+        let n = x.rows();
+        let out = self.out_features();
+        let thresholds = self.folded_thresholds();
+        let counts = self.popcounts_batch(x);
+        let mut y = BitMatrix::zeros(n, out);
+        for i in 0..n {
+            let row = &counts[i * out..(i + 1) * out];
+            y.set_row_bits(i, |r| thresholds[r].fire(row[r]));
+        }
+        y
+    }
+
+    /// Batched output-layer forward: `[N, in]` bits to `N × out` logits,
+    /// row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_features()`.
+    pub fn forward_affine_batch(&self, x: &BitMatrix) -> Vec<f32> {
+        let n_in = self.in_features() as f32;
+        let out = self.out_features();
+        let counts = self.popcounts_batch(x);
+        let mut logits = Vec::with_capacity(counts.len());
+        for chunk in counts.chunks_exact(out.max(1)) {
+            for (r, &p) in chunk.iter().enumerate() {
+                logits.push(self.scale[r] * (2.0 * p as f32 - n_in) + self.shift[r]);
+            }
+        }
+        logits
+    }
 }
 
 #[cfg(test)]
@@ -131,8 +204,9 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn random_layer(out: usize, inp: usize, rng: &mut StdRng) -> BinaryDense {
-        let w: Vec<f32> =
-            (0..out * inp).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+        let w: Vec<f32> = (0..out * inp)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
         let scale = (0..out).map(|_| rng.gen_range(0.2..2.0)).collect();
         let shift = (0..out).map(|_| rng.gen_range(-3.0..3.0)).collect();
         BinaryDense::new(BitMatrix::from_signs(&w, out, inp), scale, shift)
@@ -160,19 +234,29 @@ mod tests {
     fn forward_affine_matches_float_reference() {
         let mut rng = StdRng::seed_from_u64(1);
         let (out, inp) = (4, 21);
-        let w: Vec<f32> =
-            (0..out * inp).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+        let w: Vec<f32> = (0..out * inp)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
         let scale: Vec<f32> = (0..out).map(|_| rng.gen_range(0.2..2.0)).collect();
         let shift: Vec<f32> = (0..out).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let layer =
-            BinaryDense::new(BitMatrix::from_signs(&w, out, inp), scale.clone(), shift.clone());
-        let xin: Vec<f32> = (0..inp).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+        let layer = BinaryDense::new(
+            BitMatrix::from_signs(&w, out, inp),
+            scale.clone(),
+            shift.clone(),
+        );
+        let xin: Vec<f32> = (0..inp)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
         let x = BitVec::from_signs(&xin);
         let got = layer.forward_affine(&x);
         for o in 0..out {
             let dot: f32 = (0..inp).map(|i| w[o * inp + i] * xin[i]).sum();
             let expect = scale[o] * dot + shift[o];
-            assert!((got[o] - expect).abs() < 1e-4, "neuron {o}: {} vs {expect}", got[o]);
+            assert!(
+                (got[o] - expect).abs() < 1e-4,
+                "neuron {o}: {} vs {expect}",
+                got[o]
+            );
         }
     }
 
@@ -196,6 +280,40 @@ mod tests {
         assert_eq!(layer.in_features(), 12);
         assert_eq!(layer.out_features(), 5);
         assert_eq!(layer.weight_bits(), 60);
+    }
+
+    #[test]
+    fn batch_paths_match_single_sample() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let out = rng.gen_range(1usize..10);
+            let inp = rng.gen_range(1usize..160);
+            let layer = random_layer(out, inp, &mut rng);
+            let n = rng.gen_range(0usize..9);
+            let mut batch = rbnn_tensor::BitMatrix::zeros(n, inp);
+            let singles: Vec<BitVec> = (0..n)
+                .map(|i| {
+                    let x = random_bits(inp, &mut rng);
+                    batch.set_row(i, &x);
+                    x
+                })
+                .collect();
+            let counts = layer.popcounts_batch(&batch);
+            let signs = layer.forward_sign_batch(&batch);
+            let affine = layer.forward_affine_batch(&batch);
+            for (i, x) in singles.iter().enumerate() {
+                assert_eq!(
+                    &counts[i * out..(i + 1) * out],
+                    layer.popcounts(x).as_slice()
+                );
+                assert_eq!(signs.row(i), layer.forward_sign(x), "row {i}");
+                assert_eq!(
+                    &affine[i * out..(i + 1) * out],
+                    layer.forward_affine(x).as_slice(),
+                    "row {i}"
+                );
+            }
+        }
     }
 
     #[test]

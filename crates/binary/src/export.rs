@@ -11,7 +11,9 @@
 use std::error::Error;
 use std::fmt;
 
-use rbnn_nn::{Activation, ActivationKind, BatchNorm, Dense, Dropout, Layer, Sequential, WeightMode};
+use rbnn_nn::{
+    Activation, ActivationKind, BatchNorm, Dense, Dropout, Layer, Sequential, WeightMode,
+};
 
 use crate::{BinaryDense, BinaryNetwork};
 
@@ -34,10 +36,16 @@ impl fmt::Display for ExportError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExportError::NotBinarized(l) => {
-                write!(f, "layer {l} has real weights; train with WeightMode::Binary")
+                write!(
+                    f,
+                    "layer {l} has real weights; train with WeightMode::Binary"
+                )
             }
             ExportError::MissingBatchNorm(l) => {
-                write!(f, "layer {l} is not followed by BatchNorm; the threshold fold needs it")
+                write!(
+                    f,
+                    "layer {l} is not followed by BatchNorm; the threshold fold needs it"
+                )
             }
             ExportError::Unsupported(l) => write!(f, "unsupported layer {l} in classifier"),
             ExportError::Empty => write!(f, "classifier contains no dense layers"),
@@ -77,7 +85,9 @@ pub fn export_classifier(classifier: &Sequential) -> Result<BinaryNetwork, Expor
             continue;
         }
         if let Some(bn) = any.downcast_ref::<BatchNorm>() {
-            let dense = pending.take().ok_or_else(|| ExportError::Unsupported(bn.name()))?;
+            let dense = pending
+                .take()
+                .ok_or_else(|| ExportError::Unsupported(bn.name()))?;
             let (scale, shift) = bn.inference_coefficients();
             let mut weights = dense.effective_weight();
             if let Some(bias) = dense.bias_value() {
@@ -146,8 +156,9 @@ mod tests {
         assert_eq!(net.out_features(), 3);
 
         for _ in 0..50 {
-            let xin: Vec<f32> =
-                (0..16).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            let xin: Vec<f32> = (0..16)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
             let x = Tensor::from_vec(xin.clone(), [1, 16]);
             let float_logits = seq.forward(&x, Phase::Eval);
             let bit_logits = net.logits(&xin);

@@ -122,8 +122,7 @@ mod tests {
             .collect();
         let scale = vec![1.0f32; out];
         let shift = vec![0.0f32; out];
-        let layer =
-            BinaryDense::new(BitMatrix::from_signs(&w, out, inp), scale, shift);
+        let layer = BinaryDense::new(BitMatrix::from_signs(&w, out, inp), scale, shift);
         let x: Vec<f32> = (0..inp).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         let expect: Vec<f32> = (0..out)
             .map(|o| (0..inp).map(|i| w[o * inp + i] * x[i]).sum())
@@ -140,14 +139,22 @@ mod tests {
     #[test]
     fn more_planes_reduce_variance() {
         let mut rng = StdRng::seed_from_u64(3);
-        let layer = BinaryDense::new(BitMatrix::from_signs(&vec![1.0; 64], 1, 64), vec![1.0], vec![0.0]);
+        let layer = BinaryDense::new(
+            BitMatrix::from_signs(&vec![1.0; 64], 1, 64),
+            vec![1.0],
+            vec![0.0],
+        );
         let x = vec![0.3f32; 64];
         let expect = 0.3 * 64.0;
         let spread = |t: usize, rng: &mut StdRng| -> f32 {
-            let runs: Vec<f32> =
-                (0..30).map(|_| forward_affine_stochastic(&layer, &x, t, rng)[0]).collect();
+            let runs: Vec<f32> = (0..30)
+                .map(|_| forward_affine_stochastic(&layer, &x, t, rng)[0])
+                .collect();
             let mean = runs.iter().sum::<f32>() / runs.len() as f32;
-            assert!((mean - expect).abs() < 4.0, "bias at t={t}: {mean} vs {expect}");
+            assert!(
+                (mean - expect).abs() < 4.0,
+                "bias at t={t}: {mean} vs {expect}"
+            );
             runs.iter().map(|r| (r - mean) * (r - mean)).sum::<f32>() / runs.len() as f32
         };
         let var_small = spread(8, &mut rng);

@@ -52,10 +52,16 @@ pub fn fold_batchnorm_sign(scale: f32, shift: f32, fan_in: usize) -> FoldedThres
     let t = -shift as f64 / scale as f64;
     let boundary = (t + n) / 2.0;
     if scale > 0.0 {
-        FoldedThreshold { min_popcount: boundary.ceil() as i64, negate: false }
+        FoldedThreshold {
+            min_popcount: boundary.ceil() as i64,
+            negate: false,
+        }
     } else {
         // a ≥ 0 ⇔ p ≤ boundary ⇔ ¬(p ≥ floor(boundary) + 1)
-        FoldedThreshold { min_popcount: boundary.floor() as i64 + 1, negate: true }
+        FoldedThreshold {
+            min_popcount: boundary.floor() as i64 + 1,
+            negate: true,
+        }
     }
 }
 

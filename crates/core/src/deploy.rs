@@ -126,12 +126,15 @@ mod tests {
     /// Trains a small binarized-classifier ECG model for pipeline tests.
     fn trained_setup() -> (TaskSetup, SplitModel) {
         let setup = TaskSetup::new(Task::Ecg, Scale::Quick, 11);
-        let mut model =
-            setup.build_model(BinarizationStrategy::BinarizedClassifier, 1, 12);
+        let mut model = setup.build_model(BinarizationStrategy::BinarizedClassifier, 1, 12);
         let ds = setup.dataset();
         let (train_ds, _) = ds.cv_fold(5, 0);
         let mut opt = Adam::new(0.01);
-        let cfg = TrainConfig { epochs: 3, batch_size: 16, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 16,
+            ..Default::default()
+        };
         let _ = train::fit(
             &mut model,
             train::Labelled::new(train_ds.samples(), train_ds.labels()),
@@ -146,13 +149,9 @@ mod tests {
     fn full_pipeline_runs_and_hardware_matches_export() {
         let (setup, mut model) = trained_setup();
         let (_, val) = setup.dataset().cv_fold(5, 0);
-        let report = deploy_and_evaluate(
-            &mut model,
-            &val,
-            &EngineConfig::test_chip(5),
-            500_000_000,
-        )
-        .expect("deployable classifier");
+        let report =
+            deploy_and_evaluate(&mut model, &val, &EngineConfig::test_chip(5), 500_000_000)
+                .expect("deployable classifier");
         // Fresh hardware is bit-exact with the exported network up to the
         // (astronomically unlikely at fresh wear) device tail events.
         assert!(
@@ -168,13 +167,8 @@ mod tests {
     fn real_weight_classifier_cannot_deploy() {
         let setup = TaskSetup::new(Task::Ecg, Scale::Quick, 13);
         let mut model = setup.build_model(BinarizationStrategy::RealWeights, 1, 14);
-        let err = deploy_and_evaluate(
-            &mut model,
-            setup.dataset(),
-            &EngineConfig::test_chip(6),
-            0,
-        )
-        .unwrap_err();
+        let err = deploy_and_evaluate(&mut model, setup.dataset(), &EngineConfig::test_chip(6), 0)
+            .unwrap_err();
         assert!(matches!(err, ExportError::NotBinarized(_)));
     }
 
@@ -188,7 +182,10 @@ mod tests {
         let (mid, _) = accuracy_under_ber(&network, &features, &labels, 0.02, 5, 1);
         let (high, _) = accuracy_under_ber(&network, &features, &labels, 0.5, 5, 2);
         // BER 0.5 destroys all information → chance level for 2 classes.
-        assert!((high - 0.5).abs() < 0.2, "BER 0.5 should be ≈ chance, got {high}");
+        assert!(
+            (high - 0.5).abs() < 0.2,
+            "BER 0.5 should be ≈ chance, got {high}"
+        );
         // Small BER costs little relative to the clean accuracy.
         assert!(mid >= clean - 0.25, "clean {clean}, mid {mid}");
     }

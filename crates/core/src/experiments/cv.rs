@@ -118,8 +118,10 @@ pub fn cross_validate(
                 opt.as_mut(),
                 &tc,
             );
-            accuracies
-                .push(hist.final_val_acc().expect("validation ran on the last epoch"));
+            accuracies.push(
+                hist.final_val_acc()
+                    .expect("validation ran on the last epoch"),
+            );
         }
     }
     let (mean, std) = metrics::mean_std(&accuracies);
@@ -143,8 +145,7 @@ mod tests {
         let mut cfg = CvRunConfig::quick();
         cfg.folds_to_run = 1;
         cfg.epochs = 8;
-        let outcome =
-            cross_validate(&setup, BinarizationStrategy::RealWeights, 1, &cfg);
+        let outcome = cross_validate(&setup, BinarizationStrategy::RealWeights, 1, &cfg);
         assert_eq!(outcome.accuracies.len(), 1);
         assert!(
             outcome.mean > 0.6,
@@ -159,8 +160,7 @@ mod tests {
         let mut cfg = CvRunConfig::quick();
         cfg.folds_to_run = 2;
         cfg.epochs = 3;
-        let outcome =
-            cross_validate(&setup, BinarizationStrategy::BinarizedClassifier, 1, &cfg);
+        let outcome = cross_validate(&setup, BinarizationStrategy::BinarizedClassifier, 1, &cfg);
         assert_eq!(outcome.accuracies.len(), 2);
         let mean = outcome.accuracies.iter().sum::<f32>() / 2.0;
         assert!((outcome.mean - mean).abs() < 1e-6);

@@ -67,7 +67,13 @@ impl fmt::Display for BerSweepResult {
         writeln!(f, "{:>10} {:>10} {:>8}", "BER", "acc %", "± std")?;
         writeln!(f, "{}", "-".repeat(32))?;
         for p in &self.points {
-            writeln!(f, "{:>10.1e} {:>10.1} {:>8.1}", p.ber, p.mean * 100.0, p.std * 100.0)?;
+            writeln!(
+                f,
+                "{:>10.1e} {:>10.1} {:>8.1}",
+                p.ber,
+                p.mean * 100.0,
+                p.std * 100.0
+            )?;
         }
         writeln!(
             f,
@@ -106,8 +112,11 @@ impl BerSweepConfig {
 /// its deployed classifier.
 pub fn run(task: Task, cfg: &BerSweepConfig) -> BerSweepResult {
     let setup = TaskSetup::new(task, Scale::Quick, cfg.seed);
-    let mut model =
-        setup.build_model(BinarizationStrategy::BinarizedClassifier, 1, cfg.seed ^ 0x11);
+    let mut model = setup.build_model(
+        BinarizationStrategy::BinarizedClassifier,
+        1,
+        cfg.seed ^ 0x11,
+    );
     let (train_ds, val_ds) = setup.dataset().cv_fold(5, 0);
     let mut opt = Adam::new(0.01);
     let tc = train::TrainConfig {
@@ -141,7 +150,12 @@ pub fn run(task: Task, cfg: &BerSweepConfig) -> BerSweepResult {
             BerPoint { ber, mean, std }
         })
         .collect();
-    BerSweepResult { task: task.name().into(), clean_accuracy, points, trials: cfg.trials }
+    BerSweepResult {
+        task: task.name().into(),
+        clean_accuracy,
+        points,
+        trials: cfg.trials,
+    }
 }
 
 /// Tiny helper: draws a fresh sub-seed from an RNG.

@@ -40,8 +40,11 @@ impl Fig4Result {
     /// Mean 1T1R/2T2R error-rate ratio across checkpoints (the paper quotes
     /// "two orders of magnitude"), computed on the analytic curve.
     pub fn mean_gap(&self) -> f64 {
-        let gaps: Vec<f64> =
-            self.rows.iter().map(|r| r.an_1t1r_bl / r.an_2t2r.max(1e-30)).collect();
+        let gaps: Vec<f64> = self
+            .rows
+            .iter()
+            .map(|r| r.an_1t1r_bl / r.an_2t2r.max(1e-30))
+            .collect();
         gaps.iter().map(|g| g.log10()).sum::<f64>() / gaps.len() as f64
     }
 }
@@ -63,7 +66,13 @@ impl fmt::Display for Fig4Result {
             writeln!(
                 f,
                 "{:>8.0} | {:>10.2e} {:>10.2e} {:>10.2e} | {:>10.2e} {:>10.2e} {:>10.2e}",
-                r.mcycles, r.mc_1t1r_bl, r.mc_1t1r_blb, r.mc_2t2r, r.an_1t1r_bl, r.an_1t1r_blb, r.an_2t2r
+                r.mcycles,
+                r.mc_1t1r_bl,
+                r.mc_1t1r_blb,
+                r.mc_2t2r,
+                r.an_1t1r_bl,
+                r.an_1t1r_blb,
+                r.an_2t2r
             )?;
         }
         writeln!(
@@ -93,7 +102,10 @@ pub fn run(cfg: &EnduranceConfig) -> Fig4Result {
             an_2t2r: a.ber_2t2r,
         })
         .collect();
-    Fig4Result { rows, trials: cfg.trials }
+    Fig4Result {
+        rows,
+        trials: cfg.trials,
+    }
 }
 
 #[cfg(test)]

@@ -47,14 +47,21 @@ impl Fig7Result {
             return false;
         };
         let first = s.points.first().map(|(_, o)| o.mean).unwrap_or(0.0);
-        let best = s.points.iter().map(|(_, o)| o.mean).fold(f32::MIN, f32::max);
+        let best = s
+            .points
+            .iter()
+            .map(|(_, o)| o.mean)
+            .fold(f32::MIN, f32::max);
         best > first
     }
 }
 
 impl fmt::Display for Fig7Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig 7 — ECG accuracy vs filter augmentation (mean ± std, %)")?;
+        writeln!(
+            f,
+            "Fig 7 — ECG accuracy vs filter augmentation (mean ± std, %)"
+        )?;
         write!(f, "{:<16}", "Augmentation")?;
         for a in &self.augmentations {
             write!(f, " {:>13}", format!("{a}x"))?;
@@ -96,9 +103,15 @@ pub fn run(
             .iter()
             .map(|&a| (a, cross_validate(&setup, strategy, a, cfg)))
             .collect();
-        series.push(Fig7Series { strategy: strategy.label().into(), points });
+        series.push(Fig7Series {
+            strategy: strategy.label().into(),
+            points,
+        });
     }
-    Fig7Result { augmentations: augmentations.to_vec(), series }
+    Fig7Result {
+        augmentations: augmentations.to_vec(),
+        series,
+    }
 }
 
 #[cfg(test)]

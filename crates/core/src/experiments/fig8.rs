@@ -171,7 +171,11 @@ pub fn run(cfg: &Fig8Config) -> Fig8Result {
             top5: hist.val_top5.clone(),
         });
     }
-    Fig8Result { curves, epochs: cfg.epochs, train_samples: train_ds.len() }
+    Fig8Result {
+        curves,
+        epochs: cfg.epochs,
+        train_samples: train_ds.len(),
+    }
 }
 
 #[cfg(test)]

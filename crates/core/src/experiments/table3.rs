@@ -137,10 +137,13 @@ pub fn run_task(
     let setup = TaskSetup::new(task, scale, data_seed);
     let real = cross_validate(&setup, BinarizationStrategy::RealWeights, 1, cfg);
     let bnn_1x = cross_validate(&setup, BinarizationStrategy::FullyBinarized, 1, cfg);
-    let bnn_augmented =
-        cross_validate(&setup, BinarizationStrategy::FullyBinarized, augmentation, cfg);
-    let bin_classifier =
-        cross_validate(&setup, BinarizationStrategy::BinarizedClassifier, 1, cfg);
+    let bnn_augmented = cross_validate(
+        &setup,
+        BinarizationStrategy::FullyBinarized,
+        augmentation,
+        cfg,
+    );
+    let bin_classifier = cross_validate(&setup, BinarizationStrategy::BinarizedClassifier, 1, cfg);
     Table3Row {
         task: task.name().into(),
         real,
@@ -157,7 +160,10 @@ pub fn run(scale: Scale, cfg: &CvRunConfig) -> Table3Result {
         run_task(Task::Eeg, scale, 4, 31, cfg),
         run_task(Task::Ecg, scale, 4, 32, cfg),
     ];
-    Table3Result { rows, config: cfg.clone() }
+    Table3Result {
+        rows,
+        config: cfg.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -183,7 +189,10 @@ mod tests {
         let row = run_task(Task::Ecg, Scale::Quick, 2, 33, &cfg);
         assert_eq!(row.task, "ECG");
         assert_eq!(row.bnn_augmented.augmentation, 2);
-        let result = Table3Result { rows: vec![row], config: cfg };
+        let result = Table3Result {
+            rows: vec![row],
+            config: cfg,
+        };
         let text = result.to_string();
         assert!(text.contains("Table III"));
         assert!(text.contains("ECG"));

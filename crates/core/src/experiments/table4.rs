@@ -54,7 +54,10 @@ pub struct Table4Result {
 
 impl fmt::Display for Table4Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table IV — memory usage and classifier-binarization savings")?;
+        writeln!(
+            f,
+            "Table IV — memory usage and classifier-binarization savings"
+        )?;
         writeln!(
             f,
             "{:<9} {:>11} {:>11} {:>10} {:>10} {:>8} {:>8}   paper(tot/clf/s32/s8)",
@@ -87,9 +90,24 @@ impl fmt::Display for Table4Result {
 
 fn paper_row(name: &str) -> PaperMemoryRow {
     match name {
-        "EEG" => PaperMemoryRow { total_m: 0.31, classifier_m: 0.2, saving_32: 64.0, saving_8: 57.8 },
-        "ECG" => PaperMemoryRow { total_m: 0.31, classifier_m: 0.27, saving_32: 84.0, saving_8: 75.8 },
-        _ => PaperMemoryRow { total_m: 4.2, classifier_m: 1.0, saving_32: 20.0, saving_8: 7.3 },
+        "EEG" => PaperMemoryRow {
+            total_m: 0.31,
+            classifier_m: 0.2,
+            saving_32: 64.0,
+            saving_8: 57.8,
+        },
+        "ECG" => PaperMemoryRow {
+            total_m: 0.31,
+            classifier_m: 0.27,
+            saving_32: 84.0,
+            saving_8: 75.8,
+        },
+        _ => PaperMemoryRow {
+            total_m: 4.2,
+            classifier_m: 1.0,
+            saving_32: 20.0,
+            saving_8: 7.3,
+        },
     }
 }
 
@@ -120,7 +138,9 @@ fn to_row(m: &MemoryBreakdown) -> Table4Row {
 
 /// Computes the reproduced Table IV.
 pub fn run() -> Table4Result {
-    Table4Result { rows: table4_rows().iter().map(to_row).collect() }
+    Table4Result {
+        rows: table4_rows().iter().map(to_row).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -144,7 +164,10 @@ mod tests {
         let t = run();
         let ecg = &t.rows[1];
         assert!(ecg.discrepancy.is_some());
-        assert!(ecg.saving_32 > 84.0, "exact arithmetic saves even more than the paper's print");
+        assert!(
+            ecg.saving_32 > 84.0,
+            "exact arithmetic saves even more than the paper's print"
+        );
     }
 
     #[test]

@@ -27,9 +27,21 @@ impl fmt::Display for ArchitectureTable {
         writeln!(f, "{}", self.title)?;
         writeln!(f, "{:<42} {:>20} {:>10}", "Layer", "Output shape", "Params")?;
         writeln!(f, "{}", "-".repeat(74))?;
-        writeln!(f, "{:<42} {:>20} {:>10}", "Input", format!("{:?}", self.input_shape), "")?;
+        writeln!(
+            f,
+            "{:<42} {:>20} {:>10}",
+            "Input",
+            format!("{:?}", self.input_shape),
+            ""
+        )?;
         for (name, shape, params) in &self.rows {
-            writeln!(f, "{:<42} {:>20} {:>10}", name, format!("{shape:?}"), params)?;
+            writeln!(
+                f,
+                "{:<42} {:>20} {:>10}",
+                name,
+                format!("{shape:?}"),
+                params
+            )?;
         }
         writeln!(f, "{}", "-".repeat(74))?;
         writeln!(f, "Total params: {}", self.total_params)

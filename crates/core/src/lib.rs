@@ -4,7 +4,8 @@
 //! Implementation of Binarized Neural Networks for Medical Applications"*
 //! (Penkovsky et al., DATE 2020, [arXiv:2006.11595]).
 //!
-//! It wires the workspace's substrates into the paper's two pipelines:
+//! It wires the workspace's substrates into the paper's two pipelines,
+//! plus the serving layer built on top of them:
 //!
 //! 1. **Algorithm**: synthetic medical datasets ([`rbnn_data`]) → the
 //!    paper's networks under three precision strategies ([`rbnn_models`])
@@ -13,7 +14,17 @@
 //! 2. **Hardware**: trained binarized classifiers → bit-packed
 //!    XNOR/popcount form ([`rbnn_binary`]) → simulated 2T2R RRAM arrays
 //!    with PCSA sensing ([`rbnn_rram`]) → accuracy under device wear and
-//!    bit errors — Fig 4 and the ECC-less operation argument.
+//!    bit errors — Fig 4 and the ECC-less operation argument;
+//! 3. **Serving**: deployed classifiers registered per task in a
+//!    `rbnn_serve::ModelRegistry` → client requests (single samples or
+//!    multi-sample windows) flow through a bounded backpressure queue →
+//!    the adaptive batcher forms micro-batches under a deadline/size
+//!    policy → a pool of worker threads, each owning its own engine
+//!    replica (software XNOR/popcount or Monte-Carlo RRAM), runs the
+//!    batched kernels → responses return through per-request channels
+//!    while `ServerStats` tracks throughput, p50/p95/p99 latency, queue
+//!    depth and per-replica array counters. See `examples/serving.rs` and
+//!    `serve_bench` for the end-to-end flow.
 //!
 //! The [`deploy`] module is the end-to-end chain; [`experiments`] holds one
 //! module per table/figure (see DESIGN.md §4 for the index); [`tasks`]

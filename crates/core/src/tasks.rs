@@ -79,7 +79,12 @@ impl TaskSetup {
                 ecg::generate(&cfg)
             }
         };
-        Self { task, scale, dataset, base_filters_override: None }
+        Self {
+            task,
+            scale,
+            dataset,
+            base_filters_override: None,
+        }
     }
 
     /// Overrides the base filter count (used by the Fig 7 sweep to keep
@@ -151,10 +156,13 @@ mod tests {
     fn quick_setups_have_matched_shapes() {
         for task in [Task::Eeg, Task::Ecg] {
             let setup = TaskSetup::new(task, Scale::Quick, 1);
-            let model =
-                setup.build_model(BinarizationStrategy::RealWeights, 1, 2);
+            let model = setup.build_model(BinarizationStrategy::RealWeights, 1, 2);
             let out = model.out_shape(&setup.dataset().sample_shape());
-            assert_eq!(out, vec![2], "{task}: model must map dataset samples to 2 classes");
+            assert_eq!(
+                out,
+                vec![2],
+                "{task}: model must map dataset samples to 2 classes"
+            );
         }
     }
 

@@ -67,7 +67,11 @@ impl Dataset {
     pub fn subset(&self, indices: &[usize]) -> Dataset {
         let items: Vec<Tensor> = indices.iter().map(|&i| self.x.index_axis0(i)).collect();
         let y = indices.iter().map(|&i| self.y[i]).collect();
-        Dataset { x: Tensor::stack(&items), y, classes: self.classes }
+        Dataset {
+            x: Tensor::stack(&items),
+            y,
+            classes: self.classes,
+        }
     }
 
     /// Returns a copy with samples in random order.
@@ -84,7 +88,10 @@ impl Dataset {
     ///
     /// Panics unless `0 < fraction < 1`.
     pub fn split(&self, fraction: f32) -> (Dataset, Dataset) {
-        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0, 1)");
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "fraction must be in (0, 1)"
+        );
         let cut = ((self.len() as f32 * fraction) as usize).clamp(1, self.len() - 1);
         let first: Vec<usize> = (0..cut).collect();
         let second: Vec<usize> = (cut..self.len()).collect();
@@ -157,7 +164,10 @@ impl Dataset {
             let mut var = 0.0f32;
             for i in 0..n {
                 let base = (i * c + ch) * s;
-                var += xs[base..base + s].iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>();
+                var += xs[base..base + s]
+                    .iter()
+                    .map(|&v| (v - mean) * (v - mean))
+                    .sum::<f32>();
             }
             var /= count;
             let std = var.sqrt().max(1e-8);
@@ -272,7 +282,10 @@ mod tests {
         let x = &Tensor::randn([100, 3, 20], 4.0, &mut rng) + 7.0;
         let mut d = Dataset::new(x, vec![0; 100], 1);
         let (means, stds) = d.normalize_per_channel();
-        assert!(means.iter().all(|m| (m - 7.0).abs() < 0.5), "means {means:?}");
+        assert!(
+            means.iter().all(|m| (m - 7.0).abs() < 0.5),
+            "means {means:?}"
+        );
         assert!(stds.iter().all(|s| (s - 4.0).abs() < 0.5), "stds {stds:?}");
         // After normalization: mean ~0, var ~1 overall.
         assert!(d.samples().mean().abs() < 1e-4);
@@ -284,7 +297,11 @@ mod tests {
         let x = Tensor::full([2, 1, 2], 10.0);
         let mut d = Dataset::new(x, vec![0, 0], 1);
         d.apply_normalization(&[8.0], &[2.0]);
-        assert!(d.samples().as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+        assert!(d
+            .samples()
+            .as_slice()
+            .iter()
+            .all(|&v| (v - 1.0).abs() < 1e-6));
     }
 
     #[test]

@@ -146,15 +146,40 @@ struct Wave {
 
 const WAVES: [Wave; 5] = [
     // P wave: small, atrial axis.
-    Wave { center: 0.15, width: 0.025, amp: 0.15, dir: [0.5, 0.6, 0.1] },
+    Wave {
+        center: 0.15,
+        width: 0.025,
+        amp: 0.15,
+        dir: [0.5, 0.6, 0.1],
+    },
     // Q: small negative deflection.
-    Wave { center: 0.33, width: 0.008, amp: -0.12, dir: [0.6, 0.7, 0.2] },
+    Wave {
+        center: 0.33,
+        width: 0.008,
+        amp: -0.12,
+        dir: [0.6, 0.7, 0.2],
+    },
     // R: dominant spike along the electrical axis (~60° frontal).
-    Wave { center: 0.36, width: 0.011, amp: 1.0, dir: [0.6, 0.8, 0.3] },
+    Wave {
+        center: 0.36,
+        width: 0.011,
+        amp: 1.0,
+        dir: [0.6, 0.8, 0.3],
+    },
     // S: negative after-swing.
-    Wave { center: 0.39, width: 0.009, amp: -0.25, dir: [0.4, 0.8, 0.5] },
+    Wave {
+        center: 0.39,
+        width: 0.009,
+        amp: -0.25,
+        dir: [0.4, 0.8, 0.5],
+    },
     // T: broad repolarization, roughly concordant with R.
-    Wave { center: 0.62, width: 0.06, amp: 0.35, dir: [0.5, 0.6, 0.25] },
+    Wave {
+        center: 0.62,
+        width: 0.06,
+        amp: 0.35,
+        dir: [0.5, 0.6, 0.25],
+    },
 ];
 
 /// Configuration of the synthetic 12-lead ECG generator.
@@ -213,7 +238,7 @@ fn electrode_potentials(cfg: &EcgConfig, rng: &mut StdRng) -> Vec<Vec<f32>> {
     let fs = cfg.sample_rate;
     // Per-trial heart rate 60–95 bpm with per-beat jitter.
     let rr_base = 60.0 / rng.gen_range(60.0..95.0); // seconds per beat
-    // Small per-trial rotation of the electrical axis.
+                                                    // Small per-trial rotation of the electrical axis.
     let axis_jitter: [f32; 3] = [
         rng.gen_range(-0.1..0.1),
         rng.gen_range(-0.1..0.1),
@@ -259,8 +284,8 @@ fn electrode_potentials(cfg: &EcgConfig, rng: &mut StdRng) -> Vec<Vec<f32>> {
         for (i, d) in dipole.iter().enumerate() {
             let t = i as f32 / fs;
             let projection = u[0] * d[0] + u[1] * d[1] + u[2] * d[2];
-            let wander = cfg.wander
-                * (std::f32::consts::TAU * wander_freq * t + wander_phase).sin();
+            let wander =
+                cfg.wander * (std::f32::consts::TAU * wander_freq * t + wander_phase).sin();
             let noise = cfg.noise * (rng.gen::<f32>() - 0.5) * 2.0;
             v.push(projection + wander + noise);
         }
@@ -278,7 +303,10 @@ fn electrode_potentials(cfg: &EcgConfig, rng: &mut StdRng) -> Vec<Vec<f32>> {
 pub fn derive_leads(potentials: &[Vec<f32>]) -> Vec<Vec<f32>> {
     assert_eq!(potentials.len(), 9, "expected 9 electrode traces");
     let n = potentials[0].len();
-    assert!(potentials.iter().all(|p| p.len() == n), "trace lengths differ");
+    assert!(
+        potentials.iter().all(|p| p.len() == n),
+        "trace lengths differ"
+    );
     let ra = &potentials[Electrode::Ra.index()];
     let la = &potentials[Electrode::La.index()];
     let ll = &potentials[Electrode::Ll.index()];
@@ -403,7 +431,11 @@ mod tests {
     fn r_peak_dominates_lead_ii() {
         // Lead II roughly follows the electrical axis, so the R spike should
         // dominate the trace and be positive.
-        let cfg = EcgConfig { noise: 0.0, wander: 0.0, ..tiny_cfg() };
+        let cfg = EcgConfig {
+            noise: 0.0,
+            wander: 0.0,
+            ..tiny_cfg()
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let leads = derive_leads(&electrode_potentials(&cfg, &mut rng));
         let max = leads[1].iter().copied().fold(f32::NEG_INFINITY, f32::max);

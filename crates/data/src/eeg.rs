@@ -182,11 +182,9 @@ pub fn generate(cfg: &EegConfig) -> Dataset {
                 let g_alpha = spatial_gain(ch, c_len - 1, c_len);
                 let noise = signal::pink_noise(t_len, &mut rng);
                 for t in 0..t_len {
-                    let mu_component =
-                        mu_wave[t] * (g_erd * erd_gain + g_int) + beta_wave[t] * (g_erd * erd_gain + g_int);
-                    let v = mu_component
-                        + alpha_wave[t] * g_alpha
-                        + noise[t] * subject_noise;
+                    let mu_component = mu_wave[t] * (g_erd * erd_gain + g_int)
+                        + beta_wave[t] * (g_erd * erd_gain + g_int);
+                    let v = mu_component + alpha_wave[t] * g_alpha + noise[t] * subject_noise;
                     // Layout [1, T, C]: time-major image rows.
                     xs[base + t * c_len + ch] = v;
                 }
@@ -300,9 +298,8 @@ mod tests {
         for i in 0..ds.len() {
             let sample = ds.samples().index_axis0(i);
             let xs = sample.as_slice();
-            let extract = |ch: usize| -> Vec<f32> {
-                (0..t_len).map(|t| xs[t * c_len + ch]).collect()
-            };
+            let extract =
+                |ch: usize| -> Vec<f32> { (0..t_len).map(|t| xs[t * c_len + ch]).collect() };
             let p3 = signal::band_power(&extract(c3), cfg.sample_rate, 8.0, 13.0);
             let p4 = signal::band_power(&extract(c4), cfg.sample_rate, 8.0, 13.0);
             ratios[ds.labels()[i]].push(p4 / (p3 + 1e-9));

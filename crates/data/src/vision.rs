@@ -35,7 +35,13 @@ pub struct VisionConfig {
 impl VisionConfig {
     /// Default 16-class, 32×32 configuration.
     pub fn reduced() -> Self {
-        Self { classes: 16, per_class: 40, size: 32, noise: 0.35, seed: 0x1336 }
+        Self {
+            classes: 16,
+            per_class: 40,
+            size: 32,
+            noise: 0.35,
+            seed: 0x1336,
+        }
     }
 
     /// Total sample count.
@@ -48,7 +54,11 @@ impl VisionConfig {
 fn class_params(class: usize) -> (f32, f32, [f32; 3]) {
     let orient = (class % 4) as f32 * std::f32::consts::PI / 4.0;
     let freq = if (class / 4) % 2 == 0 { 2.0 } else { 4.0 };
-    let tint = if class / 8 == 0 { [1.0, 0.6, 0.3] } else { [0.3, 0.6, 1.0] };
+    let tint = if class / 8 == 0 {
+        [1.0, 0.6, 0.3]
+    } else {
+        [0.3, 0.6, 1.0]
+    };
     (orient, freq, tint)
 }
 
@@ -70,7 +80,10 @@ pub fn generate(cfg: &VisionConfig) -> Dataset {
     for class in 0..cfg.classes {
         let (orient, freq, tint) = class_params(class);
         for _ in 0..cfg.per_class {
-            let phase = rng.gen_range(0.0..std::f32::consts::TAU);
+            // Bounded phase jitter: full-circle phase would decorrelate
+            // same-class images entirely (E[cos Δφ] = 0), leaving class
+            // structure indistinguishable from noise in pixel space.
+            let phase = rng.gen_range(-0.7..0.7);
             let jitter = rng.gen_range(-0.3..0.3);
             let (dx, dy) = ((orient + jitter).cos(), (orient + jitter).sin());
             let contrast = rng.gen_range(0.7..1.3);
@@ -99,7 +112,13 @@ mod tests {
     use super::*;
 
     fn tiny_cfg() -> VisionConfig {
-        VisionConfig { classes: 8, per_class: 4, size: 16, noise: 0.1, seed: 3 }
+        VisionConfig {
+            classes: 8,
+            per_class: 4,
+            size: 16,
+            noise: 0.1,
+            seed: 3,
+        }
     }
 
     #[test]
@@ -119,7 +138,10 @@ mod tests {
     #[test]
     fn classes_are_visually_distinct() {
         // Mean inter-class distance should exceed mean intra-class distance.
-        let cfg = VisionConfig { noise: 0.05, ..tiny_cfg() };
+        let cfg = VisionConfig {
+            noise: 0.05,
+            ..tiny_cfg()
+        };
         let ds = generate(&cfg);
         let sample = |i: usize| ds.samples().index_axis0(i);
         let dist = |a: &Tensor, b: &Tensor| (a - b).norm_sq();
@@ -150,13 +172,22 @@ mod tests {
 
     #[test]
     fn tints_differ_between_color_groups() {
-        let cfg = VisionConfig { classes: 16, per_class: 2, size: 8, noise: 0.0, seed: 1 };
+        let cfg = VisionConfig {
+            classes: 16,
+            per_class: 2,
+            size: 8,
+            noise: 0.0,
+            seed: 1,
+        };
         let ds = generate(&cfg);
         // Class 0 (warm tint): red channel power > blue; class 8 (cool): opposite.
         let energy = |i: usize, c: usize| {
             let s = ds.samples().index_axis0(i);
             let plane = 64;
-            s.as_slice()[c * plane..(c + 1) * plane].iter().map(|v| v * v).sum::<f32>()
+            s.as_slice()[c * plane..(c + 1) * plane]
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
         };
         let warm = 0;
         let cool = 16; // first sample of class 8
@@ -167,7 +198,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "classes must be")]
     fn rejects_too_many_classes() {
-        let cfg = VisionConfig { classes: 20, ..tiny_cfg() };
+        let cfg = VisionConfig {
+            classes: 20,
+            ..tiny_cfg()
+        };
         let _ = generate(&cfg);
     }
 }

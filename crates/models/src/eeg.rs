@@ -221,11 +221,7 @@ mod tests {
         let cfg = EegNetConfig::reduced();
         for s in BinarizationStrategy::ALL {
             let mut net = cfg.clone().with_strategy(s).build(&mut rng);
-            let x = Tensor::randn(
-                [2, 1, cfg.time_steps, cfg.channels],
-                1.0,
-                &mut rng,
-            );
+            let x = Tensor::randn([2, 1, cfg.time_steps, cfg.channels], 1.0, &mut rng);
             let y = net.forward(&x, Phase::Train);
             assert_eq!(y.dims(), &[2, 2], "strategy {s}");
             let gx = net.backward(&Tensor::ones([2, 2]));
@@ -246,13 +242,19 @@ mod tests {
     #[test]
     fn binarized_strategies_mark_dense_layers() {
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = EegNetConfig::reduced()
-            .with_strategy(BinarizationStrategy::BinarizedClassifier);
+        let cfg = EegNetConfig::reduced().with_strategy(BinarizationStrategy::BinarizedClassifier);
         let net = cfg.build(&mut rng);
-        let names: Vec<String> =
-            net.summary(&cfg.input_shape()).rows.iter().map(|r| r.name.clone()).collect();
+        let names: Vec<String> = net
+            .summary(&cfg.input_shape())
+            .rows
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
         assert!(names.iter().any(|n| n.starts_with("BinDense")), "{names:?}");
         assert!(names.iter().any(|n| n.starts_with("Conv2d")), "{names:?}");
-        assert!(!names.iter().any(|n| n.starts_with("BinConv2d")), "{names:?}");
+        assert!(
+            !names.iter().any(|n| n.starts_with("BinConv2d")),
+            "{names:?}"
+        );
     }
 }

@@ -78,7 +78,11 @@ impl MobileNetConfig {
             stem: (32, 2),
             blocks: chain
                 .iter()
-                .map(|&(i, o, s)| BlockSpec { in_channels: i, out_channels: o, stride: s })
+                .map(|&(i, o, s)| BlockSpec {
+                    in_channels: i,
+                    out_channels: o,
+                    stride: s,
+                })
                 .collect(),
             classes: 1000,
             binary_classifier_hidden: None,
@@ -98,13 +102,23 @@ impl MobileNetConfig {
 
     /// Laptop-scale MobileNet for 32×32 synthetic images (Fig 8 proxy).
     pub fn mini(classes: usize) -> Self {
-        let chain = [(16, 32, 1), (32, 64, 2), (64, 64, 1), (64, 128, 2), (128, 128, 1)];
+        let chain = [
+            (16, 32, 1),
+            (32, 64, 2),
+            (64, 64, 1),
+            (64, 128, 2),
+            (128, 128, 1),
+        ];
         Self {
             input: (3, 32, 32),
             stem: (16, 1),
             blocks: chain
                 .iter()
-                .map(|&(i, o, s)| BlockSpec { in_channels: i, out_channels: o, stride: s })
+                .map(|&(i, o, s)| BlockSpec {
+                    in_channels: i,
+                    out_channels: o,
+                    stride: s,
+                })
                 .collect(),
             classes,
             binary_classifier_hidden: None,
@@ -130,7 +144,10 @@ impl MobileNetConfig {
     /// Channels produced by the final block (the global-pooled feature
     /// dimension feeding the classifier).
     pub fn feature_channels(&self) -> usize {
-        self.blocks.last().map(|b| b.out_channels).unwrap_or(self.stem.0)
+        self.blocks
+            .last()
+            .map(|b| b.out_channels)
+            .unwrap_or(self.stem.0)
     }
 
     /// Per-sample input shape.
@@ -178,8 +195,7 @@ impl MobileNetConfig {
             features.push(BatchNorm::new(b.in_channels));
             features.push(s.conv_activation(act));
             features.push(
-                Conv2d::pointwise(b.in_channels, b.out_channels, s.conv_mode(), rng)
-                    .without_bias(),
+                Conv2d::pointwise(b.in_channels, b.out_channels, s.conv_mode(), rng).without_bias(),
             );
             features.push(BatchNorm::new(b.out_channels));
             features.push(s.conv_activation(act));
@@ -203,7 +219,8 @@ impl MobileNetConfig {
                 classifier.push(Dense::new(feat, h, WeightMode::Binary, rng).without_bias());
                 classifier.push(BatchNorm::new(h));
                 classifier.push(s.classifier_activation(act));
-                classifier.push(Dense::new(h, self.classes, WeightMode::Binary, rng).without_bias());
+                classifier
+                    .push(Dense::new(h, self.classes, WeightMode::Binary, rng).without_bias());
                 classifier.push(BatchNorm::new(self.classes));
             }
             (WeightMode::Real, _) => {
@@ -269,7 +286,11 @@ mod tests {
         let net = cfg.build(&mut rng);
         let summary = net.summary(&cfg.input_shape());
         // Before global pooling: 128 channels at 8×8 (two stride-2 blocks).
-        let gap_row = summary.rows.iter().position(|r| r.name == "GlobalAvgPool").unwrap();
+        let gap_row = summary
+            .rows
+            .iter()
+            .position(|r| r.name == "GlobalAvgPool")
+            .unwrap();
         assert_eq!(summary.rows[gap_row - 1].out_shape, vec![128, 8, 8]);
         assert_eq!(summary.rows[gap_row].out_shape, vec![128]);
     }
@@ -277,16 +298,21 @@ mod tests {
     #[test]
     fn bin_classifier_head_is_two_layers() {
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = MobileNetConfig::mini(16)
-            .with_strategy(BinarizationStrategy::BinarizedClassifier);
+        let cfg =
+            MobileNetConfig::mini(16).with_strategy(BinarizationStrategy::BinarizedClassifier);
         let net = cfg.build(&mut rng);
         let summary = net.summary(&cfg.input_shape());
-        let dense_rows: Vec<_> =
-            summary.rows.iter().filter(|r| r.name.contains("Dense")).collect();
+        let dense_rows: Vec<_> = summary
+            .rows
+            .iter()
+            .filter(|r| r.name.contains("Dense"))
+            .collect();
         assert_eq!(dense_rows.len(), 2);
         assert!(dense_rows.iter().all(|r| r.name.starts_with("BinDense")));
         // Convolutions stay real.
-        assert!(!summary.rows.iter().any(|r| r.name.starts_with("BinConv")
-            || r.name.starts_with("BinDwConv")));
+        assert!(!summary
+            .rows
+            .iter()
+            .any(|r| r.name.starts_with("BinConv") || r.name.starts_with("BinDwConv")));
     }
 }

@@ -109,7 +109,10 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let labels: Vec<_> = BinarizationStrategy::ALL.iter().map(|s| s.label()).collect();
+        let labels: Vec<_> = BinarizationStrategy::ALL
+            .iter()
+            .map(|s| s.label())
+            .collect();
         assert_eq!(labels.len(), 3);
         assert!(labels.contains(&"Bin Classifier"));
     }

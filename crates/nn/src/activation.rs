@@ -40,7 +40,10 @@ pub struct Activation {
 impl Activation {
     /// Creates an activation layer of the given kind.
     pub fn new(kind: ActivationKind) -> Self {
-        Self { kind, cached_input: None }
+        Self {
+            kind,
+            cached_input: None,
+        }
     }
 
     /// Convenience constructor for ReLU.

@@ -130,7 +130,10 @@ impl Layer for BatchNorm {
                 let mut var = 0.0f32;
                 for i in 0..n {
                     let base = (i * c + ch) * s;
-                    var += xs[base..base + s].iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>();
+                    var += xs[base..base + s]
+                        .iter()
+                        .map(|&v| (v - mean) * (v - mean))
+                        .sum::<f32>();
                 }
                 var /= count;
                 let inv_std = 1.0 / (var + self.eps).sqrt();
@@ -208,8 +211,7 @@ impl Layer for BatchNorm {
             for i in 0..n {
                 let base = (i * c + ch) * s;
                 for t in 0..s {
-                    gx[base + t] =
-                        k * (gs[base + t] - mean_dy - xh[base + t] * mean_dy_xhat);
+                    gx[base + t] = k * (gs[base + t] - mean_dy - xh[base + t] * mean_dy_xhat);
                 }
             }
         }
@@ -256,7 +258,11 @@ mod tests {
             }
             let t = Tensor::from_vec(vals, [n * s]);
             assert!(t.mean().abs() < 1e-4, "channel {ch} mean {}", t.mean());
-            assert!((t.variance() - 1.0).abs() < 1e-2, "channel {ch} var {}", t.variance());
+            assert!(
+                (t.variance() - 1.0).abs() < 1e-2,
+                "channel {ch} var {}",
+                t.variance()
+            );
         }
     }
 
@@ -316,7 +322,11 @@ mod tests {
         // β gradient is the plain sum of output gradients: 8·3 per channel.
         assert_eq!(bn.beta.grad.as_slice(), &[24.0, 24.0]);
         // Input gradient of BN under constant dy is ~0 (dy − mean(dy) = 0).
-        assert!(gx.norm_sq() < 1e-6, "constant grad should vanish, got {}", gx.norm_sq());
+        assert!(
+            gx.norm_sq() < 1e-6,
+            "constant grad should vanish, got {}",
+            gx.norm_sq()
+        );
     }
 
     #[test]

@@ -88,7 +88,13 @@ impl Conv1d {
     }
 
     fn geom(&self, len: usize) -> Conv1dGeom {
-        Conv1dGeom::new(self.in_channels, len, self.kernel, self.stride, self.padding)
+        Conv1dGeom::new(
+            self.in_channels,
+            len,
+            self.kernel,
+            self.stride,
+            self.padding,
+        )
     }
 }
 
@@ -158,7 +164,10 @@ impl Layer for Conv1d {
             .cached_geom
             .take()
             .expect("Conv1d::backward called without forward(Phase::Train)");
-        let eff_w = self.cached_eff_w.take().expect("effective weight cache missing");
+        let eff_w = self
+            .cached_eff_w
+            .take()
+            .expect("effective weight cache missing");
         let cols_all = self.cached_cols.pop().expect("cols cache missing");
         let n = grad_out.dim(0);
         let out_len = geom.out_len();
@@ -181,7 +190,10 @@ impl Layer for Conv1d {
         // dW = G · colsᵀ in one shot.
         let mut grad_w = g_all.matmul_nt(&cols_all);
         if self.mode.is_binary() {
-            grad_w = grad_w.zip(&self.weight.value, |g, w| if w.abs() <= 1.0 { g } else { 0.0 });
+            grad_w = grad_w.zip(
+                &self.weight.value,
+                |g, w| if w.abs() <= 1.0 { g } else { 0.0 },
+            );
         }
         self.weight.grad += &grad_w;
 
@@ -189,7 +201,9 @@ impl Layer for Conv1d {
             let gs = g_all.as_slice();
             let gb = b.grad.as_mut_slice();
             for (c, gbc) in gb.iter_mut().enumerate() {
-                *gbc += gs[c * n * out_len..(c + 1) * n * out_len].iter().sum::<f32>();
+                *gbc += gs[c * n * out_len..(c + 1) * n * out_len]
+                    .iter()
+                    .sum::<f32>();
             }
         }
 
@@ -203,9 +217,8 @@ impl Layer for Conv1d {
                 {
                     let gc = gcols.as_mut_slice();
                     for r in 0..rows {
-                        gc[r * out_len..(r + 1) * out_len].copy_from_slice(
-                            &src[r * n * out_len + i * out_len..][..out_len],
-                        );
+                        gc[r * out_len..(r + 1) * out_len]
+                            .copy_from_slice(&src[r * n * out_len + i * out_len..][..out_len]);
                     }
                 }
                 grad_x.set_axis0(i, &im2col1d_backward(&gcols, &geom));
@@ -232,13 +245,21 @@ impl Layer for Conv1d {
     }
 
     fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
-        assert_eq!(in_shape.len(), 2, "Conv1d expects [channels, len] per sample");
+        assert_eq!(
+            in_shape.len(),
+            2,
+            "Conv1d expects [channels, len] per sample"
+        );
         assert_eq!(in_shape[0], self.in_channels);
         vec![self.out_channels, self.geom(in_shape[1]).out_len()]
     }
 
     fn name(&self) -> String {
-        let tag = if self.mode.is_binary() { "BinConv1d" } else { "Conv1d" };
+        let tag = if self.mode.is_binary() {
+            "BinConv1d"
+        } else {
+            "Conv1d"
+        };
         format!(
             "{tag}({}→{}, k{}, s{}, p{})",
             self.in_channels, self.out_channels, self.kernel, self.stride, self.padding

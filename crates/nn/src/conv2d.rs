@@ -94,7 +94,14 @@ impl Conv2d {
     }
 
     fn geom(&self, h: usize, w: usize) -> Conv2dGeom {
-        Conv2dGeom::new(self.in_channels, h, w, self.kernel, self.stride, self.padding)
+        Conv2dGeom::new(
+            self.in_channels,
+            h,
+            w,
+            self.kernel,
+            self.stride,
+            self.padding,
+        )
     }
 }
 
@@ -104,7 +111,11 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
-        assert_eq!(x.shape().ndim(), 4, "Conv2d expects [batch, channels, h, w]");
+        assert_eq!(
+            x.shape().ndim(),
+            4,
+            "Conv2d expects [batch, channels, h, w]"
+        );
         assert_eq!(
             x.dim(1),
             self.in_channels,
@@ -164,7 +175,10 @@ impl Layer for Conv2d {
             .cached_geom
             .take()
             .expect("Conv2d::backward called without forward(Phase::Train)");
-        let eff_w = self.cached_eff_w.take().expect("effective weight cache missing");
+        let eff_w = self
+            .cached_eff_w
+            .take()
+            .expect("effective weight cache missing");
         let cols_all = self.cached_cols.pop().expect("cols cache missing");
         let n = grad_out.dim(0);
         let (oh, ow) = (geom.out_h(), geom.out_w());
@@ -187,7 +201,10 @@ impl Layer for Conv2d {
 
         let mut grad_w = g_all.matmul_nt(&cols_all);
         if self.mode.is_binary() {
-            grad_w = grad_w.zip(&self.weight.value, |g, w| if w.abs() <= 1.0 { g } else { 0.0 });
+            grad_w = grad_w.zip(
+                &self.weight.value,
+                |g, w| if w.abs() <= 1.0 { g } else { 0.0 },
+            );
         }
         self.weight.grad += &grad_w;
 
@@ -236,14 +253,22 @@ impl Layer for Conv2d {
     }
 
     fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
-        assert_eq!(in_shape.len(), 3, "Conv2d expects [channels, h, w] per sample");
+        assert_eq!(
+            in_shape.len(),
+            3,
+            "Conv2d expects [channels, h, w] per sample"
+        );
         assert_eq!(in_shape[0], self.in_channels);
         let geom = self.geom(in_shape[1], in_shape[2]);
         vec![self.out_channels, geom.out_h(), geom.out_w()]
     }
 
     fn name(&self) -> String {
-        let tag = if self.mode.is_binary() { "BinConv2d" } else { "Conv2d" };
+        let tag = if self.mode.is_binary() {
+            "BinConv2d"
+        } else {
+            "Conv2d"
+        };
         format!(
             "{tag}({}→{}, k{}×{}, s{}×{}, p{}×{})",
             self.in_channels,
@@ -331,7 +356,11 @@ impl Layer for DepthwiseConv2d {
     }
 
     fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
-        assert_eq!(x.shape().ndim(), 4, "DepthwiseConv2d expects [batch, channels, h, w]");
+        assert_eq!(
+            x.shape().ndim(),
+            4,
+            "DepthwiseConv2d expects [batch, channels, h, w]"
+        );
         assert_eq!(x.dim(1), self.channels, "channel count mismatch");
         let n = x.dim(0);
         let (h, w) = (x.dim(2), x.dim(3));
@@ -383,7 +412,10 @@ impl Layer for DepthwiseConv2d {
             .cached_geom
             .take()
             .expect("DepthwiseConv2d::backward called without forward(Phase::Train)");
-        let eff_w = self.cached_eff_w.take().expect("effective weight cache missing");
+        let eff_w = self
+            .cached_eff_w
+            .take()
+            .expect("effective weight cache missing");
         let n = grad_out.dim(0);
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let plane_out = oh * ow;
@@ -430,7 +462,10 @@ impl Layer for DepthwiseConv2d {
             }
         }
         if self.mode.is_binary() {
-            grad_w = grad_w.zip(&self.weight.value, |g, w| if w.abs() <= 1.0 { g } else { 0.0 });
+            grad_w = grad_w.zip(
+                &self.weight.value,
+                |g, w| if w.abs() <= 1.0 { g } else { 0.0 },
+            );
         }
         self.weight.grad += &grad_w;
         self.cached_cols.clear();
@@ -454,14 +489,22 @@ impl Layer for DepthwiseConv2d {
     }
 
     fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
-        assert_eq!(in_shape.len(), 3, "DepthwiseConv2d expects [channels, h, w]");
+        assert_eq!(
+            in_shape.len(),
+            3,
+            "DepthwiseConv2d expects [channels, h, w]"
+        );
         assert_eq!(in_shape[0], self.channels);
         let geom = self.geom(in_shape[1], in_shape[2]);
         vec![self.channels, geom.out_h(), geom.out_w()]
     }
 
     fn name(&self) -> String {
-        let tag = if self.mode.is_binary() { "BinDwConv2d" } else { "DwConv2d" };
+        let tag = if self.mode.is_binary() {
+            "BinDwConv2d"
+        } else {
+            "DwConv2d"
+        };
         format!(
             "{tag}({}ch, k{}×{}, s{}×{})",
             self.channels, self.kernel.0, self.kernel.1, self.stride.0, self.stride.1
@@ -491,7 +534,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut pw = Conv2d::pointwise(2, 1, WeightMode::Real, &mut rng);
         pw.weight.value = Tensor::from_vec(vec![2.0, -1.0], &[1, 2]);
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2]);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        );
         let y = pw.forward(&x, Phase::Eval);
         // y = 2·ch0 − 1·ch1 pixelwise
         assert_eq!(y.as_slice(), &[-8.0, -16.0, -24.0, -32.0]);
@@ -500,8 +546,7 @@ mod tests {
     #[test]
     fn conv2d_backward_shapes() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut conv =
-            Conv2d::new(2, 3, (3, 3), (2, 2), (1, 1), WeightMode::Real, &mut rng);
+        let mut conv = Conv2d::new(2, 3, (3, 3), (2, 2), (1, 1), WeightMode::Real, &mut rng);
         let x = Tensor::randn([2, 2, 8, 8], 1.0, &mut rng);
         let y = conv.forward(&x, Phase::Train);
         assert_eq!(y.dims(), &[2, 3, 4, 4]);
@@ -541,10 +586,8 @@ mod tests {
             for i in 0..2 {
                 let s = x.index_axis0(i);
                 let plane = 36;
-                let chan = Tensor::from_vec(
-                    s.as_slice()[c * plane..(c + 1) * plane].to_vec(),
-                    [1, 6, 6],
-                );
+                let chan =
+                    Tensor::from_vec(s.as_slice()[c * plane..(c + 1) * plane].to_vec(), [1, 6, 6]);
                 xc.set_axis0(i, &chan);
             }
             let yc = single.forward(&xc, Phase::Eval);

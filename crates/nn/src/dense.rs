@@ -137,14 +137,20 @@ impl Layer for Dense {
             .cached_input
             .take()
             .expect("Dense::backward called without forward(Phase::Train)");
-        let eff_w = self.cached_eff_w.take().expect("effective weight cache missing");
+        let eff_w = self
+            .cached_eff_w
+            .take()
+            .expect("effective weight cache missing");
 
         // dW_eff[o, i] = Σ_n g[n, o] · x[n, i]
         let mut grad_w = grad_out.matmul_tn(&x);
         if self.mode.is_binary() {
             // Straight-through estimator: block gradient where the latent
             // weight has saturated.
-            grad_w = grad_w.zip(&self.weight.value, |g, w| if w.abs() <= 1.0 { g } else { 0.0 });
+            grad_w = grad_w.zip(
+                &self.weight.value,
+                |g, w| if w.abs() <= 1.0 { g } else { 0.0 },
+            );
         }
         self.weight.grad += &grad_w;
 
@@ -186,7 +192,11 @@ impl Layer for Dense {
     }
 
     fn name(&self) -> String {
-        let tag = if self.mode.is_binary() { "BinDense" } else { "Dense" };
+        let tag = if self.mode.is_binary() {
+            "BinDense"
+        } else {
+            "Dense"
+        };
         format!("{tag}({}→{})", self.in_features, self.out_features)
     }
 }

@@ -25,8 +25,15 @@ impl Dropout {
     ///
     /// Panics unless `0 < keep ≤ 1`.
     pub fn new(keep: f32, seed: u64) -> Self {
-        assert!(keep > 0.0 && keep <= 1.0, "keep probability must be in (0, 1], got {keep}");
-        Self { keep, rng: StdRng::seed_from_u64(seed), cached_mask: None }
+        assert!(
+            keep > 0.0 && keep <= 1.0,
+            "keep probability must be in (0, 1], got {keep}"
+        );
+        Self {
+            keep,
+            rng: StdRng::seed_from_u64(seed),
+            cached_mask: None,
+        }
     }
 
     /// The keep probability.
@@ -94,7 +101,10 @@ mod tests {
         // E[y] = 1 under inverted dropout.
         assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
         // Survivors carry 1/keep.
-        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 1.25).abs() < 1e-6));
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 1.25).abs() < 1e-6));
     }
 
     #[test]

@@ -47,7 +47,12 @@ impl GradCheckReport {
 /// # Panics
 ///
 /// Panics if the layer mutates shapes between identical forward calls.
-pub fn check_layer(layer: &mut dyn Layer, input_dims: &[usize], eps: f32, seed: u64) -> GradCheckReport {
+pub fn check_layer(
+    layer: &mut dyn Layer,
+    input_dims: &[usize],
+    eps: f32,
+    seed: u64,
+) -> GradCheckReport {
     let mut rng = StdRng::seed_from_u64(seed);
     let x = Tensor::randn(input_dims, 1.0, &mut rng);
 
@@ -59,8 +64,7 @@ pub fn check_layer(layer: &mut dyn Layer, input_dims: &[usize], eps: f32, seed: 
     layer.zero_grad();
     let _ = layer.forward(&x, Phase::Train);
     let gx = layer.backward(&r);
-    let analytic_param_grads: Vec<Tensor> =
-        layer.params().iter().map(|p| p.grad.clone()).collect();
+    let analytic_param_grads: Vec<Tensor> = layer.params().iter().map(|p| p.grad.clone()).collect();
 
     // Numeric input gradient.
     let mut max_input_err = 0.0f32;
@@ -95,15 +99,18 @@ pub fn check_layer(layer: &mut dyn Layer, input_dims: &[usize], eps: f32, seed: 
         max_param_errs.push(worst);
     }
 
-    GradCheckReport { max_input_err, max_param_errs }
+    GradCheckReport {
+        max_input_err,
+        max_param_errs,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{
-        Activation, BatchNorm, Conv1d, Conv2d, Dense, DepthwiseConv2d, Flatten,
-        GlobalAvgPool2d, Pool1d, Pool2d, PoolKind, WeightMode,
+        Activation, BatchNorm, Conv1d, Conv2d, Dense, DepthwiseConv2d, Flatten, GlobalAvgPool2d,
+        Pool1d, Pool2d, PoolKind, WeightMode,
     };
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -138,8 +145,7 @@ mod tests {
     #[test]
     fn depthwise_conv2d_gradients() {
         let mut rng = StdRng::seed_from_u64(6);
-        let mut layer =
-            DepthwiseConv2d::new(3, (3, 3), (1, 1), (1, 1), WeightMode::Real, &mut rng);
+        let mut layer = DepthwiseConv2d::new(3, (3, 3), (1, 1), (1, 1), WeightMode::Real, &mut rng);
         let report = check_layer(&mut layer, &[2, 3, 5, 5], EPS, 7);
         assert!(report.worst() < TOL, "worst err {}", report.worst());
     }
@@ -158,7 +164,11 @@ mod tests {
             let report = check_layer(&mut layer, &[4, 6], 1e-3, 10);
             // Kinks make isolated coordinates unreliable; the vast majority
             // must match. Use a slightly looser tolerance.
-            assert!(report.worst() < 0.6, "{kind:?} worst err {}", report.worst());
+            assert!(
+                report.worst() < 0.6,
+                "{kind:?} worst err {}",
+                report.worst()
+            );
         }
     }
 

@@ -38,7 +38,12 @@ pub fn softmax(logits: &Tensor) -> Tensor {
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
     assert_eq!(logits.shape().ndim(), 2, "expected [batch, classes] logits");
     let (n, c) = (logits.dim(0), logits.dim(1));
-    assert_eq!(labels.len(), n, "label count {} != batch size {n}", labels.len());
+    assert_eq!(
+        labels.len(),
+        n,
+        "label count {} != batch size {n}",
+        labels.len()
+    );
 
     let probs = softmax(logits);
     let ps = probs.as_slice();

@@ -49,7 +49,10 @@ pub struct ConfusionMatrix {
 impl ConfusionMatrix {
     /// Creates an empty matrix for `classes` classes.
     pub fn new(classes: usize) -> Self {
-        Self { classes, counts: vec![0; classes * classes] }
+        Self {
+            classes,
+            counts: vec![0; classes * classes],
+        }
     }
 
     /// Number of classes.
@@ -63,7 +66,10 @@ impl ConfusionMatrix {
     ///
     /// Panics if either index is out of range.
     pub fn record(&mut self, truth: usize, predicted: usize) {
-        assert!(truth < self.classes && predicted < self.classes, "class out of range");
+        assert!(
+            truth < self.classes && predicted < self.classes,
+            "class out of range"
+        );
         self.counts[truth * self.classes + predicted] += 1;
     }
 
@@ -115,8 +121,8 @@ pub fn mean_std(values: &[f32]) -> (f32, f32) {
     if values.len() < 2 {
         return (mean, 0.0);
     }
-    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-        / (values.len() - 1) as f32;
+    let var =
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / (values.len() - 1) as f32;
     (mean, var.sqrt())
 }
 
@@ -132,10 +138,7 @@ mod tests {
 
     #[test]
     fn top_k_is_monotone_in_k() {
-        let logits = Tensor::from_vec(
-            vec![3.0, 2.0, 1.0, 0.0, 0.0, 1.0, 2.0, 3.0],
-            &[2, 4],
-        );
+        let logits = Tensor::from_vec(vec![3.0, 2.0, 1.0, 0.0, 0.0, 1.0, 2.0, 3.0], &[2, 4]);
         let labels = [2usize, 0];
         let a1 = top_k_accuracy(&logits, &labels, 1);
         let a2 = top_k_accuracy(&logits, &labels, 2);

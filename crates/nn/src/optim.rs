@@ -38,7 +38,12 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD with the given learning rate.
     pub fn new(lr: f32) -> Self {
-        Self { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Builder-style momentum coefficient (0.9 is typical).
@@ -58,7 +63,10 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [&mut Param]) {
         if self.velocity.len() != params.len() {
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape().clone())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape().clone()))
+                .collect();
         }
         for (i, p) in params.iter_mut().enumerate() {
             let mut g = p.grad.clone();
@@ -126,8 +134,14 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [&mut Param]) {
         if self.m.len() != params.len() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape().clone())).collect();
-            self.v = params.iter().map(|p| Tensor::zeros(p.value.shape().clone())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape().clone()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape().clone()))
+                .collect();
             self.t = 0;
         }
         self.t += 1;
@@ -140,8 +154,12 @@ impl Optimizer for Adam {
             }
             let m = &mut self.m[i];
             let v = &mut self.v[i];
-            let (ms, vs, gs, ps) =
-                (m.as_mut_slice(), v.as_mut_slice(), g.as_slice(), p.value.as_mut_slice());
+            let (ms, vs, gs, ps) = (
+                m.as_mut_slice(),
+                v.as_mut_slice(),
+                g.as_slice(),
+                p.value.as_mut_slice(),
+            );
             for j in 0..gs.len() {
                 ms[j] = self.beta1 * ms[j] + (1.0 - self.beta1) * gs[j];
                 vs[j] = self.beta2 * vs[j] + (1.0 - self.beta2) * gs[j] * gs[j];

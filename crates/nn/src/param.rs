@@ -29,7 +29,12 @@ impl Param {
     /// Wraps a value tensor as a trainable parameter with a zeroed gradient.
     pub fn new(value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape().clone());
-        Self { value, grad, clamp: None, decay: true }
+        Self {
+            value,
+            grad,
+            clamp: None,
+            decay: true,
+        }
     }
 
     /// Builder-style: marks this parameter as exempt from weight decay.

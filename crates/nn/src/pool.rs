@@ -30,8 +30,17 @@ impl Pool1d {
     ///
     /// Panics if `kernel == 0` or `stride == 0`.
     pub fn new(kind: PoolKind, kernel: usize, stride: usize) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
-        Self { kind, kernel, stride, cached_argmax: Vec::new(), cached_in_dims: Vec::new() }
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
+        Self {
+            kind,
+            kernel,
+            stride,
+            cached_argmax: Vec::new(),
+            cached_in_dims: Vec::new(),
+        }
     }
 
     /// Max pooling with `stride == kernel` (the paper's 2×1 max pools).
@@ -81,8 +90,7 @@ impl Layer for Pool1d {
                         }
                     }
                     PoolKind::Avg => {
-                        os[nc * ol + t] =
-                            window.iter().sum::<f32>() / self.kernel as f32;
+                        os[nc * ol + t] = window.iter().sum::<f32>() / self.kernel as f32;
                     }
                 }
             }
@@ -123,7 +131,11 @@ impl Layer for Pool1d {
     }
 
     fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
-        assert_eq!(in_shape.len(), 2, "Pool1d expects [channels, len] per sample");
+        assert_eq!(
+            in_shape.len(),
+            2,
+            "Pool1d expects [channels, len] per sample"
+        );
         vec![in_shape[0], self.out_len(in_shape[1])]
     }
 
@@ -158,12 +170,24 @@ impl Pool2d {
             kernel.0 > 0 && kernel.1 > 0 && stride.0 > 0 && stride.1 > 0,
             "kernel and stride must be positive"
         );
-        Self { kind, kernel, stride, cached_argmax: Vec::new(), cached_in_dims: Vec::new() }
+        Self {
+            kind,
+            kernel,
+            stride,
+            cached_argmax: Vec::new(),
+            cached_in_dims: Vec::new(),
+        }
     }
 
     fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        assert!(h >= self.kernel.0 && w >= self.kernel.1, "input smaller than window");
-        ((h - self.kernel.0) / self.stride.0 + 1, (w - self.kernel.1) / self.stride.1 + 1)
+        assert!(
+            h >= self.kernel.0 && w >= self.kernel.1,
+            "input smaller than window"
+        );
+        (
+            (h - self.kernel.0) / self.stride.0 + 1,
+            (w - self.kernel.1) / self.stride.1 + 1,
+        )
     }
 }
 
@@ -173,7 +197,11 @@ impl Layer for Pool2d {
     }
 
     fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
-        assert_eq!(x.shape().ndim(), 4, "Pool2d expects [batch, channels, h, w]");
+        assert_eq!(
+            x.shape().ndim(),
+            4,
+            "Pool2d expects [batch, channels, h, w]"
+        );
         let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
         let (oh, ow) = self.out_hw(h, w);
         let mut out = Tensor::zeros([n, c, oh, ow]);
@@ -244,8 +272,8 @@ impl Layer for Pool2d {
                     let g = gs[nc * plane_out + oy * ow + ox];
                     match self.kind {
                         PoolKind::Max => {
-                            gx[nc * plane_in + self.cached_argmax[nc * plane_out + oy * ow + ox]] +=
-                                g;
+                            gx[nc * plane_in
+                                + self.cached_argmax[nc * plane_out + oy * ow + ox]] += g;
                         }
                         PoolKind::Avg => {
                             let (y0, x0) = (oy * self.stride.0, ox * self.stride.1);
@@ -265,7 +293,11 @@ impl Layer for Pool2d {
     }
 
     fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
-        assert_eq!(in_shape.len(), 3, "Pool2d expects [channels, h, w] per sample");
+        assert_eq!(
+            in_shape.len(),
+            3,
+            "Pool2d expects [channels, h, w] per sample"
+        );
         let (oh, ow) = self.out_hw(in_shape[1], in_shape[2]);
         vec![in_shape[0], oh, ow]
     }
@@ -302,7 +334,11 @@ impl Layer for GlobalAvgPool2d {
     }
 
     fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
-        assert_eq!(x.shape().ndim(), 4, "GlobalAvgPool2d expects [batch, channels, h, w]");
+        assert_eq!(
+            x.shape().ndim(),
+            4,
+            "GlobalAvgPool2d expects [batch, channels, h, w]"
+        );
         let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
         let plane = h * w;
         let mut out = Tensor::zeros([n, c]);
@@ -338,7 +374,11 @@ impl Layer for GlobalAvgPool2d {
     }
 
     fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
-        assert_eq!(in_shape.len(), 3, "GlobalAvgPool2d expects [channels, h, w]");
+        assert_eq!(
+            in_shape.len(),
+            3,
+            "GlobalAvgPool2d expects [channels, h, w]"
+        );
         vec![in_shape[0]]
     }
 
@@ -390,7 +430,10 @@ mod tests {
     fn max_pool2d_forward_backward() {
         let mut p = Pool2d::new(PoolKind::Max, (2, 2), (2, 2));
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         );
         let y = p.forward(&x, Phase::Train);

@@ -45,10 +45,8 @@ impl LrSchedule {
                 if total <= 1 {
                     return min_lr;
                 }
-                let progress =
-                    (epoch.min(total - 1)) as f32 / (total - 1) as f32;
-                min_lr
-                    + 0.5 * (lr - min_lr) * (1.0 + (std::f32::consts::PI * progress).cos())
+                let progress = (epoch.min(total - 1)) as f32 / (total - 1) as f32;
+                min_lr + 0.5 * (lr - min_lr) * (1.0 + (std::f32::consts::PI * progress).cos())
             }
         }
     }
@@ -67,7 +65,11 @@ mod tests {
 
     #[test]
     fn step_decay_halves_on_schedule() {
-        let s = LrSchedule::StepDecay { lr: 0.1, step: 10, gamma: 0.5 };
+        let s = LrSchedule::StepDecay {
+            lr: 0.1,
+            step: 10,
+            gamma: 0.5,
+        };
         assert_eq!(s.rate(0), 0.1);
         assert_eq!(s.rate(9), 0.1);
         assert!((s.rate(10) - 0.05).abs() < 1e-7);
@@ -76,7 +78,11 @@ mod tests {
 
     #[test]
     fn cosine_endpoints_and_monotonicity() {
-        let s = LrSchedule::Cosine { lr: 0.1, min_lr: 0.001, total: 100 };
+        let s = LrSchedule::Cosine {
+            lr: 0.1,
+            min_lr: 0.001,
+            total: 100,
+        };
         assert!((s.rate(0) - 0.1).abs() < 1e-6);
         assert!((s.rate(99) - 0.001).abs() < 1e-6);
         // Monotone decreasing over the schedule.
@@ -89,7 +95,11 @@ mod tests {
 
     #[test]
     fn degenerate_cosine() {
-        let s = LrSchedule::Cosine { lr: 0.1, min_lr: 0.01, total: 1 };
+        let s = LrSchedule::Cosine {
+            lr: 0.1,
+            min_lr: 0.01,
+            total: 1,
+        };
         assert_eq!(s.rate(0), 0.01);
     }
 }

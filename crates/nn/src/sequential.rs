@@ -77,7 +77,10 @@ impl Sequential {
                 params: layer.param_count(),
             });
         }
-        ModelSummary { input_shape: input_shape.to_vec(), rows }
+        ModelSummary {
+            input_shape: input_shape.to_vec(),
+            rows,
+        }
     }
 }
 
@@ -107,7 +110,10 @@ impl Layer for Sequential {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {

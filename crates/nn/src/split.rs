@@ -24,7 +24,10 @@ pub struct SplitModel {
 impl SplitModel {
     /// Creates a model from its two sections.
     pub fn new(features: Sequential, classifier: Sequential) -> Self {
-        Self { features, classifier }
+        Self {
+            features,
+            classifier,
+        }
     }
 
     /// Runs only the feature extractor (used when the classifier executes on
@@ -81,7 +84,8 @@ impl Layer for SplitModel {
     }
 
     fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
-        self.classifier.out_shape(&self.features.out_shape(in_shape))
+        self.classifier
+            .out_shape(&self.features.out_shape(in_shape))
     }
 
     fn name(&self) -> String {
@@ -133,10 +137,7 @@ mod tests {
     #[test]
     fn param_sections_add_up() {
         let m = build();
-        assert_eq!(
-            m.param_count(),
-            m.feature_params() + m.classifier_params()
-        );
+        assert_eq!(m.param_count(), m.feature_params() + m.classifier_params());
         // features: 6·4+4; classifier: 4·2+2.
         assert_eq!(m.feature_params(), 28);
         assert_eq!(m.classifier_params(), 10);

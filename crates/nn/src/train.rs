@@ -162,10 +162,7 @@ pub fn fit(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..n).collect();
     let mut history = History::default();
-    let track_top5 = val
-        .as_ref()
-        .map(|v| v.x.dim(0) > 0)
-        .unwrap_or(false);
+    let track_top5 = val.as_ref().map(|v| v.x.dim(0) > 0).unwrap_or(false);
 
     for epoch in 0..cfg.epochs {
         if let Some(schedule) = &cfg.lr_schedule {
@@ -256,7 +253,11 @@ mod tests {
         let (x, y) = blobs(128, 2);
         let (vx, vy) = blobs(64, 3);
         let mut opt = Adam::new(0.01);
-        let cfg = TrainConfig { epochs: 20, batch_size: 16, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 20,
+            batch_size: 16,
+            ..Default::default()
+        };
         let hist = fit(
             &mut net,
             Labelled::new(&x, &y),
@@ -264,7 +265,11 @@ mod tests {
             &mut opt,
             &cfg,
         );
-        assert!(hist.final_val_acc().unwrap() > 0.95, "val acc {:?}", hist.final_val_acc());
+        assert!(
+            hist.final_val_acc().unwrap() > 0.95,
+            "val acc {:?}",
+            hist.final_val_acc()
+        );
         // Loss decreased.
         assert!(hist.train_loss.last().unwrap() < hist.train_loss.first().unwrap());
     }
@@ -281,8 +286,18 @@ mod tests {
 
         let (x, y) = blobs(128, 5);
         let mut opt = Adam::new(0.02);
-        let cfg = TrainConfig { epochs: 30, batch_size: 16, ..Default::default() };
-        let hist = fit(&mut net, Labelled::new(&x, &y), Some(Labelled::new(&x, &y)), &mut opt, &cfg);
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 16,
+            ..Default::default()
+        };
+        let hist = fit(
+            &mut net,
+            Labelled::new(&x, &y),
+            Some(Labelled::new(&x, &y)),
+            &mut opt,
+            &cfg,
+        );
         assert!(
             hist.best_val_acc().unwrap() > 0.9,
             "BNN failed to fit blobs: {:?}",
@@ -319,7 +334,11 @@ mod tests {
         let cfg = TrainConfig {
             epochs: 3,
             batch_size: 8,
-            lr_schedule: Some(crate::LrSchedule::StepDecay { lr: 0.1, step: 1, gamma: 0.5 }),
+            lr_schedule: Some(crate::LrSchedule::StepDecay {
+                lr: 0.1,
+                step: 1,
+                gamma: 0.5,
+            }),
             ..Default::default()
         };
         let _ = fit(&mut net, Labelled::new(&x, &y), None, &mut opt, &cfg);

@@ -55,14 +55,30 @@ impl RramArray {
         let synapses = (0..rows * cols)
             .map(|_| Synapse2T2R::new(false, &device_params, &mut rng))
             .collect();
-        let pcsas = (0..cols).map(|_| Pcsa::new(&pcsa_params, &mut rng)).collect();
-        Self { rows, cols, synapses, pcsas, device_params, stats: ArrayStats::default(), rng }
+        let pcsas = (0..cols)
+            .map(|_| Pcsa::new(&pcsa_params, &mut rng))
+            .collect();
+        Self {
+            rows,
+            cols,
+            synapses,
+            pcsas,
+            device_params,
+            stats: ArrayStats::default(),
+            rng,
+        }
     }
 
     /// The paper's test-chip geometry: 32×32 synapses (1K synapses / 2K
     /// RRAM cells, Fig 2(c)).
     pub fn test_chip(seed: u64) -> Self {
-        Self::new(32, 32, DeviceParams::hfo2_default(), PcsaParams::default_130nm(), seed)
+        Self::new(
+            32,
+            32,
+            DeviceParams::hfo2_default(),
+            PcsaParams::default_130nm(),
+            seed,
+        )
     }
 
     /// Row count (word lines).
@@ -86,7 +102,10 @@ impl RramArray {
     }
 
     fn index(&self, row: usize, col: usize) -> usize {
-        assert!(row < self.rows && col < self.cols, "({row},{col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "({row},{col}) out of range"
+        );
         row * self.cols + col
     }
 
@@ -142,8 +161,7 @@ impl RramArray {
         let mut out = BitVec::zeros(self.cols);
         for col in 0..self.cols {
             let idx = self.index(row, col);
-            let bit =
-                self.synapses[idx].read(&self.pcsas[col], &self.device_params, &mut self.rng);
+            let bit = self.synapses[idx].read(&self.pcsas[col], &self.device_params, &mut self.rng);
             out.set(col, bit);
             self.stats.senses += 1;
         }
@@ -178,6 +196,21 @@ impl RramArray {
     pub fn xnor_popcount_row(&mut self, row: usize, input: &BitVec) -> u32 {
         self.xnor_read_row(row, input).count_ones()
     }
+
+    /// [`xnor_popcount_row`](Self::xnor_popcount_row) counting only the
+    /// first `prefix` columns — the shared-logic view of a partially
+    /// occupied edge tile, where padding columns are excluded from the sum.
+    ///
+    /// Every column is still physically sensed (and counted in
+    /// [`stats`](Self::stats)): the PCSAs fire per word-line activation
+    /// regardless of how many outputs the popcount tree consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != cols` or `prefix > cols`.
+    pub fn xnor_popcount_row_prefix(&mut self, row: usize, input: &BitVec, prefix: usize) -> u32 {
+        self.xnor_read_row(row, input).count_ones_first(prefix)
+    }
 }
 
 #[cfg(test)]
@@ -187,7 +220,13 @@ mod tests {
 
     fn checkerboard(rows: usize, cols: usize) -> BitMatrix {
         let vals: Vec<f32> = (0..rows * cols)
-            .map(|i| if (i / cols + i % cols) % 2 == 0 { 1.0 } else { -1.0 })
+            .map(|i| {
+                if (i / cols + i % cols) % 2 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
             .collect();
         BitMatrix::from_signs(&vals, rows, cols)
     }

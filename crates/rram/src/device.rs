@@ -139,8 +139,12 @@ pub struct RramCell {
 impl RramCell {
     /// A fresh cell, formed and programmed once into `state`.
     pub fn new(state: ResistiveState, params: &DeviceParams, rng: &mut impl Rng) -> Self {
-        let mut cell =
-            Self { state, log_resistance: 0.0, cycles: 0, wear_scale: 1.0 };
+        let mut cell = Self {
+            state,
+            log_resistance: 0.0,
+            cycles: 0,
+            wear_scale: 1.0,
+        };
         cell.sample_resistance(params, rng);
         cell
     }
@@ -235,7 +239,11 @@ mod tests {
         let n = 20_000;
         let reference = params.log_midpoint();
         for i in 0..n {
-            let state = if i % 2 == 0 { ResistiveState::Lrs } else { ResistiveState::Hrs };
+            let state = if i % 2 == 0 {
+                ResistiveState::Lrs
+            } else {
+                ResistiveState::Hrs
+            };
             let cell = RramCell::new(state, &params, &mut rng);
             if cell.read_1t1r(reference, &params, &mut rng) != state {
                 errors += 1;
@@ -276,7 +284,11 @@ mod tests {
             let mut errors = 0;
             let n = 30_000;
             for i in 0..n {
-                let state = if i % 2 == 0 { ResistiveState::Lrs } else { ResistiveState::Hrs };
+                let state = if i % 2 == 0 {
+                    ResistiveState::Lrs
+                } else {
+                    ResistiveState::Hrs
+                };
                 let mut cell = RramCell::new(state, &params, rng);
                 cell.set_cycles(cycles);
                 cell.program(state, &params, rng);
@@ -308,7 +320,10 @@ mod tests {
     #[test]
     fn complement_involution() {
         assert_eq!(ResistiveState::Lrs.complement(), ResistiveState::Hrs);
-        assert_eq!(ResistiveState::Hrs.complement().complement(), ResistiveState::Hrs);
+        assert_eq!(
+            ResistiveState::Hrs.complement().complement(),
+            ResistiveState::Hrs
+        );
     }
 
     #[test]
@@ -317,6 +332,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let cell = RramCell::new(ResistiveState::Lrs, &params, &mut rng);
         let r = cell.read_resistance(&params, &mut rng);
-        assert!(r > 100.0 && r < 1.0e6, "LRS resistance {r} out of plausible range");
+        assert!(
+            r > 100.0 && r < 1.0e6,
+            "LRS resistance {r} out of plausible range"
+        );
     }
 }

@@ -62,12 +62,15 @@ impl EnduranceConfig {
 /// At each checkpoint the synapse wear state is fast-forwarded, then
 /// `trials` alternating program/read rounds measure the three error rates
 /// on the same devices, exactly mirroring the paper's protocol.
-pub fn run(params: &DeviceParams, pcsa_params: &PcsaParams, cfg: &EnduranceConfig) -> Vec<EndurancePoint> {
+pub fn run(
+    params: &DeviceParams,
+    pcsa_params: &PcsaParams,
+    cfg: &EnduranceConfig,
+) -> Vec<EndurancePoint> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let pcsa = Pcsa::new(pcsa_params, &mut rng);
     let mut points = Vec::with_capacity(cfg.checkpoints.len());
-    let mut synapse =
-        Synapse2T2R::with_wear_asymmetry(true, cfg.blb_wear_scale, params, &mut rng);
+    let mut synapse = Synapse2T2R::with_wear_asymmetry(true, cfg.blb_wear_scale, params, &mut rng);
     for &cycles in &cfg.checkpoints {
         let mut err_bl = 0u64;
         let mut err_blb = 0u64;
@@ -142,7 +145,12 @@ pub fn analytic_point(
     let both_weak = p_weak_bl * p_weak_blb;
     let ber_2t2r = (1.0 - both_weak) * gauss_2t2r + both_weak * 0.5;
 
-    EndurancePoint { cycles, ber_1t1r_bl: ber_bl, ber_1t1r_blb: ber_blb, ber_2t2r }
+    EndurancePoint {
+        cycles,
+        ber_1t1r_bl: ber_bl,
+        ber_1t1r_blb: ber_blb,
+        ber_2t2r,
+    }
 }
 
 /// The analytic Fig 4 curve over arbitrary checkpoints.

@@ -112,10 +112,16 @@ mod tests {
     use rbnn_tensor::BitMatrix;
 
     fn classifier(inputs: usize, hidden: usize, classes: usize) -> BinaryNetwork {
-        let l1 =
-            BinaryDense::new(BitMatrix::zeros(hidden, inputs), vec![1.0; hidden], vec![0.0; hidden]);
-        let l2 =
-            BinaryDense::new(BitMatrix::zeros(classes, hidden), vec![1.0; classes], vec![0.0; classes]);
+        let l1 = BinaryDense::new(
+            BitMatrix::zeros(hidden, inputs),
+            vec![1.0; hidden],
+            vec![0.0; hidden],
+        );
+        let l2 = BinaryDense::new(
+            BitMatrix::zeros(classes, hidden),
+            vec![1.0; classes],
+            vec![0.0; classes],
+        );
         BinaryNetwork::new(vec![l1, l2])
     }
 

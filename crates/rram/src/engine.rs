@@ -70,8 +70,13 @@ impl DenseEngine {
             let mut row = Vec::with_capacity(col_tiles);
             for ct in 0..col_tiles {
                 seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
-                let mut array =
-                    RramArray::new(cfg.array_rows, cfg.array_cols, cfg.device.clone(), cfg.pcsa.clone(), seed);
+                let mut array = RramArray::new(
+                    cfg.array_rows,
+                    cfg.array_cols,
+                    cfg.device.clone(),
+                    cfg.pcsa.clone(),
+                    seed,
+                );
                 let r0 = rt * cfg.array_rows;
                 let c0 = ct * cfg.array_cols;
                 for r in r0..(r0 + cfg.array_rows).min(out_features) {
@@ -137,29 +142,48 @@ impl DenseEngine {
     ///
     /// Panics if `x.len() != in_features()`.
     pub fn popcounts(&mut self, x: &BitVec) -> Vec<u32> {
-        assert_eq!(x.len(), self.in_features, "input width mismatch");
-        let mut out = vec![0u32; self.out_features];
-        for (rt, tile_row) in self.tiles.iter_mut().enumerate() {
-            let r0 = rt * self.tile_rows;
-            let rows_used = (self.out_features - r0).min(self.tile_rows);
-            for (ct, array) in tile_row.iter_mut().enumerate() {
-                let c0 = ct * self.tile_cols;
-                let cols_used = (self.in_features - c0).min(self.tile_cols);
-                // Slice the input bits feeding this column tile; pad with
-                // −1, then discard padded columns from the count.
-                let mut tile_input = BitVec::zeros(self.tile_cols);
-                for c in 0..cols_used {
-                    tile_input.set(c, x.get(c0 + c));
-                }
+        self.popcounts_batch(std::slice::from_ref(x))
+            .pop()
+            .expect("one sample in, one out")
+    }
+
+    /// Batched hardware popcounts: element `i` of the result is
+    /// [`popcounts`](Self::popcounts) of `xs[i]`.
+    ///
+    /// The tile bookkeeping is amortized across the batch: the input slice
+    /// feeding each column tile is cut once per sample (word-level, not
+    /// bit-by-bit) and reused across every row tile, instead of being
+    /// rebuilt per `(row tile, column tile)` pair as the sequential path
+    /// once did. Every sample still performs its own Monte-Carlo PCSA
+    /// senses, so the statistics (and [`stats`](Self::stats) counters)
+    /// match sequential evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's length differs from `in_features()`.
+    pub fn popcounts_batch(&mut self, xs: &[BitVec]) -> Vec<Vec<u32>> {
+        for x in xs {
+            assert_eq!(x.len(), self.in_features, "input width mismatch");
+        }
+        let mut out = vec![vec![0u32; self.out_features]; xs.len()];
+        let row_tiles = self.tiles.len();
+        let col_tiles = self.tiles.first().map_or(0, Vec::len);
+        for ct in 0..col_tiles {
+            let c0 = ct * self.tile_cols;
+            let cols_used = (self.in_features - c0).min(self.tile_cols);
+            let tile_inputs: Vec<BitVec> = xs
+                .iter()
+                .map(|x| x.slice_padded(c0, cols_used, self.tile_cols))
+                .collect();
+            for rt in 0..row_tiles {
+                let r0 = rt * self.tile_rows;
+                let rows_used = (self.out_features - r0).min(self.tile_rows);
+                let array = &mut self.tiles[rt][ct];
                 for r in 0..rows_used {
-                    let bits = array.xnor_read_row(r, &tile_input);
-                    let mut count = 0u32;
-                    for c in 0..cols_used {
-                        if bits.get(c) {
-                            count += 1;
-                        }
+                    for (sample, tile_input) in tile_inputs.iter().enumerate() {
+                        out[sample][r0 + r] +=
+                            array.xnor_popcount_row_prefix(r, tile_input, cols_used);
                     }
-                    out[r0 + r] += count;
                 }
             }
         }
@@ -168,8 +192,21 @@ impl DenseEngine {
 
     /// Affine outputs (logits): `scale · (2·popcount − n) + shift`.
     pub fn forward_affine(&mut self, x: &BitVec) -> Vec<f32> {
+        let counts = self.popcounts(x);
+        self.affine_of(&counts)
+    }
+
+    /// Batched affine outputs, one logit vector per input.
+    pub fn forward_affine_batch(&mut self, xs: &[BitVec]) -> Vec<Vec<f32>> {
+        self.popcounts_batch(xs)
+            .iter()
+            .map(|counts| self.affine_of(counts))
+            .collect()
+    }
+
+    fn affine_of(&self, counts: &[u32]) -> Vec<f32> {
         let n = self.in_features as f32;
-        self.popcounts(x)
+        counts
             .iter()
             .zip(self.scale.iter().zip(&self.shift))
             .map(|(&p, (&s, &b))| s * (2.0 * p as f32 - n) + b)
@@ -179,6 +216,14 @@ impl DenseEngine {
     /// Binary outputs through the folded integer thresholds.
     pub fn forward_sign(&mut self, x: &BitVec) -> BitVec {
         self.forward_affine(x).iter().map(|&v| v >= 0.0).collect()
+    }
+
+    /// Batched binary outputs.
+    pub fn forward_sign_batch(&mut self, xs: &[BitVec]) -> Vec<BitVec> {
+        self.forward_affine_batch(xs)
+            .iter()
+            .map(|row| row.iter().map(|&v| v >= 0.0).collect())
+            .collect()
     }
 }
 
@@ -243,16 +288,55 @@ impl NetworkEngine {
         self.layers[n - 1].forward_affine(&h)
     }
 
+    /// Batched logits for a `[N, in]` feature matrix: returns a
+    /// `[N, out]` tensor. Each sample still performs its own Monte-Carlo
+    /// PCSA senses; only the tile bookkeeping is shared (see
+    /// [`DenseEngine::popcounts_batch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is not 2-D with the network's input width.
+    pub fn logits_batch(&mut self, features: &Tensor) -> Tensor {
+        assert_eq!(features.shape().ndim(), 2, "expected [N, features]");
+        let n = features.dim(0);
+        let f = features.dim(1);
+        let xs = features.as_slice();
+        let rows: Vec<&[f32]> = (0..n).map(|i| &xs[i * f..(i + 1) * f]).collect();
+        self.logits_batch_rows(&rows)
+    }
+
+    /// Batched logits over separate per-sample feature slices (serving
+    /// path; see [`rbnn_binary::BinaryNetwork::logits_batch_rows`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice's length differs from the network input width.
+    pub fn logits_batch_rows(&mut self, rows: &[&[f32]]) -> Tensor {
+        let n = rows.len();
+        let mut h: Vec<BitVec> = rows.iter().map(|r| BitVec::from_signs(r)).collect();
+        let depth = self.layers.len();
+        for l in &mut self.layers[..depth - 1] {
+            h = l.forward_sign_batch(&h);
+        }
+        let logits = self.layers[depth - 1].forward_affine_batch(&h);
+        let out = self.layers[depth - 1].out_features();
+        Tensor::from_vec(logits.into_iter().flatten().collect(), [n, out])
+    }
+
+    /// Batched argmax classification of a `[N, in]` feature matrix.
+    pub fn classify_batch(&mut self, features: &Tensor) -> Vec<usize> {
+        let logits = self.logits_batch(features);
+        let out = logits.dim(1);
+        logits
+            .as_slice()
+            .chunks_exact(out.max(1))
+            .map(rbnn_tensor::argmax)
+            .collect()
+    }
+
     /// Predicted class.
     pub fn classify(&mut self, x: &[f32]) -> usize {
-        let logits = self.logits(x);
-        let mut best = 0;
-        for (i, &v) in logits.iter().enumerate() {
-            if v > logits[best] {
-                best = i;
-            }
-        }
-        best
+        rbnn_tensor::argmax(&self.logits(x))
     }
 
     /// Top-1 accuracy over a feature matrix `[N, in]` — the hardware
@@ -272,6 +356,19 @@ impl NetworkEngine {
         }
         hits as f32 / labels.len() as f32
     }
+
+    /// Top-1 accuracy through the batched kernels. Monte-Carlo draws occur
+    /// in a different order than [`accuracy`](Self::accuracy), so results
+    /// are statistically — not bit-for-bit — equivalent.
+    pub fn accuracy_batch(&mut self, features: &Tensor, labels: &[usize]) -> f32 {
+        assert_eq!(features.dim(0), labels.len(), "label count mismatch");
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let preds = self.classify_batch(features);
+        let hits = preds.iter().zip(labels).filter(|(p, y)| p == y).count();
+        hits as f32 / labels.len() as f32
+    }
 }
 
 #[cfg(test)]
@@ -288,12 +385,15 @@ mod tests {
 
     fn random_network(rng: &mut impl Rng) -> BinaryNetwork {
         let mk = |out: usize, inp: usize, rng: &mut dyn FnMut() -> bool| {
-            let w: Vec<f32> =
-                (0..out * inp).map(|_| if rng() { 1.0 } else { -1.0 }).collect();
+            let w: Vec<f32> = (0..out * inp)
+                .map(|_| if rng() { 1.0 } else { -1.0 })
+                .collect();
             BinaryDense::new(
                 BitMatrix::from_signs(&w, out, inp),
                 vec![1.0; out],
-                (0..out).map(|i| (i as f32 - out as f32 / 2.0) * 0.1).collect(),
+                (0..out)
+                    .map(|i| (i as f32 - out as f32 / 2.0) * 0.1)
+                    .collect(),
             )
         };
         let mut flip = || rng.gen::<bool>();
@@ -309,8 +409,9 @@ mod tests {
         let cfg = EngineConfig::test_chip(7);
         let mut engine = NetworkEngine::program(&net, &cfg);
         for _ in 0..30 {
-            let x: Vec<f32> =
-                (0..70).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            let x: Vec<f32> = (0..70)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
             let hw = engine.logits(&x);
             let sw = net.logits(&x);
             for (h, s) in hw.iter().zip(&sw) {
@@ -347,6 +448,84 @@ mod tests {
     }
 
     #[test]
+    fn batched_engine_matches_software_network_exactly_when_fresh() {
+        // On fresh devices every sense resolves correctly, so the batched
+        // path must agree bit-for-bit with the software network (and hence
+        // with the sequential engine path) despite different RNG draw
+        // order.
+        let mut rng = engine_rng(4);
+        let net = random_network(&mut rng);
+        let cfg = EngineConfig::test_chip(11);
+        let mut engine = NetworkEngine::program(&net, &cfg);
+        for n in [0usize, 1, 5, 33] {
+            let xs: Vec<f32> = (0..n * 70)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
+            let features = Tensor::from_vec(xs.clone(), [n, 70]);
+            let hw = engine.logits_batch(&features);
+            assert_eq!(hw.dims(), [n, 4]);
+            let sw = net.logits_batch(&features);
+            for (h, s) in hw.as_slice().iter().zip(sw.as_slice()) {
+                assert!((h - s).abs() < 1e-3, "batch {n}: hw {h} vs sw {s}");
+            }
+            assert_eq!(
+                engine.classify_batch(&features),
+                net.classify_batch(&features)
+            );
+        }
+    }
+
+    #[test]
+    fn batched_senses_match_sequential_count() {
+        // The batched path must fire exactly the same number of PCSA
+        // senses as per-sample evaluation: batching amortizes bookkeeping,
+        // not physics.
+        let mut rng = engine_rng(5);
+        let net = random_network(&mut rng);
+        let mut seq = NetworkEngine::program(&net, &EngineConfig::test_chip(12));
+        let mut bat = NetworkEngine::program(&net, &EngineConfig::test_chip(12));
+        let n = 7;
+        let xs: Vec<f32> = (0..n * 70)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
+        let features = Tensor::from_vec(xs.clone(), [n, 70]);
+        for i in 0..n {
+            let _ = seq.logits(&xs[i * 70..(i + 1) * 70]);
+        }
+        let _ = bat.logits_batch(&features);
+        assert_eq!(seq.stats().senses, bat.stats().senses);
+        assert_eq!(seq.stats().programs, bat.stats().programs);
+    }
+
+    #[test]
+    fn worn_engine_batched_accuracy_statistically_consistent() {
+        // Under wear the batched and sequential paths draw different
+        // Monte-Carlo streams; their accuracies must still agree within a
+        // loose statistical band.
+        let mut rng = engine_rng(6);
+        let net = random_network(&mut rng);
+        let mut engine = NetworkEngine::program(&net, &EngineConfig::test_chip(13));
+        let n = 60;
+        let mut xs = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let x: Vec<f32> = (0..70)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
+            labels.push(net.classify(&x));
+            xs.extend_from_slice(&x);
+        }
+        let features = Tensor::from_vec(xs, [n, 70]);
+        engine.set_cycles(500_000_000);
+        let seq = engine.accuracy(&features, &labels);
+        let bat = engine.accuracy_batch(&features, &labels);
+        assert!(
+            (seq - bat).abs() < 0.15,
+            "sequential {seq} vs batched {bat} drifted beyond statistical band"
+        );
+    }
+
+    #[test]
     fn worn_engine_accuracy_degrades_gracefully() {
         // At 7e8 cycles the 2T2R BER is ~1e-3; a 2-layer network on a
         // linearly separable task should still classify mostly correctly.
@@ -360,14 +539,18 @@ mod tests {
         let mut xs = Vec::new();
         let mut labels = Vec::new();
         for _ in 0..n {
-            let x: Vec<f32> =
-                (0..70).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            let x: Vec<f32> = (0..70)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
             labels.push(net.classify(&x));
             xs.extend_from_slice(&x);
         }
         let features = Tensor::from_vec(xs, [n, 70]);
         let fresh_acc = engine.accuracy(&features, &labels);
-        assert!(fresh_acc > 0.99, "fresh engine should agree with software: {fresh_acc}");
+        assert!(
+            fresh_acc > 0.99,
+            "fresh engine should agree with software: {fresh_acc}"
+        );
 
         engine.set_cycles(700_000_000);
         let worn_acc = engine.accuracy(&features, &labels);

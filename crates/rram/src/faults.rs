@@ -19,7 +19,10 @@ use rbnn_tensor::BitMatrix;
 ///
 /// Panics unless `0 ≤ ber ≤ 1`.
 pub fn inject_matrix(matrix: &mut BitMatrix, ber: f64, rng: &mut impl Rng) -> usize {
-    assert!((0.0..=1.0).contains(&ber), "BER must be a probability, got {ber}");
+    assert!(
+        (0.0..=1.0).contains(&ber),
+        "BER must be a probability, got {ber}"
+    );
     if ber == 0.0 {
         return 0;
     }
@@ -71,7 +74,11 @@ mod tests {
         let flips = inject_matrix(&mut m, 0.05, &mut rng);
         // E = 500, σ ≈ 22.
         assert!((380..=620).contains(&flips), "flips {flips}");
-        assert_eq!(m.count_ones() as usize, flips, "every flip must set a bit from zero");
+        assert_eq!(
+            m.count_ones() as usize,
+            flips,
+            "every flip must set a bit from zero"
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ impl PcsaParams {
     /// [`DeviceParams::hfo2_default`](crate::DeviceParams::hfo2_default) to
     /// reproduce Fig 4's 2T2R error curve.
     pub fn default_130nm() -> Self {
-        Self { offset_sigma: 0.27, noise_sigma: 0.02 }
+        Self {
+            offset_sigma: 0.27,
+            noise_sigma: 0.02,
+        }
     }
 }
 
@@ -58,7 +61,10 @@ impl Pcsa {
 
     /// An ideal amplifier (no offset, no noise) for reference tests.
     pub fn ideal() -> Self {
-        Self { offset: 0.0, noise_sigma: 0.0 }
+        Self {
+            offset: 0.0,
+            noise_sigma: 0.0,
+        }
     }
 
     /// The fixed input-referred offset of this instance.
@@ -133,7 +139,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         // Large positive offset: even a slightly higher-resistance BL branch
         // reads as +1.
-        let p = Pcsa { offset: 0.5, noise_sigma: 0.0 };
+        let p = Pcsa {
+            offset: 0.5,
+            noise_sigma: 0.0,
+        };
         assert!(p.sense(9.0, 8.8, &mut rng));
         // But a clear difference still wins.
         assert!(!p.sense(11.0, 8.0, &mut rng));
@@ -142,7 +151,10 @@ mod tests {
     #[test]
     fn noise_makes_marginal_decisions_stochastic() {
         let mut rng = StdRng::seed_from_u64(3);
-        let p = Pcsa { offset: 0.0, noise_sigma: 0.1 };
+        let p = Pcsa {
+            offset: 0.0,
+            noise_sigma: 0.1,
+        };
         let mut ones = 0;
         let n = 2000;
         for _ in 0..n {
@@ -158,11 +170,17 @@ mod tests {
     fn instance_offsets_vary_but_average_zero() {
         let params = PcsaParams::default_130nm();
         let mut rng = StdRng::seed_from_u64(4);
-        let offsets: Vec<f64> = (0..2000).map(|_| Pcsa::new(&params, &mut rng).offset()).collect();
+        let offsets: Vec<f64> = (0..2000)
+            .map(|_| Pcsa::new(&params, &mut rng).offset())
+            .collect();
         let mean = offsets.iter().sum::<f64>() / offsets.len() as f64;
         let var =
             offsets.iter().map(|o| (o - mean) * (o - mean)).sum::<f64>() / offsets.len() as f64;
         assert!(mean.abs() < 0.03, "offset mean {mean}");
-        assert!((var.sqrt() - params.offset_sigma).abs() < 0.02, "offset std {}", var.sqrt());
+        assert!(
+            (var.sqrt() - params.offset_sigma).abs() < 0.02,
+            "offset std {}",
+            var.sqrt()
+        );
     }
 }

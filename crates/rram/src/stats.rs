@@ -74,7 +74,11 @@ mod tests {
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = xs[n / 2];
         // Median of a log-normal is exp(mu).
-        assert!((median.ln() - 9.0).abs() < 0.02, "median ln {}", median.ln());
+        assert!(
+            (median.ln() - 9.0).abs() < 0.02,
+            "median ln {}",
+            median.ln()
+        );
         assert!(xs.iter().all(|&x| x > 0.0));
     }
 

@@ -200,6 +200,9 @@ mod tests {
             err_1t1r > 10 * err_2t2r.max(1),
             "1T1R errors {err_1t1r} should dwarf 2T2R errors {err_2t2r}"
         );
-        assert!(err_1t1r > 100, "expected ~1% 1T1R error rate, got {err_1t1r}/{trials}");
+        assert!(
+            err_1t1r > 100,
+            "expected ~1% 1T1R error rate, got {err_1t1r}/{trials}"
+        );
     }
 }

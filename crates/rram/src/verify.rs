@@ -28,12 +28,18 @@ pub struct VerifyConfig {
 impl VerifyConfig {
     /// No verification: single programming pulse (the Fig 4 baseline).
     pub fn none() -> Self {
-        Self { max_attempts: 1, margin: 0.0 }
+        Self {
+            max_attempts: 1,
+            margin: 0.0,
+        }
     }
 
     /// A typical verify setting: up to 5 pulses, half-σ guard band.
     pub fn standard() -> Self {
-        Self { max_attempts: 5, margin: 0.5 }
+        Self {
+            max_attempts: 5,
+            margin: 0.5,
+        }
     }
 }
 
@@ -67,10 +73,16 @@ pub fn program_cell_verified(
             ResistiveState::Hrs => r > mid + cfg.margin,
         };
         if ok {
-            return VerifyOutcome { attempts: attempt, verified: true };
+            return VerifyOutcome {
+                attempts: attempt,
+                verified: true,
+            };
         }
     }
-    VerifyOutcome { attempts: cfg.max_attempts.max(1), verified: false }
+    VerifyOutcome {
+        attempts: cfg.max_attempts.max(1),
+        verified: false,
+    }
 }
 
 /// Programs a 2T2R synapse with verification on both devices.
@@ -91,7 +103,10 @@ pub fn program_synapse_verified(
     };
     let a = program_cell_verified(bl, s_bl, cfg, params, rng);
     let b = program_cell_verified(blb, s_blb, cfg, params, rng);
-    VerifyOutcome { attempts: a.attempts + b.attempts, verified: a.verified && b.verified }
+    VerifyOutcome {
+        attempts: a.attempts + b.attempts,
+        verified: a.verified && b.verified,
+    }
 }
 
 #[cfg(test)]
@@ -110,7 +125,11 @@ mod tests {
         let mut total_attempts = 0;
         let n = 2000;
         for i in 0..n {
-            let target = if i % 2 == 0 { ResistiveState::Hrs } else { ResistiveState::Lrs };
+            let target = if i % 2 == 0 {
+                ResistiveState::Hrs
+            } else {
+                ResistiveState::Lrs
+            };
             let out = program_cell_verified(&mut cell, target, &cfg, &params, &mut rng);
             assert!(out.verified);
             total_attempts += out.attempts;
@@ -132,7 +151,7 @@ mod tests {
         let cycles = 700_000_000;
         let trials = 40_000;
 
-        let mut count_errors = |cfg: &VerifyConfig, rng: &mut StdRng| -> (u32, u64) {
+        let count_errors = |cfg: &VerifyConfig, rng: &mut StdRng| -> (u32, u64) {
             let mut synapse = Synapse2T2R::new(true, &params, rng);
             let mut errors = 0u32;
             let mut pulses = 0u64;
@@ -156,7 +175,10 @@ mod tests {
             "verify should suppress errors: {err_verify} vs {err_noverify}"
         );
         // …and costs extra programming pulses (energy/wear).
-        assert!(pulses_verify > pulses_noverify, "{pulses_verify} vs {pulses_noverify}");
+        assert!(
+            pulses_verify > pulses_noverify,
+            "{pulses_verify} vs {pulses_noverify}"
+        );
     }
 
     #[test]
@@ -165,7 +187,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut cell = RramCell::new(ResistiveState::Lrs, &params, &mut rng);
         // Impossible margin: nothing verifies.
-        let cfg = VerifyConfig { max_attempts: 3, margin: 100.0 };
+        let cfg = VerifyConfig {
+            max_attempts: 3,
+            margin: 100.0,
+        };
         let out = program_cell_verified(&mut cell, ResistiveState::Lrs, &cfg, &params, &mut rng);
         assert!(!out.verified);
         assert_eq!(out.attempts, 3);

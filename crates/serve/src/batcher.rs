@@ -1,0 +1,169 @@
+//! Micro-batch formation under a deadline/size policy.
+//!
+//! Workers pull batches straight off the shared request queue through a
+//! [`Batcher`]; there is no separate batching thread to hop through. The
+//! policy is the classic serving trade-off:
+//!
+//! * take up to [`max_batch`](BatchPolicy::max_batch) requests immediately
+//!   when the queue is deep (throughput mode);
+//! * otherwise *linger* briefly for stragglers before dispatching a partial
+//!   batch (latency mode).
+//!
+//! The linger is adaptive: an exponential moving average of recent batch
+//! fill scales the wait, so an idle server converges to near-zero added
+//! latency while a loaded one waits long enough to fill its batches.
+
+use std::time::{Duration, Instant};
+
+use crate::queue::BoundedQueue;
+
+/// Batch formation policy.
+#[derive(Debug, Clone)]
+pub struct BatchPolicy {
+    /// Largest batch dispatched to an engine.
+    pub max_batch: usize,
+    /// Longest time a partial batch may linger waiting for stragglers.
+    pub max_delay: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_delay: Duration::from_micros(250),
+        }
+    }
+}
+
+/// Per-worker batch collector (owns the adaptive linger state).
+#[derive(Debug)]
+pub struct Batcher {
+    policy: BatchPolicy,
+    /// EWMA of batch fill ratio in `[0, 1]`.
+    fill: f64,
+}
+
+impl Batcher {
+    /// A batcher following `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy.max_batch == 0`.
+    pub fn new(policy: BatchPolicy) -> Self {
+        assert!(policy.max_batch > 0, "max_batch must be positive");
+        Self { policy, fill: 0.5 }
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> &BatchPolicy {
+        &self.policy
+    }
+
+    /// Current adaptive linger (exposed for tests/telemetry).
+    pub fn current_linger(&self) -> Duration {
+        self.policy.max_delay.mul_f64(self.fill.clamp(0.0, 1.0))
+    }
+
+    /// Blocks for the next batch. Returns `None` when the queue is closed
+    /// and fully drained.
+    pub fn next_batch<T>(&mut self, queue: &BoundedQueue<T>) -> Option<Vec<T>> {
+        let mut batch = queue.pop_up_to(self.policy.max_batch)?;
+        if batch.len() < self.policy.max_batch {
+            let linger = self.current_linger();
+            if !linger.is_zero() {
+                let deadline = Instant::now() + linger;
+                while batch.len() < self.policy.max_batch {
+                    match queue.pop_up_to_deadline(self.policy.max_batch - batch.len(), deadline) {
+                        // Queue closed: dispatch what we have.
+                        None => break,
+                        // Deadline hit with nothing new.
+                        Some(more) if more.is_empty() => break,
+                        Some(more) => batch.extend(more),
+                    }
+                }
+            }
+        }
+        let ratio = batch.len() as f64 / self.policy.max_batch as f64;
+        self.fill = 0.8 * self.fill + 0.2 * ratio;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn full_queue_dispatches_immediately() {
+        let q = BoundedQueue::new(256);
+        for i in 0..100 {
+            q.push(i).unwrap();
+        }
+        let mut b = Batcher::new(BatchPolicy {
+            max_batch: 64,
+            max_delay: Duration::from_secs(1),
+        });
+        let t0 = Instant::now();
+        let batch = b.next_batch(&q).unwrap();
+        assert_eq!(batch.len(), 64);
+        assert!(
+            t0.elapsed() < Duration::from_millis(100),
+            "must not linger when full"
+        );
+        assert_eq!(b.next_batch(&q).unwrap().len(), 36);
+    }
+
+    #[test]
+    fn linger_collects_stragglers() {
+        let q = Arc::new(BoundedQueue::new(64));
+        q.push(0u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(5));
+            for i in 1..4 {
+                q2.push(i).unwrap();
+            }
+        });
+        let mut b = Batcher::new(BatchPolicy {
+            max_batch: 8,
+            max_delay: Duration::from_millis(200),
+        });
+        let batch = b.next_batch(&q).unwrap();
+        producer.join().unwrap();
+        assert!(
+            batch.len() > 1,
+            "linger should have caught stragglers, got {batch:?}"
+        );
+    }
+
+    #[test]
+    fn fill_ewma_shrinks_linger_when_idle() {
+        let q = BoundedQueue::new(8);
+        let mut b = Batcher::new(BatchPolicy {
+            max_batch: 64,
+            max_delay: Duration::from_millis(10),
+        });
+        let initial = b.current_linger();
+        for _ in 0..10 {
+            q.push(1u32).unwrap();
+            let _ = b.next_batch(&q).unwrap();
+        }
+        assert!(
+            b.current_linger() < initial / 4,
+            "singleton batches should shrink the linger: {:?} vs {initial:?}",
+            b.current_linger()
+        );
+    }
+
+    #[test]
+    fn closed_queue_terminates() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.close();
+        let mut b = Batcher::new(BatchPolicy::default());
+        assert_eq!(b.next_batch(&q), Some(vec![1]));
+        assert_eq!(b.next_batch(&q), None);
+    }
+}

@@ -1,0 +1,60 @@
+//! # rbnn-serve
+//!
+//! A batched, multi-engine inference serving runtime for deployed RRAM-BNN
+//! classifiers — the system layer that turns the reproduction's
+//! single-sample inference paths into the high-throughput, always-on
+//! service the paper's medical-monitoring scenario (and the massively
+//! parallel Fig 5 substrate) implies.
+//!
+//! Request lifecycle:
+//!
+//! 1. a client calls [`ServeHandle::classify`] with a task and feature
+//!    vector; the request is validated against the [`ModelRegistry`] and
+//!    enqueued on a bounded MPMC queue ([`queue::BoundedQueue`]) — a full
+//!    queue *blocks* the caller (backpressure) or, via
+//!    [`ServeHandle::try_classify`], sheds the request;
+//! 2. a worker pulls a micro-batch through the adaptive [`Batcher`]
+//!    (dispatch immediately when the queue is deep, linger briefly for
+//!    stragglers when it is not);
+//! 3. the worker groups the batch by task and runs the *batched* kernels —
+//!    [`rbnn_binary::BinaryNetwork::logits_batch`] on the software backend,
+//!    [`rbnn_rram::NetworkEngine::logits_batch`] on the Monte-Carlo RRAM
+//!    backend — on its own engine replica (replicas, not shared engines:
+//!    PCSA reads need `&mut self`);
+//! 4. each request's one-shot channel delivers a [`Prediction`], and
+//!    [`ServerStats`] records end-to-end latency into a log-scaled
+//!    histogram (p50/p95/p99), throughput, batch fill and per-replica
+//!    array counters.
+//!
+//! ```
+//! use rbnn_serve::{ModelRegistry, ServeConfig, ServeTask, Server};
+//!
+//! let registry = ModelRegistry::demo(7);
+//! let server = Server::start(&registry, &ServeConfig::default());
+//! let handle = server.handle();
+//! let prediction = handle
+//!     .classify(ServeTask::Ecg, vec![0.5; 2520])
+//!     .expect("pool answers");
+//! assert!(prediction.class < 2);
+//! println!("{}", server.shutdown());
+//! ```
+//!
+//! See `crates/bench/src/bin/serve_bench.rs` for the load generator and
+//! `examples/serving.rs` for an end-to-end trained-model walkthrough.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod batcher;
+pub mod queue;
+mod registry;
+mod server;
+mod stats;
+
+pub use batcher::{BatchPolicy, Batcher};
+pub use registry::{demo_network, Backend, ModelEntry, ModelRegistry, ServeTask};
+pub use server::{
+    classify_matrix, Pending, PendingWindow, Prediction, ServeConfig, ServeError, ServeHandle,
+    Server,
+};
+pub use stats::{EngineSnapshot, ServerStats, StatsSnapshot};

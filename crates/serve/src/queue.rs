@@ -1,0 +1,231 @@
+//! A bounded MPMC request queue with blocking backpressure.
+//!
+//! `std::sync::mpsc` is single-consumer and its `SyncSender` cannot express
+//! "try, then tell the caller the queue is full" alongside batch draining
+//! with a deadline, so the serving runtime uses its own small primitive:
+//! a `Mutex<VecDeque>` with two condition variables (one for producers
+//! waiting on capacity, one for consumers waiting on items) — the classic
+//! bounded-buffer construction.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity (only from [`BoundedQueue::try_push`]).
+    Full,
+    /// The queue has been closed for shutdown.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue. All methods are `&self`; share it through an `Arc`.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    space: Condvar,
+    ready: Condvar,
+}
+
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            capacity,
+            space: Condvar::new(),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Current number of queued items (the queue-depth gauge).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// True if no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues, blocking while the queue is full — the backpressure path:
+    /// a caller faster than the engine pool is slowed to its rate.
+    pub fn push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed);
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                self.ready.notify_one();
+                return Ok(());
+            }
+            inner = self.space.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Enqueues without blocking; a full queue is reported to the caller
+    /// instead (load-shedding path).
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(item);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one item is available (or the queue closes),
+    /// then drains up to `max` items. Returns `None` only after close with
+    /// an empty queue — the consumer's termination signal.
+    pub fn pop_up_to(&self, max: usize) -> Option<Vec<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if !inner.items.is_empty() {
+                return Some(self.drain_locked(&mut inner, max));
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Like [`pop_up_to`](Self::pop_up_to) but gives up at `deadline`,
+    /// returning an empty batch on timeout.
+    pub fn pop_up_to_deadline(&self, max: usize, deadline: Instant) -> Option<Vec<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if !inner.items.is_empty() {
+                return Some(self.drain_locked(&mut inner, max));
+            }
+            if inner.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Some(Vec::new());
+            }
+            let (guard, timeout) = self
+                .ready
+                .wait_timeout(inner, deadline - now)
+                .expect("queue poisoned");
+            inner = guard;
+            if timeout.timed_out() && inner.items.is_empty() {
+                return Some(Vec::new());
+            }
+        }
+    }
+
+    fn drain_locked(&self, inner: &mut Inner<T>, max: usize) -> Vec<T> {
+        let take = inner.items.len().min(max.max(1));
+        let batch: Vec<T> = inner.items.drain(..take).collect();
+        // Capacity freed: release every producer blocked on space.
+        self.space.notify_all();
+        batch
+    }
+
+    /// Closes the queue: pending items remain poppable, new pushes fail,
+    /// blocked producers and consumers wake.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.closed = true;
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_batch_drain() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.pop_up_to(3).unwrap(), vec![0, 1, 2]);
+        assert_eq!(q.pop_up_to(10).unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn try_push_reports_full() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        let _ = q.pop_up_to(1);
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn push_blocks_until_space_then_succeeds() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = thread::spawn(move || q2.push(1).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 1, "producer must be blocked, not queued");
+        assert_eq!(q.pop_up_to(1).unwrap(), vec![0]);
+        producer.join().unwrap();
+        assert_eq!(q.pop_up_to(1).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn close_wakes_consumer_with_none() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let consumer = thread::spawn(move || q2.pop_up_to(4));
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+        assert_eq!(q.push(9), Err(PushError::Closed));
+    }
+
+    #[test]
+    fn deadline_pop_returns_empty_on_timeout() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        let t0 = Instant::now();
+        let got = q.pop_up_to_deadline(4, Instant::now() + Duration::from_millis(30));
+        assert_eq!(got, Some(Vec::new()));
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+}

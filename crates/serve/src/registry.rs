@@ -1,0 +1,206 @@
+//! The model registry: deployed classifiers keyed by serving task.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rbnn_binary::{BinaryDense, BinaryNetwork};
+use rbnn_rram::EngineConfig;
+use rbnn_tensor::BitMatrix;
+
+/// The serving tasks of the paper's medical-monitoring scenario plus the
+/// §IV vision workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ServeTask {
+    /// 12-lead ECG anomaly screening.
+    Ecg,
+    /// EEG motor-imagery decoding.
+    Eeg,
+    /// Image classification on frozen feature-extractor outputs.
+    Image,
+}
+
+impl ServeTask {
+    /// All tasks, in registry order.
+    pub const ALL: [ServeTask; 3] = [ServeTask::Ecg, ServeTask::Eeg, ServeTask::Image];
+
+    /// Human-readable label.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeTask::Ecg => "ecg",
+            ServeTask::Eeg => "eeg",
+            ServeTask::Image => "image",
+        }
+    }
+}
+
+/// Which substrate a worker evaluates a model on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Bit-exact software XNOR/popcount (what the chip computes, minus
+    /// device noise) — deterministic and fast.
+    #[default]
+    Software,
+    /// Full Monte-Carlo RRAM simulation: tiled 2T2R arrays with PCSA
+    /// sensing per read. Slower, but exercises the hardware model.
+    Rram,
+}
+
+/// One deployable model: the exported network plus the array fabric it
+/// should be programmed onto when served on the RRAM backend.
+#[derive(Debug, Clone)]
+pub struct ModelEntry {
+    /// The exported bit-packed classifier.
+    pub network: BinaryNetwork,
+    /// Array geometry/device statistics for RRAM replicas.
+    pub engine_config: EngineConfig,
+}
+
+/// Deployed classifiers keyed by [`ServeTask`].
+///
+/// The registry is immutable once handed to a server: every worker
+/// replicates engines from it at startup (replication is what lets
+/// Monte-Carlo `&mut self` engines serve concurrent traffic).
+#[derive(Debug, Clone, Default)]
+pub struct ModelRegistry {
+    entries: BTreeMap<ServeTask, ModelEntry>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the model served for `task`.
+    pub fn insert(&mut self, task: ServeTask, network: BinaryNetwork, engine_config: EngineConfig) {
+        self.entries.insert(
+            task,
+            ModelEntry {
+                network,
+                engine_config,
+            },
+        );
+    }
+
+    /// The entry for `task`, if registered.
+    pub fn get(&self, task: ServeTask) -> Option<&ModelEntry> {
+        self.entries.get(&task)
+    }
+
+    /// Registered tasks in order.
+    pub fn tasks(&self) -> impl Iterator<Item = ServeTask> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Input feature width expected by `task`.
+    pub fn in_features(&self, task: ServeTask) -> Option<usize> {
+        self.entries.get(&task).map(|e| e.network.in_features())
+    }
+
+    /// A registry pre-loaded with paper-shaped random-weight classifiers
+    /// for all three tasks (ECG 2520→80→2 per Table I; EEG 1344→100→2;
+    /// image 1024→100→16).
+    ///
+    /// Random ±1 weights give the exact compute/memory footprint of the
+    /// trained models, which is what serving benchmarks need; use
+    /// [`insert`](Self::insert) with `rbnn_binary::export_classifier`
+    /// output to serve genuinely trained classifiers (see
+    /// `examples/serving.rs`).
+    pub fn demo(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut registry = Self::new();
+        let shapes: [(ServeTask, &[usize]); 3] = [
+            (ServeTask::Ecg, &[2520, 80, 2]),
+            (ServeTask::Eeg, &[1344, 100, 2]),
+            (ServeTask::Image, &[1024, 100, 16]),
+        ];
+        for (i, (task, dims)) in shapes.into_iter().enumerate() {
+            let layers = dims
+                .windows(2)
+                .map(|pair| random_layer(pair[1], pair[0], &mut rng))
+                .collect();
+            registry.insert(
+                task,
+                BinaryNetwork::new(layers),
+                EngineConfig::test_chip(seed.wrapping_add(1 + i as u64)),
+            );
+        }
+        registry
+    }
+}
+
+/// A random ±1 network of the given layer widths (`dims[0]` inputs through
+/// `dims.last()` classes) with mild affine coefficients — the exact
+/// compute/memory footprint of a trained model of that shape, for serving
+/// benchmarks and tests.
+///
+/// # Panics
+///
+/// Panics if fewer than two dims are given.
+pub fn demo_network(dims: &[usize], seed: u64) -> BinaryNetwork {
+    assert!(dims.len() >= 2, "need at least input and output widths");
+    let mut rng = StdRng::seed_from_u64(seed);
+    BinaryNetwork::new(
+        dims.windows(2)
+            .map(|p| random_layer(p[1], p[0], &mut rng))
+            .collect(),
+    )
+}
+
+/// A random ±1 layer with mild affine coefficients (demo weights).
+fn random_layer(out: usize, inp: usize, rng: &mut StdRng) -> BinaryDense {
+    let w: Vec<f32> = (0..out * inp)
+        .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+        .collect();
+    let scale: Vec<f32> = (0..out).map(|_| rng.gen_range(0.5..1.5)).collect();
+    let shift: Vec<f32> = (0..out).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    BinaryDense::new(BitMatrix::from_signs(&w, out, inp), scale, shift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_registry_covers_all_tasks() {
+        let r = ModelRegistry::demo(1);
+        assert_eq!(r.len(), 3);
+        for task in ServeTask::ALL {
+            let e = r.get(task).expect("registered");
+            assert!(e.network.in_features() >= 1024);
+            assert_eq!(r.in_features(task), Some(e.network.in_features()));
+        }
+        assert_eq!(r.get(ServeTask::Ecg).unwrap().network.out_features(), 2);
+        assert_eq!(r.get(ServeTask::Image).unwrap().network.out_features(), 16);
+    }
+
+    #[test]
+    fn demo_is_deterministic_per_seed() {
+        let a = ModelRegistry::demo(7);
+        let b = ModelRegistry::demo(7);
+        for task in ServeTask::ALL {
+            assert_eq!(a.get(task).unwrap().network, b.get(task).unwrap().network);
+        }
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut r = ModelRegistry::demo(2);
+        let tiny = BinaryNetwork::new(vec![random_layer(2, 16, &mut StdRng::seed_from_u64(0))]);
+        r.insert(ServeTask::Ecg, tiny.clone(), EngineConfig::test_chip(0));
+        assert_eq!(r.in_features(ServeTask::Ecg), Some(16));
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,675 @@
+//! The serving runtime: request intake, worker pool, dispatch.
+//!
+//! A [`Server`] owns a bounded request queue and a pool of worker threads.
+//! Each worker holds its *own replica* of every registered model's engine —
+//! replication rather than sharing because Monte-Carlo PCSA reads need
+//! `&mut self` (each read draws device noise), so a shared engine would
+//! serialize the whole pool behind one lock. Workers pull micro-batches
+//! through a [`Batcher`](crate::Batcher), group them by task, run the
+//! batched kernels, and answer each request through its one-shot channel.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use rbnn_binary::BinaryNetwork;
+use rbnn_rram::NetworkEngine;
+use rbnn_tensor::Tensor;
+
+use crate::batcher::{BatchPolicy, Batcher};
+use crate::queue::{BoundedQueue, PushError};
+use crate::registry::{Backend, ModelRegistry, ServeTask};
+use crate::stats::{ServerStats, StatsSnapshot};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (= engine replicas per model).
+    pub workers: usize,
+    /// Substrate the pool evaluates on.
+    pub backend: Backend,
+    /// Batch formation policy.
+    pub batch: BatchPolicy,
+    /// Request queue capacity (the backpressure bound).
+    pub queue_capacity: usize,
+    /// Base seed for per-replica RRAM device sampling.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            backend: Backend::Software,
+            batch: BatchPolicy::default(),
+            queue_capacity: 4096,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A served classification result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Argmax class index.
+    pub class: usize,
+    /// Raw output logits.
+    pub logits: Vec<f32>,
+}
+
+/// Why a request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// No model is registered for the task.
+    UnknownTask(ServeTask),
+    /// The feature vector width does not match the registered model.
+    FeatureWidth {
+        /// Width the registered model expects.
+        expected: usize,
+        /// Width the request carried.
+        got: usize,
+    },
+    /// The queue is full and the request was load-shed
+    /// (only from [`ServeHandle::try_classify`]).
+    Overloaded,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownTask(t) => write!(f, "no model registered for task {:?}", t),
+            ServeError::FeatureWidth { expected, got } => {
+                write!(
+                    f,
+                    "feature width mismatch: model expects {expected}, request has {got}"
+                )
+            }
+            ServeError::Overloaded => write!(f, "request queue full (load shed)"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Sample storage of a request: owned rows from the plain submit paths, or
+/// a shared window for zero-copy fan-in (a producer can keep one buffer
+/// alive across many requests).
+enum RequestRows {
+    Owned(Vec<Vec<f32>>),
+    Shared(Arc<Vec<Vec<f32>>>),
+}
+
+impl RequestRows {
+    fn rows(&self) -> &[Vec<f32>] {
+        match self {
+            RequestRows::Owned(rows) => rows,
+            RequestRows::Shared(rows) => rows,
+        }
+    }
+}
+
+/// One queued inference request: one or more samples for one task.
+///
+/// Multi-sample requests (client-side batching — e.g. a monitor shipping a
+/// window of heartbeats) share a single queue slot, reply channel and
+/// dispatch, so the whole per-request fixed cost amortizes over the
+/// window.
+struct Request {
+    task: ServeTask,
+    rows: RequestRows,
+    submitted: Instant,
+    reply: mpsc::Sender<Result<Vec<Prediction>, ServeError>>,
+}
+
+impl std::fmt::Debug for Request {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Request")
+            .field("task", &self.task)
+            .field("samples", &self.rows.rows().len())
+            .finish()
+    }
+}
+
+/// State shared between the handle(s) and the workers.
+#[derive(Debug)]
+struct Shared {
+    queue: BoundedQueue<Request>,
+    stats: ServerStats,
+    widths: BTreeMap<ServeTask, usize>,
+}
+
+/// Cloneable synchronous client of a running [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServeHandle {
+    fn submit(
+        &self,
+        task: ServeTask,
+        rows: RequestRows,
+        blocking: bool,
+    ) -> Result<mpsc::Receiver<Result<Vec<Prediction>, ServeError>>, ServeError> {
+        // One registry lookup per request, one length check per sample.
+        let expected = *self
+            .shared
+            .widths
+            .get(&task)
+            .ok_or(ServeError::UnknownTask(task))?;
+        for row in rows.rows() {
+            if row.len() != expected {
+                return Err(ServeError::FeatureWidth {
+                    expected,
+                    got: row.len(),
+                });
+            }
+        }
+        let (reply, rx) = mpsc::channel();
+        let request = Request {
+            task,
+            rows,
+            submitted: Instant::now(),
+            reply,
+        };
+        let outcome = if blocking {
+            self.shared.queue.push(request)
+        } else {
+            self.shared.queue.try_push(request)
+        };
+        match outcome {
+            Ok(()) => {
+                self.shared.stats.record_submitted();
+                Ok(rx)
+            }
+            Err(PushError::Full) => {
+                self.shared.stats.record_rejected();
+                Err(ServeError::Overloaded)
+            }
+            Err(PushError::Closed) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    fn recv_one(
+        rx: mpsc::Receiver<Result<Vec<Prediction>, ServeError>>,
+    ) -> Result<Prediction, ServeError> {
+        match rx.recv() {
+            Ok(Ok(mut predictions)) => predictions.pop().ok_or(ServeError::ShuttingDown),
+            Ok(Err(e)) => Err(e),
+            Err(_) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Classifies one feature vector, blocking until the pool answers.
+    /// When the queue is full the call *waits* (backpressure) rather than
+    /// shedding.
+    pub fn classify(&self, task: ServeTask, features: Vec<f32>) -> Result<Prediction, ServeError> {
+        let rx = self.submit(task, RequestRows::Owned(vec![features]), true)?;
+        Self::recv_one(rx)
+    }
+
+    /// Classifies a multi-sample request (client-side batch): all samples
+    /// share one queue slot, one dispatch and one reply — the whole
+    /// per-request fixed cost amortizes across the window.
+    pub fn classify_window(
+        &self,
+        task: ServeTask,
+        rows: Vec<Vec<f32>>,
+    ) -> Result<Vec<Prediction>, ServeError> {
+        let rx = self.submit(task, RequestRows::Owned(rows), true)?;
+        rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Enqueues a request and returns immediately with a [`Pending`]
+    /// ticket — the pipelined client path: keeping a window of outstanding
+    /// requests in flight is what lets the pool form deep batches (a
+    /// strictly synchronous caller never queues more than one).
+    /// Blocks only when the queue is full (backpressure).
+    pub fn enqueue(&self, task: ServeTask, features: Vec<f32>) -> Result<Pending, ServeError> {
+        Ok(Pending {
+            rx: self.submit(task, RequestRows::Owned(vec![features]), true)?,
+        })
+    }
+
+    /// [`enqueue`](Self::enqueue) for a multi-sample request.
+    pub fn enqueue_window(
+        &self,
+        task: ServeTask,
+        rows: Vec<Vec<f32>>,
+    ) -> Result<PendingWindow, ServeError> {
+        Ok(PendingWindow {
+            rx: self.submit(task, RequestRows::Owned(rows), true)?,
+        })
+    }
+
+    /// Zero-copy variant of [`enqueue_window`](Self::enqueue_window): the
+    /// window is shared, not moved, so a producer replaying one buffer (or
+    /// fanning one window out to several tasks) pays one `Arc` bump per
+    /// request instead of a deep copy.
+    pub fn enqueue_shared(
+        &self,
+        task: ServeTask,
+        rows: Arc<Vec<Vec<f32>>>,
+    ) -> Result<PendingWindow, ServeError> {
+        Ok(PendingWindow {
+            rx: self.submit(task, RequestRows::Shared(rows), true)?,
+        })
+    }
+
+    /// Like [`classify`](Self::classify) but load-sheds instead of
+    /// blocking when the queue is full.
+    pub fn try_classify(
+        &self,
+        task: ServeTask,
+        features: Vec<f32>,
+    ) -> Result<Prediction, ServeError> {
+        let rx = self.submit(task, RequestRows::Owned(vec![features]), false)?;
+        Self::recv_one(rx)
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Point-in-time server statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot(self.shared.queue.len())
+    }
+}
+
+/// A not-yet-answered single-sample request (from
+/// [`ServeHandle::enqueue`]).
+#[derive(Debug)]
+pub struct Pending {
+    rx: mpsc::Receiver<Result<Vec<Prediction>, ServeError>>,
+}
+
+impl Pending {
+    /// Blocks until the pool answers.
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        ServeHandle::recv_one(self.rx)
+    }
+
+    /// Returns the answer if it has already arrived.
+    pub fn poll(&self) -> Option<Result<Prediction, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(Ok(mut predictions)) => Some(predictions.pop().ok_or(ServeError::ShuttingDown)),
+            Ok(Err(e)) => Some(Err(e)),
+            Err(_) => None,
+        }
+    }
+}
+
+/// A not-yet-answered multi-sample request (from
+/// [`ServeHandle::enqueue_window`]).
+#[derive(Debug)]
+pub struct PendingWindow {
+    rx: mpsc::Receiver<Result<Vec<Prediction>, ServeError>>,
+}
+
+impl PendingWindow {
+    /// Blocks until the pool answers with one prediction per sample.
+    pub fn wait(self) -> Result<Vec<Prediction>, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+}
+
+/// One worker's engine replica for one task.
+enum WorkerEngine {
+    /// Bit-exact software XNOR/popcount evaluation.
+    Software(BinaryNetwork),
+    /// Monte-Carlo RRAM simulation (owned mutably per worker).
+    Rram(NetworkEngine),
+}
+
+impl WorkerEngine {
+    /// Batched logits over per-request feature slices, plus the PCSA
+    /// senses consumed (zero in software).
+    fn logits_batch_rows(&mut self, rows: &[&[f32]]) -> (Tensor, u64) {
+        match self {
+            WorkerEngine::Software(net) => (net.logits_batch_rows(rows), 0),
+            WorkerEngine::Rram(engine) => {
+                let before = engine.stats().senses;
+                let logits = engine.logits_batch_rows(rows);
+                (logits, engine.stats().senses - before)
+            }
+        }
+    }
+}
+
+/// A running serving runtime. Dropping the server shuts it down and joins
+/// the pool.
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the pool: replicates every registered model's engine per
+    /// worker (RRAM replicas get distinct device seeds — independent
+    /// fabricated chips, not clones of one die) and begins serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers == 0` or the registry is empty.
+    pub fn start(registry: &ModelRegistry, config: &ServeConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(!registry.is_empty(), "cannot serve an empty registry");
+        let widths: BTreeMap<ServeTask, usize> = registry
+            .tasks()
+            .map(|t| (t, registry.in_features(t).expect("registered")))
+            .collect();
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            stats: ServerStats::new(config.workers),
+            widths,
+        });
+
+        let workers = (0..config.workers)
+            .map(|worker_idx| {
+                let shared = Arc::clone(&shared);
+                let mut engines: BTreeMap<ServeTask, WorkerEngine> = registry
+                    .tasks()
+                    .map(|task| {
+                        let entry = registry.get(task).expect("registered");
+                        let engine = match config.backend {
+                            Backend::Software => WorkerEngine::Software(entry.network.clone()),
+                            Backend::Rram => {
+                                let mut cfg = entry.engine_config.clone();
+                                cfg.seed = cfg
+                                    .seed
+                                    .wrapping_add(config.seed)
+                                    .wrapping_add(worker_idx as u64 * 0x9E37_79B9);
+                                WorkerEngine::Rram(NetworkEngine::program(&entry.network, &cfg))
+                            }
+                        };
+                        (task, engine)
+                    })
+                    .collect();
+                let mut batcher = Batcher::new(config.batch.clone());
+                std::thread::Builder::new()
+                    .name(format!("rbnn-serve-{worker_idx}"))
+                    .spawn(move || {
+                        while let Some(batch) = batcher.next_batch(&shared.queue) {
+                            if batch.is_empty() {
+                                continue;
+                            }
+                            serve_batch(&shared, worker_idx, &mut engines, batch);
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        Self { shared, workers }
+    }
+
+    /// A new client handle.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Point-in-time server statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot(self.shared.queue.len())
+    }
+
+    /// Stops intake, drains queued requests, and joins the pool.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shutdown_in_place();
+        self.stats()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Runs one micro-batch: group by task, evaluate batched, answer each
+/// request with one prediction per sample it carried.
+fn serve_batch(
+    shared: &Shared,
+    worker_idx: usize,
+    engines: &mut BTreeMap<ServeTask, WorkerEngine>,
+    batch: Vec<Request>,
+) {
+    let mut by_task: BTreeMap<ServeTask, Vec<Request>> = BTreeMap::new();
+    for request in batch {
+        by_task.entry(request.task).or_default().push(request);
+    }
+    let mut senses_total = 0u64;
+    let mut samples_total = 0usize;
+    for (task, requests) in by_task {
+        let engine = engines.get_mut(&task).expect("validated at submit");
+        let rows: Vec<&[f32]> = requests
+            .iter()
+            .flat_map(|r| r.rows.rows().iter().map(Vec::as_slice))
+            .collect();
+        samples_total += rows.len();
+        let (logits, senses) = engine.logits_batch_rows(&rows);
+        senses_total += senses;
+        let classes = logits.dim(1);
+        let mut offset = 0usize;
+        for request in requests {
+            let predictions: Vec<Prediction> = (offset..offset + request.rows.rows().len())
+                .map(|i| {
+                    let row = &logits.as_slice()[i * classes..(i + 1) * classes];
+                    Prediction {
+                        class: rbnn_tensor::argmax(row),
+                        logits: row.to_vec(),
+                    }
+                })
+                .collect();
+            offset += request.rows.rows().len();
+            let latency = request.submitted.elapsed();
+            // A client that gave up is not an error; drop the response.
+            let _ = request.reply.send(Ok(predictions));
+            shared.stats.record_completed(latency);
+        }
+    }
+    shared
+        .stats
+        .record_batch(worker_idx, samples_total, senses_total);
+}
+
+/// Convenience: classify a whole feature matrix through a handle from one
+/// caller thread, returning predicted classes (used by benches/examples to
+/// drive load without writing client boilerplate).
+pub fn classify_matrix(
+    handle: &ServeHandle,
+    task: ServeTask,
+    features: &Tensor,
+) -> Result<Vec<usize>, ServeError> {
+    let n = features.dim(0);
+    let f = features.dim(1);
+    let xs = features.as_slice();
+    (0..n)
+        .map(|i| {
+            handle
+                .classify(task, xs[i * f..(i + 1) * f].to_vec())
+                .map(|p| p.class)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::time::Duration;
+
+    fn demo_server(workers: usize, backend: Backend) -> (Server, ModelRegistry) {
+        let registry = ModelRegistry::demo(42);
+        let config = ServeConfig {
+            workers,
+            backend,
+            ..Default::default()
+        };
+        let server = Server::start(&registry, &config);
+        (server, registry)
+    }
+
+    fn random_features(n: usize, rng: &mut StdRng) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn software_pool_matches_direct_network() {
+        let (server, registry) = demo_server(3, Backend::Software);
+        let handle = server.handle();
+        let mut rng = StdRng::seed_from_u64(1);
+        for task in ServeTask::ALL {
+            let net = &registry.get(task).unwrap().network;
+            for _ in 0..20 {
+                let x = random_features(net.in_features(), &mut rng);
+                let served = handle.classify(task, x.clone()).expect("served");
+                assert_eq!(served.class, net.classify(&x), "{task:?}");
+                assert_eq!(served.logits, net.logits(&x), "{task:?}");
+            }
+        }
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 60);
+        assert_eq!(snap.rejected, 0);
+        assert!(snap.p99 > Duration::ZERO);
+    }
+
+    #[test]
+    fn rram_pool_serves_and_counts_senses() {
+        let registry = ModelRegistry::demo(43);
+        let config = ServeConfig {
+            workers: 2,
+            backend: Backend::Rram,
+            ..Default::default()
+        };
+        let server = Server::start(&registry, &config);
+        let handle = server.handle();
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = &registry.get(ServeTask::Ecg).unwrap().network;
+        for _ in 0..6 {
+            let x = random_features(net.in_features(), &mut rng);
+            // Fresh devices: the RRAM read is exact, so classes agree with
+            // software.
+            let served = handle.classify(ServeTask::Ecg, x.clone()).expect("served");
+            assert_eq!(served.class, net.classify(&x));
+        }
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 6);
+        let senses: u64 = snap.engines.iter().map(|e| e.senses).sum();
+        assert!(senses > 0, "RRAM backend must consume PCSA senses");
+    }
+
+    #[test]
+    fn rejects_bad_requests_without_queuing() {
+        let (server, _) = demo_server(1, Backend::Software);
+        let handle = server.handle();
+        assert_eq!(
+            handle.classify(ServeTask::Ecg, vec![0.0; 3]),
+            Err(ServeError::FeatureWidth {
+                expected: 2520,
+                got: 3
+            })
+        );
+        let snap = server.shutdown();
+        assert_eq!(snap.submitted, 0);
+    }
+
+    #[test]
+    fn concurrent_clients_all_get_answers() {
+        let (server, registry) = demo_server(4, Backend::Software);
+        let net = registry.get(ServeTask::Eeg).unwrap().network.clone();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let handle = server.handle();
+                let net = net.clone();
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(100 + t);
+                    for _ in 0..50 {
+                        let x = random_features(net.in_features(), &mut rng);
+                        let p = handle.classify(ServeTask::Eeg, x.clone()).expect("served");
+                        assert_eq!(p.class, net.classify(&x));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 400);
+        assert!(snap.mean_batch >= 1.0);
+        let spread: Vec<u64> = snap.engines.iter().map(|e| e.samples).collect();
+        assert_eq!(spread.iter().sum::<u64>(), 400);
+    }
+
+    #[test]
+    fn window_requests_match_single_sample_requests() {
+        let (server, registry) = demo_server(2, Backend::Software);
+        let handle = server.handle();
+        let net = &registry.get(ServeTask::Ecg).unwrap().network;
+        let mut rng = StdRng::seed_from_u64(9);
+        let rows: Vec<Vec<f32>> = (0..13)
+            .map(|_| random_features(net.in_features(), &mut rng))
+            .collect();
+        let windowed = handle
+            .classify_window(ServeTask::Ecg, rows.clone())
+            .expect("served window");
+        assert_eq!(windowed.len(), rows.len());
+        for (row, served) in rows.iter().zip(&windowed) {
+            assert_eq!(served.class, net.classify(row));
+            assert_eq!(served.logits, net.logits(row));
+        }
+        // An empty window is answered with an empty prediction list.
+        let empty = handle
+            .classify_window(ServeTask::Ecg, Vec::new())
+            .expect("served");
+        assert!(empty.is_empty());
+        let snap = server.shutdown();
+        // Two requests, thirteen samples.
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.engines.iter().map(|e| e.samples).sum::<u64>(), 13);
+    }
+
+    #[test]
+    fn classify_after_shutdown_errors() {
+        let (server, _) = demo_server(1, Backend::Software);
+        let handle = server.handle();
+        let _ = server.shutdown();
+        assert_eq!(
+            handle.classify(ServeTask::Ecg, vec![0.0; 2520]),
+            Err(ServeError::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn classify_matrix_round_trips() {
+        let (server, registry) = demo_server(2, Backend::Software);
+        let handle = server.handle();
+        let net = &registry.get(ServeTask::Image).unwrap().network;
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 10;
+        let f = net.in_features();
+        let xs: Vec<f32> = (0..n * f).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let features = Tensor::from_vec(xs, [n, f]);
+        let served = classify_matrix(&handle, ServeTask::Image, &features).expect("served");
+        assert_eq!(served, net.classify_batch(&features));
+    }
+}

@@ -1,0 +1,274 @@
+//! Server telemetry: throughput, latency percentiles, queue depth and
+//! per-engine array counters.
+//!
+//! Latencies are recorded into a fixed log-scaled histogram (5% resolution
+//! steps from 1 µs to ~17 min), so recording is lock-free and percentile
+//! queries never scan unbounded sample vectors — the usual
+//! high-throughput-server compromise (HdrHistogram in miniature).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of histogram buckets; bucket `i` covers latencies up to
+/// `1µs · GROWTH^i`.
+const BUCKETS: usize = 420;
+/// Per-bucket growth factor (≈5% resolution).
+const GROWTH: f64 = 1.05;
+
+fn bucket_of(latency: Duration) -> usize {
+    let micros = latency.as_secs_f64() * 1e6;
+    if micros <= 1.0 {
+        return 0;
+    }
+    (micros.ln() / GROWTH.ln()).ceil().min((BUCKETS - 1) as f64) as usize
+}
+
+fn bucket_upper_micros(i: usize) -> f64 {
+    GROWTH.powi(i as i32)
+}
+
+/// Per-worker engine counters.
+#[derive(Debug, Default)]
+pub struct EngineCounters {
+    /// Batches dispatched to this engine replica.
+    pub batches: AtomicU64,
+    /// Samples inferred by this replica.
+    pub samples: AtomicU64,
+    /// PCSA sense operations performed by this replica (RRAM backend; zero
+    /// on the software backend).
+    pub senses: AtomicU64,
+}
+
+/// Point-in-time view of one engine replica's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineSnapshot {
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Samples inferred.
+    pub samples: u64,
+    /// PCSA senses performed.
+    pub senses: u64,
+}
+
+/// Shared server statistics collector. All methods are `&self` and
+/// lock-free; share through `Arc`.
+#[derive(Debug)]
+pub struct ServerStats {
+    started: Instant,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    batch_count: AtomicU64,
+    batch_samples: AtomicU64,
+    histogram: Vec<AtomicU64>,
+    engines: Vec<EngineCounters>,
+}
+
+impl ServerStats {
+    /// A collector for `workers` engine replicas.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            batch_count: AtomicU64::new(0),
+            batch_samples: AtomicU64::new(0),
+            histogram: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            engines: (0..workers).map(|_| EngineCounters::default()).collect(),
+        }
+    }
+
+    /// Records an accepted request.
+    pub fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request refused for backpressure.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed request with its end-to-end latency.
+    pub fn record_completed(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.histogram[bucket_of(latency)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one dispatched batch of `samples` requests on `worker`.
+    pub fn record_batch(&self, worker: usize, samples: usize, senses: u64) {
+        self.batch_count.fetch_add(1, Ordering::Relaxed);
+        self.batch_samples
+            .fetch_add(samples as u64, Ordering::Relaxed);
+        if let Some(e) = self.engines.get(worker) {
+            e.batches.fetch_add(1, Ordering::Relaxed);
+            e.samples.fetch_add(samples as u64, Ordering::Relaxed);
+            e.senses.fetch_add(senses, Ordering::Relaxed);
+        }
+    }
+
+    /// Latency at `q ∈ [0, 1]` from the histogram (upper bucket bound).
+    pub fn latency_quantile(&self, q: f64) -> Duration {
+        let total: u64 = self
+            .histogram
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.histogram.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Duration::from_secs_f64(bucket_upper_micros(i) / 1e6);
+            }
+        }
+        Duration::from_secs_f64(bucket_upper_micros(BUCKETS - 1) / 1e6)
+    }
+
+    /// A consistent-enough point-in-time summary.
+    pub fn snapshot(&self, queue_depth: usize) -> StatsSnapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batch_count.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed();
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_depth,
+            elapsed,
+            throughput: if elapsed.as_secs_f64() > 0.0 {
+                completed as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+            mean_batch: if batches > 0 {
+                self.batch_samples.load(Ordering::Relaxed) as f64 / batches as f64
+            } else {
+                0.0
+            },
+            p50: self.latency_quantile(0.50),
+            p95: self.latency_quantile(0.95),
+            p99: self.latency_quantile(0.99),
+            engines: self
+                .engines
+                .iter()
+                .map(|e| EngineSnapshot {
+                    batches: e.batches.load(Ordering::Relaxed),
+                    samples: e.samples.load(Ordering::Relaxed),
+                    senses: e.senses.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time server statistics.
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests completed (responses delivered).
+    pub completed: u64,
+    /// Requests refused for backpressure.
+    pub rejected: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Time since the collector was created.
+    pub elapsed: Duration,
+    /// Completed requests per second since startup.
+    pub throughput: f64,
+    /// Mean dispatched batch size.
+    pub mean_batch: f64,
+    /// Median end-to-end latency.
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+    /// Per engine-replica counters.
+    pub engines: Vec<EngineSnapshot>,
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:.0} req/s | {}/{} completed ({} rejected) | queue {} | mean batch {:.1}",
+            self.throughput,
+            self.completed,
+            self.submitted,
+            self.rejected,
+            self.queue_depth,
+            self.mean_batch
+        )?;
+        writeln!(
+            f,
+            "latency p50 {:?}  p95 {:?}  p99 {:?}",
+            self.p50, self.p95, self.p99
+        )?;
+        for (i, e) in self.engines.iter().enumerate() {
+            writeln!(
+                f,
+                "engine {i}: {} batches, {} samples, {} senses",
+                e.batches, e.samples, e.senses
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_recorded_latencies() {
+        let stats = ServerStats::new(1);
+        // 90 fast requests at ~100µs and 10 slow ones at ~10ms.
+        for _ in 0..90 {
+            stats.record_completed(Duration::from_micros(100));
+        }
+        for _ in 0..10 {
+            stats.record_completed(Duration::from_millis(10));
+        }
+        let p50 = stats.latency_quantile(0.5);
+        let p99 = stats.latency_quantile(0.99);
+        assert!(
+            p50 >= Duration::from_micros(90) && p50 <= Duration::from_micros(120),
+            "{p50:?}"
+        );
+        assert!(p99 >= Duration::from_millis(9), "{p99:?}");
+        assert!(p99 <= Duration::from_millis(12), "{p99:?}");
+    }
+
+    #[test]
+    fn snapshot_aggregates_counters() {
+        let stats = ServerStats::new(2);
+        stats.record_submitted();
+        stats.record_submitted();
+        stats.record_rejected();
+        stats.record_batch(0, 2, 64);
+        stats.record_completed(Duration::from_micros(50));
+        stats.record_completed(Duration::from_micros(50));
+        let snap = stats.snapshot(3);
+        assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.queue_depth, 3);
+        assert_eq!(snap.engines.len(), 2);
+        assert_eq!(snap.engines[0].samples, 2);
+        assert_eq!(snap.engines[0].senses, 64);
+        assert_eq!(snap.engines[1].batches, 0);
+        assert!((snap.mean_batch - 2.0).abs() < 1e-9);
+        assert!(!format!("{snap}").is_empty());
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let stats = ServerStats::new(0);
+        assert_eq!(stats.latency_quantile(0.99), Duration::ZERO);
+    }
+}

@@ -27,6 +27,20 @@ fn tail_mask(len: usize) -> u64 {
     }
 }
 
+/// Fills `words` from a bit predicate over `0..len`, branchlessly.
+#[inline]
+fn pack_words(words: &mut [u64], len: usize, bit: impl Fn(usize) -> bool) {
+    for (w, word) in words.iter_mut().enumerate() {
+        let base = w * WORD_BITS;
+        let n = WORD_BITS.min(len - base);
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc |= (bit(base + i) as u64) << i;
+        }
+        *word = acc;
+    }
+}
+
 /// Counts positions where `a` and `b` hold the same bit, over `len` bits.
 ///
 /// This is `popcount(XNOR(a, b))` restricted to the first `len` bits; the
@@ -35,16 +49,22 @@ fn tail_mask(len: usize) -> u64 {
 /// # Panics
 ///
 /// Panics if either slice is shorter than `len` bits requires.
+#[inline]
 pub fn xnor_popcount(a: &[u64], b: &[u64], len: usize) -> u32 {
     let nw = words_for(len);
-    assert!(a.len() >= nw && b.len() >= nw, "operand shorter than {len} bits");
+    assert!(
+        a.len() >= nw && b.len() >= nw,
+        "operand shorter than {len} bits"
+    );
+    // Full words in a branch-free loop (vectorizes to hardware popcount),
+    // then the partially occupied tail word once.
+    let full = if len % WORD_BITS == 0 { nw } else { nw - 1 };
     let mut count = 0u32;
-    for w in 0..nw {
-        let mut x = !(a[w] ^ b[w]);
-        if w == nw - 1 {
-            x &= tail_mask(len);
-        }
-        count += x.count_ones();
+    for w in 0..full {
+        count += (!(a[w] ^ b[w])).count_ones();
+    }
+    if full < nw {
+        count += ((!(a[full] ^ b[full])) & tail_mask(len)).count_ones();
     }
     count
 }
@@ -68,33 +88,33 @@ pub struct BitVec {
 impl BitVec {
     /// Creates an all-zero (all −1) vector of `len` bits.
     pub fn zeros(len: usize) -> Self {
-        Self { words: vec![0; words_for(len)], len }
+        Self {
+            words: vec![0; words_for(len)],
+            len,
+        }
     }
 
     /// Packs the signs of a float slice (`x ≥ 0` becomes bit 1 / value +1,
     /// matching [`Tensor::signum_binary`](crate::Tensor::signum_binary)).
+    ///
+    /// Word-at-a-time and branchless: sign-random data would mispredict a
+    /// per-bit branch on nearly every element, which once dominated the
+    /// whole inference hot path.
     pub fn from_signs(values: &[f32]) -> Self {
         let mut v = Self::zeros(values.len());
-        for (i, &x) in values.iter().enumerate() {
-            if x >= 0.0 {
-                v.set(i, true);
-            }
-        }
+        pack_words(&mut v.words, values.len(), |i| values[i] >= 0.0);
         v
     }
 
     /// Packs a boolean slice.
     pub fn from_bools(values: &[bool]) -> Self {
         let mut v = Self::zeros(values.len());
-        for (i, &b) in values.iter().enumerate() {
-            if b {
-                v.set(i, true);
-            }
-        }
+        pack_words(&mut v.words, values.len(), |i| values[i]);
         v
     }
 
     /// Number of bits.
+    #[inline]
     pub fn len(&self) -> usize {
         self.len
     }
@@ -109,8 +129,13 @@ impl BitVec {
     /// # Panics
     ///
     /// Panics if `i >= len`.
+    #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for length {}",
+            self.len
+        );
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
@@ -119,8 +144,13 @@ impl BitVec {
     /// # Panics
     ///
     /// Panics if `i >= len`.
+    #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for length {}",
+            self.len
+        );
         let mask = 1u64 << (i % WORD_BITS);
         if value {
             self.words[i / WORD_BITS] |= mask;
@@ -135,7 +165,11 @@ impl BitVec {
     ///
     /// Panics if `i >= len`.
     pub fn flip(&mut self, i: usize) {
-        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for length {}",
+            self.len
+        );
         self.words[i / WORD_BITS] ^= 1u64 << (i % WORD_BITS);
     }
 
@@ -144,7 +178,72 @@ impl BitVec {
         self.words.iter().map(|w| w.count_ones()).sum()
     }
 
+    /// Number of set bits among the first `n` positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len`.
+    #[inline]
+    pub fn count_ones_first(&self, n: usize) -> u32 {
+        assert!(n <= self.len, "prefix {n} longer than vector {}", self.len);
+        if n == 0 {
+            return 0;
+        }
+        let full = n / WORD_BITS;
+        let mut count: u32 = self.words[..full].iter().map(|w| w.count_ones()).sum();
+        let rem = n % WORD_BITS;
+        if rem != 0 {
+            count += (self.words[full] & ((1u64 << rem) - 1)).count_ones();
+        }
+        count
+    }
+
+    /// Copies `take` bits starting at `start` into a fresh vector of length
+    /// `out_len ≥ take`, zero-padded at the tail — the word-level kernel
+    /// behind tiled engines slicing a batch input across column tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + take > len` or `take > out_len`.
+    pub fn slice_padded(&self, start: usize, take: usize, out_len: usize) -> BitVec {
+        assert!(
+            start + take <= self.len,
+            "slice {start}+{take} exceeds length {}",
+            self.len
+        );
+        assert!(
+            take <= out_len,
+            "slice of {take} bits cannot fit output of {out_len}"
+        );
+        let mut out = BitVec::zeros(out_len);
+        if take == 0 {
+            return out;
+        }
+        let word0 = start / WORD_BITS;
+        let shift = start % WORD_BITS;
+        let out_words = take.div_ceil(WORD_BITS);
+        for w in 0..out_words {
+            let lo = self.words.get(word0 + w).copied().unwrap_or(0) >> shift;
+            let hi = if shift == 0 {
+                0
+            } else {
+                self.words.get(word0 + w + 1).copied().unwrap_or(0) << (WORD_BITS - shift)
+            };
+            out.words[w] = lo | hi;
+        }
+        // Mask bits beyond `take` so padding stays −1 (zero bits).
+        let rem = take % WORD_BITS;
+        if rem != 0 {
+            out.words[out_words - 1] &= (1u64 << rem) - 1;
+        }
+        for w in &mut out.words[out_words..] {
+            *w = 0;
+        }
+        out
+    }
+
     /// The packed words (tail bits beyond `len` are always zero).
+    #[inline]
     pub fn as_words(&self) -> &[u64] {
         &self.words
     }
@@ -154,6 +253,7 @@ impl BitVec {
     /// # Panics
     ///
     /// Panics if the lengths differ.
+    #[inline]
     pub fn xnor_popcount(&self, other: &BitVec) -> u32 {
         assert_eq!(self.len, other.len, "xnor_popcount: length mismatch");
         xnor_popcount(&self.words, &other.words, self.len)
@@ -164,13 +264,16 @@ impl BitVec {
     /// # Panics
     ///
     /// Panics if the lengths differ.
+    #[inline]
     pub fn dot_pm1(&self, other: &BitVec) -> i32 {
         2 * self.xnor_popcount(other) as i32 - self.len as i32
     }
 
     /// Expands back to a ±1 float vector.
     pub fn to_signs(&self) -> Vec<f32> {
-        (0..self.len).map(|i| if self.get(i) { 1.0 } else { -1.0 }).collect()
+        (0..self.len)
+            .map(|i| if self.get(i) { 1.0 } else { -1.0 })
+            .collect()
     }
 }
 
@@ -204,10 +307,16 @@ impl BitMatrix {
     /// Creates an all −1 matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         let wpr = words_for(cols);
-        Self { rows, cols, words_per_row: wpr, data: vec![0; wpr * rows] }
+        Self {
+            rows,
+            cols,
+            words_per_row: wpr,
+            data: vec![0; wpr * rows],
+        }
     }
 
-    /// Packs the signs of a row-major float matrix of shape `[rows, cols]`.
+    /// Packs the signs of a row-major float matrix of shape `[rows, cols]`
+    /// (branchless, word-at-a-time — see [`BitVec::from_signs`]).
     ///
     /// # Panics
     ///
@@ -216,11 +325,30 @@ impl BitMatrix {
         assert_eq!(values.len(), rows * cols, "from_signs: size mismatch");
         let mut m = Self::zeros(rows, cols);
         for r in 0..rows {
-            for c in 0..cols {
-                if values[r * cols + c] >= 0.0 {
-                    m.set(r, c, true);
-                }
-            }
+            let row_values = &values[r * cols..(r + 1) * cols];
+            let row_words = &mut m.data[r * m.words_per_row..(r + 1) * m.words_per_row];
+            pack_words(row_words, cols, |i| row_values[i] >= 0.0);
+        }
+        m
+    }
+
+    /// Packs the signs of `rows.len()` separate feature slices, one per
+    /// matrix row — the zero-concatenation entry point for serving paths
+    /// whose samples arrive as individual vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice's length differs from `cols`.
+    pub fn from_sign_rows(rows: &[&[f32]], cols: usize) -> Self {
+        let mut m = Self::zeros(rows.len(), cols);
+        for (r, row_values) in rows.iter().enumerate() {
+            assert_eq!(
+                row_values.len(),
+                cols,
+                "from_sign_rows: row {r} width mismatch"
+            );
+            let row_words = &mut m.data[r * m.words_per_row..(r + 1) * m.words_per_row];
+            pack_words(row_words, cols, |i| row_values[i] >= 0.0);
         }
         m
     }
@@ -240,8 +368,12 @@ impl BitMatrix {
     /// # Panics
     ///
     /// Panics if out of range.
+    #[inline]
     pub fn get(&self, r: usize, c: usize) -> bool {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         (self.data[r * self.words_per_row + c / WORD_BITS] >> (c % WORD_BITS)) & 1 == 1
     }
 
@@ -250,8 +382,12 @@ impl BitMatrix {
     /// # Panics
     ///
     /// Panics if out of range.
+    #[inline]
     pub fn set(&mut self, r: usize, c: usize, value: bool) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         let mask = 1u64 << (c % WORD_BITS);
         let w = &mut self.data[r * self.words_per_row + c / WORD_BITS];
         if value {
@@ -267,7 +403,10 @@ impl BitMatrix {
     ///
     /// Panics if out of range.
     pub fn flip(&mut self, r: usize, c: usize) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.words_per_row + c / WORD_BITS] ^= 1u64 << (c % WORD_BITS);
     }
 
@@ -276,6 +415,7 @@ impl BitMatrix {
     /// # Panics
     ///
     /// Panics if `r >= rows`.
+    #[inline]
     pub fn row_words(&self, r: usize) -> &[u64] {
         assert!(r < self.rows, "row {r} out of range");
         &self.data[r * self.words_per_row..(r + 1) * self.words_per_row]
@@ -287,7 +427,37 @@ impl BitMatrix {
     ///
     /// Panics if `r >= rows`.
     pub fn row(&self, r: usize) -> BitVec {
-        BitVec { words: self.row_words(r).to_vec(), len: self.cols }
+        BitVec {
+            words: self.row_words(r).to_vec(),
+            len: self.cols,
+        }
+    }
+
+    /// Overwrites row `r` with the words of `src` (word-level copy; the
+    /// fast path batched layer evaluation uses to store per-sample
+    /// activation rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `src.len() != cols`.
+    pub fn set_row(&mut self, r: usize, src: &BitVec) {
+        assert!(r < self.rows, "row {r} out of range");
+        assert_eq!(src.len(), self.cols, "set_row: width mismatch");
+        let dst = &mut self.data[r * self.words_per_row..(r + 1) * self.words_per_row];
+        dst.copy_from_slice(&src.words);
+    }
+
+    /// Overwrites row `r` from a bit predicate over `0..cols`, branchlessly
+    /// word-at-a-time (the batched layer output path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn set_row_bits(&mut self, r: usize, bit: impl Fn(usize) -> bool) {
+        assert!(r < self.rows, "row {r} out of range");
+        let row_words = &mut self.data[r * self.words_per_row..(r + 1) * self.words_per_row];
+        pack_words(row_words, self.cols, bit);
     }
 
     /// Matrix–vector ±1 product: element `r` is `2·popcount(XNOR(row_r, x)) − cols`.
@@ -301,8 +471,10 @@ impl BitMatrix {
     pub fn matvec_pm1(&self, x: &BitVec) -> Vec<i32> {
         assert_eq!(x.len(), self.cols, "matvec_pm1: length mismatch");
         (0..self.rows)
-            .map(|r| 2 * xnor_popcount(self.row_words(r), x.as_words(), self.cols) as i32
-                - self.cols as i32)
+            .map(|r| {
+                2 * xnor_popcount(self.row_words(r), x.as_words(), self.cols) as i32
+                    - self.cols as i32
+            })
             .collect()
     }
 
@@ -314,7 +486,13 @@ impl BitMatrix {
 
 impl fmt::Debug for BitMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "BitMatrix({}×{}, ones={})", self.rows, self.cols, self.count_ones())
+        write!(
+            f,
+            "BitMatrix({}×{}, ones={})",
+            self.rows,
+            self.cols,
+            self.count_ones()
+        )
     }
 }
 
@@ -347,8 +525,12 @@ mod tests {
     fn dot_pm1_matches_float_dot() {
         let mut rng = StdRng::seed_from_u64(21);
         for len in [1usize, 7, 64, 65, 200] {
-            let a: Vec<f32> = (0..len).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
-            let b: Vec<f32> = (0..len).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            let a: Vec<f32> = (0..len)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
+            let b: Vec<f32> = (0..len)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
             let fa = a.iter().zip(&b).map(|(x, y)| x * y).sum::<f32>() as i32;
             let bv_a = BitVec::from_signs(&a);
             let bv_b = BitVec::from_signs(&b);
@@ -394,13 +576,64 @@ mod tests {
         let w: Vec<f32> = (0..rows * cols)
             .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
             .collect();
-        let x: Vec<f32> = (0..cols).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f32> = (0..cols)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
         let m = BitMatrix::from_signs(&w, rows, cols);
         let xv = BitVec::from_signs(&x);
         let got = m.matvec_pm1(&xv);
         for r in 0..rows {
             let expect: f32 = (0..cols).map(|c| w[r * cols + c] * x[c]).sum();
             assert_eq!(got[r], expect as i32, "row {r}");
+        }
+    }
+
+    #[test]
+    fn count_ones_first_matches_bit_loop() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for len in [1usize, 63, 64, 65, 130, 200] {
+            let bits: Vec<bool> = (0..len).map(|_| rng.gen::<bool>()).collect();
+            let v = BitVec::from_bools(&bits);
+            for n in [0, 1, len / 2, len] {
+                let expect = bits[..n].iter().filter(|&&b| b).count() as u32;
+                assert_eq!(v.count_ones_first(n), expect, "len {len}, n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_padded_matches_bit_loop() {
+        let mut rng = StdRng::seed_from_u64(32);
+        for len in [1usize, 64, 65, 130, 300] {
+            let bits: Vec<bool> = (0..len).map(|_| rng.gen::<bool>()).collect();
+            let v = BitVec::from_bools(&bits);
+            for _ in 0..20 {
+                let start = rng.gen_range(0..len);
+                let take = rng.gen_range(0..=(len - start));
+                let out_len = take + rng.gen_range(0usize..70);
+                let s = v.slice_padded(start, take, out_len);
+                assert_eq!(s.len(), out_len);
+                for i in 0..take {
+                    assert_eq!(s.get(i), bits[start + i], "len {len} start {start} i {i}");
+                }
+                for i in take..out_len {
+                    assert!(!s.get(i), "padding must be zero");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_row_copies_words() {
+        let mut m = BitMatrix::zeros(3, 70);
+        let mut rng = StdRng::seed_from_u64(33);
+        let bits: Vec<bool> = (0..70).map(|_| rng.gen::<bool>()).collect();
+        let v = BitVec::from_bools(&bits);
+        m.set_row(1, &v);
+        for c in 0..70 {
+            assert_eq!(m.get(1, c), bits[c]);
+            assert!(!m.get(0, c));
+            assert!(!m.get(2, c));
         }
     }
 

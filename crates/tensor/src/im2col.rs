@@ -46,7 +46,13 @@ impl Conv1dGeom {
             "kernel {kernel} longer than padded signal {}",
             len + 2 * padding
         );
-        Self { channels, len, kernel, stride, padding }
+        Self {
+            channels,
+            len,
+            kernel,
+            stride,
+            padding,
+        }
     }
 
     /// Output length: `(len + 2·padding − kernel) / stride + 1`.
@@ -190,7 +196,17 @@ impl Conv2dGeom {
             height + 2 * pad_h,
             width + 2 * pad_w,
         );
-        Self { channels, height, width, kernel_h, kernel_w, stride_h, stride_w, pad_h, pad_w }
+        Self {
+            channels,
+            height,
+            width,
+            kernel_h,
+            kernel_w,
+            stride_h,
+            stride_w,
+            pad_h,
+            pad_w,
+        }
     }
 
     /// Output height.
@@ -312,8 +328,8 @@ mod tests {
                 let mut acc = 0.0;
                 for c in 0..geom.channels {
                     for kk in 0..geom.kernel {
-                        let pos = t as isize * geom.stride as isize + kk as isize
-                            - geom.padding as isize;
+                        let pos =
+                            t as isize * geom.stride as isize + kk as isize - geom.padding as isize;
                         if pos >= 0 && (pos as usize) < geom.len {
                             acc += input.at(&[c, pos as usize])
                                 * weight.at(&[o, c * geom.kernel + kk]);
@@ -382,7 +398,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         let geom = Conv2dGeom::new(2, 6, 5, (3, 3), (2, 2), (1, 1));
         let x = Tensor::randn([2, 6, 5], 1.0, &mut rng);
-        let y = Tensor::randn([geom.patch_rows(), geom.out_h() * geom.out_w()], 1.0, &mut rng);
+        let y = Tensor::randn(
+            [geom.patch_rows(), geom.out_h() * geom.out_w()],
+            1.0,
+            &mut rng,
+        );
         let lhs = im2col2d(&x, &geom).dot(&y);
         let rhs = x.dot(&im2col2d_backward(&y, &geom));
         assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {lhs} vs {rhs}");

@@ -38,9 +38,11 @@ mod shape;
 mod tensor;
 
 pub use bits::{xnor_popcount, BitMatrix, BitVec};
-pub use im2col::{im2col1d, im2col1d_backward, im2col2d, im2col2d_backward, Conv1dGeom, Conv2dGeom};
+pub use im2col::{
+    im2col1d, im2col1d_backward, im2col2d, im2col2d_backward, Conv1dGeom, Conv2dGeom,
+};
 pub use shape::Shape;
-pub use tensor::Tensor;
+pub use tensor::{argmax, Tensor};
 
 /// Numerical tolerance used throughout the test-suites of this workspace.
 pub const TEST_EPS: f32 = 1e-4;

@@ -84,7 +84,10 @@ impl Tensor {
         assert_eq!(rhs.shape().ndim(), 2, "matmul_nt: rhs must be 2-D");
         let (m, k) = (self.dim(0), self.dim(1));
         let (n, k2) = (rhs.dim(0), rhs.dim(1));
-        assert_eq!(k, k2, "matmul_nt: trailing dimensions {k} and {k2} disagree");
+        assert_eq!(
+            k, k2,
+            "matmul_nt: trailing dimensions {k} and {k2} disagree"
+        );
 
         let a = self.as_slice();
         let b = rhs.as_slice();
@@ -92,9 +95,8 @@ impl Tensor {
         let o = out.as_mut_slice();
         par::par_for(m, |i| {
             // Rows are disjoint; reconstruct a mutable view per worker.
-            let orow = unsafe {
-                std::slice::from_raw_parts_mut(o.as_ptr().add(i * n) as *mut f32, n)
-            };
+            let orow =
+                unsafe { std::slice::from_raw_parts_mut(o.as_ptr().add(i * n) as *mut f32, n) };
             let arow = &a[i * k..(i + 1) * k];
             for j in 0..n {
                 let brow = &b[j * k..(j + 1) * k];
@@ -147,8 +149,7 @@ pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
         for p0 in (0..k).step_by(BLOCK) {
             let p1 = (p0 + BLOCK).min(k);
             for i in i0..i1 {
-                let orow =
-                    unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(i * n), n) };
+                let orow = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(i * n), n) };
                 for p in p0..p1 {
                     let av = a[i * k + p];
                     if av == 0.0 {

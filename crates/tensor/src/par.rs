@@ -2,7 +2,7 @@
 //!
 //! The training loops in `rbnn-nn` are embarrassingly parallel over the batch
 //! dimension; this module provides just enough machinery to exploit that with
-//! `crossbeam`'s scoped threads, without introducing a global thread-pool or
+//! `std::thread::scope`, without introducing a global thread-pool or
 //! work-stealing runtime.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -18,7 +18,9 @@ pub fn num_threads() -> usize {
             return n.max(1);
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Runs `f(i)` for every `i in 0..n`, distributing iterations across threads.
@@ -48,9 +50,9 @@ where
         return;
     }
     let next = AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -58,8 +60,7 @@ where
                 f(i);
             });
         }
-    })
-    .expect("parallel worker panicked");
+    });
 }
 
 /// Maps `f` over `0..n` in parallel, preserving order of results.

@@ -26,7 +26,9 @@ impl Shape {
     ///
     /// A zero-dimensional shape (`&[]`) denotes a scalar with one element.
     pub fn new(dims: &[usize]) -> Self {
-        Self { dims: dims.to_vec() }
+        Self {
+            dims: dims.to_vec(),
+        }
     }
 
     /// Number of dimensions.
@@ -131,13 +133,17 @@ impl From<Vec<usize>> for Shape {
 
 impl<const N: usize> From<[usize; N]> for Shape {
     fn from(dims: [usize; N]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 }
 
 impl<const N: usize> From<&[usize; N]> for Shape {
     fn from(dims: &[usize; N]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 }
 

@@ -26,6 +26,21 @@ pub struct Tensor {
     shape: Shape,
 }
 
+/// Index of the maximum element of a slice (first occurrence; 0 for an
+/// empty slice) — the shared argmax behind every classification path.
+#[inline]
+pub fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
 impl Tensor {
     // ------------------------------------------------------------------
     // Constructors
@@ -34,7 +49,10 @@ impl Tensor {
     /// Creates a tensor filled with zeros.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        Self { data: vec![0.0; shape.numel()], shape }
+        Self {
+            data: vec![0.0; shape.numel()],
+            shape,
+        }
     }
 
     /// Creates a tensor filled with ones.
@@ -45,7 +63,10 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
-        Self { data: vec![value; shape.numel()], shape }
+        Self {
+            data: vec![value; shape.numel()],
+            shape,
+        }
     }
 
     /// Creates an `n × n` identity matrix.
@@ -178,7 +199,10 @@ impl Tensor {
     pub fn index_axis0(&self, i: usize) -> Tensor {
         assert!(self.shape.ndim() >= 1, "cannot index a scalar tensor");
         let n = self.shape.dim(0);
-        assert!(i < n, "index {i} out of range for leading axis of extent {n}");
+        assert!(
+            i < n,
+            "index {i} out of range for leading axis of extent {n}"
+        );
         let inner: Vec<usize> = self.shape.dims()[1..].to_vec();
         let stride: usize = inner.iter().product();
         let data = self.data[i * stride..(i + 1) * stride].to_vec();
@@ -194,7 +218,10 @@ impl Tensor {
     pub fn set_axis0(&mut self, i: usize, src: &Tensor) {
         assert!(self.shape.ndim() >= 1, "cannot index a scalar tensor");
         let n = self.shape.dim(0);
-        assert!(i < n, "index {i} out of range for leading axis of extent {n}");
+        assert!(
+            i < n,
+            "index {i} out of range for leading axis of extent {n}"
+        );
         let inner: Vec<usize> = self.shape.dims()[1..].to_vec();
         assert_eq!(src.dims(), &inner[..], "sub-tensor shape mismatch");
         let stride: usize = inner.iter().product();
@@ -237,7 +264,10 @@ impl Tensor {
             self.numel(),
             shape
         );
-        Tensor { data: self.data.clone(), shape }
+        Tensor {
+            data: self.data.clone(),
+            shape,
+        }
     }
 
     /// In-place variant of [`reshape`](Self::reshape); avoids the copy.
@@ -383,15 +413,7 @@ impl Tensor {
 
     /// Index of the maximum element (first occurrence; 0 for empty).
     pub fn argmax(&self) -> usize {
-        let mut best = 0;
-        let mut best_v = f32::NEG_INFINITY;
-        for (i, &v) in self.data.iter().enumerate() {
-            if v > best_v {
-                best_v = v;
-                best = i;
-            }
-        }
-        best
+        argmax(&self.data)
     }
 
     /// Squared L2 norm.
@@ -406,7 +428,11 @@ impl Tensor {
     /// Panics if the shapes differ.
     pub fn dot(&self, other: &Tensor) -> f32 {
         assert_eq!(self.shape, other.shape, "dot: shape mismatch");
-        self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).sum()
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .sum()
     }
 
     /// True if every pairwise difference is at most `tol` in absolute value.

@@ -11,13 +11,22 @@ use rram_bnn::tasks::{Scale, Task, TaskSetup};
 fn main() {
     let setup = TaskSetup::new(Task::Ecg, Scale::Quick, 2024);
     let (train_ds, val_ds) = setup.dataset().cv_fold(5, 0);
-    println!("ECG electrode-inversion task: {} train / {} val recordings\n", train_ds.len(), val_ds.len());
+    println!(
+        "ECG electrode-inversion task: {} train / {} val recordings\n",
+        train_ds.len(),
+        val_ds.len()
+    );
 
     for strategy in BinarizationStrategy::ALL {
         let mut model = setup.build_model(strategy, 1, 99);
         let params = model.param_count();
         let mut opt = Adam::new(0.01);
-        let cfg = train::TrainConfig { epochs: 25, batch_size: 32, eval_every: 25, ..Default::default() };
+        let cfg = train::TrainConfig {
+            epochs: 25,
+            batch_size: 32,
+            eval_every: 25,
+            ..Default::default()
+        };
         let hist = train::fit(
             &mut model,
             train::Labelled::new(train_ds.samples(), train_ds.labels()),
@@ -37,7 +46,11 @@ fn main() {
     let m = memory::ecg_paper();
     println!("\npaper-dimension ECG model (Table II arithmetic):");
     println!("  conv params       {:>9}", m.conv_params);
-    println!("  classifier params {:>9} ({:.0}% of total)", m.classifier_params, m.classifier_fraction() * 100.0);
+    println!(
+        "  classifier params {:>9} ({:.0}% of total)",
+        m.classifier_params,
+        m.classifier_fraction() * 100.0
+    );
     println!(
         "  binarizing only the classifier saves {:.1}% vs 32-bit, {:.1}% vs 8-bit",
         m.bin_classifier_saving(32) * 100.0,

@@ -13,7 +13,11 @@ use rram_bnn::tasks::{Scale, Task, TaskSetup};
 fn main() {
     let setup = TaskSetup::new(Task::Eeg, Scale::Quick, 7);
     let ds = setup.dataset();
-    println!("EEG motor-imagery task: {} trials of shape {:?}", ds.len(), ds.sample_shape());
+    println!(
+        "EEG motor-imagery task: {} trials of shape {:?}",
+        ds.len(),
+        ds.sample_shape()
+    );
 
     // Show the physiological class signal the network must find: the
     // C4/C3 mu-band power ratio separates left- from right-fist imagery.
@@ -37,10 +41,18 @@ fn main() {
     );
 
     let (train_ds, val_ds) = ds.cv_fold(5, 0);
-    for strategy in [BinarizationStrategy::RealWeights, BinarizationStrategy::BinarizedClassifier] {
+    for strategy in [
+        BinarizationStrategy::RealWeights,
+        BinarizationStrategy::BinarizedClassifier,
+    ] {
         let mut model = setup.build_model(strategy, 1, 3);
         let mut opt = Adam::new(0.01);
-        let tc = train::TrainConfig { epochs: 30, batch_size: 32, eval_every: 30, ..Default::default() };
+        let tc = train::TrainConfig {
+            epochs: 30,
+            batch_size: 32,
+            eval_every: 30,
+            ..Default::default()
+        };
         let hist = train::fit(
             &mut model,
             train::Labelled::new(train_ds.samples(), train_ds.labels()),

@@ -17,8 +17,14 @@ fn main() {
             m.classifier_params,
             m.classifier_fraction() * 100.0
         );
-        println!("  32-bit size             {:>10.2} MiB", m.model_bytes(32) as f64 / (1 << 20) as f64);
-        println!("  8-bit size              {:>10.2} MiB", m.model_bytes(8) as f64 / (1 << 20) as f64);
+        println!(
+            "  32-bit size             {:>10.2} MiB",
+            m.model_bytes(32) as f64 / (1 << 20) as f64
+        );
+        println!(
+            "  8-bit size              {:>10.2} MiB",
+            m.model_bytes(8) as f64 / (1 << 20) as f64
+        );
         println!(
             "  bin-classifier size     {:>10.2} MiB (conv 32-bit + classifier 1-bit)",
             m.bin_classifier_bytes(32) / (1 << 20) as f64

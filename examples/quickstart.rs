@@ -27,7 +27,13 @@ fn main() {
 
     // 3. Train with Adam (the paper's optimizer for the medical tasks).
     let mut opt = Adam::new(0.01);
-    let cfg = train::TrainConfig { epochs: 25, batch_size: 32, eval_every: 5, verbose: true, ..Default::default() };
+    let cfg = train::TrainConfig {
+        epochs: 25,
+        batch_size: 32,
+        eval_every: 5,
+        verbose: true,
+        ..Default::default()
+    };
     let history = train::fit(
         &mut model,
         train::Labelled::new(train_ds.samples(), train_ds.labels()),
@@ -43,12 +49,26 @@ fn main() {
     // 4. Deploy: export the classifier to XNOR/popcount form, program it
     //    into 32×32 2T2R arrays (the paper's test-chip geometry), and
     //    evaluate — fresh and after 500 million programming cycles.
-    let report = deploy_and_evaluate(&mut model, &val_ds, &EngineConfig::test_chip(1), 500_000_000)
-        .expect("classifier is binarized and deployable");
+    let report = deploy_and_evaluate(
+        &mut model,
+        &val_ds,
+        &EngineConfig::test_chip(1),
+        500_000_000,
+    )
+    .expect("classifier is binarized and deployable");
     println!("\ndeployment chain accuracy:");
-    println!("  software (float graph)     {:.1}%", report.software_accuracy * 100.0);
-    println!("  exported (bit-packed)      {:.1}%", report.exported_accuracy * 100.0);
-    println!("  RRAM arrays (fresh)        {:.1}%", report.hardware_accuracy * 100.0);
+    println!(
+        "  software (float graph)     {:.1}%",
+        report.software_accuracy * 100.0
+    );
+    println!(
+        "  exported (bit-packed)      {:.1}%",
+        report.exported_accuracy * 100.0
+    );
+    println!(
+        "  RRAM arrays (fresh)        {:.1}%",
+        report.hardware_accuracy * 100.0
+    );
     println!(
         "  RRAM arrays ({}M cycles)  {:.1}%",
         report.cycles / 1_000_000,

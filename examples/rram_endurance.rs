@@ -10,13 +10,22 @@ fn main() {
     let device = DeviceParams::hfo2_default();
     let pcsa = PcsaParams::default_130nm();
 
-    println!("HfO2 device model: LRS median {:.1} kΩ, HRS median {:.1} kΩ",
-        (device.lrs_mu.exp()) / 1e3, (device.hrs_mu.exp()) / 1e3);
-    println!("PCSA offset σ = {} (log-resistance units)\n", pcsa.offset_sigma);
+    println!(
+        "HfO2 device model: LRS median {:.1} kΩ, HRS median {:.1} kΩ",
+        (device.lrs_mu.exp()) / 1e3,
+        (device.hrs_mu.exp()) / 1e3
+    );
+    println!(
+        "PCSA offset σ = {} (log-resistance units)\n",
+        pcsa.offset_sigma
+    );
 
     // Closed-form curve at fine resolution (the smooth Fig 4 lines).
     println!("analytic bit-error rates:");
-    println!("{:>9} | {:>10} {:>10} {:>10}", "Mcycles", "1T1R BL", "1T1R BLb", "2T2R");
+    println!(
+        "{:>9} | {:>10} {:>10} {:>10}",
+        "Mcycles", "1T1R BL", "1T1R BLb", "2T2R"
+    );
     for k in 1..=7 {
         let cycles = k * 100_000_000;
         let p = endurance::analytic_point(&device, &pcsa, cycles, 1.15);
@@ -36,8 +45,14 @@ fn main() {
         blb_wear_scale: 1.15,
         seed: 4,
     };
-    println!("\nMonte-Carlo measurement ({} program/read trials per point):", cfg.trials);
-    println!("{:>9} | {:>10} {:>10} {:>10}", "Mcycles", "1T1R BL", "1T1R BLb", "2T2R");
+    println!(
+        "\nMonte-Carlo measurement ({} program/read trials per point):",
+        cfg.trials
+    );
+    println!(
+        "{:>9} | {:>10} {:>10} {:>10}",
+        "Mcycles", "1T1R BL", "1T1R BLb", "2T2R"
+    );
     for p in endurance::run(&device, &pcsa, &cfg) {
         println!(
             "{:>9} | {:>10.2e} {:>10.2e} {:>10.2e}",

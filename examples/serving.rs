@@ -1,0 +1,95 @@
+//! Serving walkthrough: train an ECG classifier, export it, register it in
+//! a model registry, and serve it through the batched multi-engine
+//! `rbnn-serve` runtime — first on the bit-exact software backend, then on
+//! a pool of Monte-Carlo RRAM engine replicas.
+//!
+//! Run with: `cargo run --example serving --release`
+
+use std::time::Duration;
+
+use rbnn_binary::export_classifier;
+use rbnn_models::BinarizationStrategy;
+use rbnn_nn::{train, Adam};
+use rbnn_rram::EngineConfig;
+use rbnn_serve::{
+    classify_matrix, Backend, BatchPolicy, ModelRegistry, ServeConfig, ServeTask, Server,
+};
+use rram_bnn::deploy::classifier_features;
+use rram_bnn::tasks::{Scale, Task, TaskSetup};
+
+fn main() {
+    // 1. Train the paper's ECG model with a binarized classifier (laptop
+    //    scale), exactly as in the quickstart.
+    let setup = TaskSetup::new(Task::Ecg, Scale::Quick, 42);
+    let mut model = setup.build_model(BinarizationStrategy::BinarizedClassifier, 1, 7);
+    let (train_ds, val_ds) = setup.dataset().cv_fold(5, 0);
+    let mut opt = Adam::new(0.01);
+    let cfg = train::TrainConfig {
+        epochs: 15,
+        batch_size: 32,
+        ..Default::default()
+    };
+    let _ = train::fit(
+        &mut model,
+        train::Labelled::new(train_ds.samples(), train_ds.labels()),
+        None,
+        &mut opt,
+        &cfg,
+    );
+
+    // 2. Export the trained classifier to bit-packed XNOR/popcount form
+    //    and register it for the ECG serving task. The registry pairs the
+    //    network with the array geometry RRAM replicas should use.
+    let network = export_classifier(&model.classifier).expect("binarized classifier");
+    let (features, labels) = classifier_features(&mut model, &val_ds);
+    println!(
+        "exported classifier: {} → {} ({} weight bits)",
+        network.in_features(),
+        network.out_features(),
+        network.weight_bits()
+    );
+    let mut registry = ModelRegistry::new();
+    registry.insert(ServeTask::Ecg, network, EngineConfig::test_chip(1));
+
+    // 3. Serve on the software backend: 4 engine replicas, micro-batches
+    //    of up to 64 requests with a 250µs linger.
+    let config = ServeConfig {
+        workers: 4,
+        backend: Backend::Software,
+        batch: BatchPolicy {
+            max_batch: 64,
+            max_delay: Duration::from_micros(250),
+        },
+        ..Default::default()
+    };
+    let server = Server::start(&registry, &config);
+    let handle = server.handle();
+    let preds = classify_matrix(&handle, ServeTask::Ecg, &features).expect("served");
+    let hits = preds.iter().zip(&labels).filter(|(p, y)| p == y).count();
+    println!(
+        "\nsoftware pool: served {} validation samples, accuracy {:.1}%",
+        labels.len(),
+        100.0 * hits as f32 / labels.len() as f32
+    );
+    println!("{}", server.shutdown());
+
+    // 4. The same traffic on a pool of simulated RRAM chips: every worker
+    //    programs its own independently fabricated replica (distinct
+    //    device seeds), and each read is a Monte-Carlo PCSA sense.
+    let server = Server::start(
+        &registry,
+        &ServeConfig {
+            backend: Backend::Rram,
+            ..config
+        },
+    );
+    let handle = server.handle();
+    let preds = classify_matrix(&handle, ServeTask::Ecg, &features).expect("served");
+    let hits = preds.iter().zip(&labels).filter(|(p, y)| p == y).count();
+    println!(
+        "rram pool: served {} validation samples, accuracy {:.1}%",
+        labels.len(),
+        100.0 * hits as f32 / labels.len() as f32
+    );
+    println!("{}", server.shutdown());
+}

@@ -14,5 +14,6 @@ pub use rbnn_data as data;
 pub use rbnn_models as models;
 pub use rbnn_nn as nn;
 pub use rbnn_rram as rram;
+pub use rbnn_serve as serve;
 pub use rbnn_tensor as tensor;
 pub use rram_bnn as core;

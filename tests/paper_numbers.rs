@@ -3,8 +3,8 @@
 //! arithmetic, memory savings) and to calibrated anchors where they are
 //! statistical (Fig 4 bit-error rates).
 
-use rram_bnn::experiments::{fig4, table4, tables12};
 use rbnn_rram::{endurance, DeviceParams, EnduranceConfig, PcsaParams};
+use rram_bnn::experiments::{fig4, table4, tables12};
 
 #[test]
 fn table1_shapes_match_paper() {
@@ -18,7 +18,10 @@ fn table1_shapes_match_paper() {
         vec![80],
         vec![2],
     ] {
-        assert!(shapes.contains(&&expect), "missing Table I shape {expect:?}");
+        assert!(
+            shapes.contains(&&expect),
+            "missing Table I shape {expect:?}"
+        );
     }
 }
 
@@ -38,7 +41,10 @@ fn table2_shapes_match_paper() {
         vec![75],
         vec![2],
     ] {
-        assert!(shapes.contains(&&expect), "missing Table II shape {expect:?}");
+        assert!(
+            shapes.contains(&&expect),
+            "missing Table II shape {expect:?}"
+        );
     }
 }
 
@@ -65,8 +71,16 @@ fn fig4_anchors_and_gap() {
     // 1T1R ≈ 1e-4 at 100M cycles, ≈ 1e-2 at 700M (the Fig 4 envelope).
     let lo = endurance::analytic_point(&device, &pcsa, 100_000_000, 1.15);
     let hi = endurance::analytic_point(&device, &pcsa, 700_000_000, 1.15);
-    assert!((3e-5..3e-4).contains(&lo.ber_1t1r_bl), "{:.2e}", lo.ber_1t1r_bl);
-    assert!((3e-3..3e-2).contains(&hi.ber_1t1r_bl), "{:.2e}", hi.ber_1t1r_bl);
+    assert!(
+        (3e-5..3e-4).contains(&lo.ber_1t1r_bl),
+        "{:.2e}",
+        lo.ber_1t1r_bl
+    );
+    assert!(
+        (3e-3..3e-2).contains(&hi.ber_1t1r_bl),
+        "{:.2e}",
+        hi.ber_1t1r_bl
+    );
     // Mean 1T1R/2T2R gap across the sweep ≈ two orders of magnitude.
     let mut cfg = EnduranceConfig::fig4_quick();
     cfg.trials = 20_000;

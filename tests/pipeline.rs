@@ -16,7 +16,12 @@ fn train_quick(
     let mut model = setup.build_model(strategy, 1, 5);
     let (train_ds, val_ds) = setup.dataset().cv_fold(5, 0);
     let mut opt = Adam::new(0.01);
-    let cfg = train::TrainConfig { epochs, batch_size: 32, eval_every: epochs, ..Default::default() };
+    let cfg = train::TrainConfig {
+        epochs,
+        batch_size: 32,
+        eval_every: epochs,
+        ..Default::default()
+    };
     let _ = train::fit(
         &mut model,
         train::Labelled::new(train_ds.samples(), train_ds.labels()),
@@ -31,9 +36,8 @@ fn train_quick(
 fn ecg_binarized_classifier_full_chain() {
     let setup = TaskSetup::new(Task::Ecg, Scale::Quick, 101);
     let (mut model, val) = train_quick(&setup, BinarizationStrategy::BinarizedClassifier, 15);
-    let report =
-        deploy_and_evaluate(&mut model, &val, &EngineConfig::test_chip(3), 400_000_000)
-            .expect("deployable");
+    let report = deploy_and_evaluate(&mut model, &val, &EngineConfig::test_chip(3), 400_000_000)
+        .expect("deployable");
     // The trained model must be clearly above chance in software…
     assert!(report.software_accuracy > 0.7, "{report:?}");
     // …and fresh hardware must track the exported bit-packed network.
@@ -53,8 +57,8 @@ fn fully_binarized_classifier_also_deploys() {
     let setup = TaskSetup::new(Task::Ecg, Scale::Quick, 102);
     let (model, val) = train_quick(&setup, BinarizationStrategy::FullyBinarized, 10);
     let mut model = model;
-    let report = deploy_and_evaluate(&mut model, &val, &EngineConfig::test_chip(4), 0)
-        .expect("deployable");
+    let report =
+        deploy_and_evaluate(&mut model, &val, &EngineConfig::test_chip(4), 0).expect("deployable");
     assert!(report.arrays > 0);
     assert!((0.0..=1.0).contains(&report.hardware_accuracy));
 }
@@ -71,8 +75,10 @@ fn exported_classifier_is_bit_exact_on_sign_features() {
     let f = features.dim(1);
     for i in 0..n {
         let row = &features.as_slice()[i * f..(i + 1) * f];
-        let signed: Vec<f32> =
-            row.iter().map(|&v| if v >= 0.0 { 1.0 } else { -1.0 }).collect();
+        let signed: Vec<f32> = row
+            .iter()
+            .map(|&v| if v >= 0.0 { 1.0 } else { -1.0 })
+            .collect();
         let x = rbnn_tensor::Tensor::from_vec(signed.clone(), [1, f]);
         let float_logits = model.classifier.forward(&x, Phase::Eval);
         let bit_logits = network.logits(&signed);

@@ -10,7 +10,12 @@ fn val_acc(setup: &TaskSetup, strategy: BinarizationStrategy, aug: usize, epochs
     let mut model = setup.build_model(strategy, aug, 17);
     let (train_ds, val_ds) = setup.dataset().cv_fold(5, 0);
     let mut opt = Adam::new(0.01);
-    let cfg = train::TrainConfig { epochs, batch_size: 32, eval_every: epochs, ..Default::default() };
+    let cfg = train::TrainConfig {
+        epochs,
+        batch_size: 32,
+        eval_every: epochs,
+        ..Default::default()
+    };
     let hist = train::fit(
         &mut model,
         train::Labelled::new(train_ds.samples(), train_ds.labels()),

@@ -1,0 +1,350 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! Provides the names this workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`], [`Throughput`],
+//! [`black_box`], [`criterion_group!`], [`criterion_main!`] — backed by a
+//! small wall-clock harness instead of criterion's full statistical
+//! machinery: per benchmark it calibrates an iteration batch to a target
+//! duration, takes `sample_size` timed samples, and reports mean ± stddev
+//! (plus throughput when configured). Good enough to compare kernels and
+//! catch order-of-magnitude regressions; not a replacement for upstream
+//! criterion's analysis.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The measured routine processes this many logical elements per
+    /// iteration.
+    Elements(u64),
+    /// The measured routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted where a benchmark name is expected.
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing configuration shared by [`Criterion`] and [`BenchmarkGroup`].
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(30),
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Runs one timed routine through the calibrate → sample loop and prints the
+/// result line.
+fn run_bench(
+    name: &str,
+    cfg: &Config,
+    throughput: Option<Throughput>,
+    mut routine: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+
+    // Warm-up / calibration: grow the batch until it costs ≥ 1/5 of the
+    // per-sample budget so Instant overhead stays negligible.
+    let per_sample =
+        cfg.measurement_time.max(Duration::from_millis(10)) / cfg.sample_size.max(1) as u32;
+    let warm_deadline = Instant::now() + cfg.warm_up_time;
+    loop {
+        bencher.elapsed = Duration::ZERO;
+        routine(&mut bencher);
+        if bencher.elapsed * 5 >= per_sample || bencher.iters >= u64::MAX / 2 {
+            break;
+        }
+        if Instant::now() >= warm_deadline
+            && bencher.elapsed * 5 >= per_sample.min(Duration::from_millis(2))
+        {
+            break;
+        }
+        bencher.iters = bencher.iters.saturating_mul(2);
+    }
+    let iters = bencher.iters;
+
+    let samples: Vec<f64> = (0..cfg.sample_size.max(1))
+        .map(|_| {
+            bencher.elapsed = Duration::ZERO;
+            routine(&mut bencher);
+            bencher.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var =
+        samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len().max(1) as f64;
+    let std = var.sqrt();
+
+    let fmt_time = |secs: f64| -> String {
+        if secs < 1e-6 {
+            format!("{:.2} ns", secs * 1e9)
+        } else if secs < 1e-3 {
+            format!("{:.2} µs", secs * 1e6)
+        } else if secs < 1.0 {
+            format!("{:.2} ms", secs * 1e3)
+        } else {
+            format!("{secs:.3} s")
+        }
+    };
+    let mut line = format!(
+        "{name:<40} time: {} ± {} / iter ({iters} iters/sample, {} samples)",
+        fmt_time(mean),
+        fmt_time(std),
+        samples.len()
+    );
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if mean > 0.0 {
+            line.push_str(&format!("  thrpt: {:.0} {unit}/s", count as f64 / mean));
+        }
+    }
+    println!("{line}");
+}
+
+/// The measurement handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen number of iterations.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine(iters)` where the routine manages its own loop.
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        self.elapsed = routine(self.iters);
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    cfg: Config,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Upstream-compat no-op (CLI args are ignored by the vendored
+    /// harness).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&name.into_id(), &self.cfg, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            cfg: self.cfg.clone(),
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: Config,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget for benches in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Annotates subsequent benches with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_bench(&name, &self.cfg, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_bench(&name, &self.cfg, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; the vendored harness
+    /// prints as it goes).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, in either upstream form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs every group (CLI arguments from
+/// `cargo bench` are accepted and ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,19 @@
+//! Minimal distribution traits (mirror of `rand::distributions`).
+
+use crate::{RngCore, StandardSample};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution of a type (what `Rng::gen` samples).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl<T: StandardSample> Distribution<T> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_standard(rng)
+    }
+}

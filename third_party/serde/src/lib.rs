@@ -1,0 +1,228 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! This workspace only ever serializes simple result structs to pretty JSON
+//! (`serde_json::to_string_pretty` in `rbnn-bench`), so the full serde data
+//! model is replaced by one direct trait: [`Serialize::write_json`] appends
+//! a pretty-printed JSON rendering of `self`. The derive macros in
+//! `serde_derive` generate that method for named-field structs and
+//! unit-variant enums — exactly the shapes the experiment result types use.
+//!
+//! [`Deserialize`] is a marker trait: nothing in the workspace parses JSON
+//! back, the derive exists so `#[derive(Serialize, Deserialize)]` on
+//! config/strategy enums keeps compiling.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can render themselves as JSON.
+pub trait Serialize {
+    /// Appends a pretty-printed JSON rendering of `self` to `out`.
+    ///
+    /// `indent` is the current nesting depth (two spaces per level).
+    fn write_json(&self, out: &mut String, indent: usize);
+}
+
+/// Marker counterpart of [`Serialize`]; no parsing support.
+pub trait Deserialize {}
+
+macro_rules! impl_display_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String, _indent: usize) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_display_num!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String, _indent: usize) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no NaN/Inf; serde_json emits null.
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_float!(f32, f64);
+
+/// Escapes and quotes a string per JSON rules.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String, _indent: usize) {
+        write_json_string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String, _indent: usize) {
+        write_json_string(out, self);
+    }
+}
+impl Deserialize for String {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        (**self).write_json(out, indent);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        match self {
+            Some(v) => v.write_json(out, indent),
+            None => out.push_str("null"),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+fn write_seq<'a, T: Serialize + 'a>(
+    items: impl ExactSizeIterator<Item = &'a T>,
+    out: &mut String,
+    indent: usize,
+) {
+    if items.len() == 0 {
+        out.push_str("[]");
+        return;
+    }
+    out.push('[');
+    let inner = indent + 1;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(out, inner);
+        item.write_json(out, inner);
+    }
+    newline_indent(out, indent);
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        write_seq(self.iter(), out, indent);
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        write_seq(self.iter(), out, indent);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        write_seq(self.iter(), out, indent);
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn write_json(&self, out: &mut String, indent: usize) {
+                out.push('[');
+                let inner = indent + 1;
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    newline_indent(out, inner);
+                    self.$idx.write_json(out, inner);
+                )+
+                let _ = first;
+                newline_indent(out, indent);
+                out.push(']');
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Writes a newline followed by two-space indentation — the pretty-printer's
+/// line-break primitive, shared with the derive-generated code.
+pub fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Derive-support: writes the separator + quoted key + `": "` for a struct
+/// field at depth `indent` (`first` controls the leading comma).
+pub fn json_field(out: &mut String, indent: usize, name: &str, first: bool) {
+    if !first {
+        out.push(',');
+    }
+    newline_indent(out, indent);
+    write_json_string(out, name);
+    out.push_str(": ");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_strings() {
+        let mut out = String::new();
+        42u32.write_json(&mut out, 0);
+        assert_eq!(out, "42");
+        out.clear();
+        f32::NAN.write_json(&mut out, 0);
+        assert_eq!(out, "null");
+        out.clear();
+        "a\"b\n".write_json(&mut out, 0);
+        assert_eq!(out, r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn vectors_pretty_print() {
+        let mut out = String::new();
+        vec![1u8, 2].write_json(&mut out, 0);
+        assert_eq!(out, "[\n  1,\n  2\n]");
+        out.clear();
+        Vec::<u8>::new().write_json(&mut out, 0);
+        assert_eq!(out, "[]");
+    }
+
+    #[test]
+    fn options_collapse_to_null() {
+        let mut out = String::new();
+        Option::<u8>::None.write_json(&mut out, 0);
+        assert_eq!(out, "null");
+        out.clear();
+        Some(3u8).write_json(&mut out, 0);
+        assert_eq!(out, "3");
+    }
+}

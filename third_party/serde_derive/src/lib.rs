@@ -1,0 +1,234 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! workspace's JSON-only serde subset.
+//!
+//! Implemented with hand-rolled token parsing (no `syn`/`quote`, which are
+//! unavailable offline). Supports exactly the shapes the workspace derives
+//! on: structs with named fields and enums with unit variants. Anything
+//! else produces a `compile_error!` pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a derive input.
+enum Shape {
+    /// Struct name + ordered field names.
+    Struct(String, Vec<String>),
+    /// Enum name + unit variant names.
+    Enum(String, Vec<String>),
+}
+
+/// Skips `#[...]` attribute at `i` (including doc comments); returns the
+/// index after it, or `i` unchanged.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Extracts the ordered field names of a named-field struct body.
+fn parse_struct_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        if i >= body.len() {
+            break;
+        }
+        // Visibility: `pub` optionally followed by `(crate)` etc.
+        if matches!(&body[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&body[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+                i += 1;
+            }
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        match &body[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field, found `{other}`")),
+        }
+        fields.push(name);
+        // Skip the type up to the next top-level comma, tracking `<...>`
+        // nesting so commas inside generics don't split a field.
+        let mut angle = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Extracts the variant names of a unit-variant enum body.
+fn parse_enum_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        i += 1;
+        if i < body.len() {
+            if let TokenTree::Group(_) = &body[i] {
+                return Err(format!(
+                    "variant `{name}` carries data; only unit variants are supported"
+                ));
+            }
+        }
+        variants.push(name);
+        // Skip optional `= discriminant` up to the comma.
+        while i < body.len() {
+            if matches!(&body[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        i = skip_attrs(&tokens, i);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(
+                    tokens.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                let is_struct = id.to_string() == "struct";
+                let name = match tokens.get(i + 1) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => return Err(format!("expected type name, found {other:?}")),
+                };
+                i += 2;
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                    return Err(format!("`{name}`: generic types are not supported"));
+                }
+                let body = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        g.stream().into_iter().collect::<Vec<_>>()
+                    }
+                    _ => {
+                        return Err(format!(
+                            "`{name}`: only brace-bodied (named-field / unit-variant) \
+                             types are supported"
+                        ))
+                    }
+                };
+                return if is_struct {
+                    Ok(Shape::Struct(name, parse_struct_fields(&body)?))
+                } else {
+                    Ok(Shape::Enum(name, parse_enum_variants(&body)?))
+                };
+            }
+            Some(_) => i += 1,
+            None => return Err("no struct or enum found in derive input".into()),
+        }
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!(
+        "compile_error!({:?});",
+        format!("serde_derive (vendored): {msg}")
+    )
+    .parse()
+    .expect("compile_error tokens")
+}
+
+/// Derives `serde::Serialize` (vendored JSON-only subset).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct(name, fields) => {
+            let mut body = String::new();
+            if fields.is_empty() {
+                body.push_str("out.push_str(\"{}\");");
+            } else {
+                body.push_str("out.push('{');\n");
+                for (idx, f) in fields.iter().enumerate() {
+                    body.push_str(&format!(
+                        "::serde::json_field(out, indent + 1, {f:?}, {first});\n\
+                         ::serde::Serialize::write_json(&self.{f}, out, indent + 1);\n",
+                        first = idx == 0
+                    ));
+                }
+                body.push_str("::serde::newline_indent(out, indent);\nout.push('}');");
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn write_json(&self, out: &mut ::std::string::String, indent: usize) {{\n\
+                     let _ = indent;\n{body}\n}}\n}}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            if variants.is_empty() {
+                return compile_error(&format!("enum `{name}` has no variants"));
+            }
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn write_json(&self, out: &mut ::std::string::String, _indent: usize) {{\n\
+                     let s = match self {{\n{arms}}};\n\
+                     ::serde::write_json_string(out, s);\n}}\n}}"
+            )
+        }
+    };
+    code.parse().expect("generated impl tokens")
+}
+
+/// Derives `serde::Deserialize` (vendored marker-trait subset).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let name = match shape {
+        Shape::Struct(name, _) | Shape::Enum(name, _) => name,
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("generated impl tokens")
+}

@@ -1,0 +1,44 @@
+//! Offline vendored subset of `serde_json`: pretty serialization only.
+
+use std::fmt;
+
+use serde::Serialize;
+
+/// Serialization error. The vendored pretty-printer is infallible, so this
+/// type exists purely to keep `serde_json::to_string_pretty` signatures
+/// source-compatible.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json (vendored): serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as pretty-printed JSON (two-space indentation).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_json(&mut out, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as JSON (same output as [`to_string_pretty`] in this
+/// vendored subset).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string_pretty(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested_vec() {
+        let v = vec![vec![1u8], vec![2, 3]];
+        let json = to_string_pretty(&v).unwrap();
+        assert_eq!(json, "[\n  [\n    1\n  ],\n  [\n    2,\n    3\n  ]\n]");
+    }
+}
