@@ -9,7 +9,7 @@ use rbnn_binary::{BinaryDense, BinaryNetwork};
 use rbnn_rram::{
     DeviceParams, EngineConfig, NetworkEngine, Pcsa, PcsaParams, RramArray, Synapse2T2R,
 };
-use rbnn_tensor::{BitMatrix, BitVec};
+use rbnn_tensor::{BitMatrix, BitVec, Tensor};
 
 fn bench_device_ops(c: &mut Criterion) {
     let params = DeviceParams::hfo2_default();
@@ -49,7 +49,8 @@ fn bench_array_row_ops(c: &mut Criterion) {
 }
 
 /// End-to-end in-memory inference of a Table-I-sized classifier
-/// (2520 → 80 → 2) on the 32×32 test-chip fabric.
+/// (2520 → 80 → 2) on the 32×32 test-chip fabric: single-sample and
+/// batch-64 margin-gated paths (fresh devices, so senses short-circuit).
 fn bench_network_engine(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let mk = |out: usize, inp: usize, rng: &mut StdRng| {
@@ -70,6 +71,26 @@ fn bench_network_engine(c: &mut Criterion) {
     c.bench_function("network_engine_eeg_classifier", |bench| {
         bench.iter(|| black_box(engine.logits(&x)))
     });
+
+    let batch = 64usize;
+    let xs: Vec<f32> = (0..batch * 2520)
+        .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+        .collect();
+    let features = Tensor::from_vec(xs, [batch, 2520]);
+    let mut group = c.benchmark_group("network_engine_batched");
+    group.throughput(criterion::Throughput::Elements(batch as u64));
+    // Default cap is sequential (1); the second point opts into fan-out.
+    group.bench_function("logits_batch_64", |bench| {
+        bench.iter(|| black_box(engine.logits_batch(&features)))
+    });
+    // Tile-parallel fan-out (auto thread cap); identical results, lower
+    // wall clock on multicore hosts.
+    engine.set_parallelism(0);
+    group.bench_function("logits_batch_64_tile_parallel", |bench| {
+        bench.iter(|| black_box(engine.logits_batch(&features)))
+    });
+    engine.set_parallelism(1);
+    group.finish();
 }
 
 criterion_group! {

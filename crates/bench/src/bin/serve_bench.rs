@@ -10,12 +10,22 @@
 //! server-side merge path (single-sample requests coalesced by the
 //! adaptive batcher) for clients that cannot batch.
 //!
-//! Acceptance experiment: with a 4-engine pool on the ECG classifier,
-//! batch 64 must clear ≥4× the throughput of batch 1, p99 reported.
+//! Acceptance experiments:
 //!
-//! Usage: `cargo run --release --bin serve_bench [--quick|--full] [--strict]`
-//! (`--strict` exits non-zero when the ≥4× acceptance fails — for gating on
-//! dedicated hardware; wall-clock ratios on shared/1-core machines vary).
+//! * software backend — with a 4-engine pool on the ECG classifier,
+//!   batch 64 must clear ≥4× the throughput of batch 1, p99 reported;
+//! * RRAM backend — margin-gated sensing must hold the deployed ECG
+//!   classifier at ≥2100 samples/s — 50× the ~42 samples/s the ungated
+//!   Monte-Carlo path managed (measured at paper scale, the only scale it
+//!   could finish at; the deployed model is ~6× smaller, so the floor is
+//!   conservative) — fresh devices, any core count.
+//!
+//! Usage: `cargo run --release --bin serve_bench [--quick|--full]
+//! [--strict] [--rram-strict]`. `--strict` exits non-zero when the ≥4×
+//! software acceptance fails — for gating on dedicated hardware;
+//! wall-clock *ratios* on shared/1-core machines vary. `--rram-strict`
+//! gates the RRAM floor, which is CPU-cheap enough to hold on shared CI
+//! runners (the margin-gated path is the regression being guarded).
 
 use std::time::{Duration, Instant};
 
@@ -52,7 +62,17 @@ struct ServeBenchResult {
     task: String,
     points: Vec<OperatingPoint>,
     speedup_batch64_vs_1: f64,
+    /// Deployed-model RRAM throughput at batch 64 (margin-gated path).
+    rram_deployed_samples_per_s: f64,
 }
+
+/// Floor for the deployed-model RRAM operating point under
+/// `--rram-strict`: 50× the ~42 samples/s the ungated three-draw
+/// Monte-Carlo sampler reached on a 1-core container. That baseline was
+/// measured at paper scale (2520→80→2; the deployed RRAM point was never
+/// measurable before gating) — the deployed model is ~6× smaller, which
+/// only makes the floor more conservative.
+const RRAM_FLOOR_SAMPLES_PER_S: f64 = 2_100.0;
 
 /// Drives the server with `clients` pipelined clients submitting
 /// `samples_per_request`-sample windows until each has pushed
@@ -81,6 +101,7 @@ fn drive(
         // the regime where batch formation is the throughput lever.
         queue_capacity: 1024,
         seed: 0xBEEF,
+        engine_threads: 1,
     };
     let server = Server::start(registry, &config);
     let width = registry
@@ -161,8 +182,9 @@ fn print_point(p: &OperatingPoint) {
 }
 
 fn main() {
-    let (scale, flags) = parse_scale_with(&["--strict"]);
+    let (scale, flags) = parse_scale_with(&["--strict", "--rram-strict"]);
     let strict = flags[0];
+    let rram_strict = flags[1];
     banner(
         "serve_bench — batched multi-engine serving throughput (ECG classifier)",
         scale,
@@ -191,9 +213,12 @@ fn main() {
 
     let workers = 4;
     let clients = 16;
+    // Margin-gated sensing lets the RRAM rows run real sample counts
+    // (the ungated sampler managed ~42 samples/s and was capped at 64
+    // samples per client to finish at all).
     let (samples_per_client, rram_samples) = match scale {
-        RunScale::Quick => (60_000usize, 64usize),
-        RunScale::Full => (300_000, 320),
+        RunScale::Quick => (60_000usize, 2_000usize),
+        RunScale::Full => (300_000, 10_000),
     };
 
     let mut points = Vec::new();
@@ -257,10 +282,37 @@ fn main() {
         points.push(p);
     }
 
-    println!("\nrram backend (Monte-Carlo PCSA senses; {workers}-engine pool):");
+    println!("\nrram backend, deployed model (margin-gated PCSA senses; {workers}-engine pool):");
+    let mut rram_deployed_64 = 0.0f64;
     for batch in [1usize, 64] {
         let p = drive(
-            &format!("rram batch {batch}"),
+            &format!("rram deployed batch {batch}"),
+            &deployed,
+            Backend::Rram,
+            batch,
+            1,
+            workers,
+            clients,
+            rram_samples,
+        );
+        print_point(&p);
+        if batch == 64 {
+            rram_deployed_64 = p.samples_per_s;
+        }
+        points.push(p);
+    }
+    let rram_accepted = rram_deployed_64 >= RRAM_FLOOR_SAMPLES_PER_S;
+    println!(
+        "rram acceptance (deployed, batch 64): {} ({:.0} samples/s vs \
+         {RRAM_FLOOR_SAMPLES_PER_S:.0} floor = 50× the ungated sampler)",
+        if rram_accepted { "PASS" } else { "FAIL" },
+        rram_deployed_64
+    );
+
+    println!("\nrram backend, paper scale (margin-gated PCSA senses; {workers}-engine pool):");
+    for batch in [1usize, 64] {
+        let p = drive(
+            &format!("rram paper batch {batch}"),
             &paper,
             Backend::Rram,
             batch,
@@ -279,10 +331,11 @@ fn main() {
             task: "ecg".into(),
             points,
             speedup_batch64_vs_1: speedup,
+            rram_deployed_samples_per_s: rram_deployed_64,
         },
     );
 
-    if strict && !accepted {
+    if (strict && !accepted) || (rram_strict && !rram_accepted) {
         std::process::exit(1);
     }
 }

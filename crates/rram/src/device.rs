@@ -199,6 +199,14 @@ impl RramCell {
         self.sample_resistance(params, rng);
     }
 
+    /// The noiseless log-resistance realized by the most recent programming
+    /// event — the per-read-invariant quantity a margin-gated sense path
+    /// caches (per-read noise is then folded into the comparison's combined
+    /// Gaussian instead of being sampled per device).
+    pub fn log_resistance(&self) -> f64 {
+        self.log_resistance
+    }
+
     /// Reads the resistance (log-space), with read noise.
     pub fn read_log_resistance(&self, params: &DeviceParams, rng: &mut impl Rng) -> f64 {
         self.log_resistance + stats::normal(0.0, params.read_noise, rng)

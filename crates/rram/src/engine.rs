@@ -8,7 +8,7 @@
 //! connected BNN layer from in-memory computing basic blocks" of the paper.
 
 use rbnn_binary::{BinaryDense, BinaryNetwork};
-use rbnn_tensor::{BitVec, Tensor};
+use rbnn_tensor::{par, BitVec, Tensor};
 
 use crate::{ArrayStats, DeviceParams, PcsaParams, RramArray};
 
@@ -52,6 +52,8 @@ pub struct DenseEngine {
     out_features: usize,
     scale: Vec<f32>,
     shift: Vec<f32>,
+    /// Thread cap for tile-parallel evaluation (0 = auto).
+    threads: usize,
 }
 
 impl DenseEngine {
@@ -96,7 +98,27 @@ impl DenseEngine {
             out_features,
             scale: scale.to_vec(),
             shift: shift.to_vec(),
+            threads: 1,
         }
+    }
+
+    /// Caps the number of threads tile-parallel evaluation may use:
+    /// `0` = auto (all threads [`rbnn_tensor::par::num_threads`] allows),
+    /// `1` = sequential (the default — with margin-gated fresh devices the
+    /// per-tile work is microseconds, so per-call scoped-thread spawn and
+    /// join would dominate single-sample callers; opt in for worn devices
+    /// or deep batches).
+    ///
+    /// Row tiles run on scoped threads with independent per-tile RNG
+    /// streams (each [`RramArray`] owns its generator), so results are
+    /// identical at any thread count.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// Current tile-parallel thread cap (0 = auto, 1 = sequential).
+    pub fn parallelism(&self) -> usize {
+        self.threads
     }
 
     /// Input feature count.
@@ -112,6 +134,17 @@ impl DenseEngine {
     /// Number of physical arrays used.
     pub fn array_count(&self) -> usize {
         self.tiles.iter().map(|r| r.len()).sum()
+    }
+
+    /// Cells across all tiles currently in the marginal (Monte-Carlo)
+    /// band — the complement of the senses that short-circuit through the
+    /// margin-gated fast path.
+    pub fn marginal_cells(&self) -> usize {
+        self.tiles
+            .iter()
+            .flatten()
+            .map(RramArray::marginal_cells)
+            .sum()
     }
 
     /// Fast-forwards device wear across every array.
@@ -152,11 +185,14 @@ impl DenseEngine {
     ///
     /// The tile bookkeeping is amortized across the batch: the input slice
     /// feeding each column tile is cut once per sample (word-level, not
-    /// bit-by-bit) and reused across every row tile, instead of being
-    /// rebuilt per `(row tile, column tile)` pair as the sequential path
-    /// once did. Every sample still performs its own Monte-Carlo PCSA
-    /// senses, so the statistics (and [`stats`](Self::stats) counters)
-    /// match sequential evaluation.
+    /// bit-by-bit) and reused across every row tile. Row tiles then fan
+    /// out across [`rbnn_tensor::par`] scoped threads (capped by
+    /// [`set_parallelism`](Self::set_parallelism)): each worker claims
+    /// whole row tiles, so every array — and its private RNG stream — is
+    /// driven by exactly one thread in the same per-array operation order
+    /// as sequential evaluation. Results and [`stats`](Self::stats)
+    /// counters are therefore identical at any thread count; every sample
+    /// still performs its own (margin-gated) PCSA senses.
     ///
     /// # Panics
     ///
@@ -165,26 +201,42 @@ impl DenseEngine {
         for x in xs {
             assert_eq!(x.len(), self.in_features, "input width mismatch");
         }
-        let mut out = vec![vec![0u32; self.out_features]; xs.len()];
-        let row_tiles = self.tiles.len();
         let col_tiles = self.tiles.first().map_or(0, Vec::len);
-        for ct in 0..col_tiles {
-            let c0 = ct * self.tile_cols;
-            let cols_used = (self.in_features - c0).min(self.tile_cols);
-            let tile_inputs: Vec<BitVec> = xs
-                .iter()
-                .map(|x| x.slice_padded(c0, cols_used, self.tile_cols))
-                .collect();
-            for rt in 0..row_tiles {
-                let r0 = rt * self.tile_rows;
-                let rows_used = (self.out_features - r0).min(self.tile_rows);
-                let array = &mut self.tiles[rt][ct];
-                for r in 0..rows_used {
-                    for (sample, tile_input) in tile_inputs.iter().enumerate() {
-                        out[sample][r0 + r] +=
-                            array.xnor_popcount_row_prefix(r, tile_input, cols_used);
+        // Cut each sample once per column tile; shared read-only by every
+        // row-tile worker.
+        let tile_inputs: Vec<Vec<BitVec>> = (0..col_tiles)
+            .map(|ct| {
+                let c0 = ct * self.tile_cols;
+                let cols_used = (self.in_features - c0).min(self.tile_cols);
+                xs.iter()
+                    .map(|x| x.slice_padded(c0, cols_used, self.tile_cols))
+                    .collect()
+            })
+            .collect();
+        let (tile_rows, tile_cols) = (self.tile_rows, self.tile_cols);
+        let (in_features, out_features) = (self.in_features, self.out_features);
+        let n_samples = xs.len();
+        let partials: Vec<Vec<Vec<u32>>> =
+            par::par_map_mut(&mut self.tiles, self.threads, |rt, tile_row| {
+                let r0 = rt * tile_rows;
+                let rows_used = (out_features - r0).min(tile_rows);
+                let mut part = vec![vec![0u32; rows_used]; n_samples];
+                for (ct, array) in tile_row.iter_mut().enumerate() {
+                    let cols_used = (in_features - ct * tile_cols).min(tile_cols);
+                    for r in 0..rows_used {
+                        for (sample, tile_input) in tile_inputs[ct].iter().enumerate() {
+                            part[sample][r] +=
+                                array.xnor_popcount_row_prefix(r, tile_input, cols_used);
+                        }
                     }
                 }
+                part
+            });
+        let mut out = vec![vec![0u32; self.out_features]; n_samples];
+        for (rt, part) in partials.iter().enumerate() {
+            let r0 = rt * tile_rows;
+            for (sample, rows) in part.iter().enumerate() {
+                out[sample][r0..r0 + rows.len()].copy_from_slice(rows);
             }
         }
         out
@@ -257,6 +309,19 @@ impl NetworkEngine {
     /// Total physical arrays across layers.
     pub fn array_count(&self) -> usize {
         self.layers.iter().map(|l| l.array_count()).sum()
+    }
+
+    /// Total marginal (still-Monte-Carlo) cells across layers.
+    pub fn marginal_cells(&self) -> usize {
+        self.layers.iter().map(DenseEngine::marginal_cells).sum()
+    }
+
+    /// Caps tile-parallel threads on every layer (0 = auto); see
+    /// [`DenseEngine::set_parallelism`].
+    pub fn set_parallelism(&mut self, threads: usize) {
+        for l in &mut self.layers {
+            l.set_parallelism(threads);
+        }
     }
 
     /// Fast-forwards wear on every device.
@@ -495,6 +560,56 @@ mod tests {
         let _ = bat.logits_batch(&features);
         assert_eq!(seq.stats().senses, bat.stats().senses);
         assert_eq!(seq.stats().programs, bat.stats().programs);
+    }
+
+    #[test]
+    fn tile_parallel_results_are_thread_count_invariant() {
+        // Each array owns its RNG stream and is driven by exactly one
+        // worker, so the fan-out must be bit-identical at any thread cap —
+        // even under wear, where marginal cells actively draw noise.
+        let mut rng = engine_rng(7);
+        let net = random_network(&mut rng);
+        let xs: Vec<f32> = (0..9 * 70)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
+        let features = Tensor::from_vec(xs, [9, 70]);
+        // Heavy read noise puts most cells inside the ±6σ marginal band,
+        // so the workers actively consume their per-tile RNG streams.
+        let mut cfg = EngineConfig::test_chip(14);
+        cfg.device.read_noise = 0.5;
+        let run = |threads: usize| {
+            let mut engine = NetworkEngine::program(&net, &cfg);
+            assert!(engine.marginal_cells() > 100, "test needs marginal cells");
+            engine.set_parallelism(threads);
+            for l in engine.layers() {
+                assert_eq!(l.parallelism(), threads, "cap must propagate");
+            }
+            engine.logits_batch(&features)
+        };
+        let serial = run(1);
+        for threads in [2usize, 0] {
+            let parallel = run(threads);
+            assert_eq!(
+                serial.as_slice(),
+                parallel.as_slice(),
+                "threads={threads} diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_engine_senses_without_marginal_cells() {
+        // Margin gating on fresh devices: (essentially) every cell is
+        // deterministic, which is what makes RRAM serving fast.
+        let mut rng = engine_rng(8);
+        let net = random_network(&mut rng);
+        let engine = NetworkEngine::program(&net, &EngineConfig::test_chip(15));
+        let total: usize = 40 * 70 + 4 * 40;
+        let marginal = engine.marginal_cells();
+        assert!(
+            (marginal as f64) < 0.01 * total as f64,
+            "fresh engine should be ≫99% gated: {marginal}/{total} marginal"
+        );
     }
 
     #[test]

@@ -72,6 +72,11 @@ impl Pcsa {
         self.offset
     }
 
+    /// The per-read comparison noise σ of this instance.
+    pub fn noise_sigma(&self) -> f64 {
+        self.noise_sigma
+    }
+
     /// Senses a 2T2R pair: returns `true` (weight +1) when the BL branch
     /// resistance is lower than the BLb branch (i.e. BL discharges first).
     ///

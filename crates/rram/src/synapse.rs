@@ -76,6 +76,12 @@ impl Synapse2T2R {
         self.bl.cycles()
     }
 
+    /// Immutable access to the two devices `(BL, BLb)` — used by the
+    /// margin-gated sense path to read the realized log-resistances.
+    pub fn cells(&self) -> (&RramCell, &RramCell) {
+        (&self.bl, &self.blb)
+    }
+
     /// Mutable access to the two devices `(BL, BLb)` — used by the
     /// program-verify controller, which pulses each device individually.
     pub fn cells_mut(&mut self) -> (&mut RramCell, &mut RramCell) {

@@ -66,19 +66,38 @@ impl Batcher {
 
     /// Blocks for the next batch. Returns `None` when the queue is closed
     /// and fully drained.
+    ///
+    /// The linger runs in short sub-polls rather than one sleep to the
+    /// full deadline: a straggler request arriving right after a sustained
+    /// burst (fill EWMA ≈ 1) would otherwise wait the entire
+    /// `fill × max_delay` even though nothing else is coming. When two
+    /// consecutive sub-polls time out with the queue still empty, the
+    /// batch dispatches early — an idle tail, not a forming batch.
     pub fn next_batch<T>(&mut self, queue: &BoundedQueue<T>) -> Option<Vec<T>> {
         let mut batch = queue.pop_up_to(self.policy.max_batch)?;
         if batch.len() < self.policy.max_batch {
             let linger = self.current_linger();
             if !linger.is_zero() {
                 let deadline = Instant::now() + linger;
-                while batch.len() < self.policy.max_batch {
-                    match queue.pop_up_to_deadline(self.policy.max_batch - batch.len(), deadline) {
+                let slice = linger / 8;
+                let mut empty_polls = 0u32;
+                while batch.len() < self.policy.max_batch && empty_polls < 2 {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let sub_deadline = (now + slice).min(deadline);
+                    match queue
+                        .pop_up_to_deadline(self.policy.max_batch - batch.len(), sub_deadline)
+                    {
                         // Queue closed: dispatch what we have.
                         None => break,
-                        // Deadline hit with nothing new.
-                        Some(more) if more.is_empty() => break,
-                        Some(more) => batch.extend(more),
+                        // Sub-poll timed out with nothing queued.
+                        Some(more) if more.is_empty() => empty_polls += 1,
+                        Some(more) => {
+                            batch.extend(more);
+                            empty_polls = 0;
+                        }
                     }
                 }
             }
@@ -154,6 +173,68 @@ mod tests {
             b.current_linger() < initial / 4,
             "singleton batches should shrink the linger: {:?} vs {initial:?}",
             b.current_linger()
+        );
+    }
+
+    #[test]
+    fn straggler_after_burst_dispatches_early() {
+        // Regression: after sustained full batches the fill EWMA is ≈1, so
+        // the final straggler of a burst used to linger the whole
+        // `fill × max_delay` against an empty queue.
+        let q = BoundedQueue::new(1024);
+        let mut b = Batcher::new(BatchPolicy {
+            max_batch: 8,
+            max_delay: Duration::from_millis(400),
+        });
+        // Saturate the fill EWMA with full batches.
+        for _ in 0..10 {
+            for i in 0..8 {
+                q.push(i).unwrap();
+            }
+            assert_eq!(b.next_batch(&q).unwrap().len(), 8);
+        }
+        let linger = b.current_linger();
+        assert!(
+            linger > Duration::from_millis(300),
+            "test premise: linger {linger:?} should be near max_delay"
+        );
+        // The straggler: one request, then silence.
+        q.push(99).unwrap();
+        let t0 = Instant::now();
+        let batch = b.next_batch(&q).unwrap();
+        let waited = t0.elapsed();
+        assert_eq!(batch, vec![99]);
+        // Two empty sub-polls of linger/8 each ≈ linger/4 ≪ full linger.
+        assert!(
+            waited < linger / 2,
+            "straggler waited {waited:?} against an empty queue (linger {linger:?})"
+        );
+    }
+
+    #[test]
+    fn linger_survives_trickling_arrivals() {
+        // Sub-polls that *do* find items must not trip the early-dispatch
+        // counter: a trickle keeps the batch forming until deadline/full.
+        let q = Arc::new(BoundedQueue::new(64));
+        q.push(0u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = thread::spawn(move || {
+            for i in 1..5u32 {
+                thread::sleep(Duration::from_millis(3));
+                q2.push(i).unwrap();
+            }
+        });
+        let mut b = Batcher::new(BatchPolicy {
+            max_batch: 64,
+            max_delay: Duration::from_millis(300),
+        });
+        // Force a long linger despite the EWMA starting at 0.5.
+        b.fill = 1.0;
+        let batch = b.next_batch(&q).unwrap();
+        producer.join().unwrap();
+        assert!(
+            batch.len() >= 3,
+            "trickle should accumulate before dispatch, got {batch:?}"
         );
     }
 

@@ -18,9 +18,10 @@
 //!    stragglers when it is not);
 //! 3. the worker groups the batch by task and runs the *batched* kernels —
 //!    [`rbnn_binary::BinaryNetwork::logits_batch`] on the software backend,
-//!    [`rbnn_rram::NetworkEngine::logits_batch`] on the Monte-Carlo RRAM
-//!    backend — on its own engine replica (replicas, not shared engines:
-//!    PCSA reads need `&mut self`);
+//!    [`rbnn_rram::NetworkEngine::logits_batch`] on the margin-gated RRAM
+//!    backend (deterministic senses short-circuit, marginal cells stay
+//!    Monte-Carlo) — on its own engine replica (replicas, not shared
+//!    engines: PCSA reads need `&mut self`);
 //! 4. each request's one-shot channel delivers a [`Prediction`], and
 //!    [`ServerStats`] records end-to-end latency into a log-scaled
 //!    histogram (p50/p95/p99), throughput, batch fill and per-replica

@@ -42,8 +42,12 @@ pub enum Backend {
     /// device noise) — deterministic and fast.
     #[default]
     Software,
-    /// Full Monte-Carlo RRAM simulation: tiled 2T2R arrays with PCSA
-    /// sensing per read. Slower, but exercises the hardware model.
+    /// Margin-gated RRAM simulation: tiled 2T2R arrays with PCSA sensing
+    /// per read. Senses whose margin clears 6σ (essentially all, on fresh
+    /// devices) short-circuit to a cached deterministic readout, so fresh
+    /// RRAM serving is bit-exact with [`Software`](Backend::Software) and
+    /// fast enough for real traffic; cells inside the marginal band stay
+    /// Monte-Carlo, preserving the worn-device error statistics.
     Rram,
 }
 
@@ -111,7 +115,9 @@ impl ModelRegistry {
 
     /// A registry pre-loaded with paper-shaped random-weight classifiers
     /// for all three tasks (ECG 2520→80→2 per Table I; EEG 1344→100→2;
-    /// image 1024→100→16).
+    /// image 1024→100→16), each paired with a test-chip-geometry
+    /// [`EngineConfig`] so the same entries serve on
+    /// [`Backend::Rram`] at paper scale out of the box.
     ///
     /// Random ±1 weights give the exact compute/memory footprint of the
     /// trained models, which is what serving benchmarks need; use

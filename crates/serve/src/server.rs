@@ -36,6 +36,13 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Base seed for per-replica RRAM device sampling.
     pub seed: u64,
+    /// Per-worker tile parallelism for RRAM replicas: threads each
+    /// worker's engine may fan row tiles across (`0` = auto, all available
+    /// cores). Defaults to 1 — the pool already parallelizes across
+    /// workers, so intra-engine threads only help when workers ≪ cores or
+    /// wear makes individual dispatches slow. Ignored on the software
+    /// backend.
+    pub engine_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -46,6 +53,7 @@ impl Default for ServeConfig {
             batch: BatchPolicy::default(),
             queue_capacity: 4096,
             seed: 0x5EED,
+            engine_threads: 1,
         }
     }
 }
@@ -387,7 +395,9 @@ impl Server {
                                     .seed
                                     .wrapping_add(config.seed)
                                     .wrapping_add(worker_idx as u64 * 0x9E37_79B9);
-                                WorkerEngine::Rram(NetworkEngine::program(&entry.network, &cfg))
+                                let mut engine = NetworkEngine::program(&entry.network, &cfg);
+                                engine.set_parallelism(config.engine_threads);
+                                WorkerEngine::Rram(engine)
                             }
                         };
                         (task, engine)
@@ -490,9 +500,27 @@ fn serve_batch(
         .record_batch(worker_idx, samples_total, senses_total);
 }
 
+/// Largest number of requests [`classify_matrix`] keeps in flight. Deep
+/// enough to let the pool form full batches, comfortably below the default
+/// queue capacity so a lone caller never trips its own backpressure.
+const CLASSIFY_MATRIX_WINDOW: usize = 256;
+
 /// Convenience: classify a whole feature matrix through a handle from one
-/// caller thread, returning predicted classes (used by benches/examples to
-/// drive load without writing client boilerplate).
+/// caller thread, returning predicted classes in row order (used by
+/// benches/examples to drive load without writing client boilerplate).
+///
+/// Requests are *pipelined*: up to [`CLASSIFY_MATRIX_WINDOW`] rows are
+/// enqueued before the oldest response is awaited, so the pool sees a deep
+/// queue and can form real batches. (An earlier revision submitted rows
+/// strictly synchronously — one request in flight — which could never
+/// exercise batching and made every number measured through it a
+/// single-sample number.) On the software backend and on fresh RRAM
+/// devices predictions are identical either way; with worn (marginal)
+/// RRAM cells the different batch grouping consumes each array's
+/// Monte-Carlo stream in a different order, so results are statistically
+/// — not bit-for-bit — equivalent, like every other batched-vs-sequential
+/// path in the engine. On the first error the remaining in-flight
+/// requests are abandoned (their replies are dropped harmlessly).
 pub fn classify_matrix(
     handle: &ServeHandle,
     task: ServeTask,
@@ -501,13 +529,19 @@ pub fn classify_matrix(
     let n = features.dim(0);
     let f = features.dim(1);
     let xs = features.as_slice();
-    (0..n)
-        .map(|i| {
-            handle
-                .classify(task, xs[i * f..(i + 1) * f].to_vec())
-                .map(|p| p.class)
-        })
-        .collect()
+    let mut in_flight = std::collections::VecDeque::with_capacity(CLASSIFY_MATRIX_WINDOW);
+    let mut classes = Vec::with_capacity(n);
+    for i in 0..n {
+        if in_flight.len() >= CLASSIFY_MATRIX_WINDOW {
+            let oldest: Pending = in_flight.pop_front().expect("non-empty window");
+            classes.push(oldest.wait()?.class);
+        }
+        in_flight.push_back(handle.enqueue(task, xs[i * f..(i + 1) * f].to_vec())?);
+    }
+    for pending in in_flight {
+        classes.push(pending.wait()?.class);
+    }
+    Ok(classes)
 }
 
 #[cfg(test)]
@@ -671,5 +705,68 @@ mod tests {
         let features = Tensor::from_vec(xs, [n, f]);
         let served = classify_matrix(&handle, ServeTask::Image, &features).expect("served");
         assert_eq!(served, net.classify_batch(&features));
+    }
+
+    #[test]
+    fn classify_matrix_pipelines_into_real_batches() {
+        // Regression: classify_matrix used to hold one request in flight,
+        // so the pool could never merge its traffic into batches and every
+        // number measured through it was a single-sample number.
+        let registry = ModelRegistry::demo(44);
+        let config = ServeConfig {
+            workers: 1,
+            backend: Backend::Software,
+            ..Default::default()
+        };
+        let server = Server::start(&registry, &config);
+        let handle = server.handle();
+        let net = &registry.get(ServeTask::Ecg).unwrap().network;
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 400;
+        let f = net.in_features();
+        let xs: Vec<f32> = (0..n * f).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let features = Tensor::from_vec(xs, [n, f]);
+        let served = classify_matrix(&handle, ServeTask::Ecg, &features).expect("served");
+        assert_eq!(served, net.classify_batch(&features), "order must hold");
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, n as u64);
+        assert!(
+            snap.mean_batch > 1.5,
+            "pipelined submission must form multi-request batches, mean {:.2}",
+            snap.mean_batch
+        );
+    }
+
+    #[test]
+    fn rram_pool_serves_fresh_devices_bit_exactly_and_fast() {
+        // The margin-gated acceptance path: RRAM serving on fresh devices
+        // must agree with the software network on every sample (all senses
+        // deterministic) while clearing far more than the ~42 samples/s
+        // the ungated Monte-Carlo path managed.
+        let registry = ModelRegistry::demo(45);
+        let config = ServeConfig {
+            workers: 2,
+            backend: Backend::Rram,
+            ..Default::default()
+        };
+        let server = Server::start(&registry, &config);
+        let handle = server.handle();
+        let net = &registry.get(ServeTask::Ecg).unwrap().network;
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 300;
+        let f = net.in_features();
+        let xs: Vec<f32> = (0..n * f).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let features = Tensor::from_vec(xs, [n, f]);
+        let t0 = std::time::Instant::now();
+        let served = classify_matrix(&handle, ServeTask::Ecg, &features).expect("served");
+        let rate = n as f64 / t0.elapsed().as_secs_f64();
+        assert_eq!(served, net.classify_batch(&features), "fresh ⇒ bit-exact");
+        assert!(
+            rate > 300.0,
+            "RRAM serving should be orders beyond 42 samples/s, got {rate:.0}"
+        );
+        let snap = server.shutdown();
+        let senses: u64 = snap.engines.iter().map(|e| e.senses).sum();
+        assert!(senses > 0, "gated senses must still be counted");
     }
 }

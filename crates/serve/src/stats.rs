@@ -7,6 +7,7 @@
 //! high-throughput-server compromise (HdrHistogram in miniature).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Number of histogram buckets; bucket `i` covers latencies up to
@@ -23,8 +24,12 @@ fn bucket_of(latency: Duration) -> usize {
     (micros.ln() / GROWTH.ln()).ceil().min((BUCKETS - 1) as f64) as usize
 }
 
-fn bucket_upper_micros(i: usize) -> f64 {
-    GROWTH.powi(i as i32)
+/// Geometric midpoint of bucket `i`'s bounds — the unbiased point estimate
+/// for a log-scaled bucket. Reporting the upper bound instead (as an
+/// earlier revision did) overstates every percentile by up to one bucket
+/// width (~5%).
+fn bucket_mid_micros(i: usize) -> f64 {
+    GROWTH.powf(i as f64 - 0.5)
 }
 
 /// Per-worker engine counters.
@@ -55,6 +60,14 @@ pub struct EngineSnapshot {
 #[derive(Debug)]
 pub struct ServerStats {
     started: Instant,
+    /// When the first request completed — the throughput baseline. A
+    /// server may sit idle (or warm up) long after the collector is built;
+    /// measuring rate from construction would understate steady state.
+    first_completed: OnceLock<Instant>,
+    /// Offset of the most recent completion from `started`, in
+    /// nanoseconds — the trailing edge of the throughput window, so idle
+    /// time *after* traffic stops does not smear the rate either.
+    last_completed_nanos: AtomicU64,
     submitted: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
@@ -69,6 +82,8 @@ impl ServerStats {
     pub fn new(workers: usize) -> Self {
         Self {
             started: Instant::now(),
+            first_completed: OnceLock::new(),
+            last_completed_nanos: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -91,6 +106,9 @@ impl ServerStats {
 
     /// Records one completed request with its end-to-end latency.
     pub fn record_completed(&self, latency: Duration) {
+        self.first_completed.get_or_init(Instant::now);
+        self.last_completed_nanos
+            .fetch_max(self.started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.completed.fetch_add(1, Ordering::Relaxed);
         self.histogram[bucket_of(latency)].fetch_add(1, Ordering::Relaxed);
     }
@@ -107,25 +125,53 @@ impl ServerStats {
         }
     }
 
-    /// Latency at `q ∈ [0, 1]` from the histogram (upper bucket bound).
+    /// Latency at `q ∈ [0, 1]` from the histogram, reported as the
+    /// geometric midpoint of the containing bucket's bounds (the unbiased
+    /// estimate for log-scaled buckets).
     pub fn latency_quantile(&self, q: f64) -> Duration {
-        let total: u64 = self
+        self.latency_quantiles(&[q])[0]
+    }
+
+    /// Latencies at several quantiles in **one** histogram pass: the
+    /// per-bucket atomics are loaded once and every requested quantile is
+    /// resolved against the same cumulative walk, instead of rescanning
+    /// the full histogram per quantile.
+    pub fn latency_quantiles(&self, qs: &[f64]) -> Vec<Duration> {
+        let counts: Vec<u64> = self
             .histogram
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
-            .sum();
+            .collect();
+        let total: u64 = counts.iter().sum();
         if total == 0 {
-            return Duration::ZERO;
+            return vec![Duration::ZERO; qs.len()];
         }
-        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let targets: Vec<u64> = qs
+            .iter()
+            .map(|q| ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64)
+            .collect();
+        let last = Duration::from_secs_f64(bucket_mid_micros(BUCKETS - 1) / 1e6);
+        let mut out = vec![last; qs.len()];
+        let mut resolved = vec![false; qs.len()];
         let mut seen = 0u64;
-        for (i, b) in self.histogram.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                return Duration::from_secs_f64(bucket_upper_micros(i) / 1e6);
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            let mut all_done = true;
+            for (j, &target) in targets.iter().enumerate() {
+                if !resolved[j] {
+                    if seen >= target {
+                        out[j] = Duration::from_secs_f64(bucket_mid_micros(i) / 1e6);
+                        resolved[j] = true;
+                    } else {
+                        all_done = false;
+                    }
+                }
+            }
+            if all_done {
+                break;
             }
         }
-        Duration::from_secs_f64(bucket_upper_micros(BUCKETS - 1) / 1e6)
+        out
     }
 
     /// A consistent-enough point-in-time summary.
@@ -133,14 +179,31 @@ impl ServerStats {
         let completed = self.completed.load(Ordering::Relaxed);
         let batches = self.batch_count.load(Ordering::Relaxed);
         let elapsed = self.started.elapsed();
+        // Rate window: first completion → last completion, not collector
+        // construction → snapshot — idle time before traffic arrives or
+        // after it stops would otherwise understate the steady-state rate.
+        // The first completed request marks the baseline (it is the event
+        // *at* time zero), so the rate counts the `completed − 1` requests
+        // that finished inside the window.
+        let window = self
+            .first_completed
+            .get()
+            .map(|first| {
+                let first_nanos = first.duration_since(self.started).as_nanos() as u64;
+                let last_nanos = self.last_completed_nanos.load(Ordering::Relaxed);
+                Duration::from_nanos(last_nanos.saturating_sub(first_nanos))
+            })
+            .unwrap_or(Duration::ZERO);
+        let quantiles = self.latency_quantiles(&[0.50, 0.95, 0.99]);
         StatsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed,
             rejected: self.rejected.load(Ordering::Relaxed),
             queue_depth,
             elapsed,
-            throughput: if elapsed.as_secs_f64() > 0.0 {
-                completed as f64 / elapsed.as_secs_f64()
+            window,
+            throughput: if completed > 1 && window.as_secs_f64() > 0.0 {
+                (completed - 1) as f64 / window.as_secs_f64()
             } else {
                 0.0
             },
@@ -149,9 +212,9 @@ impl ServerStats {
             } else {
                 0.0
             },
-            p50: self.latency_quantile(0.50),
-            p95: self.latency_quantile(0.95),
-            p99: self.latency_quantile(0.99),
+            p50: quantiles[0],
+            p95: quantiles[1],
+            p99: quantiles[2],
             engines: self
                 .engines
                 .iter()
@@ -178,7 +241,12 @@ pub struct StatsSnapshot {
     pub queue_depth: usize,
     /// Time since the collector was created.
     pub elapsed: Duration,
-    /// Completed requests per second since startup.
+    /// Time from the first to the most recent completed request (zero
+    /// until two requests complete) — the throughput measurement window.
+    pub window: Duration,
+    /// Completed requests per second across the first→last completion
+    /// window (steady-state rate, unaffected by idle time before traffic
+    /// arrives or after it stops).
     pub throughput: f64,
     /// Mean dispatched batch size.
     pub mean_batch: f64,
@@ -270,5 +338,88 @@ mod tests {
     fn empty_histogram_is_zero() {
         let stats = ServerStats::new(0);
         assert_eq!(stats.latency_quantile(0.99), Duration::ZERO);
+    }
+
+    #[test]
+    fn quantile_is_bucket_midpoint_not_upper_bound() {
+        // Regression: quantiles used to report the bucket *upper* bound,
+        // overstating every percentile by up to one bucket width (~5%).
+        // With a single recorded latency, every quantile must land at the
+        // geometric midpoint of its bucket — which brackets the true value
+        // within ±2.5%, whereas the upper bound sits strictly above it.
+        let stats = ServerStats::new(1);
+        let lat = Duration::from_micros(1000);
+        stats.record_completed(lat);
+        for q in [0.5, 0.95, 0.99] {
+            let got = stats.latency_quantile(q).as_secs_f64() * 1e6;
+            let ratio = got / 1000.0;
+            assert!(
+                (0.976..=1.025).contains(&ratio),
+                "q={q}: {got:.1}µs should be within one half-bucket of 1000µs"
+            );
+        }
+        // The midpoint must sit strictly below the old upper-bound report.
+        let i = bucket_of(lat);
+        assert!(bucket_mid_micros(i) < GROWTH.powi(i as i32));
+    }
+
+    #[test]
+    fn multi_quantile_pass_matches_individual_queries() {
+        let stats = ServerStats::new(1);
+        for us in [10u64, 20, 50, 100, 400, 1000, 5000, 20_000] {
+            for _ in 0..7 {
+                stats.record_completed(Duration::from_micros(us));
+            }
+        }
+        let qs = [0.1, 0.5, 0.9, 0.95, 0.99, 1.0];
+        let batch = stats.latency_quantiles(&qs);
+        for (q, got) in qs.iter().zip(&batch) {
+            assert_eq!(*got, stats.latency_quantile(*q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn throughput_baseline_is_first_completion_not_construction() {
+        // Regression: a collector built long before traffic arrives must
+        // not smear the idle period into the rate.
+        let stats = ServerStats::new(1);
+        std::thread::sleep(Duration::from_millis(60));
+        stats.record_completed(Duration::from_micros(100));
+        let t0 = std::time::Instant::now();
+        while t0.elapsed() < Duration::from_millis(20) {
+            std::hint::spin_loop();
+        }
+        for _ in 0..9 {
+            stats.record_completed(Duration::from_micros(100));
+        }
+        let snap = stats.snapshot(0);
+        assert_eq!(snap.completed, 10);
+        assert!(snap.window < snap.elapsed, "window must exclude idle time");
+        // 9 completions in ~20ms → ≥200/s; the old construction-based rate
+        // would have been ≤ 10 / 80ms = 125/s.
+        assert!(
+            snap.throughput > 200.0,
+            "throughput {} should ignore the pre-traffic idle period",
+            snap.throughput
+        );
+        // The window is first→last completion, so idle time *after*
+        // traffic stops must not dilute the rate either.
+        std::thread::sleep(Duration::from_millis(40));
+        let later = stats.snapshot(0);
+        assert_eq!(later.window, snap.window, "window must freeze with traffic");
+        assert!(
+            (later.throughput - snap.throughput).abs() < 1e-9,
+            "trailing idle diluted the rate: {} → {}",
+            snap.throughput,
+            later.throughput
+        );
+    }
+
+    #[test]
+    fn throughput_is_zero_before_two_completions() {
+        let stats = ServerStats::new(1);
+        assert_eq!(stats.snapshot(0).throughput, 0.0);
+        stats.record_completed(Duration::from_micros(5));
+        assert_eq!(stats.snapshot(0).throughput, 0.0);
     }
 }

@@ -259,6 +259,45 @@ impl BitVec {
         xnor_popcount(&self.words, &other.words, self.len)
     }
 
+    /// Number of positions among the first `n` where `self` and `other`
+    /// agree — [`xnor_popcount`](Self::xnor_popcount) restricted to a
+    /// prefix, the word-level kernel behind partially occupied edge tiles
+    /// (padding columns excluded from the popcount but not re-scanned
+    /// bit-by-bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ or `n > len`.
+    #[inline]
+    pub fn xnor_popcount_first(&self, other: &BitVec, n: usize) -> u32 {
+        assert_eq!(self.len, other.len, "xnor_popcount_first: length mismatch");
+        assert!(n <= self.len, "prefix {n} longer than vector {}", self.len);
+        xnor_popcount(&self.words, &other.words, n)
+    }
+
+    /// Element-wise XNOR: bit `i` of the result is set when `self` and
+    /// `other` agree at `i` (±1 product of +1). Tail bits beyond `len`
+    /// stay zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xnor(&self, other: &BitVec) -> BitVec {
+        assert_eq!(self.len, other.len, "xnor: length mismatch");
+        let mut out = BitVec::zeros(self.len);
+        for (o, (a, b)) in out
+            .words
+            .iter_mut()
+            .zip(self.words.iter().zip(&other.words))
+        {
+            *o = !(a ^ b);
+        }
+        if let Some(last) = out.words.last_mut() {
+            *last &= tail_mask(self.len);
+        }
+        out
+    }
+
     /// ±1 dot product: `2 · xnor_popcount − len`.
     ///
     /// # Panics
@@ -585,6 +624,43 @@ mod tests {
         for r in 0..rows {
             let expect: f32 = (0..cols).map(|c| w[r * cols + c] * x[c]).sum();
             assert_eq!(got[r], expect as i32, "row {r}");
+        }
+    }
+
+    #[test]
+    fn xnor_matches_bit_loop_and_masks_tail() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for len in [1usize, 64, 65, 130] {
+            let a_bits: Vec<bool> = (0..len).map(|_| rng.gen::<bool>()).collect();
+            let b_bits: Vec<bool> = (0..len).map(|_| rng.gen::<bool>()).collect();
+            let a = BitVec::from_bools(&a_bits);
+            let b = BitVec::from_bools(&b_bits);
+            let x = a.xnor(&b);
+            for i in 0..len {
+                assert_eq!(x.get(i), a_bits[i] == b_bits[i], "len {len}, bit {i}");
+            }
+            // Tail bits must not leak into popcounts.
+            assert_eq!(x.count_ones(), a.xnor_popcount(&b));
+        }
+    }
+
+    #[test]
+    fn xnor_popcount_first_matches_bit_loop() {
+        let mut rng = StdRng::seed_from_u64(37);
+        for len in [1usize, 63, 64, 65, 130, 200] {
+            let a_bits: Vec<bool> = (0..len).map(|_| rng.gen::<bool>()).collect();
+            let b_bits: Vec<bool> = (0..len).map(|_| rng.gen::<bool>()).collect();
+            let a = BitVec::from_bools(&a_bits);
+            let b = BitVec::from_bools(&b_bits);
+            for n in [0, 1, len / 3, len / 2, len] {
+                let expect = a_bits[..n]
+                    .iter()
+                    .zip(&b_bits[..n])
+                    .filter(|(x, y)| x == y)
+                    .count() as u32;
+                assert_eq!(a.xnor_popcount_first(&b, n), expect, "len {len}, n {n}");
+            }
+            assert_eq!(a.xnor_popcount_first(&b, len), a.xnor_popcount(&b));
         }
     }
 

@@ -86,6 +86,67 @@ where
     out
 }
 
+/// Maps `f` over the elements of `items` in parallel, handing each worker
+/// exclusive `&mut` access to the elements it claims, and preserving result
+/// order. At most `threads` workers are spawned (`0` means
+/// [`num_threads()`]); the effective count is also capped by
+/// `RBNN_THREADS` / available parallelism via [`num_threads()`].
+///
+/// This is the fan-out primitive for tiled engines whose tiles own mutable
+/// state (e.g. per-tile RNG streams): each element is claimed by exactly
+/// one worker, so the per-element mutable state never crosses threads
+/// mid-run.
+///
+/// ```
+/// let mut counters = vec![0u64; 9];
+/// let doubled = rbnn_tensor::par::par_map_mut(&mut counters, 0, |i, c| {
+///     *c += i as u64;
+///     *c * 2
+/// });
+/// assert_eq!(counters[3], 3);
+/// assert_eq!(doubled[3], 6);
+/// ```
+pub fn par_map_mut<T, U, F>(items: &mut [T], threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send + Default,
+    F: Fn(usize, &mut T) -> U + Sync,
+{
+    let n = items.len();
+    let cap = if threads == 0 { usize::MAX } else { threads };
+    let workers = num_threads().min(cap).min(n.max(1));
+    if workers <= 1 || n < 2 {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let mut out: Vec<U> = (0..n).map(|_| U::default()).collect();
+    {
+        let slots: Vec<std::sync::Mutex<(&mut T, &mut U)>> = items
+            .iter_mut()
+            .zip(out.iter_mut())
+            .map(std::sync::Mutex::new)
+            .collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let mut slot = slots[i].lock().expect("poisoned par_map_mut slot");
+                    let (item, result) = &mut *slot;
+                    **result = f(i, item);
+                });
+            }
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +184,30 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_mut_mutates_every_element_once_and_preserves_order() {
+        let mut items: Vec<u64> = (0..123).map(|i| i as u64).collect();
+        let results = par_map_mut(&mut items, 0, |i, item| {
+            *item += 1000;
+            (i as u64, *item)
+        });
+        for (i, (idx, val)) in results.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert_eq!(*val, i as u64 + 1000);
+            assert_eq!(items[i], i as u64 + 1000);
+        }
+    }
+
+    #[test]
+    fn par_map_mut_thread_cap_and_edge_sizes() {
+        let mut empty: Vec<u32> = Vec::new();
+        assert!(par_map_mut(&mut empty, 4, |_, _| 0u32).is_empty());
+        let mut one = vec![7u32];
+        assert_eq!(par_map_mut(&mut one, 1, |_, x| *x * 2), vec![14]);
+        let mut many: Vec<u32> = (0..50).collect();
+        let got = par_map_mut(&mut many, 2, |_, x| *x + 1);
+        assert_eq!(got, (1..51).collect::<Vec<u32>>());
     }
 }
