@@ -1,0 +1,703 @@
+//! Training-throughput benchmark with a CI speedup gate.
+//!
+//! Measures epoch time and samples/s for the two paper-scale training
+//! workloads the ROADMAP sweeps hinge on (endurance retraining,
+//! fault-injection curves, architecture search):
+//!
+//! * **ECG MLP (gated)** — the Table II dense classifier at paper scale
+//!   (5152 → 75 → 2, binary weights + BatchNorm + sign), batch 32: the part
+//!   of the ECG network the paper maps onto the RRAM arrays, trained on a
+//!   synthetic planted-hyperplane task so accuracy parity is checkable.
+//! * **EEG conv net** — the Table I convolutional network on the synthetic
+//!   EEG motor-imagery dataset (reduced dimensions under `--quick`, paper
+//!   dimensions under `--full`).
+//!
+//! Each workload is trained twice: once through the **pre-overhaul
+//! baseline** — the reference GEMM loops
+//! (`rbnn_tensor::set_reference_kernels`) driving the old per-sample
+//! `gather`+`stack` batch assembly and per-sample logit re-stacking — and
+//! once through the current pipeline (packed register-tiled GEMM
+//! micro-kernels, `gather_rows_into`, scratch-arena layers). The optimized
+//! run executes twice with identical seeds and the per-epoch histories must
+//! match **bitwise** (the kernels are thread-count invariant, so this holds
+//! for any worker count).
+//!
+//! `--strict` exits non-zero unless, on the ECG MLP at batch 32: the
+//! epoch-time speedup is ≥ 4×, the final validation accuracy is within
+//! 0.5 pt of the baseline run, and the determinism check passes. A GEMM
+//! micro-benchmark also records the dense-gradient `matmul_tn` shape whose
+//! `av == 0.0` skip branch the blocked kernel replaced.
+//!
+//! Results are archived to `bench_results/train_bench.json`.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use rbnn_bench::{archive_json, banner, parse_scale_with, RunScale};
+use rbnn_models::BinarizationStrategy;
+use rbnn_nn::{
+    loss, metrics, train, Activation, Adam, BatchNorm, Dense, Layer, Optimizer, Param, Phase,
+    Scratch, Sequential, WeightMode,
+};
+use rbnn_tensor::{set_reference_kernels, Tensor};
+use rram_bnn::tasks::{Scale, Task, TaskSetup};
+
+/// Verbatim pre-overhaul implementations, kept here so the baseline
+/// measures what training actually cost before this PR: per-batch clones of
+/// the input and effective weight, freshly allocated outputs and gradient
+/// buffers, and a gradient clone inside the optimizer. The current library
+/// layers eliminated all of these, so measuring the baseline through them
+/// would understate the speedup.
+mod pre_overhaul {
+    use super::*;
+    use rand::Rng;
+
+    /// The pre-overhaul `Dense` layer (clone-caching, allocating).
+    #[derive(Debug)]
+    pub struct NaiveDense {
+        weight: Param,
+        bias: Option<Param>,
+        in_features: usize,
+        out_features: usize,
+        mode: WeightMode,
+        cached_input: Option<Tensor>,
+        cached_eff_w: Option<Tensor>,
+    }
+
+    impl NaiveDense {
+        pub fn new(
+            in_features: usize,
+            out_features: usize,
+            mode: WeightMode,
+            rng: &mut impl Rng,
+        ) -> Self {
+            // Mirror `Dense::new` exactly (same init draws from the same
+            // RNG stream) so naive and optimized models start identical.
+            let reference = Dense::new(in_features, out_features, mode, rng);
+            let weight = reference.params()[0].value.clone();
+            let mut weight = Param::new(weight);
+            if mode.is_binary() {
+                weight = weight.with_clamp(-1.0, 1.0);
+            }
+            Self {
+                weight,
+                bias: None,
+                in_features,
+                out_features,
+                mode,
+                cached_input: None,
+                cached_eff_w: None,
+            }
+        }
+
+        fn effective_weight(&self) -> Tensor {
+            match self.mode {
+                WeightMode::Real => self.weight.value.clone(),
+                WeightMode::Binary => self.weight.value.signum_binary(),
+            }
+        }
+    }
+
+    impl Layer for NaiveDense {
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+
+        fn forward_with(&mut self, x: &Tensor, phase: Phase, _scratch: &mut Scratch) -> Tensor {
+            assert_eq!(x.dim(1), self.in_features, "NaiveDense: feature mismatch");
+            let eff_w = self.effective_weight();
+            let mut y = x.matmul_nt(&eff_w);
+            if let Some(b) = &self.bias {
+                let n = y.dim(0);
+                let o = self.out_features;
+                let ys = y.as_mut_slice();
+                let bs = b.value.as_slice();
+                for row in 0..n {
+                    for (j, &bv) in bs.iter().enumerate() {
+                        ys[row * o + j] += bv;
+                    }
+                }
+            }
+            if phase.is_train() {
+                self.cached_input = Some(x.clone());
+                self.cached_eff_w = Some(eff_w);
+            }
+            y
+        }
+
+        fn backward_with(&mut self, grad_out: &Tensor, _scratch: &mut Scratch) -> Tensor {
+            let x = self.cached_input.take().expect("forward first");
+            let eff_w = self.cached_eff_w.take().expect("cache missing");
+            let mut grad_w = grad_out.matmul_tn(&x);
+            if self.mode.is_binary() {
+                grad_w = grad_w.zip(
+                    &self.weight.value,
+                    |g, w| if w.abs() <= 1.0 { g } else { 0.0 },
+                );
+            }
+            self.weight.grad += &grad_w;
+            if let Some(b) = &mut self.bias {
+                let n = grad_out.dim(0);
+                let o = self.out_features;
+                let gs = grad_out.as_slice();
+                let gb = b.grad.as_mut_slice();
+                for row in 0..n {
+                    for (j, g) in gb.iter_mut().enumerate() {
+                        *g += gs[row * o + j];
+                    }
+                }
+            }
+            grad_out.matmul(&eff_w)
+        }
+
+        fn params(&self) -> Vec<&Param> {
+            let mut v = vec![&self.weight];
+            if let Some(b) = &self.bias {
+                v.push(b);
+            }
+            v
+        }
+
+        fn params_mut(&mut self) -> Vec<&mut Param> {
+            let mut v = vec![&mut self.weight];
+            if let Some(b) = &mut self.bias {
+                v.push(b);
+            }
+            v
+        }
+
+        fn out_shape(&self, _in_shape: &[usize]) -> Vec<usize> {
+            vec![self.out_features]
+        }
+
+        fn name(&self) -> String {
+            format!("NaiveDense({}→{})", self.in_features, self.out_features)
+        }
+    }
+
+    /// The pre-overhaul Adam (clones the gradient every step).
+    #[derive(Debug)]
+    pub struct NaiveAdam {
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        t: u64,
+        m: Vec<Tensor>,
+        v: Vec<Tensor>,
+    }
+
+    impl NaiveAdam {
+        pub fn new(lr: f32) -> Self {
+            Self {
+                lr,
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+                t: 0,
+                m: Vec::new(),
+                v: Vec::new(),
+            }
+        }
+    }
+
+    impl Optimizer for NaiveAdam {
+        fn step(&mut self, params: &mut [&mut Param]) {
+            if self.m.len() != params.len() {
+                self.m = params
+                    .iter()
+                    .map(|p| Tensor::zeros(p.value.shape().clone()))
+                    .collect();
+                self.v = params
+                    .iter()
+                    .map(|p| Tensor::zeros(p.value.shape().clone()))
+                    .collect();
+                self.t = 0;
+            }
+            self.t += 1;
+            let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+            let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+            for (i, p) in params.iter_mut().enumerate() {
+                let g = p.grad.clone();
+                let (ms, vs, gs, ps) = (
+                    self.m[i].as_mut_slice(),
+                    self.v[i].as_mut_slice(),
+                    g.as_slice(),
+                    p.value.as_mut_slice(),
+                );
+                for j in 0..gs.len() {
+                    ms[j] = self.beta1 * ms[j] + (1.0 - self.beta1) * gs[j];
+                    vs[j] = self.beta2 * vs[j] + (1.0 - self.beta2) * gs[j] * gs[j];
+                    let mhat = ms[j] / bc1;
+                    let vhat = vs[j] / bc2;
+                    ps[j] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+                }
+                p.apply_clamp();
+            }
+        }
+
+        fn learning_rate(&self) -> f32 {
+            self.lr
+        }
+
+        fn set_learning_rate(&mut self, lr: f32) {
+            self.lr = lr;
+        }
+    }
+}
+
+/// The CI gate: optimized epoch time must beat the pre-overhaul baseline by
+/// at least this factor on the paper-scale ECG MLP at batch 32.
+const SPEEDUP_THRESHOLD: f32 = 4.0;
+/// Final validation accuracy must stay within this of the baseline run.
+const ACCURACY_TOLERANCE: f32 = 0.005;
+const BATCH_SIZE: usize = 32;
+
+#[derive(Debug, Serialize)]
+struct WorkloadResult {
+    name: String,
+    batch_size: usize,
+    epochs: usize,
+    train_samples: usize,
+    naive_epoch_ms: f64,
+    optimized_epoch_ms: f64,
+    speedup: f64,
+    naive_samples_per_s: f64,
+    optimized_samples_per_s: f64,
+    naive_final_val_acc: f32,
+    optimized_final_val_acc: f32,
+    deterministic: bool,
+    gated: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct GemmRow {
+    kernel: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    reference_us: f64,
+    blocked_us: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct TrainBenchReport {
+    scale: &'static str,
+    speedup_threshold: f32,
+    accuracy_tolerance: f32,
+    workloads: Vec<WorkloadResult>,
+    gemm_microbench: Vec<GemmRow>,
+    accepted: bool,
+}
+
+/// Synthetic paper-scale ECG-MLP task: each class is a noisy ±1 template
+/// (features match the class template with probability `p`), so the
+/// 5152→75→2 binary classifier converges to the same high accuracy under
+/// either kernel path. Train and validation splits share the template.
+#[allow(clippy::type_complexity)]
+fn planted_features(
+    features: usize,
+    train_n: usize,
+    val_n: usize,
+    seed: u64,
+    p: f32,
+) -> (Tensor, Vec<usize>, Tensor, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let template: Vec<f32> = (0..features)
+        .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+        .collect();
+    let total = train_n + val_n;
+    let mut x = Tensor::zeros([total, features]);
+    let mut y = Vec::with_capacity(total);
+    let xs = x.as_mut_slice();
+    for i in 0..total {
+        let class = i % 2;
+        let sign = if class == 1 { 1.0 } else { -1.0 };
+        let row = &mut xs[i * features..(i + 1) * features];
+        for (v, &t) in row.iter_mut().zip(&template) {
+            *v = if rng.gen::<f32>() < p {
+                sign * t
+            } else {
+                -sign * t
+            };
+        }
+        y.push(class);
+    }
+    let mut xt = Tensor::default();
+    x.gather_rows_into(&(0..train_n).collect::<Vec<_>>(), &mut xt);
+    let mut xv = Tensor::default();
+    x.gather_rows_into(&(train_n..total).collect::<Vec<_>>(), &mut xv);
+    let yv = y[train_n..].to_vec();
+    y.truncate(train_n);
+    (xt, y, xv, yv)
+}
+
+/// The Table II dense classifier at paper scale: 5152 → 75 → 2, binary
+/// weights, BatchNorm thresholds, sign activations (§III-C). `naive`
+/// substitutes the verbatim pre-overhaul dense layers (identical weight
+/// init — both consume the same RNG draws).
+fn build_ecg_mlp(seed: u64, naive: bool) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Sequential::new();
+    if naive {
+        net.push(pre_overhaul::NaiveDense::new(
+            5152,
+            75,
+            WeightMode::Binary,
+            &mut rng,
+        ));
+    } else {
+        net.push(Dense::new(5152, 75, WeightMode::Binary, &mut rng).without_bias());
+    }
+    net.push(BatchNorm::new(75));
+    net.push(Activation::sign_ste());
+    if naive {
+        net.push(pre_overhaul::NaiveDense::new(
+            75,
+            2,
+            WeightMode::Binary,
+            &mut rng,
+        ));
+    } else {
+        net.push(Dense::new(75, 2, WeightMode::Binary, &mut rng).without_bias());
+    }
+    net.push(BatchNorm::new(2));
+    net
+}
+
+/// Pre-overhaul logit prediction: per-sample `index_axis0` + double
+/// `Tensor::stack` (what `predict_logits` did before the overhaul).
+fn naive_predict_logits(model: &mut dyn Layer, x: &Tensor, batch_size: usize) -> Tensor {
+    let n = x.dim(0);
+    let mut outputs = Vec::new();
+    let mut start = 0;
+    while start < n {
+        let end = (start + batch_size).min(n);
+        let idx: Vec<usize> = (start..end).collect();
+        let batch = train::gather(x, &idx);
+        let logits = model.forward(&batch, Phase::Eval);
+        for i in 0..logits.dim(0) {
+            outputs.push(logits.index_axis0(i));
+        }
+        start = end;
+    }
+    Tensor::stack(&outputs)
+}
+
+/// Pre-overhaul training loop: per-batch `gather`+`stack` assembly,
+/// throwaway-arena layer calls, and the old per-epoch evaluation through
+/// the re-stacking `predict_logits` — identical batch order and RNG streams
+/// to `train::fit` with the default every-epoch eval cadence. Returns the
+/// final validation accuracy.
+fn naive_fit(
+    model: &mut dyn Layer,
+    train_data: train::Labelled<'_>,
+    val: train::Labelled<'_>,
+    opt: &mut dyn Optimizer,
+    epochs: usize,
+    seed: u64,
+) -> f32 {
+    let n = train_data.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut acc = 0.0;
+    for _ in 0..epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(BATCH_SIZE) {
+            let xb = train::gather(train_data.x, chunk);
+            let yb: Vec<usize> = chunk.iter().map(|&i| train_data.y[i]).collect();
+            model.zero_grad();
+            let logits = model.forward(&xb, Phase::Train);
+            let (_, grad) = loss::softmax_cross_entropy(&logits, &yb);
+            let _ = metrics::accuracy(&logits, &yb);
+            model.backward(&grad);
+            let mut params = model.params_mut();
+            opt.step(&mut params);
+        }
+        let logits = naive_predict_logits(model, val.x, BATCH_SIZE);
+        acc = metrics::accuracy(&logits, val.y);
+    }
+    acc
+}
+
+struct RunOutcome {
+    epoch_ms: f64,
+    samples_per_s: f64,
+    final_val_acc: f32,
+    history_bits: Vec<u32>,
+}
+
+/// One optimized training run through `train::fit`, evaluating every epoch
+/// (the `TrainConfig` default cadence, matching the baseline loop).
+fn optimized_run(
+    model: &mut dyn Layer,
+    x: &Tensor,
+    y: &[usize],
+    vx: &Tensor,
+    vy: &[usize],
+    epochs: usize,
+    seed: u64,
+    lr: f32,
+) -> RunOutcome {
+    let mut opt = Adam::new(lr);
+    let cfg = train::TrainConfig {
+        epochs,
+        batch_size: BATCH_SIZE,
+        seed,
+        eval_every: 1,
+        verbose: false,
+        lr_schedule: None,
+    };
+    let t0 = Instant::now();
+    let hist = train::fit(
+        model,
+        train::Labelled::new(x, y),
+        Some(train::Labelled::new(vx, vy)),
+        &mut opt,
+        &cfg,
+    );
+    let elapsed = t0.elapsed().as_secs_f64();
+    let mut history_bits: Vec<u32> = Vec::new();
+    history_bits.extend(hist.train_loss.iter().map(|v| v.to_bits()));
+    history_bits.extend(hist.train_acc.iter().map(|v| v.to_bits()));
+    history_bits.extend(hist.val_acc.iter().map(|&(_, v)| v.to_bits()));
+    RunOutcome {
+        epoch_ms: elapsed * 1e3 / epochs as f64,
+        samples_per_s: (y.len() * epochs) as f64 / elapsed,
+        final_val_acc: hist.final_val_acc().unwrap_or(0.0),
+        history_bits,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bench_workload(
+    name: &str,
+    mut build: impl FnMut(bool) -> Box<dyn Layer>,
+    x: &Tensor,
+    y: &[usize],
+    vx: &Tensor,
+    vy: &[usize],
+    epochs: usize,
+    lr: f32,
+    gated: bool,
+) -> WorkloadResult {
+    let seed = 42;
+
+    // Pre-overhaul baseline: reference kernels + old batch assembly (and,
+    // where the workload provides them, verbatim pre-overhaul layers).
+    set_reference_kernels(true);
+    let mut model = build(true);
+    let mut opt = pre_overhaul::NaiveAdam::new(lr);
+    let t0 = Instant::now();
+    let naive_acc = naive_fit(
+        model.as_mut(),
+        train::Labelled::new(x, y),
+        train::Labelled::new(vx, vy),
+        &mut opt,
+        epochs,
+        seed,
+    );
+    let naive_elapsed = t0.elapsed().as_secs_f64();
+    set_reference_kernels(false);
+
+    // Optimized pipeline, run twice with identical seeds: the histories
+    // must agree bitwise at a fixed thread count.
+    let mut model_a = build(false);
+    let run_a = optimized_run(model_a.as_mut(), x, y, vx, vy, epochs, seed, lr);
+    let mut model_b = build(false);
+    let run_b = optimized_run(model_b.as_mut(), x, y, vx, vy, epochs, seed, lr);
+    let deterministic = run_a.history_bits == run_b.history_bits;
+
+    let naive_epoch_ms = naive_elapsed * 1e3 / epochs as f64;
+    WorkloadResult {
+        name: name.to_string(),
+        batch_size: BATCH_SIZE,
+        epochs,
+        train_samples: y.len(),
+        naive_epoch_ms,
+        optimized_epoch_ms: run_a.epoch_ms,
+        speedup: naive_epoch_ms / run_a.epoch_ms,
+        naive_samples_per_s: (y.len() * epochs) as f64 / naive_elapsed,
+        optimized_samples_per_s: run_a.samples_per_s,
+        naive_final_val_acc: naive_acc,
+        optimized_final_val_acc: run_a.final_val_acc,
+        deterministic,
+        gated,
+    }
+}
+
+/// Times the dense-layer GEMM shapes under the reference loops vs the
+/// blocked kernels — documenting the `matmul_tn` zero-skip replacement.
+fn gemm_microbench() -> Vec<GemmRow> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let x = Tensor::randn([32, 5152], 1.0, &mut rng);
+    let w = Tensor::randn([75, 5152], 1.0, &mut rng);
+    let g = Tensor::randn([32, 75], 1.0, &mut rng);
+    let mut rows = Vec::new();
+    let time = |f: &dyn Fn() -> Tensor| {
+        let iters = 30;
+        let t0 = Instant::now();
+        let mut sink = 0.0f32;
+        for _ in 0..iters {
+            sink += f().as_slice()[0];
+        }
+        std::hint::black_box(sink);
+        t0.elapsed().as_secs_f64() * 1e6 / iters as f64
+    };
+    for (kernel, m, k, n, f) in [
+        (
+            "matmul_tn (dense weight gradient)",
+            75,
+            32,
+            5152,
+            &(|| g.matmul_tn(&x)) as &dyn Fn() -> Tensor,
+        ),
+        ("matmul_nt (dense forward)", 32, 5152, 75, &|| {
+            x.matmul_nt(&w)
+        }),
+        ("matmul (dense input gradient)", 32, 75, 5152, &|| {
+            g.matmul(&w)
+        }),
+    ] {
+        set_reference_kernels(true);
+        let reference_us = time(f);
+        set_reference_kernels(false);
+        let blocked_us = time(f);
+        rows.push(GemmRow {
+            kernel,
+            m,
+            k,
+            n,
+            reference_us,
+            blocked_us,
+            speedup: reference_us / blocked_us,
+        });
+    }
+    rows
+}
+
+fn main() {
+    let (scale, flags) = parse_scale_with(&["--strict"]);
+    let strict = flags[0];
+    banner(
+        "train_bench — training throughput (GEMM micro-kernels + zero-alloc pipeline)",
+        scale,
+    );
+
+    let (mlp_train, mlp_val, mlp_epochs, eeg_scale, eeg_epochs) = match scale {
+        RunScale::Quick => (768, 256, 3, Scale::Quick, 3),
+        RunScale::Full => (4096, 1024, 10, Scale::Paper, 5),
+    };
+
+    let mut workloads = Vec::new();
+
+    // Workload 1 (gated): paper-scale ECG MLP, batch 32.
+    {
+        let (x, y, vx, vy) = planted_features(5152, mlp_train, mlp_val, 11, 0.53);
+        workloads.push(bench_workload(
+            "ecg_mlp_paper_5152_75_2",
+            |naive| Box::new(build_ecg_mlp(5, naive)) as Box<dyn Layer>,
+            &x,
+            &y,
+            &vx,
+            &vy,
+            mlp_epochs,
+            0.01,
+            true,
+        ));
+    }
+
+    // Workload 2: the EEG conv net on the synthetic motor-imagery dataset.
+    {
+        let setup = TaskSetup::new(Task::Eeg, eeg_scale, 21);
+        let (train_ds, val_ds) = setup.dataset().cv_fold(5, 0);
+        workloads.push(bench_workload(
+            &format!(
+                "eeg_conv_{}",
+                match eeg_scale {
+                    Scale::Quick => "reduced",
+                    Scale::Paper => "paper",
+                }
+            ),
+            |_naive| {
+                // The conv workload has no verbatim pre-overhaul layer
+                // copy; its baseline (reference kernels + old assembly) is
+                // therefore conservative.
+                Box::new(setup.build_model(BinarizationStrategy::BinarizedClassifier, 1, 17))
+                    as Box<dyn Layer>
+            },
+            train_ds.samples(),
+            train_ds.labels(),
+            val_ds.samples(),
+            val_ds.labels(),
+            eeg_epochs,
+            0.01,
+            false,
+        ));
+    }
+
+    println!(
+        "\n{:<28} {:>12} {:>12} {:>8} {:>10} {:>10} {:>7}",
+        "workload", "naive ms/ep", "opt ms/ep", "speedup", "naive acc", "opt acc", "determ"
+    );
+    for w in &workloads {
+        println!(
+            "{:<28} {:>12.1} {:>12.1} {:>7.2}x {:>10.3} {:>10.3} {:>7}",
+            w.name,
+            w.naive_epoch_ms,
+            w.optimized_epoch_ms,
+            w.speedup,
+            w.naive_final_val_acc,
+            w.optimized_final_val_acc,
+            if w.deterministic { "yes" } else { "NO" }
+        );
+        println!(
+            "{:<28} {:>12.0} {:>12.0}   (samples/s)",
+            "", w.naive_samples_per_s, w.optimized_samples_per_s
+        );
+    }
+
+    let gemm_rows = gemm_microbench();
+    println!("\nGEMM micro-kernels vs pre-overhaul loops (dense-layer shapes):");
+    for r in &gemm_rows {
+        println!(
+            "  {:<36} [{:>3}x{:>4}x{:>4}] {:>9.0} us -> {:>8.0} us  ({:.2}x)",
+            r.kernel, r.m, r.k, r.n, r.reference_us, r.blocked_us, r.speedup
+        );
+    }
+
+    // Acceptance: every gated workload must clear the speedup threshold,
+    // match baseline accuracy, and train deterministically.
+    let accepted = workloads.iter().filter(|w| w.gated).all(|w| {
+        w.speedup >= SPEEDUP_THRESHOLD as f64
+            && (w.optimized_final_val_acc - w.naive_final_val_acc).abs() <= ACCURACY_TOLERANCE
+            && w.deterministic
+    });
+    println!(
+        "\ngate (ECG MLP, batch {BATCH_SIZE}): speedup >= {SPEEDUP_THRESHOLD}x, \
+         |acc delta| <= {ACCURACY_TOLERANCE}, bitwise-deterministic history: {}",
+        if accepted { "PASS" } else { "FAIL" }
+    );
+
+    let report = TrainBenchReport {
+        scale: match scale {
+            RunScale::Quick => "quick",
+            RunScale::Full => "full",
+        },
+        speedup_threshold: SPEEDUP_THRESHOLD,
+        accuracy_tolerance: ACCURACY_TOLERANCE,
+        workloads,
+        gemm_microbench: gemm_rows,
+        accepted,
+    };
+    archive_json("train_bench", &report);
+
+    if strict && !accepted {
+        std::process::exit(1);
+    }
+}

@@ -13,6 +13,8 @@
 //! | `fig8_mobilenet` | Fig 8 + Table III vision row |
 //! | `ext_ber_accuracy` | accuracy-vs-BER extension (refs [15],[16]) |
 //! | `paperbench` | everything above, quick settings |
+//! | `serve_bench` | serving throughput/latency (software + RRAM backends) |
+//! | `train_bench` | training throughput vs the pre-overhaul baseline (gated) |
 //!
 //! Every binary accepts `--quick` (default; minutes on a laptop) or
 //! `--full` (closer to paper scale) and archives a JSON result into

@@ -118,6 +118,14 @@ impl BinaryConv1d {
     ///
     /// `input` holds one [`BitVec`] of length `len` per input channel.
     ///
+    /// The convolution is lowered `im2col`-style onto word-level kernels:
+    /// [`BitMatrix::conv1d_windows`] gathers every sliding window into a
+    /// bit-packed row (two shifts per channel instead of a per-bit loop),
+    /// and each (filter, step) pair is then one row-versus-row
+    /// `xnor_popcount` — the same kernel the dense inference engine and the
+    /// RRAM sense path execute. Windows are assembled once and reused for
+    /// every filter (the data-reuse flavour of the paper's design choice).
+    ///
     /// # Panics
     ///
     /// Panics if channel counts or lengths are inconsistent.
@@ -131,19 +139,12 @@ impl BinaryConv1d {
         let ol = self.out_len(len);
         let taps = self.in_channels * self.kernel;
 
-        // Assemble each sliding window as a packed vector once, reuse for
-        // every filter (data-reuse flavour of the paper's design choice).
+        let windows = BitMatrix::conv1d_windows(input, self.kernel);
         let mut out = vec![vec![0u32; ol]; self.out_channels()];
-        let mut window = BitVec::zeros(taps);
-        for t in 0..ol {
-            for c in 0..self.in_channels {
-                for k in 0..self.kernel {
-                    window.set(c * self.kernel + k, input[c].get(t + k));
-                }
-            }
-            for (o, row) in out.iter_mut().enumerate() {
-                row[t] =
-                    rbnn_tensor::xnor_popcount(self.weights.row_words(o), window.as_words(), taps);
+        for (o, row) in out.iter_mut().enumerate() {
+            let w = self.weights.row_words(o);
+            for (t, v) in row.iter_mut().enumerate() {
+                *v = rbnn_tensor::xnor_popcount(w, windows.row_words(t), taps);
             }
         }
         out

@@ -6,7 +6,7 @@
 //! pass where `|x| ≤ 1` and are blocked outside, exactly the hardtanh
 //! derivative.
 
-use rbnn_tensor::Tensor;
+use rbnn_tensor::{Scratch, Tensor};
 
 use crate::{Layer, Phase};
 
@@ -34,7 +34,8 @@ pub enum ActivationKind {
 #[derive(Debug)]
 pub struct Activation {
     kind: ActivationKind,
-    cached_input: Option<Tensor>,
+    cached_input: Tensor,
+    cache_valid: bool,
 }
 
 impl Activation {
@@ -42,7 +43,8 @@ impl Activation {
     pub fn new(kind: ActivationKind) -> Self {
         Self {
             kind,
-            cached_input: None,
+            cached_input: Tensor::default(),
+            cache_valid: false,
         }
     }
 
@@ -72,29 +74,44 @@ impl Layer for Activation {
         self
     }
 
-    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+    fn forward_with(&mut self, x: &Tensor, phase: Phase, scratch: &mut Scratch) -> Tensor {
         if phase.is_train() {
-            self.cached_input = Some(x.clone());
+            self.cached_input.copy_from(x);
+            self.cache_valid = true;
         }
-        match self.kind {
-            ActivationKind::Relu => x.map(|v| v.max(0.0)),
-            ActivationKind::HardTanh => x.map(|v| v.clamp(-1.0, 1.0)),
-            ActivationKind::SignSte => x.signum_binary(),
+        let mut y = scratch.tensor_for_overwrite(x.shape().clone());
+        let f: fn(f32) -> f32 = match self.kind {
+            ActivationKind::Relu => |v| v.max(0.0),
+            ActivationKind::HardTanh => |v| v.clamp(-1.0, 1.0),
+            ActivationKind::SignSte => |v| if v >= 0.0 { 1.0 } else { -1.0 },
+        };
+        for (d, &v) in y.as_mut_slice().iter_mut().zip(x.as_slice()) {
+            *d = f(v);
         }
+        y
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self
-            .cached_input
-            .take()
-            .expect("Activation::backward called without forward(Phase::Train)");
-        match self.kind {
-            ActivationKind::Relu => x.zip(grad_out, |xi, g| if xi > 0.0 { g } else { 0.0 }),
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
+        assert!(
+            self.cache_valid,
+            "Activation::backward called without forward(Phase::Train)"
+        );
+        self.cache_valid = false;
+        let mut gx = scratch.tensor_for_overwrite(grad_out.shape().clone());
+        let pass: fn(f32) -> bool = match self.kind {
+            ActivationKind::Relu => |xi| xi > 0.0,
             // HardTanh and SignSte share the straight-through window |x| ≤ 1.
-            ActivationKind::HardTanh | ActivationKind::SignSte => {
-                x.zip(grad_out, |xi, g| if xi.abs() <= 1.0 { g } else { 0.0 })
-            }
+            ActivationKind::HardTanh | ActivationKind::SignSte => |xi| xi.abs() <= 1.0,
+        };
+        for ((d, &xi), &g) in gx
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.cached_input.as_slice())
+            .zip(grad_out.as_slice())
+        {
+            *d = if pass(xi) { g } else { 0.0 };
         }
+        gx
     }
 
     fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
@@ -148,7 +165,7 @@ mod tests {
     fn eval_phase_does_not_cache() {
         let mut a = Activation::relu();
         let _ = a.forward(&Tensor::ones([1, 2]), Phase::Eval);
-        assert!(a.cached_input.is_none());
+        assert!(!a.cache_valid);
     }
 
     #[test]

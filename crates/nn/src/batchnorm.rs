@@ -6,7 +6,7 @@
 //! integer popcount threshold. The paper's ECG model batch-normalizes after
 //! every convolution/linear layer (§III-B).
 
-use rbnn_tensor::Tensor;
+use rbnn_tensor::{Scratch, Tensor};
 
 use crate::{Layer, Param, Phase};
 
@@ -21,10 +21,11 @@ pub struct BatchNorm {
     channels: usize,
     momentum: f32,
     eps: f32,
-    // Backward cache.
-    cached_xhat: Option<Tensor>,
-    cached_inv_std: Option<Vec<f32>>,
+    // Backward cache (persistent buffers, refreshed in place each batch).
+    cached_xhat: Tensor,
+    cached_inv_std: Vec<f32>,
     cached_dims: Vec<usize>,
+    cache_valid: bool,
 }
 
 impl BatchNorm {
@@ -39,9 +40,10 @@ impl BatchNorm {
             channels,
             momentum: 0.1,
             eps: 1e-5,
-            cached_xhat: None,
-            cached_inv_std: None,
+            cached_xhat: Tensor::default(),
+            cached_inv_std: Vec::new(),
             cached_dims: Vec::new(),
+            cache_valid: false,
         }
     }
 
@@ -107,19 +109,21 @@ impl Layer for BatchNorm {
         self
     }
 
-    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+    fn forward_with(&mut self, x: &Tensor, phase: Phase, scratch: &mut Scratch) -> Tensor {
         let (n, c, s) = self.view_dims(x);
         let xs = x.as_slice();
-        let mut out = Tensor::zeros(x.shape().clone());
+        let mut out = scratch.tensor_for_overwrite(x.shape().clone());
         let os = out.as_mut_slice();
         let g = self.gamma.value.as_slice();
         let b = self.beta.value.as_slice();
 
         if phase.is_train() {
             let count = (n * s) as f32;
-            let mut xhat = Tensor::zeros(x.shape().clone());
-            let xh = xhat.as_mut_slice();
-            let mut inv_stds = Vec::with_capacity(c);
+            self.cached_xhat.resize_for_overwrite(x.shape().clone());
+            let xh = self.cached_xhat.as_mut_slice();
+            let inv_stds = &mut self.cached_inv_std;
+            inv_stds.clear();
+            inv_stds.reserve(c);
             for ch in 0..c {
                 let mut mean = 0.0f32;
                 for i in 0..n {
@@ -152,9 +156,9 @@ impl Layer for BatchNorm {
                 let rv = &mut self.running_var.as_mut_slice()[ch];
                 *rv = (1.0 - self.momentum) * *rv + self.momentum * var;
             }
-            self.cached_xhat = Some(xhat);
-            self.cached_inv_std = Some(inv_stds);
-            self.cached_dims = x.dims().to_vec();
+            self.cached_dims.clear();
+            self.cached_dims.extend_from_slice(x.dims());
+            self.cache_valid = true;
         } else {
             let m = self.running_mean.as_slice();
             let v = self.running_var.as_slice();
@@ -171,23 +175,24 @@ impl Layer for BatchNorm {
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let xhat = self
-            .cached_xhat
-            .take()
-            .expect("BatchNorm::backward called without forward(Phase::Train)");
-        let inv_stds = self.cached_inv_std.take().expect("inv_std cache missing");
-        let dims = std::mem::take(&mut self.cached_dims);
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
+        assert!(
+            self.cache_valid,
+            "BatchNorm::backward called without forward(Phase::Train)"
+        );
+        self.cache_valid = false;
+        let inv_stds = &self.cached_inv_std;
+        let dims = &self.cached_dims;
         let n = dims[0];
         let c = dims[1];
         let s: usize = dims[2..].iter().product::<usize>().max(1);
         let count = (n * s) as f32;
 
         let gs = grad_out.as_slice();
-        let xh = xhat.as_slice();
+        let xh = self.cached_xhat.as_slice();
         let g = self.gamma.value.as_slice();
 
-        let mut grad_x = Tensor::zeros(grad_out.shape().clone());
+        let mut grad_x = scratch.tensor_for_overwrite(grad_out.shape().clone());
         let gx = grad_x.as_mut_slice();
         for ch in 0..c {
             // Accumulate dγ, dβ and the two batch statistics the input

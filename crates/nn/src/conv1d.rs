@@ -2,7 +2,7 @@
 
 use rand::Rng;
 
-use rbnn_tensor::{im2col1d, im2col1d_backward, Conv1dGeom, Tensor};
+use rbnn_tensor::{im2col1d_batch, im2col1d_batch_backward, Conv1dGeom, Scratch, Tensor};
 
 use crate::{init, Layer, Param, Phase, WeightMode};
 
@@ -22,9 +22,14 @@ pub struct Conv1d {
     stride: usize,
     padding: usize,
     mode: WeightMode,
-    cached_cols: Vec<Tensor>,
+    // Persistent training buffers, refreshed in place each batch: the
+    // batched patch matrix, the effective weight snapshot and (eval only)
+    // the effective-weight staging buffer.
+    cached_cols: Tensor,
     cached_geom: Option<Conv1dGeom>,
-    cached_eff_w: Option<Tensor>,
+    cached_eff_w: Tensor,
+    eff_w: Tensor,
+    cache_valid: bool,
 }
 
 impl Conv1d {
@@ -52,9 +57,11 @@ impl Conv1d {
             stride,
             padding,
             mode,
-            cached_cols: Vec::new(),
+            cached_cols: Tensor::default(),
             cached_geom: None,
-            cached_eff_w: None,
+            cached_eff_w: Tensor::default(),
+            eff_w: Tensor::default(),
+            cache_valid: false,
         }
     }
 
@@ -96,6 +103,68 @@ impl Conv1d {
             self.padding,
         )
     }
+
+    /// Shared backward body; `need_dx` false skips the input-gradient
+    /// GEMM and im2col scatter (root of the backward pass).
+    fn backward_impl(&mut self, grad_out: &Tensor, scratch: &mut Scratch, need_dx: bool) -> Tensor {
+        assert!(
+            self.cache_valid,
+            "Conv1d::backward called without forward(Phase::Train)"
+        );
+        self.cache_valid = false;
+        let geom = self.cached_geom.take().expect("geometry cache missing");
+        let n = grad_out.dim(0);
+        let out_len = geom.out_len();
+
+        // Regroup grad_out [n, Co, L] into [Co, n·L] matching cached_cols.
+        let mut g_all = scratch.tensor_for_overwrite([self.out_channels, n * out_len]);
+        {
+            let gs = grad_out.as_slice();
+            let gd = g_all.as_mut_slice();
+            for i in 0..n {
+                for c in 0..self.out_channels {
+                    let src = &gs[(i * self.out_channels + c) * out_len..][..out_len];
+                    gd[c * n * out_len + i * out_len..c * n * out_len + (i + 1) * out_len]
+                        .copy_from_slice(src);
+                }
+            }
+        }
+
+        // dW = G · colsᵀ in one shot.
+        let mut grad_w = scratch.tensor_for_overwrite(self.weight.value.shape().clone());
+        g_all.matmul_nt_into(&self.cached_cols, &mut grad_w);
+        if self.mode.is_binary() {
+            self.weight.accumulate_ste_masked(&grad_w);
+        } else {
+            self.weight.grad += &grad_w;
+        }
+        scratch.recycle(grad_w);
+
+        if let Some(b) = &mut self.bias {
+            let gs = g_all.as_slice();
+            let gb = b.grad.as_mut_slice();
+            for (c, gbc) in gb.iter_mut().enumerate() {
+                *gbc += gs[c * n * out_len..(c + 1) * n * out_len]
+                    .iter()
+                    .sum::<f32>();
+            }
+        }
+
+        // dcols = Wᵀ · G, then scatter all samples (parallel, disjoint) —
+        // both skipped entirely at the root of the backward pass.
+        if !need_dx {
+            scratch.recycle(g_all);
+            return Tensor::default();
+        }
+        let rows = geom.patch_rows();
+        let mut gcols_all = scratch.tensor_for_overwrite([rows, n * out_len]);
+        self.cached_eff_w.matmul_tn_into(&g_all, &mut gcols_all);
+        scratch.recycle(g_all);
+        let mut grad_x = scratch.tensor_for_overwrite([n, self.in_channels, geom.len]);
+        im2col1d_batch_backward(&gcols_all, &geom, &mut grad_x);
+        scratch.recycle(gcols_all);
+        grad_x
+    }
 }
 
 impl Layer for Conv1d {
@@ -103,7 +172,7 @@ impl Layer for Conv1d {
         self
     }
 
-    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+    fn forward_with(&mut self, x: &Tensor, phase: Phase, scratch: &mut Scratch) -> Tensor {
         assert_eq!(x.shape().ndim(), 3, "Conv1d expects [batch, channels, len]");
         assert_eq!(
             x.dim(1),
@@ -115,27 +184,44 @@ impl Layer for Conv1d {
         let n = x.dim(0);
         let geom = self.geom(x.dim(2));
         let out_len = geom.out_len();
-        let eff_w = self.effective_weight();
         let rows = geom.patch_rows();
+        let train = phase.is_train();
+
+        // Refresh the effective weight in place (sign(W) in binary mode);
+        // training writes the buffer the backward pass reads.
+        let eff_w: &Tensor = {
+            let dst = if train {
+                &mut self.cached_eff_w
+            } else {
+                &mut self.eff_w
+            };
+            match self.mode {
+                WeightMode::Real => dst.copy_from(&self.weight.value),
+                WeightMode::Binary => self.weight.value.signum_binary_into(dst),
+            }
+            if train {
+                &self.cached_eff_w
+            } else {
+                &self.eff_w
+            }
+        };
 
         // Batch all patch matrices into one [rows, n·out_len] matrix so the
-        // whole batch runs as a single large matmul (the per-sample matmuls
-        // are too small to amortize their overhead).
-        let mut cols_all = Tensor::zeros([rows, n * out_len]);
-        {
-            let dst = cols_all.as_mut_slice();
-            for i in 0..n {
-                let cols = im2col1d(&x.index_axis0(i), &geom);
-                let src = cols.as_slice();
-                for r in 0..rows {
-                    dst[r * n * out_len + i * out_len..r * n * out_len + (i + 1) * out_len]
-                        .copy_from_slice(&src[r * out_len..(r + 1) * out_len]);
-                }
-            }
-        }
-        let y_all = eff_w.matmul(&cols_all); // [Co, n·out_len]
+        // whole batch runs as a single large matmul; training keeps the
+        // matrix for the backward pass, eval recycles it immediately.
+        let mut eval_cols = None;
+        let cols: &Tensor = if train {
+            im2col1d_batch(x, &geom, &mut self.cached_cols);
+            &self.cached_cols
+        } else {
+            let mut cols = scratch.tensor_for_overwrite([rows, n * out_len]);
+            im2col1d_batch(x, &geom, &mut cols);
+            eval_cols.insert(cols)
+        };
+        let mut y_all = scratch.tensor_for_overwrite([self.out_channels, n * out_len]);
+        eff_w.matmul_into(cols, &mut y_all);
 
-        let mut out = Tensor::zeros([n, self.out_channels, out_len]);
+        let mut out = scratch.tensor_for_overwrite([n, self.out_channels, out_len]);
         {
             let ys = y_all.as_slice();
             let os = out.as_mut_slice();
@@ -151,83 +237,24 @@ impl Layer for Conv1d {
                 }
             }
         }
-        if phase.is_train() {
-            self.cached_cols = vec![cols_all];
+        scratch.recycle(y_all);
+        if let Some(cols) = eval_cols {
+            scratch.recycle(cols);
+        }
+        if train {
             self.cached_geom = Some(geom);
-            self.cached_eff_w = Some(eff_w);
+            self.cache_valid = true;
         }
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let geom = self
-            .cached_geom
-            .take()
-            .expect("Conv1d::backward called without forward(Phase::Train)");
-        let eff_w = self
-            .cached_eff_w
-            .take()
-            .expect("effective weight cache missing");
-        let cols_all = self.cached_cols.pop().expect("cols cache missing");
-        let n = grad_out.dim(0);
-        let out_len = geom.out_len();
-        let rows = geom.patch_rows();
-
-        // Regroup grad_out [n, Co, L] into [Co, n·L] matching cols_all.
-        let mut g_all = Tensor::zeros([self.out_channels, n * out_len]);
-        {
-            let gs = grad_out.as_slice();
-            let gd = g_all.as_mut_slice();
-            for i in 0..n {
-                for c in 0..self.out_channels {
-                    let src = &gs[(i * self.out_channels + c) * out_len..][..out_len];
-                    gd[c * n * out_len + i * out_len..c * n * out_len + (i + 1) * out_len]
-                        .copy_from_slice(src);
-                }
-            }
-        }
-
-        // dW = G · colsᵀ in one shot.
-        let mut grad_w = g_all.matmul_nt(&cols_all);
-        if self.mode.is_binary() {
-            grad_w = grad_w.zip(
-                &self.weight.value,
-                |g, w| if w.abs() <= 1.0 { g } else { 0.0 },
-            );
-        }
-        self.weight.grad += &grad_w;
-
-        if let Some(b) = &mut self.bias {
-            let gs = g_all.as_slice();
-            let gb = b.grad.as_mut_slice();
-            for (c, gbc) in gb.iter_mut().enumerate() {
-                *gbc += gs[c * n * out_len..(c + 1) * n * out_len]
-                    .iter()
-                    .sum::<f32>();
-            }
-        }
-
-        // dcols = Wᵀ · G, then scatter per sample.
-        let gcols_all = eff_w.matmul_tn(&g_all); // [rows, n·out_len]
-        let mut grad_x = Tensor::zeros([n, self.in_channels, geom.len]);
-        {
-            let src = gcols_all.as_slice();
-            for i in 0..n {
-                let mut gcols = Tensor::zeros([rows, out_len]);
-                {
-                    let gc = gcols.as_mut_slice();
-                    for r in 0..rows {
-                        gc[r * out_len..(r + 1) * out_len]
-                            .copy_from_slice(&src[r * n * out_len + i * out_len..][..out_len]);
-                    }
-                }
-                grad_x.set_axis0(i, &im2col1d_backward(&gcols, &geom));
-            }
-        }
-        self.cached_cols.clear();
-        grad_x
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
+        self.backward_impl(grad_out, scratch, true)
     }
 
+    fn backward_root_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
+        self.backward_impl(grad_out, scratch, false)
+    }
     fn params(&self) -> Vec<&Param> {
         let mut v = vec![&self.weight];
         if let Some(b) = &self.bias {

@@ -6,7 +6,10 @@
 
 use rand::Rng;
 
-use rbnn_tensor::{im2col2d, im2col2d_backward, Conv2dGeom, Tensor};
+use rbnn_tensor::{
+    im2col2d, im2col2d_backward, im2col2d_batch, im2col2d_batch_backward, Conv2dGeom, Scratch,
+    Tensor,
+};
 
 use crate::{init, Layer, Param, Phase, WeightMode};
 
@@ -25,9 +28,13 @@ pub struct Conv2d {
     stride: (usize, usize),
     padding: (usize, usize),
     mode: WeightMode,
-    cached_cols: Vec<Tensor>,
+    // Persistent training buffers, refreshed in place each batch (see
+    // `Conv1d`).
+    cached_cols: Tensor,
     cached_geom: Option<Conv2dGeom>,
-    cached_eff_w: Option<Tensor>,
+    cached_eff_w: Tensor,
+    eff_w: Tensor,
+    cache_valid: bool,
 }
 
 impl Conv2d {
@@ -57,9 +64,11 @@ impl Conv2d {
             stride,
             padding,
             mode,
-            cached_cols: Vec::new(),
+            cached_cols: Tensor::default(),
             cached_geom: None,
-            cached_eff_w: None,
+            cached_eff_w: Tensor::default(),
+            eff_w: Tensor::default(),
+            cache_valid: false,
         }
     }
 
@@ -103,6 +112,66 @@ impl Conv2d {
             self.padding,
         )
     }
+
+    /// Shared backward body; `need_dx` false skips the input-gradient
+    /// GEMM and im2col scatter (root of the backward pass).
+    fn backward_impl(&mut self, grad_out: &Tensor, scratch: &mut Scratch, need_dx: bool) -> Tensor {
+        assert!(
+            self.cache_valid,
+            "Conv2d::backward called without forward(Phase::Train)"
+        );
+        self.cache_valid = false;
+        let geom = self.cached_geom.take().expect("geometry cache missing");
+        let n = grad_out.dim(0);
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let plane = oh * ow;
+
+        // Regroup grad_out [n, Co, oh, ow] into [Co, n·plane].
+        let mut g_all = scratch.tensor_for_overwrite([self.out_channels, n * plane]);
+        {
+            let gs = grad_out.as_slice();
+            let gd = g_all.as_mut_slice();
+            for i in 0..n {
+                for c in 0..self.out_channels {
+                    let src = &gs[(i * self.out_channels + c) * plane..][..plane];
+                    gd[c * n * plane + i * plane..c * n * plane + (i + 1) * plane]
+                        .copy_from_slice(src);
+                }
+            }
+        }
+
+        let mut grad_w = scratch.tensor_for_overwrite(self.weight.value.shape().clone());
+        g_all.matmul_nt_into(&self.cached_cols, &mut grad_w);
+        if self.mode.is_binary() {
+            self.weight.accumulate_ste_masked(&grad_w);
+        } else {
+            self.weight.grad += &grad_w;
+        }
+        scratch.recycle(grad_w);
+
+        if let Some(b) = &mut self.bias {
+            let gs = g_all.as_slice();
+            let gb = b.grad.as_mut_slice();
+            for (c, gbc) in gb.iter_mut().enumerate() {
+                *gbc += gs[c * n * plane..(c + 1) * n * plane].iter().sum::<f32>();
+            }
+        }
+
+        // Input gradient (GEMM + scatter) skipped at the backward root.
+        if !need_dx {
+            scratch.recycle(g_all);
+            return Tensor::default();
+        }
+        let rows = geom.patch_rows();
+        let mut gcols_all = scratch.tensor_for_overwrite([rows, n * plane]);
+        self.cached_eff_w.matmul_tn_into(&g_all, &mut gcols_all);
+        scratch.recycle(g_all);
+        let mut grad_x =
+            scratch.tensor_for_overwrite([n, self.in_channels, geom.height, geom.width]);
+        im2col2d_batch_backward(&gcols_all, &geom, &mut grad_x);
+        scratch.recycle(gcols_all);
+        grad_x
+    }
 }
 
 impl Layer for Conv2d {
@@ -110,7 +179,7 @@ impl Layer for Conv2d {
         self
     }
 
-    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+    fn forward_with(&mut self, x: &Tensor, phase: Phase, scratch: &mut Scratch) -> Tensor {
         assert_eq!(
             x.shape().ndim(),
             4,
@@ -127,26 +196,44 @@ impl Layer for Conv2d {
         let geom = self.geom(x.dim(2), x.dim(3));
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let plane = oh * ow;
-        let eff_w = self.effective_weight();
         let rows = geom.patch_rows();
+        let train = phase.is_train();
+
+        // Refresh the effective weight in place (sign(W) in binary mode);
+        // training writes the buffer the backward pass reads.
+        let eff_w: &Tensor = {
+            let dst = if train {
+                &mut self.cached_eff_w
+            } else {
+                &mut self.eff_w
+            };
+            match self.mode {
+                WeightMode::Real => dst.copy_from(&self.weight.value),
+                WeightMode::Binary => self.weight.value.signum_binary_into(dst),
+            }
+            if train {
+                &self.cached_eff_w
+            } else {
+                &self.eff_w
+            }
+        };
 
         // One batched patch matrix [rows, n·plane] → a single large matmul
-        // per layer instead of n small ones.
-        let mut cols_all = Tensor::zeros([rows, n * plane]);
-        {
-            let dst = cols_all.as_mut_slice();
-            for i in 0..n {
-                let cols = im2col2d(&x.index_axis0(i), &geom);
-                let src = cols.as_slice();
-                for r in 0..rows {
-                    dst[r * n * plane + i * plane..r * n * plane + (i + 1) * plane]
-                        .copy_from_slice(&src[r * plane..(r + 1) * plane]);
-                }
-            }
-        }
-        let y_all = eff_w.matmul(&cols_all); // [Co, n·plane]
+        // per layer instead of n small ones; training keeps it for the
+        // backward pass, eval recycles it immediately.
+        let mut eval_cols = None;
+        let cols: &Tensor = if train {
+            im2col2d_batch(x, &geom, &mut self.cached_cols);
+            &self.cached_cols
+        } else {
+            let mut cols = scratch.tensor_for_overwrite([rows, n * plane]);
+            im2col2d_batch(x, &geom, &mut cols);
+            eval_cols.insert(cols)
+        };
+        let mut y_all = scratch.tensor_for_overwrite([self.out_channels, n * plane]);
+        eff_w.matmul_into(cols, &mut y_all);
 
-        let mut out = Tensor::zeros([n, self.out_channels, oh, ow]);
+        let mut out = scratch.tensor_for_overwrite([n, self.out_channels, oh, ow]);
         {
             let ys = y_all.as_slice();
             let os = out.as_mut_slice();
@@ -162,80 +249,24 @@ impl Layer for Conv2d {
                 }
             }
         }
-        if phase.is_train() {
-            self.cached_cols = vec![cols_all];
+        scratch.recycle(y_all);
+        if let Some(cols) = eval_cols {
+            scratch.recycle(cols);
+        }
+        if train {
             self.cached_geom = Some(geom);
-            self.cached_eff_w = Some(eff_w);
+            self.cache_valid = true;
         }
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let geom = self
-            .cached_geom
-            .take()
-            .expect("Conv2d::backward called without forward(Phase::Train)");
-        let eff_w = self
-            .cached_eff_w
-            .take()
-            .expect("effective weight cache missing");
-        let cols_all = self.cached_cols.pop().expect("cols cache missing");
-        let n = grad_out.dim(0);
-        let (oh, ow) = (geom.out_h(), geom.out_w());
-        let plane = oh * ow;
-        let rows = geom.patch_rows();
-
-        // Regroup grad_out [n, Co, oh, ow] into [Co, n·plane].
-        let mut g_all = Tensor::zeros([self.out_channels, n * plane]);
-        {
-            let gs = grad_out.as_slice();
-            let gd = g_all.as_mut_slice();
-            for i in 0..n {
-                for c in 0..self.out_channels {
-                    let src = &gs[(i * self.out_channels + c) * plane..][..plane];
-                    gd[c * n * plane + i * plane..c * n * plane + (i + 1) * plane]
-                        .copy_from_slice(src);
-                }
-            }
-        }
-
-        let mut grad_w = g_all.matmul_nt(&cols_all);
-        if self.mode.is_binary() {
-            grad_w = grad_w.zip(
-                &self.weight.value,
-                |g, w| if w.abs() <= 1.0 { g } else { 0.0 },
-            );
-        }
-        self.weight.grad += &grad_w;
-
-        if let Some(b) = &mut self.bias {
-            let gs = g_all.as_slice();
-            let gb = b.grad.as_mut_slice();
-            for (c, gbc) in gb.iter_mut().enumerate() {
-                *gbc += gs[c * n * plane..(c + 1) * n * plane].iter().sum::<f32>();
-            }
-        }
-
-        let gcols_all = eff_w.matmul_tn(&g_all); // [rows, n·plane]
-        let mut grad_x = Tensor::zeros([n, self.in_channels, geom.height, geom.width]);
-        {
-            let src = gcols_all.as_slice();
-            for i in 0..n {
-                let mut gcols = Tensor::zeros([rows, plane]);
-                {
-                    let gc = gcols.as_mut_slice();
-                    for r in 0..rows {
-                        gc[r * plane..(r + 1) * plane]
-                            .copy_from_slice(&src[r * n * plane + i * plane..][..plane]);
-                    }
-                }
-                grad_x.set_axis0(i, &im2col2d_backward(&gcols, &geom));
-            }
-        }
-        self.cached_cols.clear();
-        grad_x
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
+        self.backward_impl(grad_out, scratch, true)
     }
 
+    fn backward_root_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
+        self.backward_impl(grad_out, scratch, false)
+    }
     fn params(&self) -> Vec<&Param> {
         let mut v = vec![&self.weight];
         if let Some(b) = &self.bias {
@@ -355,7 +386,7 @@ impl Layer for DepthwiseConv2d {
         self
     }
 
-    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+    fn forward_with(&mut self, x: &Tensor, phase: Phase, scratch: &mut Scratch) -> Tensor {
         assert_eq!(
             x.shape().ndim(),
             4,
@@ -370,7 +401,7 @@ impl Layer for DepthwiseConv2d {
         let ktaps = self.kernel.0 * self.kernel.1;
         let eff_w = self.effective_weight();
 
-        let mut out = Tensor::zeros([n, self.channels, oh, ow]);
+        let mut out = scratch.tensor([n, self.channels, oh, ow]);
         self.cached_cols.clear();
         let xs = x.as_slice();
         let plane_in = h * w;
@@ -407,7 +438,7 @@ impl Layer for DepthwiseConv2d {
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
         let geom = self
             .cached_geom
             .take()
@@ -421,8 +452,8 @@ impl Layer for DepthwiseConv2d {
         let plane_out = oh * ow;
         let ktaps = self.kernel.0 * self.kernel.1;
 
-        let mut grad_w = Tensor::zeros(self.weight.value.shape().clone());
-        let mut grad_x = Tensor::zeros([n, self.channels, geom.height, geom.width]);
+        let mut grad_w = scratch.tensor(self.weight.value.shape().clone());
+        let mut grad_x = scratch.tensor([n, self.channels, geom.height, geom.width]);
         let plane_in = geom.height * geom.width;
         let gs = grad_out.as_slice();
         for i in 0..n {
@@ -462,12 +493,11 @@ impl Layer for DepthwiseConv2d {
             }
         }
         if self.mode.is_binary() {
-            grad_w = grad_w.zip(
-                &self.weight.value,
-                |g, w| if w.abs() <= 1.0 { g } else { 0.0 },
-            );
+            self.weight.accumulate_ste_masked(&grad_w);
+        } else {
+            self.weight.grad += &grad_w;
         }
-        self.weight.grad += &grad_w;
+        scratch.recycle(grad_w);
         self.cached_cols.clear();
         grad_x
     }

@@ -2,7 +2,7 @@
 
 use rand::Rng;
 
-use rbnn_tensor::Tensor;
+use rbnn_tensor::{Scratch, Tensor};
 
 use crate::{init, Layer, Param, Phase, WeightMode};
 
@@ -31,8 +31,13 @@ pub struct Dense {
     in_features: usize,
     out_features: usize,
     mode: WeightMode,
-    cached_input: Option<Tensor>,
-    cached_eff_w: Option<Tensor>,
+    // Persistent buffers, refreshed in place each batch (no allocation in
+    // the steady state): the effective weight seen by the forward pass and
+    // the input/weight caches the backward pass consumes.
+    eff_w: Tensor,
+    cached_input: Tensor,
+    cached_eff_w: Tensor,
+    cache_valid: bool,
 }
 
 impl Dense {
@@ -55,8 +60,10 @@ impl Dense {
             in_features,
             out_features,
             mode,
-            cached_input: None,
-            cached_eff_w: None,
+            eff_w: Tensor::default(),
+            cached_input: Tensor::default(),
+            cached_eff_w: Tensor::default(),
+            cache_valid: false,
         }
     }
 
@@ -95,64 +102,25 @@ impl Dense {
     pub fn bias_value(&self) -> Option<&Tensor> {
         self.bias.as_ref().map(|b| &b.value)
     }
-}
 
-impl Layer for Dense {
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-
-    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
-        assert_eq!(x.shape().ndim(), 2, "Dense expects [batch, features]");
-        assert_eq!(
-            x.dim(1),
-            self.in_features,
-            "Dense: expected {} input features, got {}",
-            self.in_features,
-            x.dim(1)
+    /// Shared backward body; `need_dx` false skips the input-gradient
+    /// GEMM (root of the backward pass).
+    fn backward_impl(&mut self, grad_out: &Tensor, scratch: &mut Scratch, need_dx: bool) -> Tensor {
+        assert!(
+            self.cache_valid,
+            "Dense::backward called without forward(Phase::Train)"
         );
-        let eff_w = self.effective_weight();
-        // y[n, o] = Σ_i x[n, i] · w[o, i]  (+ b[o])
-        let mut y = x.matmul_nt(&eff_w);
-        if let Some(b) = &self.bias {
-            let n = y.dim(0);
-            let o = self.out_features;
-            let ys = y.as_mut_slice();
-            let bs = b.value.as_slice();
-            for row in 0..n {
-                for (j, &bv) in bs.iter().enumerate() {
-                    ys[row * o + j] += bv;
-                }
-            }
-        }
-        if phase.is_train() {
-            self.cached_input = Some(x.clone());
-            self.cached_eff_w = Some(eff_w);
-        }
-        y
-    }
-
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self
-            .cached_input
-            .take()
-            .expect("Dense::backward called without forward(Phase::Train)");
-        let eff_w = self
-            .cached_eff_w
-            .take()
-            .expect("effective weight cache missing");
+        self.cache_valid = false;
 
         // dW_eff[o, i] = Σ_n g[n, o] · x[n, i]
-        let mut grad_w = grad_out.matmul_tn(&x);
+        let mut grad_w = scratch.tensor_for_overwrite(self.weight.value.shape().clone());
+        grad_out.matmul_tn_into(&self.cached_input, &mut grad_w);
         if self.mode.is_binary() {
-            // Straight-through estimator: block gradient where the latent
-            // weight has saturated.
-            grad_w = grad_w.zip(
-                &self.weight.value,
-                |g, w| if w.abs() <= 1.0 { g } else { 0.0 },
-            );
+            self.weight.accumulate_ste_masked(&grad_w);
+        } else {
+            self.weight.grad += &grad_w;
         }
-        self.weight.grad += &grad_w;
+        scratch.recycle(grad_w);
 
         if let Some(b) = &mut self.bias {
             let n = grad_out.dim(0);
@@ -166,8 +134,77 @@ impl Layer for Dense {
             }
         }
 
-        // dx[n, i] = Σ_o g[n, o] · w[o, i]
-        grad_out.matmul(&eff_w)
+        // dx[n, i] = Σ_o g[n, o] · w[o, i]  (skipped entirely at the root
+        // of the backward pass, where nothing consumes it)
+        if !need_dx {
+            return Tensor::default();
+        }
+        let mut dx = scratch.tensor_for_overwrite([grad_out.dim(0), self.in_features]);
+        grad_out.matmul_into(&self.cached_eff_w, &mut dx);
+        dx
+    }
+}
+
+impl Layer for Dense {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn forward_with(&mut self, x: &Tensor, phase: Phase, scratch: &mut Scratch) -> Tensor {
+        assert_eq!(x.shape().ndim(), 2, "Dense expects [batch, features]");
+        assert_eq!(
+            x.dim(1),
+            self.in_features,
+            "Dense: expected {} input features, got {}",
+            self.in_features,
+            x.dim(1)
+        );
+        let n = x.dim(0);
+        // Refresh the effective-weight buffer in place: sign(W) in binary
+        // mode (single pass into a persistent buffer — training caches the
+        // buffer the backward pass will read, eval uses a separate one so a
+        // mid-step eval cannot clobber the training cache).
+        let eff_w: &Tensor = match self.mode {
+            WeightMode::Real => &self.weight.value,
+            WeightMode::Binary => {
+                if phase.is_train() {
+                    self.weight.value.signum_binary_into(&mut self.cached_eff_w);
+                    &self.cached_eff_w
+                } else {
+                    self.weight.value.signum_binary_into(&mut self.eff_w);
+                    &self.eff_w
+                }
+            }
+        };
+        // y[n, o] = Σ_i x[n, i] · w[o, i]  (+ b[o])
+        let mut y = scratch.tensor_for_overwrite([n, self.out_features]);
+        x.matmul_nt_into(eff_w, &mut y);
+        if let Some(b) = &self.bias {
+            let o = self.out_features;
+            let ys = y.as_mut_slice();
+            let bs = b.value.as_slice();
+            for row in 0..n {
+                for (j, &bv) in bs.iter().enumerate() {
+                    ys[row * o + j] += bv;
+                }
+            }
+        }
+        if phase.is_train() {
+            self.cached_input.copy_from(x);
+            if !self.mode.is_binary() {
+                self.cached_eff_w.copy_from(&self.weight.value);
+            }
+            self.cache_valid = true;
+        }
+        y
+    }
+
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
+        self.backward_impl(grad_out, scratch, true)
+    }
+
+    fn backward_root_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
+        self.backward_impl(grad_out, scratch, false)
     }
 
     fn params(&self) -> Vec<&Param> {

@@ -5,7 +5,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rbnn_tensor::Tensor;
+use rbnn_tensor::{Scratch, Tensor};
 
 use crate::{Layer, Phase};
 
@@ -15,7 +15,8 @@ use crate::{Layer, Phase};
 pub struct Dropout {
     keep: f32,
     rng: StdRng,
-    cached_mask: Option<Tensor>,
+    mask: Tensor,
+    mask_valid: bool,
 }
 
 impl Dropout {
@@ -32,7 +33,8 @@ impl Dropout {
         Self {
             keep,
             rng: StdRng::seed_from_u64(seed),
-            cached_mask: None,
+            mask: Tensor::default(),
+            mask_valid: false,
         }
     }
 
@@ -47,29 +49,48 @@ impl Layer for Dropout {
         self
     }
 
-    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+    fn forward_with(&mut self, x: &Tensor, phase: Phase, scratch: &mut Scratch) -> Tensor {
+        let mut y = scratch.tensor_for_overwrite(x.shape().clone());
         if !phase.is_train() || self.keep >= 1.0 {
-            return x.clone();
+            y.as_mut_slice().copy_from_slice(x.as_slice());
+            return y;
         }
         let inv = 1.0 / self.keep;
-        let mask = Tensor::from_fn(x.shape().clone(), |_| {
-            if self.rng.gen::<f32>() < self.keep {
+        self.mask.resize_for_overwrite(x.shape().clone());
+        for (m, (d, &v)) in self
+            .mask
+            .as_mut_slice()
+            .iter_mut()
+            .zip(y.as_mut_slice().iter_mut().zip(x.as_slice()))
+        {
+            *m = if self.rng.gen::<f32>() < self.keep {
                 inv
             } else {
                 0.0
-            }
-        });
-        let y = x * &mask;
-        self.cached_mask = Some(mask);
+            };
+            *d = v * *m;
+        }
+        self.mask_valid = true;
         y
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        match self.cached_mask.take() {
-            Some(mask) => grad_out * &mask,
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let mut gx = scratch.tensor_for_overwrite(grad_out.shape().clone());
+        if self.mask_valid {
+            self.mask_valid = false;
+            for ((d, &g), &m) in gx
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad_out.as_slice())
+                .zip(self.mask.as_slice())
+            {
+                *d = g * m;
+            }
+        } else {
             // keep == 1.0 in train phase: identity.
-            None => grad_out.clone(),
+            gx.as_mut_slice().copy_from_slice(grad_out.as_slice());
         }
+        gx
     }
 
     fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {

@@ -1,6 +1,6 @@
 //! Flatten layer: collapses per-sample dimensions to a feature vector.
 
-use rbnn_tensor::Tensor;
+use rbnn_tensor::{Scratch, Tensor};
 
 use crate::{Layer, Phase};
 
@@ -24,23 +24,27 @@ impl Layer for Flatten {
         self
     }
 
-    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+    fn forward_with(&mut self, x: &Tensor, phase: Phase, scratch: &mut Scratch) -> Tensor {
         assert!(x.shape().ndim() >= 2, "Flatten expects a batched tensor");
         let n = x.dim(0);
         let features: usize = x.dims()[1..].iter().product();
         if phase.is_train() {
             self.cached_dims = x.dims().to_vec();
         }
-        x.reshape([n, features])
+        let mut y = scratch.tensor_for_overwrite([n, features]);
+        y.as_mut_slice().copy_from_slice(x.as_slice());
+        y
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
         assert!(
             !self.cached_dims.is_empty(),
             "Flatten::backward called without forward(Phase::Train)"
         );
         let dims = std::mem::take(&mut self.cached_dims);
-        grad_out.reshape(dims)
+        let mut gx = scratch.tensor_for_overwrite(dims);
+        gx.as_mut_slice().copy_from_slice(grad_out.as_slice());
+        gx
     }
 
     fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {

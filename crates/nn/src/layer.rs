@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use rbnn_tensor::Tensor;
+use rbnn_tensor::{Scratch, Tensor};
 
 use crate::Param;
 
@@ -53,25 +53,66 @@ impl WeightMode {
 /// A differentiable network block.
 ///
 /// Layers operate on batched tensors whose leading dimension is the batch.
-/// `forward(Phase::Train)` must cache whatever `backward` needs; `backward`
-/// consumes the cache, accumulates parameter gradients, and returns the
-/// gradient with respect to the layer input.
+/// `forward_with(Phase::Train, …)` must cache whatever `backward_with`
+/// needs; `backward_with` consumes the cache, accumulates parameter
+/// gradients, and returns the gradient with respect to the layer input.
+///
+/// Both hot-path methods draw temporary and output buffers from a
+/// caller-provided [`Scratch`] arena; the training loop keeps one arena
+/// alive across the epoch, so the steady-state pipeline performs no heap
+/// allocation per batch. The [`forward`](Layer::forward) /
+/// [`backward`](Layer::backward) wrappers spin up a throwaway arena for
+/// callers that don't care.
 pub trait Layer: fmt::Debug + Send {
     /// Self as [`std::any::Any`], enabling downcasting for model surgery
     /// (e.g. exporting trained binarized layers to the bit-packed inference
     /// engine in `rbnn-binary`).
     fn as_any(&self) -> &dyn std::any::Any;
 
-    /// Computes the layer output for a batched input.
-    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor;
+    /// Computes the layer output for a batched input, drawing buffers from
+    /// `scratch`. The returned tensor is owned; when the caller is done
+    /// with it, recycling it into the same arena closes the loop.
+    fn forward_with(&mut self, x: &Tensor, phase: Phase, scratch: &mut Scratch) -> Tensor;
 
-    /// Propagates the output gradient, accumulating parameter gradients.
+    /// Propagates the output gradient, accumulating parameter gradients,
+    /// drawing buffers from `scratch`.
     ///
     /// # Panics
     ///
     /// Implementations may panic if called without a preceding
-    /// `forward(Phase::Train)`.
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+    /// `forward_with(Phase::Train, …)`.
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor;
+
+    /// [`backward_with`](Layer::backward_with) for the **root** of a
+    /// backward pass: signals that the returned input gradient will not be
+    /// consumed, so layers that spend real work producing it (dense and
+    /// convolution input-gradient GEMMs, im2col scatters) may skip that
+    /// work and return an empty tensor. Containers forward the signal to
+    /// their first layer only. The default implementation is a plain
+    /// [`backward_with`](Layer::backward_with).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`backward_with`](Layer::backward_with) does.
+    fn backward_root_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
+        self.backward_with(grad_out, scratch)
+    }
+
+    /// Computes the layer output for a batched input (convenience wrapper
+    /// over [`forward_with`](Layer::forward_with) with a throwaway arena).
+    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+        self.forward_with(x, phase, &mut Scratch::new())
+    }
+
+    /// Propagates the output gradient (convenience wrapper over
+    /// [`backward_with`](Layer::backward_with) with a throwaway arena).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`backward_with`](Layer::backward_with) does.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_with(grad_out, &mut Scratch::new())
+    }
 
     /// Immutable access to the layer's parameters (possibly empty).
     fn params(&self) -> Vec<&Param> {

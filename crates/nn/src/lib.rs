@@ -80,3 +80,6 @@ pub use pool::{GlobalAvgPool2d, Pool1d, Pool2d, PoolKind};
 pub use schedule::LrSchedule;
 pub use sequential::{ModelSummary, Sequential, SummaryRow};
 pub use split::SplitModel;
+// Re-exported so `Layer` implementors outside this crate can name the
+// scratch arena the trait's hot-path methods take.
+pub use rbnn_tensor::Scratch;

@@ -69,17 +69,31 @@ impl Optimizer for Sgd {
                 .collect();
         }
         for (i, p) in params.iter_mut().enumerate() {
-            let mut g = p.grad.clone();
-            if self.weight_decay > 0.0 && p.decay {
-                g.add_scaled(&p.value, self.weight_decay);
-            }
-            if self.momentum > 0.0 {
-                let v = &mut self.velocity[i];
-                v.scale_in_place(self.momentum);
-                *v += &g;
-                p.value.add_scaled(v, -self.lr);
+            // Branchless effective decay keeps the update loop allocation-
+            // free and auto-vectorizable (cloning the gradient every step
+            // once put the allocator on the training hot path).
+            let wd = if self.weight_decay > 0.0 && p.decay {
+                self.weight_decay
             } else {
-                p.value.add_scaled(&g, -self.lr);
+                0.0
+            };
+            let lr = self.lr;
+            if self.momentum > 0.0 {
+                let momentum = self.momentum;
+                let vs = self.velocity[i].as_mut_slice();
+                let gs = p.grad.as_slice();
+                let ps = p.value.as_mut_slice();
+                for j in 0..gs.len() {
+                    let g = gs[j] + wd * ps[j];
+                    vs[j] = momentum * vs[j] + g;
+                    ps[j] -= lr * vs[j];
+                }
+            } else {
+                let gs = p.grad.as_slice();
+                let ps = p.value.as_mut_slice();
+                for j in 0..gs.len() {
+                    ps[j] -= lr * (gs[j] + wd * ps[j]);
+                }
             }
             p.apply_clamp();
         }
@@ -148,24 +162,28 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (i, p) in params.iter_mut().enumerate() {
-            let mut g = p.grad.clone();
-            if self.weight_decay > 0.0 && p.decay {
-                g.add_scaled(&p.value, self.weight_decay);
-            }
-            let m = &mut self.m[i];
-            let v = &mut self.v[i];
+            // Branchless effective decay; all coefficients hoisted into
+            // locals so the moment-update loop stays allocation-free and
+            // auto-vectorizes (sqrt and division both lower to SIMD).
+            let wd = if self.weight_decay > 0.0 && p.decay {
+                self.weight_decay
+            } else {
+                0.0
+            };
+            let (b1, b2, lr, eps) = (self.beta1, self.beta2, self.lr, self.eps);
             let (ms, vs, gs, ps) = (
-                m.as_mut_slice(),
-                v.as_mut_slice(),
-                g.as_slice(),
+                self.m[i].as_mut_slice(),
+                self.v[i].as_mut_slice(),
+                p.grad.as_slice(),
                 p.value.as_mut_slice(),
             );
             for j in 0..gs.len() {
-                ms[j] = self.beta1 * ms[j] + (1.0 - self.beta1) * gs[j];
-                vs[j] = self.beta2 * vs[j] + (1.0 - self.beta2) * gs[j] * gs[j];
+                let g = gs[j] + wd * ps[j];
+                ms[j] = b1 * ms[j] + (1.0 - b1) * g;
+                vs[j] = b2 * vs[j] + (1.0 - b2) * g * g;
                 let mhat = ms[j] / bc1;
                 let vhat = vs[j] / bc2;
-                ps[j] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+                ps[j] -= lr * mhat / (vhat.sqrt() + eps);
             }
             p.apply_clamp();
         }

@@ -26,6 +26,33 @@ pub struct Param {
 }
 
 impl Param {
+    /// Accumulates `grad_eff` into [`grad`](Param::grad) through the
+    /// straight-through estimator: positions where the latent weight has
+    /// saturated (`|w| > 1`) receive no gradient (Courbariaux et al.).
+    /// One fused pass shared by every binarized layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_eff`'s element count differs from the parameter's.
+    pub fn accumulate_ste_masked(&mut self, grad_eff: &Tensor) {
+        assert_eq!(
+            grad_eff.numel(),
+            self.value.numel(),
+            "accumulate_ste_masked: gradient size mismatch"
+        );
+        for ((acc, &g), &w) in self
+            .grad
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_eff.as_slice())
+            .zip(self.value.as_slice())
+        {
+            if w.abs() <= 1.0 {
+                *acc += g;
+            }
+        }
+    }
+
     /// Wraps a value tensor as a trainable parameter with a zeroed gradient.
     pub fn new(value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape().clone());

@@ -1,6 +1,6 @@
 //! Pooling layers: max/average, 1-D and 2-D, plus global average pooling.
 
-use rbnn_tensor::Tensor;
+use rbnn_tensor::{Scratch, Tensor};
 
 use crate::{Layer, Phase};
 
@@ -59,11 +59,11 @@ impl Layer for Pool1d {
         self
     }
 
-    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+    fn forward_with(&mut self, x: &Tensor, phase: Phase, scratch: &mut Scratch) -> Tensor {
         assert_eq!(x.shape().ndim(), 3, "Pool1d expects [batch, channels, len]");
         let (n, c, l) = (x.dim(0), x.dim(1), x.dim(2));
         let ol = self.out_len(l);
-        let mut out = Tensor::zeros([n, c, ol]);
+        let mut out = scratch.tensor_for_overwrite([n, c, ol]);
         let xs = x.as_slice();
         let os = out.as_mut_slice();
         if phase.is_train() {
@@ -98,7 +98,7 @@ impl Layer for Pool1d {
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
         assert!(
             !self.cached_in_dims.is_empty(),
             "Pool1d::backward called without forward(Phase::Train)"
@@ -106,7 +106,9 @@ impl Layer for Pool1d {
         let dims = std::mem::take(&mut self.cached_in_dims);
         let (n, c, l) = (dims[0], dims[1], dims[2]);
         let ol = self.out_len(l);
-        let mut grad_x = Tensor::zeros([n, c, l]);
+        // Max routes to the argmax / Avg spreads: both accumulate, so the
+        // gradient buffer must start zeroed.
+        let mut grad_x = scratch.tensor([n, c, l]);
         let gs = grad_out.as_slice();
         let gx = grad_x.as_mut_slice();
         for nc in 0..n * c {
@@ -196,7 +198,7 @@ impl Layer for Pool2d {
         self
     }
 
-    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+    fn forward_with(&mut self, x: &Tensor, phase: Phase, scratch: &mut Scratch) -> Tensor {
         assert_eq!(
             x.shape().ndim(),
             4,
@@ -204,7 +206,7 @@ impl Layer for Pool2d {
         );
         let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
         let (oh, ow) = self.out_hw(h, w);
-        let mut out = Tensor::zeros([n, c, oh, ow]);
+        let mut out = scratch.tensor_for_overwrite([n, c, oh, ow]);
         let xs = x.as_slice();
         let os = out.as_mut_slice();
         let plane_in = h * w;
@@ -252,7 +254,7 @@ impl Layer for Pool2d {
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
         assert!(
             !self.cached_in_dims.is_empty(),
             "Pool2d::backward called without forward(Phase::Train)"
@@ -263,7 +265,8 @@ impl Layer for Pool2d {
         let plane_in = h * w;
         let plane_out = oh * ow;
         let window = (self.kernel.0 * self.kernel.1) as f32;
-        let mut grad_x = Tensor::zeros([n, c, h, w]);
+        // Accumulating scatter: must start zeroed.
+        let mut grad_x = scratch.tensor([n, c, h, w]);
         let gs = grad_out.as_slice();
         let gx = grad_x.as_mut_slice();
         for nc in 0..n * c {
@@ -333,7 +336,7 @@ impl Layer for GlobalAvgPool2d {
         self
     }
 
-    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
+    fn forward_with(&mut self, x: &Tensor, phase: Phase, scratch: &mut Scratch) -> Tensor {
         assert_eq!(
             x.shape().ndim(),
             4,
@@ -341,7 +344,7 @@ impl Layer for GlobalAvgPool2d {
         );
         let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
         let plane = h * w;
-        let mut out = Tensor::zeros([n, c]);
+        let mut out = scratch.tensor_for_overwrite([n, c]);
         let xs = x.as_slice();
         let os = out.as_mut_slice();
         for nc in 0..n * c {
@@ -353,7 +356,7 @@ impl Layer for GlobalAvgPool2d {
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
         assert!(
             !self.cached_in_dims.is_empty(),
             "GlobalAvgPool2d::backward called without forward(Phase::Train)"
@@ -361,7 +364,7 @@ impl Layer for GlobalAvgPool2d {
         let dims = std::mem::take(&mut self.cached_in_dims);
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let plane = h * w;
-        let mut grad_x = Tensor::zeros([n, c, h, w]);
+        let mut grad_x = scratch.tensor_for_overwrite([n, c, h, w]);
         let gs = grad_out.as_slice();
         let gx = grad_x.as_mut_slice();
         for nc in 0..n * c {

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use rbnn_tensor::Tensor;
+use rbnn_tensor::{Scratch, Tensor};
 
 use crate::{Layer, Param, Phase};
 
@@ -64,6 +64,35 @@ impl Sequential {
         &mut self.layers
     }
 
+    /// Runs the backward chain; when `need_input_grad` is false the first
+    /// layer is told its input gradient is unused (`backward_root_with`).
+    fn backward_chain(
+        &mut self,
+        grad_out: &Tensor,
+        scratch: &mut Scratch,
+        need_input_grad: bool,
+    ) -> Tensor {
+        let count = self.layers.len();
+        if count == 0 {
+            return grad_out.clone();
+        }
+        let mut g: Option<Tensor> = None;
+        for (pos, layer) in self.layers.iter_mut().rev().enumerate() {
+            let is_first_layer = pos + 1 == count;
+            let gin = g.as_ref().unwrap_or(grad_out);
+            let next = if is_first_layer && !need_input_grad {
+                layer.backward_root_with(gin, scratch)
+            } else {
+                layer.backward_with(gin, scratch)
+            };
+            if let Some(prev) = g.take() {
+                scratch.recycle(prev);
+            }
+            g = Some(next);
+        }
+        g.expect("non-empty layer chain")
+    }
+
     /// Builds a per-layer summary table (the shape of Tables I–II of the
     /// paper) for a given per-sample input shape.
     pub fn summary(&self, input_shape: &[usize]) -> ModelSummary {
@@ -89,20 +118,29 @@ impl Layer for Sequential {
         self
     }
 
-    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
-        let mut h = x.clone();
-        for layer in &mut self.layers {
-            h = layer.forward(&h, phase);
+    fn forward_with(&mut self, x: &Tensor, phase: Phase, scratch: &mut Scratch) -> Tensor {
+        // Chain layers, recycling each intermediate activation as soon as
+        // the next layer has consumed it — the steady-state epoch then
+        // cycles a fixed set of buffers instead of allocating per batch.
+        let mut layers = self.layers.iter_mut();
+        let Some(first) = layers.next() else {
+            return x.clone();
+        };
+        let mut h = first.forward_with(x, phase, scratch);
+        for layer in layers {
+            let next = layer.forward_with(&h, phase, scratch);
+            scratch.recycle(h);
+            h = next;
         }
         h
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mut g = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
-        }
-        g
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
+        self.backward_chain(grad_out, scratch, true)
+    }
+
+    fn backward_root_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
+        self.backward_chain(grad_out, scratch, false)
     }
 
     fn params(&self) -> Vec<&Param> {

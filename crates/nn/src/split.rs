@@ -6,7 +6,7 @@
 //! feature extractor in float and hand the classifier to the bit-packed
 //! engine in `rbnn-binary`.
 
-use rbnn_tensor::Tensor;
+use rbnn_tensor::{Scratch, Tensor};
 
 use crate::{Layer, Param, Phase, Sequential};
 
@@ -61,14 +61,25 @@ impl Layer for SplitModel {
         self
     }
 
-    fn forward(&mut self, x: &Tensor, phase: Phase) -> Tensor {
-        let h = self.features.forward(x, phase);
-        self.classifier.forward(&h, phase)
+    fn forward_with(&mut self, x: &Tensor, phase: Phase, scratch: &mut Scratch) -> Tensor {
+        let h = self.features.forward_with(x, phase, scratch);
+        let y = self.classifier.forward_with(&h, phase, scratch);
+        scratch.recycle(h);
+        y
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let g = self.classifier.backward(grad_out);
-        self.features.backward(&g)
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let g = self.classifier.backward_with(grad_out, scratch);
+        let gx = self.features.backward_with(&g, scratch);
+        scratch.recycle(g);
+        gx
+    }
+
+    fn backward_root_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let g = self.classifier.backward_with(grad_out, scratch);
+        let gx = self.features.backward_root_with(&g, scratch);
+        scratch.recycle(g);
+        gx
     }
 
     fn params(&self) -> Vec<&Param> {

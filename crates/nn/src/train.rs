@@ -4,7 +4,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use rbnn_tensor::Tensor;
+use rbnn_tensor::{Scratch, Tensor};
 
 use crate::{loss, metrics, Layer, LrSchedule, Optimizer, Phase};
 
@@ -102,27 +102,53 @@ impl<'a> Labelled<'a> {
 }
 
 /// Gathers `indices` of the leading axis into a new batch tensor.
+///
+/// Allocation-free loops use [`Tensor::gather_rows_into`] with a reused
+/// buffer instead; this remains as the simple one-shot form (and as the
+/// pre-overhaul baseline `train_bench` measures against).
 pub fn gather(x: &Tensor, indices: &[usize]) -> Tensor {
     let items: Vec<Tensor> = indices.iter().map(|&i| x.index_axis0(i)).collect();
     Tensor::stack(&items)
 }
 
 /// Runs the model over `data` in batches and returns the logits `[N, C]`.
+///
+/// Each batch's logits are written straight into one preallocated `[N, C]`
+/// output; the batch buffer and every layer intermediate come from a single
+/// scratch arena reused across batches.
 pub fn predict_logits(model: &mut dyn Layer, x: &Tensor, batch_size: usize) -> Tensor {
+    let mut scratch = Scratch::new();
+    predict_logits_with(model, x, batch_size, &mut scratch)
+}
+
+/// [`predict_logits`] drawing all buffers from a caller-provided arena (the
+/// form `fit` uses so evaluation shares the training loop's buffers).
+pub fn predict_logits_with(
+    model: &mut dyn Layer,
+    x: &Tensor,
+    batch_size: usize,
+    scratch: &mut Scratch,
+) -> Tensor {
     let n = x.dim(0);
-    let mut outputs = Vec::new();
+    assert!(batch_size >= 1, "need a positive batch size");
+    let mut xb = scratch.tensor_for_overwrite([0]);
+    let mut idx: Vec<usize> = Vec::with_capacity(batch_size.min(n));
+    let mut out: Option<Tensor> = None;
     let mut start = 0;
     while start < n {
         let end = (start + batch_size).min(n);
-        let idx: Vec<usize> = (start..end).collect();
-        let batch = gather(x, &idx);
-        let logits = model.forward(&batch, Phase::Eval);
-        for i in 0..logits.dim(0) {
-            outputs.push(logits.index_axis0(i));
-        }
+        idx.clear();
+        idx.extend(start..end);
+        x.gather_rows_into(&idx, &mut xb);
+        let logits = model.forward_with(&xb, Phase::Eval, scratch);
+        let classes = logits.dim(1);
+        let dst = out.get_or_insert_with(|| scratch.tensor_for_overwrite([n, classes]));
+        dst.as_mut_slice()[start * classes..end * classes].copy_from_slice(logits.as_slice());
+        scratch.recycle(logits);
         start = end;
     }
-    Tensor::stack(&outputs)
+    scratch.recycle(xb);
+    out.unwrap_or_else(|| Tensor::zeros([0, 0]))
 }
 
 /// Evaluates top-1 accuracy of `model` on a labelled set.
@@ -164,6 +190,15 @@ pub fn fit(
     let mut history = History::default();
     let track_top5 = val.as_ref().map(|v| v.x.dim(0) > 0).unwrap_or(false);
 
+    // One arena and one batch buffer live across the whole run: after the
+    // first batch, the layer pipeline performs no heap allocation for
+    // tensor data (partial tail batches reuse the same buffer at a smaller
+    // leading extent); only the O(batch·classes) loss buffers are
+    // allocated per step.
+    let mut scratch = Scratch::new();
+    let mut xb = Tensor::default();
+    let mut yb: Vec<usize> = Vec::with_capacity(cfg.batch_size);
+
     for epoch in 0..cfg.epochs {
         if let Some(schedule) = &cfg.lr_schedule {
             opt.set_learning_rate(schedule.rate(epoch));
@@ -173,13 +208,23 @@ pub fn fit(
         let mut epoch_hits = 0.0f32;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
-            let xb = gather(train.x, chunk);
-            let yb: Vec<usize> = chunk.iter().map(|&i| train.y[i]).collect();
+            train.x.gather_rows_into(chunk, &mut xb);
+            yb.clear();
+            yb.extend(chunk.iter().map(|&i| train.y[i]));
             model.zero_grad();
-            let logits = model.forward(&xb, Phase::Train);
+            let logits = model.forward_with(&xb, Phase::Train, &mut scratch);
             let (loss_value, grad) = loss::softmax_cross_entropy(&logits, &yb);
             epoch_hits += metrics::accuracy(&logits, &yb) * yb.len() as f32;
-            model.backward(&grad);
+            scratch.recycle(logits);
+            // Root of the backward pass: the gradient w.r.t. the training
+            // inputs is never consumed, so the first layer skips it.
+            let gx = model.backward_root_with(&grad, &mut scratch);
+            scratch.recycle(gx);
+            // `grad` was freshly allocated by the loss (O(batch·classes));
+            // dropping it keeps the arena population stable — recycling it
+            // would add one buffer per step until the pool cap forces a
+            // perpetual evict/realloc cycle.
+            drop(grad);
             let mut params = model.params_mut();
             opt.step(&mut params);
             epoch_loss += loss_value;
@@ -191,7 +236,7 @@ pub fn fit(
         let is_last = epoch + 1 == cfg.epochs;
         if let Some(v) = &val {
             if is_last || cfg.eval_every != 0 && epoch % cfg.eval_every.max(1) == 0 {
-                let logits = predict_logits(model, v.x, cfg.batch_size);
+                let logits = predict_logits_with(model, v.x, cfg.batch_size, &mut scratch);
                 let acc = metrics::accuracy(&logits, v.y);
                 history.val_acc.push((epoch, acc));
                 if track_top5 && logits.dim(1) > 5 {
@@ -199,6 +244,7 @@ pub fn fit(
                         .val_top5
                         .push((epoch, metrics::top_k_accuracy(&logits, v.y, 5)));
                 }
+                scratch.recycle(logits);
                 if cfg.verbose {
                     eprintln!(
                         "epoch {:>4}: loss {:.4}  train acc {:.3}  val acc {:.3}",
@@ -344,6 +390,38 @@ mod tests {
         let _ = fit(&mut net, Labelled::new(&x, &y), None, &mut opt, &cfg);
         // After epochs 0, 1, 2 the last applied rate is 0.1 · 0.5² = 0.025.
         assert!((opt.learning_rate() - 0.025).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_root_skips_input_grad_but_matches_param_grads() {
+        use rbnn_tensor::Scratch;
+        let mut rng = StdRng::seed_from_u64(12);
+        let build = |rng: &mut StdRng| {
+            let mut net = Sequential::new();
+            net.push(crate::Conv1d::new(2, 3, 3, 1, 1, WeightMode::Binary, rng));
+            net.push(crate::BatchNorm::new(3));
+            net.push(Activation::sign_ste());
+            net.push(crate::Flatten::new());
+            net.push(Dense::new(3 * 8, 2, WeightMode::Real, rng));
+            net
+        };
+        let mut full = build(&mut rng);
+        let mut rng2 = StdRng::seed_from_u64(12);
+        let mut root = build(&mut rng2);
+        let x = Tensor::randn([4, 2, 8], 1.0, &mut rng);
+        let g = Tensor::randn([4, 2], 1.0, &mut rng);
+        let mut scratch = Scratch::new();
+        let _ = full.forward_with(&x, Phase::Train, &mut scratch);
+        let gx_full = full.backward_with(&g, &mut scratch);
+        let _ = root.forward_with(&x, Phase::Train, &mut scratch);
+        let gx_root = root.backward_root_with(&g, &mut scratch);
+        // The root pass skips the first conv's input gradient entirely…
+        assert_eq!(gx_full.dims(), x.dims());
+        assert_eq!(gx_root.numel(), 0, "root input grad must be skipped");
+        // …while every parameter gradient matches the full pass bitwise.
+        for (pf, pr) in full.params().iter().zip(root.params()) {
+            assert_eq!(pf.grad.as_slice(), pr.grad.as_slice());
+        }
     }
 
     #[test]

@@ -41,6 +41,19 @@ fn pack_words(words: &mut [u64], len: usize, bit: impl Fn(usize) -> bool) {
     }
 }
 
+/// ORs the low `nbits ≤ 64` bits of `value` into `words` starting at bit
+/// position `pos` (destination bits assumed clear; may straddle two words).
+#[inline]
+fn write_bits(words: &mut [u64], pos: usize, nbits: usize, value: u64) {
+    debug_assert!(nbits <= WORD_BITS);
+    let w = pos / WORD_BITS;
+    let shift = pos % WORD_BITS;
+    words[w] |= value << shift;
+    if shift != 0 && shift + nbits > WORD_BITS {
+        words[w + 1] |= value >> (WORD_BITS - shift);
+    }
+}
+
 /// Counts positions where `a` and `b` hold the same bit, over `len` bits.
 ///
 /// This is `popcount(XNOR(a, b))` restricted to the first `len` bits; the
@@ -246,6 +259,40 @@ impl BitVec {
     #[inline]
     pub fn as_words(&self) -> &[u64] {
         &self.words
+    }
+
+    /// Extracts `nbits ≤ 64` bits starting at `start` as the low bits of a
+    /// `u64` (word-level: two shifts instead of a per-bit loop). Positions
+    /// past `len` read as zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbits > 64` or `start >= len` for a non-empty read.
+    #[inline]
+    pub fn extract_bits(&self, start: usize, nbits: usize) -> u64 {
+        assert!(nbits <= WORD_BITS, "cannot extract more than 64 bits");
+        if nbits == 0 {
+            return 0;
+        }
+        assert!(
+            start < self.len,
+            "bit index {start} out of range for length {}",
+            self.len
+        );
+        let w = start / WORD_BITS;
+        let shift = start % WORD_BITS;
+        let lo = self.words[w] >> shift;
+        let hi = if shift == 0 {
+            0
+        } else {
+            self.words.get(w + 1).copied().unwrap_or(0) << (WORD_BITS - shift)
+        };
+        let v = lo | hi;
+        if nbits == WORD_BITS {
+            v
+        } else {
+            v & ((1u64 << nbits) - 1)
+        }
     }
 
     /// Number of positions where `self` and `other` agree.
@@ -499,6 +546,54 @@ impl BitMatrix {
         pack_words(row_words, self.cols, bit);
     }
 
+    /// Builds the bit-packed `im2col`-style window matrix of a multichannel
+    /// ±1 signal: row `t` holds the kernel window starting at step `t` of
+    /// every channel, laid out channel-major then tap-major (matching the
+    /// weight layout of `rbnn_nn::Conv1d` and `rbnn_binary::BinaryConv1d`).
+    ///
+    /// The resulting `[out_len, channels·kernel]` matrix lets a binarized
+    /// convolution run as row-versus-row [`xnor_popcount`] — the same
+    /// word-level kernel the dense inference and RRAM sense paths use —
+    /// instead of assembling each window bit by bit. Each window field is
+    /// gathered with [`BitVec::extract_bits`] (two shifts per channel,
+    /// kernels up to 64 taps; wider kernels fall back to a per-bit loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is empty, channel lengths differ, or the signal is
+    /// shorter than the kernel.
+    pub fn conv1d_windows(input: &[BitVec], kernel: usize) -> BitMatrix {
+        assert!(!input.is_empty(), "need at least one input channel");
+        assert!(kernel > 0, "kernel must be positive");
+        let len = input[0].len();
+        assert!(
+            input.iter().all(|c| c.len() == len),
+            "channel lengths differ"
+        );
+        assert!(len >= kernel, "input shorter than kernel");
+        let channels = input.len();
+        let out_len = len - kernel + 1;
+        let mut m = BitMatrix::zeros(out_len, channels * kernel);
+        for t in 0..out_len {
+            let row = &mut m.data[t * m.words_per_row..(t + 1) * m.words_per_row];
+            if kernel <= WORD_BITS {
+                for (c, chan) in input.iter().enumerate() {
+                    write_bits(row, c * kernel, kernel, chan.extract_bits(t, kernel));
+                }
+            } else {
+                for (c, chan) in input.iter().enumerate() {
+                    for k in 0..kernel {
+                        if chan.get(t + k) {
+                            let pos = c * kernel + k;
+                            row[pos / WORD_BITS] |= 1u64 << (pos % WORD_BITS);
+                        }
+                    }
+                }
+            }
+        }
+        m
+    }
+
     /// Matrix–vector ±1 product: element `r` is `2·popcount(XNOR(row_r, x)) − cols`.
     ///
     /// This is the operation one RRAM array + XNOR-PCSA column bank +
@@ -711,6 +806,69 @@ mod tests {
             assert!(!m.get(0, c));
             assert!(!m.get(2, c));
         }
+    }
+
+    #[test]
+    fn extract_bits_matches_bit_loop() {
+        let mut rng = StdRng::seed_from_u64(51);
+        for len in [1usize, 63, 64, 65, 130, 200] {
+            let bits: Vec<bool> = (0..len).map(|_| rng.gen::<bool>()).collect();
+            let v = BitVec::from_bools(&bits);
+            for _ in 0..40 {
+                let start = rng.gen_range(0..len);
+                let nbits = rng.gen_range(0..=64usize);
+                let got = v.extract_bits(start, nbits);
+                for i in 0..nbits {
+                    let expect = start + i < len && bits[start + i];
+                    assert_eq!(
+                        (got >> i) & 1 == 1,
+                        expect,
+                        "len {len} start {start} nbits {nbits} bit {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv1d_windows_matches_per_bit_assembly() {
+        let mut rng = StdRng::seed_from_u64(53);
+        // Kernel sizes cross word boundaries in the row layout (channels·k
+        // spanning > 64 bits) and include the wide-kernel fallback (> 64).
+        for &(channels, kernel, len) in &[
+            (1usize, 1usize, 5usize),
+            (3, 5, 20),
+            (12, 13, 80),
+            (2, 70, 100),
+        ] {
+            let input: Vec<BitVec> = (0..channels)
+                .map(|_| (0..len).map(|_| rng.gen::<bool>()).collect())
+                .collect();
+            let m = BitMatrix::conv1d_windows(&input, kernel);
+            let out_len = len - kernel + 1;
+            assert_eq!((m.rows(), m.cols()), (out_len, channels * kernel));
+            for t in 0..out_len {
+                for c in 0..channels {
+                    for k in 0..kernel {
+                        assert_eq!(
+                            m.get(t, c * kernel + k),
+                            input[c].get(t + k),
+                            "({channels},{kernel},{len}) t={t} c={c} k={k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv1d_windows_rows_popcount_cleanly() {
+        // Word-aligned rows: the window rows must be directly usable by
+        // xnor_popcount without tail-bit leakage.
+        let input = vec![BitVec::from_bools(&vec![true; 70])];
+        let m = BitMatrix::conv1d_windows(&input, 65);
+        let w = BitVec::from_bools(&vec![true; 65]);
+        assert_eq!(xnor_popcount(m.row_words(0), w.as_words(), 65), 65);
     }
 
     #[test]

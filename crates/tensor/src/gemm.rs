@@ -1,0 +1,564 @@
+//! Register-tiled, cache-blocked GEMM micro-kernels.
+//!
+//! This is the floating-point hot path of the whole training stack: every
+//! dense layer and every `im2col`-lowered convolution executes here, three
+//! times per batch (forward, weight gradient, input gradient). The kernel
+//! follows the classic packed-GEMM structure:
+//!
+//! * both operands are **packed** into cache-blocked panels — an `MR`-row
+//!   column-major A panel and `NR`-column row-major B tiles — so the micro
+//!   kernel reads both streams contiguously regardless of whether the caller
+//!   asked for `A·B`, `Aᵀ·B` or `A·Bᵀ`;
+//! * the **micro kernel** keeps an `MR × NR` accumulator tile in registers
+//!   and walks the shared dimension once; the inner tile is a constant-bound
+//!   loop the auto-vectorizer lifts to SIMD (no intrinsics, no `fast-math`;
+//!   `mul_add` is used only on targets whose feature set includes hardware
+//!   FMA — on others, e.g. the CI baseline `x86-64-v2`, it would lower to a
+//!   libm call slower than scalar code, so those builds use mul + add);
+//! * work is **split over row panels** across scoped worker threads (one
+//!   tight closure-free path when a single worker is configured). Each
+//!   output element is produced by exactly one worker accumulating in a
+//!   fixed k-order, so results are bitwise identical for every thread
+//!   count.
+//!
+//! The pre-overhaul loops are preserved in [`reference`] and can be selected
+//! at runtime with [`set_reference_kernels`]; `train_bench` uses that to
+//! measure honest before/after speedups and the test-suite uses the naive
+//! triple loop as the parity oracle.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::par;
+
+/// Rows of the register accumulator tile (4×16 measured fastest on this
+/// repo's reference container; 8×16 spills registers, 8×8 gains nothing).
+pub const MR: usize = 4;
+/// Columns of the register accumulator tile (two 8-lane SIMD vectors).
+pub const NR: usize = 16;
+/// Cache block along the output columns: B is packed one `NC`-column
+/// stripe at a time (`k × NC` f32, ~1 MiB at the workspace's largest `k`),
+/// and every row panel streams over the stripe from L2/L3.
+const NC: usize = 256;
+
+static REFERENCE_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Serializes tests that toggle process-global kernel state
+/// ([`set_reference_kernels`]) against tests whose assertions would observe
+/// the toggle (bitwise comparisons between two kernel invocations).
+#[cfg(test)]
+pub(crate) static TEST_GLOBALS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Routes `matmul` / `matmul_tn` / `matmul_nt` through the pre-overhaul
+/// loops instead of the packed micro-kernels.
+///
+/// This exists for honest benchmarking (`train_bench` measures its baseline
+/// with the reference kernels) and for debugging numerical differences; it
+/// is process-global and not meant for production use.
+pub fn set_reference_kernels(on: bool) {
+    REFERENCE_MODE.store(on, Ordering::SeqCst);
+}
+
+/// True when [`set_reference_kernels`] routed the kernels to the
+/// pre-overhaul loops.
+pub fn reference_kernels_enabled() -> bool {
+    REFERENCE_MODE.load(Ordering::SeqCst)
+}
+
+/// How an operand matrix is laid out relative to the logical GEMM operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// The buffer stores the logical operand row-major as-is.
+    RowMajor,
+    /// The buffer stores the *transpose* of the logical operand row-major
+    /// (i.e. the logical operand is read column-major).
+    Transposed,
+}
+
+thread_local! {
+    // Packing buffers, reused across calls on the same thread. Workers
+    // spawned by `par_for` get their own A-panel buffer; the B block is
+    // packed once by the calling thread and shared read-only.
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Packs the full-`k` `NC`-column stripe of B starting at column `j0` into
+/// `NR`-column tiles: tile `jt` holds `k` rows of `NR` contiguous values,
+/// zero-padded past the true column count.
+fn pack_b_stripe(
+    b: &[f32],
+    layout: Layout,
+    k: usize,
+    n: usize,
+    j0: usize,
+    nc: usize,
+    bp: &mut Vec<f32>,
+) {
+    let tiles = nc.div_ceil(NR);
+    bp.clear();
+    bp.resize(tiles * k * NR, 0.0);
+    for jt in 0..tiles {
+        let jbase = j0 + jt * NR;
+        let jlim = NR.min(j0 + nc - jbase);
+        let tile = &mut bp[jt * k * NR..(jt + 1) * k * NR];
+        match layout {
+            Layout::RowMajor => {
+                for p in 0..k {
+                    let src = &b[p * n + jbase..p * n + jbase + jlim];
+                    tile[p * NR..p * NR + jlim].copy_from_slice(src);
+                }
+            }
+            Layout::Transposed => {
+                // b stores Bᵀ ([n, k] row-major): column j of B is row j of
+                // b. Walk p outermost so stores are contiguous and the jlim
+                // strided reads run as independent prefetch streams.
+                for (p, trow) in tile.chunks_exact_mut(NR).enumerate() {
+                    for (jr, t) in trow[..jlim].iter_mut().enumerate() {
+                        *t = b[(jbase + jr) * k + p];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs the full-`k` `mr`-row panel of A starting at row `i0` column-major
+/// (`ap[p * MR + r]`), zero-padded to `MR` rows.
+fn pack_a_panel(
+    a: &[f32],
+    layout: Layout,
+    m: usize,
+    k: usize,
+    i0: usize,
+    mr: usize,
+    ap: &mut Vec<f32>,
+) {
+    ap.clear();
+    ap.resize(k * MR, 0.0);
+    match layout {
+        Layout::RowMajor => {
+            // p outermost: contiguous stores, `mr` strided read streams.
+            for (p, arow) in ap.chunks_exact_mut(MR).enumerate() {
+                for (r, dst) in arow[..mr].iter_mut().enumerate() {
+                    *dst = a[(i0 + r) * k + p];
+                }
+            }
+        }
+        Layout::Transposed => {
+            // a stores Aᵀ ([k, m] row-major): walk k rows, gather mr values.
+            for p in 0..k {
+                let src = &a[p * m + i0..p * m + i0 + mr];
+                ap[p * MR..p * MR + mr].copy_from_slice(src);
+            }
+        }
+    }
+}
+
+/// The register-tile micro kernel: accumulates the packed `kc`-long panels
+/// into an `MR × NR` tile. Constant bounds + `chunks_exact` keep the inner
+/// loops free of bounds checks so they vectorize.
+///
+/// When the compile target has hardware FMA (e.g. `target-cpu=native`
+/// builds), `mul_add` contracts each lane into one fused instruction; on
+/// targets without it (the CI baseline `x86-64-v2`) `mul_add` would lower
+/// to a libm call, so that build uses separate mul + add.
+#[inline]
+fn microkernel(ap: &[f32], btile: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+    for (arow, brow) in ap[..kc * MR]
+        .chunks_exact(MR)
+        .zip(btile[..kc * NR].chunks_exact(NR))
+    {
+        for r in 0..MR {
+            let av = arow[r];
+            let accr = &mut acc[r];
+            #[cfg(target_feature = "fma")]
+            for j in 0..NR {
+                accr[j] = av.mul_add(brow[j], accr[j]);
+            }
+            #[cfg(not(target_feature = "fma"))]
+            for j in 0..NR {
+                accr[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+/// Computes `C = op_a(A) × op_b(B)` for `[m, k] × [k, n]` logical operands,
+/// overwriting `out` (`m·n` elements, any prior contents).
+///
+/// Parallelism splits output **row panels** only; the k-accumulation order
+/// per element is fixed, so results are invariant to the worker count.
+///
+/// # Panics
+///
+/// Panics if a buffer length disagrees with the stated dimensions.
+pub fn gemm(
+    a: &[f32],
+    a_layout: Layout,
+    b: &[f32],
+    b_layout: Layout,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "gemm: A buffer/shape mismatch");
+    assert_eq!(b.len(), k * n, "gemm: B buffer/shape mismatch");
+    assert_eq!(out.len(), m * n, "gemm: C buffer/shape mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        out.fill(0.0);
+        return;
+    }
+
+    let row_panels = m.div_ceil(MR);
+    let workers = par::num_threads().min(row_panels);
+    if workers <= 1 {
+        // Tight single-thread path: both packing buffers taken from TLS
+        // once, then plain nested loops with no closures or raw pointers —
+        // the closure-per-stripe structure of the parallel path measurably
+        // inhibits the optimizer on small-k shapes.
+        PACK_B.with(|bcell| {
+            PACK_A.with(|acell| {
+                let mut bp = bcell.take();
+                let mut ap = acell.take();
+                gemm_sequential(a, a_layout, b, b_layout, m, k, n, out, &mut bp, &mut ap);
+                bcell.replace(bp);
+                acell.replace(ap);
+            });
+        });
+        return;
+    }
+
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    for j0 in (0..n).step_by(NC) {
+        let nc = NC.min(n - j0);
+        PACK_B.with(|cell| {
+            let mut bp = cell.take();
+            pack_b_stripe(b, b_layout, k, n, j0, nc, &mut bp);
+            // One worker scope per column stripe: panels are claimed
+            // dynamically and each worker takes its packing buffer once
+            // per stripe. Workers own disjoint row panels, and the
+            // k-accumulation order per element is fixed, so results do not
+            // depend on the claim order or worker count. Known tradeoff:
+            // wide outputs re-spawn the scope per 256-column stripe
+            // (~tens of µs each) — hoisting the scope above the stripe
+            // loop needs a per-stripe pack barrier; revisit if multi-core
+            // training becomes the bottleneck.
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let (bp_ref, out_ref, next_ref) = (&bp, &out_ptr, &next);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        PACK_A.with(|acell| {
+                            let mut ap = acell.take();
+                            loop {
+                                let panel =
+                                    next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if panel >= row_panels {
+                                    break;
+                                }
+                                run_panel(
+                                    a, a_layout, m, k, n, panel, j0, nc, bp_ref, &mut ap, out_ref,
+                                );
+                            }
+                            acell.replace(ap);
+                        });
+                    });
+                }
+            });
+            cell.replace(bp);
+        });
+    }
+}
+
+/// The single-worker kernel body: identical blocking and accumulation
+/// order to the parallel path (so results are bitwise equal), written as
+/// plain loops over `&mut out`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_sequential(
+    a: &[f32],
+    a_layout: Layout,
+    b: &[f32],
+    b_layout: Layout,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    bp: &mut Vec<f32>,
+    ap: &mut Vec<f32>,
+) {
+    let row_panels = m.div_ceil(MR);
+    for j0 in (0..n).step_by(NC) {
+        let nc = NC.min(n - j0);
+        pack_b_stripe(b, b_layout, k, n, j0, nc, bp);
+        for panel in 0..row_panels {
+            let i0 = panel * MR;
+            let mr = MR.min(m - i0);
+            pack_a_panel(a, a_layout, m, k, i0, mr, ap);
+            let tiles = nc.div_ceil(NR);
+            for jt in 0..tiles {
+                let jbase = j0 + jt * NR;
+                let jlim = NR.min(j0 + nc - jbase);
+                let mut acc = [[0.0f32; NR]; MR];
+                microkernel(ap, &bp[jt * k * NR..(jt + 1) * k * NR], k, &mut acc);
+                for r in 0..mr {
+                    let orow = &mut out[(i0 + r) * n + jbase..(i0 + r) * n + jbase + jlim];
+                    for (o, &v) in orow.iter_mut().zip(&acc[r][..jlim]) {
+                        *o = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs one `MR`-row panel of A and sweeps it across the packed B stripe,
+/// writing the output rows this panel owns (each output element is produced
+/// by exactly one panel × tile pair, so rows are stored directly — no
+/// pre-zeroing of `out` needed).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn run_panel(
+    a: &[f32],
+    a_layout: Layout,
+    m: usize,
+    k: usize,
+    n: usize,
+    panel: usize,
+    j0: usize,
+    nc: usize,
+    bp: &[f32],
+    ap: &mut Vec<f32>,
+    out_ptr: &SendPtr,
+) {
+    let i0 = panel * MR;
+    let mr = MR.min(m - i0);
+    pack_a_panel(a, a_layout, m, k, i0, mr, ap);
+    let tiles = nc.div_ceil(NR);
+    for jt in 0..tiles {
+        let jbase = j0 + jt * NR;
+        let jlim = NR.min(j0 + nc - jbase);
+        let mut acc = [[0.0f32; NR]; MR];
+        microkernel(ap, &bp[jt * k * NR..(jt + 1) * k * NR], k, &mut acc);
+        for r in 0..mr {
+            // Panels never share output rows, so the raw writes don't alias.
+            let orow = unsafe {
+                std::slice::from_raw_parts_mut(out_ptr.0.add((i0 + r) * n + jbase), jlim)
+            };
+            // Explicit store loop: `copy_from_slice` lowers to an
+            // out-of-line memcpy call, measurable at tens of thousands of
+            // sub-64-byte row writebacks per GEMM.
+            for (o, &v) in orow.iter_mut().zip(&acc[r][..jlim]) {
+                *o = v;
+            }
+        }
+    }
+}
+
+/// Raw pointer wrapper asserting cross-thread transferability; the caller
+/// guarantees workers touch disjoint rows.
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// The pre-overhaul kernels, kept verbatim as benchmarking baselines and
+/// parity oracles (see [`set_reference_kernels`]).
+pub mod reference {
+    use crate::par;
+
+    const BLOCK: usize = 64;
+
+    /// Pre-overhaul `A × B`: cache-blocked `ikj` with a zero-skip branch.
+    pub fn matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        out.fill(0.0);
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        let row_blocks = m.div_ceil(BLOCK);
+        par::par_for(row_blocks, |bi| {
+            let i0 = bi * BLOCK;
+            let i1 = (i0 + BLOCK).min(m);
+            let out_ptr = &out_ptr;
+            for p0 in (0..k).step_by(BLOCK) {
+                let p1 = (p0 + BLOCK).min(k);
+                for i in i0..i1 {
+                    let orow = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(i * n), n) };
+                    for p in p0..p1 {
+                        let av = a[i * k + p];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[p * n..(p + 1) * n];
+                        for (ov, &bv) in orow.iter_mut().zip(brow) {
+                            *ov += av * bv;
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// Pre-overhaul `Aᵀ × B`: row-streaming accumulation with the
+    /// `av == 0.0` skip branch that defeated vectorization on dense
+    /// gradients.
+    pub fn matmul_tn(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+        out.fill(0.0);
+        for p in 0..k {
+            let arow = &a[p * m..(p + 1) * m];
+            let brow = &b[p * n..(p + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (ov, &bv) in orow.iter_mut().zip(brow) {
+                    *ov += av * bv;
+                }
+            }
+        }
+    }
+
+    /// Pre-overhaul `A × Bᵀ`: a scalar dot-product per output element (the
+    /// sequential float reduction LLVM cannot reassociate, hence cannot
+    /// vectorize).
+    pub fn matmul_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        let out_ptr = &out_ptr;
+        par::par_for(m, |i| {
+            let orow = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(i * n), n) };
+            let arow = &a[i * k..(i + 1) * k];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        });
+    }
+
+    struct SendPtr(*mut f32);
+    unsafe impl Send for SendPtr {}
+    unsafe impl Sync for SendPtr {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn transpose(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+        let mut t = vec![0.0f32; x.len()];
+        for r in 0..rows {
+            for c in 0..cols {
+                t[c * rows + r] = x[r * cols + c];
+            }
+        }
+        t
+    }
+
+    /// Shapes chosen to exercise every edge: unit, sub-tile, exact-tile,
+    /// tall/skinny, fat/short, and spans crossing the KC/NC cache blocks.
+    const SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (1, 7, 1),
+        (3, 5, 2),
+        (4, 16, 16),
+        (5, 17, 19),
+        (130, 3, 2),
+        (2, 3, 130),
+        (31, 300, 33),
+        (16, 257, 272),
+    ];
+
+    #[test]
+    fn gemm_matches_naive_for_all_layouts() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for &(m, k, n) in SHAPES {
+            let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+            let expect = naive(&a, &b, m, k, n);
+            let at = transpose(&a, m, k);
+            let bt = transpose(&b, k, n);
+            let mut out = vec![0.0f32; m * n];
+            for (abuf, al, bbuf, bl) in [
+                (&a, Layout::RowMajor, &b, Layout::RowMajor),
+                (&at, Layout::Transposed, &b, Layout::RowMajor),
+                (&a, Layout::RowMajor, &bt, Layout::Transposed),
+                (&at, Layout::Transposed, &bt, Layout::Transposed),
+            ] {
+                gemm(abuf, al, bbuf, bl, m, k, n, &mut out);
+                for (got, want) in out.iter().zip(&expect) {
+                    assert!(
+                        (got - want).abs() <= 1e-3,
+                        "({m},{k},{n}) {al:?}/{bl:?}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_overwrites_stale_output() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        let mut out = vec![999.0f32; 1];
+        gemm(
+            &a,
+            Layout::RowMajor,
+            &b,
+            Layout::RowMajor,
+            1,
+            2,
+            1,
+            &mut out,
+        );
+        assert_eq!(out[0], 11.0);
+    }
+
+    #[test]
+    fn reference_kernels_match_naive() {
+        let mut rng = StdRng::seed_from_u64(100);
+        for &(m, k, n) in &[(3, 5, 2), (17, 33, 9)] {
+            let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+            let expect = naive(&a, &b, m, k, n);
+            let mut out = vec![0.0f32; m * n];
+            reference::matmul(&a, &b, &mut out, m, k, n);
+            assert!(out.iter().zip(&expect).all(|(g, w)| (g - w).abs() < 1e-3));
+            let at = transpose(&a, m, k);
+            reference::matmul_tn(&at, &b, &mut out, k, m, n);
+            assert!(out.iter().zip(&expect).all(|(g, w)| (g - w).abs() < 1e-3));
+            let bt = transpose(&b, k, n);
+            reference::matmul_nt(&a, &bt, &mut out, m, k, n);
+            assert!(out.iter().zip(&expect).all(|(g, w)| (g - w).abs() < 1e-3));
+        }
+    }
+
+    #[test]
+    fn reference_mode_toggle_roundtrip() {
+        // Hold the globals lock so concurrently running bitwise-equality
+        // tests never observe the toggled kernel routing.
+        let _guard = TEST_GLOBALS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(!reference_kernels_enabled());
+        set_reference_kernels(true);
+        assert!(reference_kernels_enabled());
+        set_reference_kernels(false);
+        assert!(!reference_kernels_enabled());
+    }
+}

@@ -6,7 +6,7 @@
 //! here; the `*_backward` functions scatter patch-matrix gradients back to
 //! input gradients (the exact adjoint of the gather).
 
-use crate::Tensor;
+use crate::{par, Tensor};
 
 /// Geometry of a 1-D convolution over a `[channels, len]` signal.
 ///
@@ -133,6 +133,127 @@ pub fn im2col1d_backward(grad_cols: &Tensor, geom: &Conv1dGeom) -> Tensor {
     }
     grad_input
 }
+
+/// Writes one sample's patch matrix into a batched `[rows, ld]` buffer at
+/// column offset `col0` (every element of the window, padding zeros
+/// included, is written — the destination need not be pre-zeroed).
+///
+/// # Safety
+///
+/// `dst` must be valid for `rows · ld` f32 writes, and no other live
+/// reference may cover the `out_len`-wide column block at `col0` of any
+/// row (the batched builders give each parallel worker a disjoint block,
+/// and only row-segment slices are ever materialized).
+unsafe fn im2col1d_write(src: &[f32], geom: &Conv1dGeom, dst: *mut f32, col0: usize, ld: usize) {
+    let out_len = geom.out_len();
+    for c in 0..geom.channels {
+        for kk in 0..geom.kernel {
+            let row = c * geom.kernel + kk;
+            let seg = unsafe { std::slice::from_raw_parts_mut(dst.add(row * ld + col0), out_len) };
+            for (t, d) in seg.iter_mut().enumerate() {
+                let pos = t * geom.stride + kk;
+                *d = if pos >= geom.padding && pos < geom.padding + geom.len {
+                    src[c * geom.len + (pos - geom.padding)]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Accumulates one sample's patch-matrix gradient (read from a batched
+/// `[rows, ld]` buffer at column offset `col0`) into that sample's
+/// `[channels, len]` input-gradient slice.
+fn im2col1d_scatter(src: &[f32], geom: &Conv1dGeom, col0: usize, ld: usize, dst: &mut [f32]) {
+    let out_len = geom.out_len();
+    for c in 0..geom.channels {
+        for kk in 0..geom.kernel {
+            let row = c * geom.kernel + kk;
+            let base = row * ld + col0;
+            for t in 0..out_len {
+                let pos = t * geom.stride + kk;
+                if pos >= geom.padding && pos < geom.padding + geom.len {
+                    dst[c * geom.len + (pos - geom.padding)] += src[base + t];
+                }
+            }
+        }
+    }
+}
+
+/// Builds the batched patch matrix `[patch_rows, n · out_len]` of a
+/// `[n, channels, len]` batch directly into `cols_all` (resized in place,
+/// reusing its allocation) — sample `i` occupies columns
+/// `i·out_len .. (i+1)·out_len`.
+///
+/// Samples are laid out in disjoint column blocks, so the assembly runs in
+/// parallel over samples with thread-count-invariant results.
+///
+/// # Panics
+///
+/// Panics if `x` is not `[n, channels, len]` as described by `geom`.
+pub fn im2col1d_batch(x: &Tensor, geom: &Conv1dGeom, cols_all: &mut Tensor) {
+    assert_eq!(x.shape().ndim(), 3, "im2col1d_batch expects [n, c, len]");
+    let n = x.dim(0);
+    assert_eq!(
+        (x.dim(1), x.dim(2)),
+        (geom.channels, geom.len),
+        "im2col1d_batch: sample shape does not match geometry"
+    );
+    let out_len = geom.out_len();
+    let ld = n * out_len;
+    // The writer fills every element (padding zeros included), so the
+    // buffer does not need pre-zeroing.
+    cols_all.resize_for_overwrite([geom.patch_rows(), ld]);
+    let xs = x.as_slice();
+    let sample = geom.channels * geom.len;
+    let dst = SendPtr(cols_all.as_mut_slice().as_mut_ptr());
+    let dst = &dst;
+    par::par_for(n, |i| {
+        // Sample i writes the disjoint strided column block i·out_len…;
+        // the writer only materializes row-segment slices inside that
+        // block, so workers never hold aliasing references.
+        unsafe {
+            im2col1d_write(
+                &xs[i * sample..(i + 1) * sample],
+                geom,
+                dst.0,
+                i * out_len,
+                ld,
+            );
+        }
+    });
+}
+
+/// Adjoint of [`im2col1d_batch`]: scatters a batched patch-matrix gradient
+/// `[patch_rows, n · out_len]` into `grad_x` (`[n, channels, len]`, resized
+/// and zeroed in place). Parallel over samples; deterministic.
+///
+/// # Panics
+///
+/// Panics if `gcols_all`'s shape does not match `geom` for some batch size.
+pub fn im2col1d_batch_backward(gcols_all: &Tensor, geom: &Conv1dGeom, grad_x: &mut Tensor) {
+    let out_len = geom.out_len();
+    assert_eq!(gcols_all.dim(0), geom.patch_rows(), "patch row mismatch");
+    let ld = gcols_all.dim(1);
+    assert_eq!(ld % out_len, 0, "column count not a multiple of out_len");
+    let n = ld / out_len;
+    grad_x.resize_zeroed([n, geom.channels, geom.len]);
+    let src = gcols_all.as_slice();
+    let sample = geom.channels * geom.len;
+    let dst = SendPtr(grad_x.as_mut_slice().as_mut_ptr());
+    let dst = &dst;
+    par::par_for(n, |i| {
+        // Sample i owns the contiguous slice i·sample…, disjoint per worker.
+        let dsti = unsafe { std::slice::from_raw_parts_mut(dst.0.add(i * sample), sample) };
+        im2col1d_scatter(src, geom, i * out_len, ld, dsti);
+    });
+}
+
+/// Raw pointer wrapper for the disjoint-region parallel writes above.
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
 
 /// Geometry of a 2-D convolution over a `[channels, height, width]` image.
 ///
@@ -312,6 +433,134 @@ pub fn im2col2d_backward(grad_cols: &Tensor, geom: &Conv2dGeom) -> Tensor {
     grad_input
 }
 
+/// Writes one sample's 2-D patch matrix into a batched `[rows, ld]` buffer
+/// at column offset `col0` (all positions written; padding becomes zero).
+///
+/// # Safety
+///
+/// As for [`im2col1d_write`]: `dst` must cover `rows · ld` f32s and the
+/// `oh·ow`-wide column block at `col0` must be exclusively this caller's.
+unsafe fn im2col2d_write(src: &[f32], geom: &Conv2dGeom, dst: *mut f32, col0: usize, ld: usize) {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let plane = geom.height * geom.width;
+    for c in 0..geom.channels {
+        for ky in 0..geom.kernel_h {
+            for kx in 0..geom.kernel_w {
+                let row = (c * geom.kernel_h + ky) * geom.kernel_w + kx;
+                let seg =
+                    unsafe { std::slice::from_raw_parts_mut(dst.add(row * ld + col0), oh * ow) };
+                for oy in 0..oh {
+                    let iy = oy * geom.stride_h + ky;
+                    let in_h = iy >= geom.pad_h && iy < geom.pad_h + geom.height;
+                    for ox in 0..ow {
+                        let ix = ox * geom.stride_w + kx;
+                        seg[oy * ow + ox] =
+                            if in_h && ix >= geom.pad_w && ix < geom.pad_w + geom.width {
+                                src[c * plane + (iy - geom.pad_h) * geom.width + (ix - geom.pad_w)]
+                            } else {
+                                0.0
+                            };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Accumulates one sample's 2-D patch-matrix gradient into its
+/// `[channels, height, width]` input-gradient slice.
+fn im2col2d_scatter(src: &[f32], geom: &Conv2dGeom, col0: usize, ld: usize, dst: &mut [f32]) {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let plane = geom.height * geom.width;
+    for c in 0..geom.channels {
+        for ky in 0..geom.kernel_h {
+            for kx in 0..geom.kernel_w {
+                let row = (c * geom.kernel_h + ky) * geom.kernel_w + kx;
+                let base = row * ld + col0;
+                for oy in 0..oh {
+                    let iy = oy * geom.stride_h + ky;
+                    if iy < geom.pad_h || iy >= geom.pad_h + geom.height {
+                        continue;
+                    }
+                    let iy = iy - geom.pad_h;
+                    for ox in 0..ow {
+                        let ix = ox * geom.stride_w + kx;
+                        if ix < geom.pad_w || ix >= geom.pad_w + geom.width {
+                            continue;
+                        }
+                        let ix = ix - geom.pad_w;
+                        dst[c * plane + iy * geom.width + ix] += src[base + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds the batched 2-D patch matrix `[patch_rows, n · oh · ow]` of a
+/// `[n, channels, h, w]` batch into `cols_all` (resized in place, reusing
+/// its allocation); sample `i` occupies columns `i·oh·ow .. (i+1)·oh·ow`.
+/// Parallel over samples; deterministic.
+///
+/// # Panics
+///
+/// Panics if `x` is not `[n, channels, h, w]` as described by `geom`.
+pub fn im2col2d_batch(x: &Tensor, geom: &Conv2dGeom, cols_all: &mut Tensor) {
+    assert_eq!(x.shape().ndim(), 4, "im2col2d_batch expects [n, c, h, w]");
+    let n = x.dim(0);
+    assert_eq!(
+        (x.dim(1), x.dim(2), x.dim(3)),
+        (geom.channels, geom.height, geom.width),
+        "im2col2d_batch: sample shape does not match geometry"
+    );
+    let plane_out = geom.out_h() * geom.out_w();
+    let ld = n * plane_out;
+    // The writer fills every element (padding zeros included), so the
+    // buffer does not need pre-zeroing.
+    cols_all.resize_for_overwrite([geom.patch_rows(), ld]);
+    let xs = x.as_slice();
+    let sample = geom.channels * geom.height * geom.width;
+    let dst = SendPtr(cols_all.as_mut_slice().as_mut_ptr());
+    let dst = &dst;
+    par::par_for(n, |i| {
+        // As in `im2col1d_batch`: only disjoint row-segment slices are
+        // materialized, never a whole-buffer `&mut` per worker.
+        unsafe {
+            im2col2d_write(
+                &xs[i * sample..(i + 1) * sample],
+                geom,
+                dst.0,
+                i * plane_out,
+                ld,
+            );
+        }
+    });
+}
+
+/// Adjoint of [`im2col2d_batch`]: scatters `[patch_rows, n · oh · ow]` into
+/// `grad_x` (`[n, channels, h, w]`, resized and zeroed in place). Parallel
+/// over samples; deterministic.
+///
+/// # Panics
+///
+/// Panics if `gcols_all`'s shape does not match `geom` for some batch size.
+pub fn im2col2d_batch_backward(gcols_all: &Tensor, geom: &Conv2dGeom, grad_x: &mut Tensor) {
+    let plane_out = geom.out_h() * geom.out_w();
+    assert_eq!(gcols_all.dim(0), geom.patch_rows(), "patch row mismatch");
+    let ld = gcols_all.dim(1);
+    assert_eq!(ld % plane_out, 0, "column count not a multiple of oh·ow");
+    let n = ld / plane_out;
+    grad_x.resize_zeroed([n, geom.channels, geom.height, geom.width]);
+    let src = gcols_all.as_slice();
+    let sample = geom.channels * geom.height * geom.width;
+    let dst = SendPtr(grad_x.as_mut_slice().as_mut_ptr());
+    let dst = &dst;
+    par::par_for(n, |i| {
+        let dsti = unsafe { std::slice::from_raw_parts_mut(dst.0.add(i * sample), sample) };
+        im2col2d_scatter(src, geom, i * plane_out, ld, dsti);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,6 +680,82 @@ mod tests {
         assert_eq!(cols.at(&[0, 0]), 0.0);
         // Interior taps are ones.
         assert_eq!(cols.at(&[1, 0]), 1.0);
+    }
+
+    #[test]
+    fn batch_helpers_match_per_sample_reference() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let geom = Conv1dGeom::new(3, 12, 4, 2, 1);
+        let n = 5;
+        let x = Tensor::randn([n, 3, 12], 1.0, &mut rng);
+        let (rows, out_len) = (geom.patch_rows(), geom.out_len());
+        let mut cols_all = Tensor::default();
+        im2col1d_batch(&x, &geom, &mut cols_all);
+        assert_eq!(cols_all.dims(), &[rows, n * out_len]);
+        for i in 0..n {
+            let expect = im2col1d(&x.index_axis0(i), &geom);
+            for r in 0..rows {
+                for t in 0..out_len {
+                    assert_eq!(
+                        cols_all.at(&[r, i * out_len + t]),
+                        expect.at(&[r, t]),
+                        "sample {i} ({r},{t})"
+                    );
+                }
+            }
+        }
+        // Backward: scatter the batched gradient and compare per sample.
+        let g = Tensor::randn([rows, n * out_len], 1.0, &mut rng);
+        let mut gx = Tensor::default();
+        im2col1d_batch_backward(&g, &geom, &mut gx);
+        assert_eq!(gx.dims(), &[n, 3, 12]);
+        for i in 0..n {
+            let mut gi = Tensor::zeros([rows, out_len]);
+            for r in 0..rows {
+                for t in 0..out_len {
+                    *gi.at_mut(&[r, t]) = g.at(&[r, i * out_len + t]);
+                }
+            }
+            let expect = im2col1d_backward(&gi, &geom);
+            assert!(gx.index_axis0(i).allclose(&expect, 1e-6), "sample {i}");
+        }
+    }
+
+    #[test]
+    fn batch_helpers_2d_match_per_sample_reference() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let geom = Conv2dGeom::new(2, 6, 5, (3, 3), (2, 2), (1, 1));
+        let n = 3;
+        let x = Tensor::randn([n, 2, 6, 5], 1.0, &mut rng);
+        let (rows, plane) = (geom.patch_rows(), geom.out_h() * geom.out_w());
+        let mut cols_all = Tensor::default();
+        im2col2d_batch(&x, &geom, &mut cols_all);
+        assert_eq!(cols_all.dims(), &[rows, n * plane]);
+        for i in 0..n {
+            let expect = im2col2d(&x.index_axis0(i), &geom);
+            for r in 0..rows {
+                for t in 0..plane {
+                    assert_eq!(
+                        cols_all.at(&[r, i * plane + t]),
+                        expect.at(&[r, t]),
+                        "sample {i} ({r},{t})"
+                    );
+                }
+            }
+        }
+        let g = Tensor::randn([rows, n * plane], 1.0, &mut rng);
+        let mut gx = Tensor::default();
+        im2col2d_batch_backward(&g, &geom, &mut gx);
+        for i in 0..n {
+            let mut gi = Tensor::zeros([rows, plane]);
+            for r in 0..rows {
+                for t in 0..plane {
+                    *gi.at_mut(&[r, t]) = g.at(&[r, i * plane + t]);
+                }
+            }
+            let expect = im2col2d_backward(&gi, &geom);
+            assert!(gx.index_axis0(i).allclose(&expect, 1e-6), "sample {i}");
+        }
     }
 
     #[test]

@@ -31,16 +31,21 @@
 #![warn(missing_debug_implementations)]
 
 mod bits;
+pub mod gemm;
 mod im2col;
 mod matmul;
 pub mod par;
+mod scratch;
 mod shape;
 mod tensor;
 
 pub use bits::{xnor_popcount, BitMatrix, BitVec};
+pub use gemm::{reference_kernels_enabled, set_reference_kernels};
 pub use im2col::{
-    im2col1d, im2col1d_backward, im2col2d, im2col2d_backward, Conv1dGeom, Conv2dGeom,
+    im2col1d, im2col1d_backward, im2col1d_batch, im2col1d_batch_backward, im2col2d,
+    im2col2d_backward, im2col2d_batch, im2col2d_batch_backward, Conv1dGeom, Conv2dGeom,
 };
+pub use scratch::Scratch;
 pub use shape::Shape;
 pub use tensor::{argmax, Tensor};
 

@@ -1,14 +1,13 @@
-//! Blocked matrix multiplication kernels.
+//! Matrix multiplication entry points on [`Tensor`].
 //!
 //! Convolution in `rbnn-nn` is lowered to matrix multiplication through
-//! `im2col`, so these kernels are the hot path of the whole training stack.
-//! They use a simple cache-blocked `ikj` loop order with a parallel split
-//! over output rows — no unsafe, no SIMD intrinsics; the inner loop is
-//! written so the auto-vectorizer picks it up.
+//! `im2col`, so these methods are the hot path of the whole training stack.
+//! All three transpose variants route into the packed register-tiled kernel
+//! in [`crate::gemm`]; the `_into` variants write into a caller-provided
+//! tensor so steady-state training allocates nothing per batch.
 
-use crate::{par, Tensor};
-
-const BLOCK: usize = 64;
+use crate::gemm::{self, Layout};
+use crate::Tensor;
 
 impl Tensor {
     /// Matrix product `self × rhs` for 2-D tensors.
@@ -24,15 +23,34 @@ impl Tensor {
     /// assert_eq!(a.matmul(&b).as_slice(), &[19., 22., 43., 50.]);
     /// ```
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`matmul`](Self::matmul) writing into `out` (resized in place,
+    /// reusing its allocation; prior contents are overwritten).
+    pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) {
         assert_eq!(self.shape().ndim(), 2, "matmul: lhs must be 2-D");
         assert_eq!(rhs.shape().ndim(), 2, "matmul: rhs must be 2-D");
         let (m, k) = (self.dim(0), self.dim(1));
         let (k2, n) = (rhs.dim(0), rhs.dim(1));
         assert_eq!(k, k2, "matmul: inner dimensions {k} and {k2} disagree");
-
-        let mut out = Tensor::zeros([m, n]);
-        matmul_into(self.as_slice(), rhs.as_slice(), out.as_mut_slice(), m, k, n);
-        out
+        out.resize_for_overwrite([m, n]); // the kernels fully overwrite `out`
+        if gemm::reference_kernels_enabled() {
+            gemm::reference::matmul(self.as_slice(), rhs.as_slice(), out.as_mut_slice(), m, k, n);
+        } else {
+            gemm::gemm(
+                self.as_slice(),
+                Layout::RowMajor,
+                rhs.as_slice(),
+                Layout::RowMajor,
+                m,
+                k,
+                n,
+                out.as_mut_slice(),
+            );
+        }
     }
 
     /// Matrix product `selfᵀ × rhs` without materializing the transpose.
@@ -43,32 +61,41 @@ impl Tensor {
     ///
     /// Panics if either operand is not 2-D or the leading dimensions disagree.
     pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.matmul_tn_into(rhs, &mut out);
+        out
+    }
+
+    /// [`matmul_tn`](Self::matmul_tn) writing into `out` (resized in place,
+    /// reusing its allocation; prior contents are overwritten).
+    pub fn matmul_tn_into(&self, rhs: &Tensor, out: &mut Tensor) {
         assert_eq!(self.shape().ndim(), 2, "matmul_tn: lhs must be 2-D");
         assert_eq!(rhs.shape().ndim(), 2, "matmul_tn: rhs must be 2-D");
         let (k, m) = (self.dim(0), self.dim(1));
         let (k2, n) = (rhs.dim(0), rhs.dim(1));
         assert_eq!(k, k2, "matmul_tn: leading dimensions {k} and {k2} disagree");
-
-        let a = self.as_slice();
-        let b = rhs.as_slice();
-        let mut out = Tensor::zeros([m, n]);
-        let o = out.as_mut_slice();
-        // out[i, j] = Σ_p a[p, i] * b[p, j]  — accumulate row-by-row of a/b so
-        // both operands stream contiguously.
-        for p in 0..k {
-            let arow = &a[p * m..(p + 1) * m];
-            let brow = &b[p * n..(p + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let orow = &mut o[i * n..(i + 1) * n];
-                for (ov, &bv) in orow.iter_mut().zip(brow) {
-                    *ov += av * bv;
-                }
-            }
+        out.resize_for_overwrite([m, n]); // the kernels fully overwrite `out`
+        if gemm::reference_kernels_enabled() {
+            gemm::reference::matmul_tn(
+                self.as_slice(),
+                rhs.as_slice(),
+                out.as_mut_slice(),
+                k,
+                m,
+                n,
+            );
+        } else {
+            gemm::gemm(
+                self.as_slice(),
+                Layout::Transposed,
+                rhs.as_slice(),
+                Layout::RowMajor,
+                m,
+                k,
+                n,
+                out.as_mut_slice(),
+            );
         }
-        out
     }
 
     /// Matrix product `self × rhsᵀ` without materializing the transpose.
@@ -80,6 +107,14 @@ impl Tensor {
     /// Panics if either operand is not 2-D or the trailing dimensions
     /// disagree.
     pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.matmul_nt_into(rhs, &mut out);
+        out
+    }
+
+    /// [`matmul_nt`](Self::matmul_nt) writing into `out` (resized in place,
+    /// reusing its allocation; prior contents are overwritten).
+    pub fn matmul_nt_into(&self, rhs: &Tensor, out: &mut Tensor) {
         assert_eq!(self.shape().ndim(), 2, "matmul_nt: lhs must be 2-D");
         assert_eq!(rhs.shape().ndim(), 2, "matmul_nt: rhs must be 2-D");
         let (m, k) = (self.dim(0), self.dim(1));
@@ -88,26 +123,28 @@ impl Tensor {
             k, k2,
             "matmul_nt: trailing dimensions {k} and {k2} disagree"
         );
-
-        let a = self.as_slice();
-        let b = rhs.as_slice();
-        let mut out = Tensor::zeros([m, n]);
-        let o = out.as_mut_slice();
-        par::par_for(m, |i| {
-            // Rows are disjoint; reconstruct a mutable view per worker.
-            let orow =
-                unsafe { std::slice::from_raw_parts_mut(o.as_ptr().add(i * n) as *mut f32, n) };
-            let arow = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&x, &y) in arow.iter().zip(brow) {
-                    acc += x * y;
-                }
-                orow[j] = acc;
-            }
-        });
-        out
+        out.resize_for_overwrite([m, n]); // the kernels fully overwrite `out`
+        if gemm::reference_kernels_enabled() {
+            gemm::reference::matmul_nt(
+                self.as_slice(),
+                rhs.as_slice(),
+                out.as_mut_slice(),
+                m,
+                k,
+                n,
+            );
+        } else {
+            gemm::gemm(
+                self.as_slice(),
+                Layout::RowMajor,
+                rhs.as_slice(),
+                Layout::Transposed,
+                m,
+                k,
+                n,
+                out.as_mut_slice(),
+            );
+        }
     }
 
     /// Matrix–vector product `self × v` for a 2-D tensor and 1-D vector.
@@ -131,46 +168,6 @@ impl Tensor {
     }
 }
 
-/// Writes `A(m×k) × B(k×n)` into `out` (which must be zeroed, length `m·n`).
-///
-/// Exposed at crate level so the benchmark suite can time the raw kernel.
-pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-
-    let out_ptr = SendPtr(out.as_mut_ptr());
-    // Parallel over blocks of output rows; each worker owns disjoint rows.
-    let row_blocks = m.div_ceil(BLOCK);
-    par::par_for(row_blocks, |bi| {
-        let i0 = bi * BLOCK;
-        let i1 = (i0 + BLOCK).min(m);
-        let out_ptr = &out_ptr;
-        for p0 in (0..k).step_by(BLOCK) {
-            let p1 = (p0 + BLOCK).min(k);
-            for i in i0..i1 {
-                let orow = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(i * n), n) };
-                for p in p0..p1 {
-                    let av = a[i * k + p];
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[p * n..(p + 1) * n];
-                    for (ov, &bv) in orow.iter_mut().zip(brow) {
-                        *ov += av * bv;
-                    }
-                }
-            }
-        }
-    });
-}
-
-/// Raw pointer wrapper that asserts cross-thread transferability; the caller
-/// guarantees workers touch disjoint rows.
-struct SendPtr(*mut f32);
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,10 +190,23 @@ mod tests {
         out
     }
 
+    /// Non-block-multiple shapes: unit, tall/skinny, fat/short, and sizes
+    /// straddling the register tile and cache blocks.
+    const SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (1, 9, 1),
+        (3, 5, 7),
+        (17, 33, 9),
+        (70, 65, 130),
+        (257, 3, 2),
+        (2, 3, 257),
+        (5, 300, 18),
+    ];
+
     #[test]
     fn matmul_matches_naive() {
         let mut rng = StdRng::seed_from_u64(3);
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (17, 33, 9), (70, 65, 130)] {
+        for &(m, k, n) in SHAPES {
             let a = Tensor::randn([m, k], 1.0, &mut rng);
             let b = Tensor::randn([k, n], 1.0, &mut rng);
             let fast = a.matmul(&b);
@@ -208,21 +218,73 @@ mod tests {
     #[test]
     fn matmul_tn_matches_explicit_transpose() {
         let mut rng = StdRng::seed_from_u64(5);
-        let a = Tensor::randn([13, 7], 1.0, &mut rng);
-        let b = Tensor::randn([13, 11], 1.0, &mut rng);
-        let expect = a.transpose().matmul(&b);
-        let got = a.matmul_tn(&b);
-        assert!(got.allclose(&expect, 1e-3));
+        for &(m, k, n) in SHAPES {
+            let a = Tensor::randn([k, m], 1.0, &mut rng);
+            let b = Tensor::randn([k, n], 1.0, &mut rng);
+            let expect = naive_matmul(&a.transpose(), &b);
+            let got = a.matmul_tn(&b);
+            assert!(got.allclose(&expect, 1e-3), "mismatch at ({m},{k},{n})");
+        }
     }
 
     #[test]
     fn matmul_nt_matches_explicit_transpose() {
         let mut rng = StdRng::seed_from_u64(6);
-        let a = Tensor::randn([13, 7], 1.0, &mut rng);
-        let b = Tensor::randn([11, 7], 1.0, &mut rng);
-        let expect = a.matmul(&b.transpose());
-        let got = a.matmul_nt(&b);
-        assert!(got.allclose(&expect, 1e-3));
+        for &(m, k, n) in SHAPES {
+            let a = Tensor::randn([m, k], 1.0, &mut rng);
+            let b = Tensor::randn([n, k], 1.0, &mut rng);
+            let expect = naive_matmul(&a, &b.transpose());
+            let got = a.matmul_nt(&b);
+            assert!(got.allclose(&expect, 1e-3), "mismatch at ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn into_variants_reuse_allocation_and_match() {
+        // Exact-equality comparisons between kernel invocations: keep the
+        // reference-mode toggle test from racing the routing global.
+        let _guard = crate::gemm::TEST_GLOBALS_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Tensor::randn([13, 37], 1.0, &mut rng);
+        let b = Tensor::randn([37, 11], 1.0, &mut rng);
+        // Seed `out` with a larger stale buffer to prove reuse + overwrite.
+        let mut out = Tensor::full([40, 40], 7.0);
+        let cap_before = out.numel();
+        a.matmul_into(&b, &mut out);
+        assert!(out.numel() <= cap_before);
+        assert!(out.allclose(&a.matmul(&b), 0.0));
+        a.transpose().matmul_tn_into(&b, &mut out);
+        assert!(out.allclose(&a.transpose().matmul_tn(&b), 0.0));
+        a.matmul_nt_into(&b.transpose(), &mut out);
+        assert!(out.allclose(&a.matmul_nt(&b.transpose()), 0.0));
+    }
+
+    #[test]
+    fn parallel_matmul_is_thread_count_invariant() {
+        // The kernel splits row panels across workers but fixes the
+        // accumulation order per element, so results must be bitwise equal
+        // for every worker count. The override only changes scheduling for
+        // any concurrently running test, never results — but the
+        // reference-mode toggle would change routing, so serialize.
+        let _guard = crate::gemm::TEST_GLOBALS_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Tensor::randn([37, 129], 1.0, &mut rng);
+        let b = Tensor::randn([129, 61], 1.0, &mut rng);
+        let mut results = Vec::new();
+        for threads in [1, 2, 5] {
+            crate::par::set_thread_override(Some(threads));
+            results.push((a.matmul(&b), a.matmul_tn(&a), b.matmul_nt(&b)));
+        }
+        crate::par::set_thread_override(None);
+        for (x, y, z) in &results[1..] {
+            assert_eq!(x.as_slice(), results[0].0.as_slice(), "matmul varies");
+            assert_eq!(y.as_slice(), results[0].1.as_slice(), "matmul_tn varies");
+            assert_eq!(z.as_slice(), results[0].2.as_slice(), "matmul_nt varies");
+        }
     }
 
     #[test]

@@ -7,12 +7,30 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide worker-count override (`None` restores the default).
+///
+/// Takes precedence over `RBNN_THREADS`. Every parallel kernel in this
+/// workspace is thread-count *invariant* (bitwise-identical results for any
+/// worker count), so this knob only trades wall-clock for core usage; the
+/// thread-invariance tests use it to sweep counts without mutating the
+/// process environment (`set_var` is not thread-safe under a concurrent
+/// test harness).
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.map_or(0, |n| n.max(1)), Ordering::SeqCst);
+}
+
 /// Returns the number of worker threads to use for data-parallel sections.
 ///
 /// Defaults to the number of available CPUs, clamped to at least 1. Can be
-/// overridden (e.g. for deterministic single-thread debugging) with the
-/// `RBNN_THREADS` environment variable.
+/// overridden with [`set_thread_override`] or (e.g. for deterministic
+/// single-thread debugging) the `RBNN_THREADS` environment variable.
 pub fn num_threads() -> usize {
+    let over = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if over > 0 {
+        return over;
+    }
     if let Ok(v) = std::env::var("RBNN_THREADS") {
         if let Ok(n) = v.parse::<usize>() {
             return n.max(1);

@@ -1,0 +1,169 @@
+//! A reusable buffer arena for allocation-free training loops.
+//!
+//! Every layer of the training stack needs short-lived `f32` buffers each
+//! batch: im2col patch matrices, GEMM outputs, activation maps, gradients.
+//! Allocating them per batch puts the allocator on the hot path; [`Scratch`]
+//! keeps a pool of retired buffers and hands them back out, so after the
+//! first batch the steady-state pipeline performs no heap allocation for
+//! tensor data.
+//!
+//! The arena is deliberately simple: a free list of `Vec<f32>` with best-fit
+//! reuse. Buffers enter the pool through [`Scratch::recycle`] and leave
+//! through [`Scratch::tensor`]; a tensor taken from the arena is an ordinary
+//! owned [`Tensor`] (nothing borrows the arena), so layers can cache or
+//! return it freely and recycle it whenever it dies.
+//!
+//! ```
+//! use rbnn_tensor::{Scratch, Tensor};
+//!
+//! let mut scratch = Scratch::new();
+//! let a = scratch.tensor([64, 64]);          // first batch: allocates
+//! let ptr = a.as_slice().as_ptr();
+//! scratch.recycle(a);
+//! let b = scratch.tensor([32, 32]);          // steady state: reuses
+//! assert_eq!(b.as_slice().as_ptr(), ptr);
+//! assert_eq!(b.sum(), 0.0);                  // always handed out zeroed
+//! ```
+
+use crate::{Shape, Tensor};
+
+/// Retired buffers kept per arena; beyond this the smallest is dropped so a
+/// shape churn (e.g. switching models) cannot grow the pool without bound.
+const MAX_POOLED: usize = 64;
+
+/// A free-list arena of `f32` buffers (see the [module docs](self)).
+#[derive(Debug, Default)]
+pub struct Scratch {
+    free: Vec<Vec<f32>>,
+}
+
+impl Scratch {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffers currently pooled (diagnostics/tests).
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Takes a zero-filled tensor of the given shape, reusing a pooled
+    /// buffer when one exists.
+    pub fn tensor(&mut self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        let n = shape.numel();
+        let mut buf = self.grab(n);
+        buf.clear();
+        buf.resize(n, 0.0);
+        Tensor::from_vec(buf, shape)
+    }
+
+    /// Takes a tensor of the given shape with **unspecified** element
+    /// values (recycled contents), for buffers the caller fully overwrites
+    /// — e.g. the `out` argument of the `matmul_*_into` kernels. Use
+    /// [`tensor`](Self::tensor) when downstream code only accumulates.
+    pub fn tensor_for_overwrite(&mut self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        let n = shape.numel();
+        let mut buf = self.grab(n);
+        buf.resize(n, 0.0);
+        Tensor::from_vec(buf, shape)
+    }
+
+    /// Returns a tensor's buffer to the pool.
+    pub fn recycle(&mut self, t: Tensor) {
+        self.recycle_vec(t.into_vec());
+    }
+
+    /// Returns a raw buffer to the pool.
+    pub fn recycle_vec(&mut self, v: Vec<f32>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        self.free.push(v);
+        if self.free.len() > MAX_POOLED {
+            // Evict the smallest buffer: large ones are the expensive
+            // allocations worth keeping.
+            if let Some(i) = (0..self.free.len()).min_by_key(|&i| self.free[i].capacity()) {
+                self.free.swap_remove(i);
+            }
+        }
+    }
+
+    /// Pops the pooled buffer whose capacity best fits `n` (smallest
+    /// capacity ≥ `n`, else the largest available), or a fresh `Vec`.
+    fn grab(&mut self, n: usize) -> Vec<f32> {
+        if self.free.is_empty() {
+            return Vec::with_capacity(n);
+        }
+        let mut best: Option<usize> = None;
+        for (i, buf) in self.free.iter().enumerate() {
+            let cap = buf.capacity();
+            best = match best {
+                None => Some(i),
+                Some(j) => {
+                    let jcap = self.free[j].capacity();
+                    let better = if jcap >= n {
+                        cap >= n && cap < jcap
+                    } else {
+                        cap > jcap
+                    };
+                    Some(if better { i } else { j })
+                }
+            };
+        }
+        self.free.swap_remove(best.expect("non-empty pool"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensors_are_zeroed_even_after_reuse() {
+        let mut s = Scratch::new();
+        let mut t = s.tensor([4, 4]);
+        t.fill(7.0);
+        s.recycle(t);
+        let t2 = s.tensor([2, 3]);
+        assert_eq!(t2.dims(), &[2, 3]);
+        assert!(t2.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut s = Scratch::new();
+        let small = s.tensor([8]);
+        let big = s.tensor([1000]);
+        let small_ptr = small.as_slice().as_ptr();
+        s.recycle(big);
+        s.recycle(small);
+        let t = s.tensor([5]);
+        assert_eq!(
+            t.as_slice().as_ptr(),
+            small_ptr,
+            "should reuse the 8-slot buffer"
+        );
+        assert_eq!(s.pooled(), 1);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut s = Scratch::new();
+        for i in 0..(MAX_POOLED + 40) {
+            s.recycle_vec(vec![0.0; i + 1]);
+        }
+        assert!(s.pooled() <= MAX_POOLED);
+        // The largest buffers survive eviction.
+        assert!(s.free.iter().any(|b| b.capacity() >= MAX_POOLED + 20));
+    }
+
+    #[test]
+    fn empty_vec_is_not_pooled() {
+        let mut s = Scratch::new();
+        s.recycle(Tensor::default());
+        assert_eq!(s.pooled(), 0);
+    }
+}

@@ -228,6 +228,81 @@ impl Tensor {
         self.data[i * stride..(i + 1) * stride].copy_from_slice(src.as_slice());
     }
 
+    /// Reshapes this tensor to `shape` and fills it with zeros, reusing the
+    /// existing allocation when it is large enough.
+    ///
+    /// This is the zero-alloc counterpart of `Tensor::zeros` for buffers
+    /// that live across batches (GEMM outputs, caches, batch buffers).
+    pub fn resize_zeroed(&mut self, shape: impl Into<Shape>) {
+        let shape = shape.into();
+        let n = shape.numel();
+        self.data.clear();
+        self.data.resize(n, 0.0);
+        if self.shape != shape {
+            self.shape = shape;
+        }
+    }
+
+    /// Reshapes this tensor to `shape` reusing its allocation, leaving the
+    /// element values **unspecified** (a mix of prior contents and zeros).
+    ///
+    /// For buffers about to be fully overwritten (GEMM outputs, gathered
+    /// batches); use [`resize_zeroed`](Self::resize_zeroed) when the code
+    /// that follows only accumulates.
+    pub fn resize_for_overwrite(&mut self, shape: impl Into<Shape>) {
+        let shape = shape.into();
+        let n = shape.numel();
+        if self.data.len() != n {
+            self.data.resize(n, 0.0);
+        }
+        if self.shape != shape {
+            self.shape = shape;
+        }
+    }
+
+    /// Overwrites this tensor with a copy of `src`, reusing the existing
+    /// allocation when it is large enough (the zero-alloc counterpart of
+    /// `clone` for cache fields refreshed every batch).
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+        if self.shape != src.shape {
+            self.shape = src.shape.clone();
+        }
+    }
+
+    /// Gathers `indices` of the leading axis of `self` into `out`
+    /// (`[indices.len(), …]`), reusing `out`'s allocation.
+    ///
+    /// This replaces the per-sample `index_axis0` + `stack` batch assembly
+    /// (two full copies and `O(batch)` allocations per step) with a single
+    /// copy into a buffer reused across the epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a scalar tensor or if an index is out of range.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Tensor) {
+        assert!(self.shape.ndim() >= 1, "cannot gather a scalar tensor");
+        let n = self.shape.dim(0);
+        let stride: usize = self.shape.dims()[1..].iter().product();
+        out.data.clear();
+        out.data.reserve(indices.len() * stride);
+        for &i in indices {
+            assert!(
+                i < n,
+                "index {i} out of range for leading axis of extent {n}"
+            );
+            out.data
+                .extend_from_slice(&self.data[i * stride..(i + 1) * stride]);
+        }
+        let mut dims = Vec::with_capacity(self.shape.ndim());
+        dims.push(indices.len());
+        dims.extend_from_slice(&self.shape.dims()[1..]);
+        if out.shape.dims() != dims {
+            out.shape = Shape::new(&dims);
+        }
+    }
+
     /// Stacks tensors of identical shape along a new leading axis.
     ///
     /// # Panics
@@ -372,6 +447,16 @@ impl Tensor {
     /// synapse has a definite differential state).
     pub fn signum_binary(&self) -> Tensor {
         self.map(|x| if x >= 0.0 { 1.0 } else { -1.0 })
+    }
+
+    /// [`signum_binary`](Self::signum_binary) written into `dst`, reusing
+    /// its allocation — the zero-alloc effective-weight refresh every
+    /// binarized layer performs each batch.
+    pub fn signum_binary_into(&self, dst: &mut Tensor) {
+        dst.resize_for_overwrite(self.shape.clone());
+        for (d, &x) in dst.data.iter_mut().zip(&self.data) {
+            *d = if x >= 0.0 { 1.0 } else { -1.0 };
+        }
     }
 
     // ------------------------------------------------------------------
@@ -553,6 +638,44 @@ mod tests {
         u.set_axis0(1, &s);
         assert_eq!(u.at(&[1, 2, 3]), 23.0);
         assert_eq!(u.at(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn gather_rows_into_matches_stack_of_index_axis0() {
+        let x = Tensor::from_fn([4, 2, 3], |i| i as f32);
+        let idx = [2usize, 0, 2];
+        let expect = Tensor::stack(&idx.iter().map(|&i| x.index_axis0(i)).collect::<Vec<_>>());
+        let mut out = Tensor::zeros([50]); // stale shape and spare capacity
+        let cap = out.as_slice().as_ptr();
+        x.gather_rows_into(&idx, &mut out);
+        assert_eq!(out, expect);
+        assert_eq!(out.as_slice().as_ptr(), cap, "must reuse the allocation");
+        // Partial batch reuses the same buffer at a smaller leading extent.
+        x.gather_rows_into(&[1], &mut out);
+        assert_eq!(out.dims(), &[1, 2, 3]);
+        assert_eq!(out.as_slice(), x.index_axis0(1).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gather_rows_into_rejects_bad_index() {
+        let x = Tensor::zeros([2, 2]);
+        let mut out = Tensor::default();
+        x.gather_rows_into(&[2], &mut out);
+    }
+
+    #[test]
+    fn resize_zeroed_and_copy_from_reuse_allocations() {
+        let mut t = Tensor::full([10], 3.0);
+        let ptr = t.as_slice().as_ptr();
+        t.resize_zeroed([2, 3]);
+        assert_eq!(t.dims(), &[2, 3]);
+        assert_eq!(t.sum(), 0.0);
+        assert_eq!(t.as_slice().as_ptr(), ptr);
+        let src = Tensor::from_fn([4], |i| i as f32);
+        t.copy_from(&src);
+        assert_eq!(t, src);
+        assert_eq!(t.as_slice().as_ptr(), ptr);
     }
 
     #[test]
