@@ -34,10 +34,13 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use serde::Serialize;
 
 use rbnn_bench::{archive_json, banner, parse_scale_with, RunScale};
+// The synthetic planted-template ECG-MLP task (noisy ±1 class templates)
+// is shared with the conformance fault campaign — one definition.
+use rbnn_conformance::planted_task;
 use rbnn_models::BinarizationStrategy;
 use rbnn_nn::{
     loss, metrics, train, Activation, Adam, BatchNorm, Dense, Layer, Optimizer, Param, Phase,
@@ -293,48 +296,6 @@ struct TrainBenchReport {
     workloads: Vec<WorkloadResult>,
     gemm_microbench: Vec<GemmRow>,
     accepted: bool,
-}
-
-/// Synthetic paper-scale ECG-MLP task: each class is a noisy ±1 template
-/// (features match the class template with probability `p`), so the
-/// 5152→75→2 binary classifier converges to the same high accuracy under
-/// either kernel path. Train and validation splits share the template.
-#[allow(clippy::type_complexity)]
-fn planted_features(
-    features: usize,
-    train_n: usize,
-    val_n: usize,
-    seed: u64,
-    p: f32,
-) -> (Tensor, Vec<usize>, Tensor, Vec<usize>) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let template: Vec<f32> = (0..features)
-        .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
-        .collect();
-    let total = train_n + val_n;
-    let mut x = Tensor::zeros([total, features]);
-    let mut y = Vec::with_capacity(total);
-    let xs = x.as_mut_slice();
-    for i in 0..total {
-        let class = i % 2;
-        let sign = if class == 1 { 1.0 } else { -1.0 };
-        let row = &mut xs[i * features..(i + 1) * features];
-        for (v, &t) in row.iter_mut().zip(&template) {
-            *v = if rng.gen::<f32>() < p {
-                sign * t
-            } else {
-                -sign * t
-            };
-        }
-        y.push(class);
-    }
-    let mut xt = Tensor::default();
-    x.gather_rows_into(&(0..train_n).collect::<Vec<_>>(), &mut xt);
-    let mut xv = Tensor::default();
-    x.gather_rows_into(&(train_n..total).collect::<Vec<_>>(), &mut xv);
-    let yv = y[train_n..].to_vec();
-    y.truncate(train_n);
-    (xt, y, xv, yv)
 }
 
 /// The Table II dense classifier at paper scale: 5152 → 75 → 2, binary
@@ -598,7 +559,7 @@ fn main() {
 
     // Workload 1 (gated): paper-scale ECG MLP, batch 32.
     {
-        let (x, y, vx, vy) = planted_features(5152, mlp_train, mlp_val, 11, 0.53);
+        let (x, y, vx, vy) = planted_task(5152, mlp_train, mlp_val, 0.53, 11);
         workloads.push(bench_workload(
             "ecg_mlp_paper_5152_75_2",
             |naive| Box::new(build_ecg_mlp(5, naive)) as Box<dyn Layer>,

@@ -15,6 +15,7 @@
 //! | `paperbench` | everything above, quick settings |
 //! | `serve_bench` | serving throughput/latency (software + RRAM backends) |
 //! | `train_bench` | training throughput vs the pre-overhaul baseline (gated) |
+//! | `conformance` | cross-backend differential oracle + fault campaigns (gated) |
 //!
 //! Every binary accepts `--quick` (default; minutes on a laptop) or
 //! `--full` (closer to paper scale) and archives a JSON result into

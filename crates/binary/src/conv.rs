@@ -230,6 +230,51 @@ mod tests {
     }
 
     #[test]
+    fn binary_conv_matches_float_reference_at_word_boundary_taps() {
+        // The deployed conv path rides `BitMatrix::conv1d_windows`, whose
+        // word-gather fast path covers kernels ≤ 64 taps; 63/64/65 span
+        // the regime change. 1-channel and odd-length signals keep the
+        // window fields at awkward alignments.
+        let mut rng = StdRng::seed_from_u64(13);
+        for &kernel in &[63usize, 64, 65] {
+            for &(in_ch, len) in &[(1usize, 97usize), (2, 101)] {
+                let out_ch = 3;
+                let w: Vec<f32> = (0..out_ch * in_ch * kernel)
+                    .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                    .collect();
+                let x: Vec<Vec<f32>> = (0..in_ch)
+                    .map(|_| {
+                        (0..len)
+                            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                            .collect()
+                    })
+                    .collect();
+                let scale: Vec<f32> = (0..out_ch).map(|_| rng.gen_range(0.2..2.0)).collect();
+                let shift: Vec<f32> = (0..out_ch).map(|_| rng.gen_range(-3.0..3.0)).collect();
+                let layer = BinaryConv1d::new(
+                    BitMatrix::from_signs(&w, out_ch, in_ch * kernel),
+                    in_ch,
+                    kernel,
+                    scale.clone(),
+                    shift.clone(),
+                );
+                let xb: Vec<BitVec> = x.iter().map(|c| BitVec::from_signs(c)).collect();
+                let got = layer.forward_sign(&xb);
+                let expect = float_reference(&w, &x, out_ch, in_ch, kernel, &scale, &shift);
+                for o in 0..out_ch {
+                    for t in 0..layer.out_len(len) {
+                        assert_eq!(
+                            got[o].get(t),
+                            expect[o][t],
+                            "kernel {kernel}, in_ch {in_ch}, ({o},{t})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn geometry() {
         let layer = BinaryConv1d::new(
             BitMatrix::zeros(32, 12 * 13),

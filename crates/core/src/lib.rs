@@ -25,6 +25,17 @@
 //!    while `ServerStats` tracks throughput, p50/p95/p99 latency, queue
 //!    depth and per-replica array counters. See `examples/serving.rs` and
 //!    `serve_bench` for the end-to-end flow.
+//! 4. **Conformance**: the same deployed model runs on four substrates —
+//!    float graph, single-sample XNOR/popcount, batched bit-matrix
+//!    kernels, and the simulated RRAM engine — and `rbnn-conformance`
+//!    keeps them honest: a seeded generator draws paper-family models
+//!    (edge shapes included: 1-channel signals, odd lengths, 63/64/65-tap
+//!    kernels, word-boundary widths), a differential oracle asserts
+//!    bit-for-bit agreement across all four paths and the serving
+//!    pipeline on noise-free fabric (margin-model statistical bounds on
+//!    noisy fabric), and a fault campaign gates the paper's
+//!    bit-error-tolerance anchor. One command:
+//!    `cargo run --release -p rbnn-bench --bin conformance -- --quick --strict`.
 //!
 //! The [`deploy`] module is the end-to-end chain; [`experiments`] holds one
 //! module per table/figure (see DESIGN.md §4 for the index); [`tasks`]

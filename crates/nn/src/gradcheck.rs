@@ -201,4 +201,100 @@ mod tests {
         let r = check_layer(&mut f, &[3, 2, 4], EPS, 15);
         assert!(r.worst() < 1e-3, "flatten err {}", r.worst());
     }
+
+    #[test]
+    fn dropout_gradients() {
+        // Stochastic masks cannot be finite-differenced, but keep = 1 is
+        // the deterministic identity limit and must check exactly — this
+        // pins the layer's gradient plumbing (mask bookkeeping, scratch
+        // buffers) without the randomness.
+        let mut d = crate::Dropout::new(1.0, 0);
+        let r = check_layer(&mut d, &[4, 9], EPS, 16);
+        assert!(r.worst() < 1e-3, "dropout err {}", r.worst());
+    }
+
+    #[test]
+    fn sequential_gradients() {
+        // The container must chain forward caches and backward gradients
+        // correctly across a mixed real/binary stack.
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut seq = crate::Sequential::new();
+        seq.push(Dense::new(5, 7, WeightMode::Real, &mut rng));
+        seq.push(Activation::new(crate::ActivationKind::HardTanh));
+        seq.push(BatchNorm::new(7));
+        seq.push(Dense::new(7, 3, WeightMode::Real, &mut rng));
+        let r = check_layer(&mut seq, &[4, 5], EPS, 17);
+        assert!(r.worst() < TOL, "sequential err {}", r.worst());
+    }
+
+    #[test]
+    fn split_model_gradients() {
+        // SplitModel chains a conv feature section into a dense
+        // classifier; both sections' parameter gradients must survive the
+        // boundary.
+        let mut rng = StdRng::seed_from_u64(18);
+        let mut features = crate::Sequential::new();
+        features.push(Conv1d::new(2, 3, 3, 1, 0, WeightMode::Real, &mut rng));
+        features.push(Activation::new(crate::ActivationKind::HardTanh));
+        features.push(Flatten::new());
+        let mut classifier = crate::Sequential::new();
+        classifier.push(Dense::new(3 * 5, 2, WeightMode::Real, &mut rng));
+        let mut model = crate::SplitModel::new(features, classifier);
+        let r = check_layer(&mut model, &[2, 2, 7], EPS, 19);
+        assert!(r.worst() < TOL, "split model err {}", r.worst());
+    }
+
+    /// `backward_root_with` may skip producing the input gradient (nothing
+    /// consumes it at the root of a fit step) but must accumulate
+    /// parameter gradients *bitwise* identical to the full backward pass —
+    /// this is what lets the training loop use it blindly.
+    #[test]
+    fn backward_root_param_gradients_match_full_backward() {
+        use rbnn_tensor::Scratch;
+
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(20);
+            let mut features = crate::Sequential::new();
+            features.push(Conv1d::new(2, 4, 3, 1, 1, WeightMode::Real, &mut rng));
+            features.push(BatchNorm::new(4));
+            features.push(Activation::new(crate::ActivationKind::Relu));
+            features.push(Flatten::new());
+            let mut classifier = crate::Sequential::new();
+            classifier.push(Dense::new(4 * 9, 6, WeightMode::Binary, &mut rng).without_bias());
+            classifier.push(BatchNorm::new(6));
+            classifier.push(Dense::new(6, 3, WeightMode::Real, &mut rng));
+            crate::SplitModel::new(features, classifier)
+        };
+        let mut rng = StdRng::seed_from_u64(21);
+        let x = rbnn_tensor::Tensor::randn([5, 2, 9], 1.0, &mut rng);
+        let grad = rbnn_tensor::Tensor::randn([5, 3], 1.0, &mut rng);
+
+        let mut full = build();
+        let mut root = build();
+        let mut scratch = Scratch::new();
+        full.zero_grad();
+        let _ = full.forward_with(&x, Phase::Train, &mut scratch);
+        let _ = full.backward_with(&grad, &mut scratch);
+        root.zero_grad();
+        let _ = root.forward_with(&x, Phase::Train, &mut scratch);
+        let _ = root.backward_with(&grad, &mut scratch);
+        // Second pass through each path so caches are warm in both.
+        full.zero_grad();
+        let _ = full.forward_with(&x, Phase::Train, &mut scratch);
+        let gx = full.backward_with(&grad, &mut scratch);
+        assert_eq!(gx.dims(), &[5, 2, 9], "full pass returns input gradient");
+        root.zero_grad();
+        let _ = root.forward_with(&x, Phase::Train, &mut scratch);
+        let _ = root.backward_root_with(&grad, &mut scratch);
+
+        let full_params = full.params();
+        let root_params = root.params();
+        assert_eq!(full_params.len(), root_params.len());
+        assert!(!full_params.is_empty());
+        for (i, (a, b)) in full_params.iter().zip(&root_params).enumerate() {
+            let ga: Vec<u32> = a.grad.as_slice().iter().map(|v| v.to_bits()).collect();
+            let gb: Vec<u32> = b.grad.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ga, gb, "param {i} gradient diverged under root backward");
+        }
+    }
 }

@@ -171,6 +171,25 @@ impl RramArray {
         self.marginal.iter().map(Vec::len).sum()
     }
 
+    /// Expected number of sense outcomes deviating from the cached
+    /// deterministic verdicts in one full read sweep of the array (every
+    /// row sensed once): the sum over marginal cells of the Gaussian tail
+    /// `Q(|margin| / σ)` of the combined per-read noise. Deterministic
+    /// cells contribute < 1e-9 each by the gating guarantee and are
+    /// excluded. This is the margin-model quantity differential testing
+    /// uses to bound how far a noisy evaluation may drift from the
+    /// noise-free one.
+    pub fn flip_expectation(&self) -> f64 {
+        if self.sense_sigma <= 0.0 {
+            return 0.0;
+        }
+        self.marginal
+            .iter()
+            .flatten()
+            .map(|m| stats::gaussian_tail(m.margin.abs() / self.sense_sigma))
+            .sum()
+    }
+
     fn index(&self, row: usize, col: usize) -> usize {
         assert!(
             row < self.rows && col < self.cols,

@@ -39,6 +39,29 @@ impl EngineConfig {
             seed,
         }
     }
+
+    /// A deterministic fabric for differential testing: zero read and PCSA
+    /// noise (combined sense σ = 0, so every cell is margin-gated) and
+    /// tightened state spreads so a programmed pair's margin never inverts
+    /// (order-inversion z ≈ 12, probability ~1e-32). Evaluation on such a
+    /// fabric is bit-exact with the software XNOR/popcount path by
+    /// construction, which is what makes it a usable oracle reference.
+    pub fn noise_free(seed: u64) -> Self {
+        let mut device = DeviceParams::hfo2_default();
+        device.read_noise = 0.0;
+        device.lrs_sigma = 0.18;
+        device.hrs_sigma = 0.18;
+        Self {
+            array_rows: 32,
+            array_cols: 32,
+            device,
+            pcsa: PcsaParams {
+                offset_sigma: 0.0,
+                noise_sigma: 0.0,
+            },
+            seed,
+        }
+    }
 }
 
 /// One fully-connected layer mapped onto a grid of physical arrays.
@@ -144,6 +167,20 @@ impl DenseEngine {
             .iter()
             .flatten()
             .map(RramArray::marginal_cells)
+            .sum()
+    }
+
+    /// Expected sense flips per evaluated sample: every tile row is read
+    /// once per sample, so this is the sum of
+    /// [`RramArray::flip_expectation`] over all tiles. Together with a
+    /// union bound ("a prediction can only deviate from the noise-free
+    /// one if at least one sense flipped"), it upper-bounds the per-sample
+    /// probability of disagreeing with the software path.
+    pub fn expected_flips_per_sample(&self) -> f64 {
+        self.tiles
+            .iter()
+            .flatten()
+            .map(RramArray::flip_expectation)
             .sum()
     }
 
@@ -314,6 +351,15 @@ impl NetworkEngine {
     /// Total marginal (still-Monte-Carlo) cells across layers.
     pub fn marginal_cells(&self) -> usize {
         self.layers.iter().map(DenseEngine::marginal_cells).sum()
+    }
+
+    /// Expected sense flips per classified sample across all layers; see
+    /// [`DenseEngine::expected_flips_per_sample`].
+    pub fn expected_flips_per_sample(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(DenseEngine::expected_flips_per_sample)
+            .sum()
     }
 
     /// Caps tile-parallel threads on every layer (0 = auto); see

@@ -100,6 +100,64 @@ mod tests {
     }
 
     #[test]
+    fn same_seed_produces_identical_flip_set() {
+        // Seeded reproducibility is what makes fault campaigns auditable:
+        // the same seed must flip exactly the same cells, across both odd
+        // and word-aligned geometries.
+        for (rows, cols) in [(37usize, 65usize), (64, 64), (5, 193)] {
+            let run = |seed: u64| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut m = BitMatrix::zeros(rows, cols);
+                let flips = inject_matrix(&mut m, 0.03, &mut rng);
+                (flips, m)
+            };
+            let (flips_a, a) = run(7);
+            let (flips_b, b) = run(7);
+            assert_eq!(flips_a, flips_b);
+            assert_eq!(a, b, "flip sets diverge for identical seeds");
+            // A different seed draws a different flip pattern (flip
+            // *count* may collide; the set essentially cannot).
+            let (_, c) = run(8);
+            assert_ne!(a, c, "distinct seeds should flip distinct cells");
+        }
+    }
+
+    #[test]
+    fn flip_count_stays_within_binomial_bounds() {
+        // Flips are i.i.d. Bernoulli per bit, so across many seeds the
+        // count must track Binomial(n, ber): every draw within ±5σ of the
+        // mean (a ~1e-6-level bound), and the empirical mean within 3
+        // standard errors.
+        let (rows, cols, ber) = (64usize, 129usize, 0.02f64);
+        let n = (rows * cols) as f64;
+        let mean = n * ber;
+        let sigma = (n * ber * (1.0 - ber)).sqrt();
+        let draws = 40;
+        let mut total = 0f64;
+        for seed in 0..draws {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let mut m = BitMatrix::zeros(rows, cols);
+            let flips = inject_matrix(&mut m, ber, &mut rng) as f64;
+            assert_eq!(
+                m.count_ones() as usize,
+                flips as usize,
+                "each flip must toggle a distinct zero bit"
+            );
+            assert!(
+                (flips - mean).abs() <= 5.0 * sigma,
+                "seed {seed}: {flips} flips vs Binomial({n}, {ber}) mean {mean:.1} σ {sigma:.1}"
+            );
+            total += flips;
+        }
+        let empirical_mean = total / draws as f64;
+        let se = sigma / (draws as f64).sqrt();
+        assert!(
+            (empirical_mean - mean).abs() <= 3.0 * se,
+            "empirical mean {empirical_mean:.1} vs {mean:.1} (se {se:.2})"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "BER must be a probability")]
     fn invalid_ber_rejected() {
         let mut rng = StdRng::seed_from_u64(4);

@@ -364,6 +364,42 @@ mod tests {
     }
 
     #[test]
+    fn quantile_midpoint_semantics_are_pinned_exactly() {
+        // Contract pin for the PR 2 bias fix: a quantile landing in bucket
+        // `i = ceil(ln(µs)/ln(1.05))` is reported as the *geometric
+        // midpoint* `1.05^(i − 0.5)` µs — computed here independently of
+        // the implementation, across magnitudes from µs to seconds. Any
+        // silent return to upper-bound (or linear-midpoint) reporting
+        // shifts every value by ≥ 2.4% and fails the exact comparison.
+        for &us in &[3u64, 47, 1000, 12_345, 800_000, 5_000_000] {
+            let stats = ServerStats::new(1);
+            stats.record_completed(Duration::from_micros(us));
+            let bucket = ((us as f64).ln() / 1.05f64.ln()).ceil();
+            let expected_us = 1.05f64.powf(bucket - 0.5);
+            let got = stats.latency_quantile(0.5);
+            assert_eq!(
+                got,
+                Duration::from_secs_f64(expected_us / 1e6),
+                "{us}µs: got {got:?}, expected geometric midpoint {expected_us:.3}µs"
+            );
+            // The midpoint brackets the true latency within one
+            // half-bucket (±2.5%)…
+            let ratio = got.as_secs_f64() * 1e6 / us as f64;
+            assert!(
+                (0.975..=1.026).contains(&ratio),
+                "{us}µs: midpoint off by {ratio}"
+            );
+            // …and sits strictly below the bucket's upper bound and
+            // strictly above its lower bound (i.e. it is a midpoint, not
+            // either edge).
+            let upper = 1.05f64.powf(bucket);
+            let lower = 1.05f64.powf(bucket - 1.0);
+            let got_us = got.as_secs_f64() * 1e6;
+            assert!(got_us < upper && got_us > lower, "{us}µs: {got_us}");
+        }
+    }
+
+    #[test]
     fn multi_quantile_pass_matches_individual_queries() {
         let stats = ServerStats::new(1);
         for us in [10u64, 20, 50, 100, 400, 1000, 5000, 20_000] {

@@ -861,6 +861,91 @@ mod tests {
         }
     }
 
+    /// Reference window assembly: the per-bit loop the > 64-tap fallback
+    /// uses, applied unconditionally. The fast path must equal this —
+    /// including the packed tail words, so padding-bit leaks are caught by
+    /// whole-struct equality.
+    fn conv1d_windows_per_bit(input: &[BitVec], kernel: usize) -> BitMatrix {
+        let channels = input.len();
+        let out_len = input[0].len() - kernel + 1;
+        let mut m = BitMatrix::zeros(out_len, channels * kernel);
+        for t in 0..out_len {
+            for (c, chan) in input.iter().enumerate() {
+                for k in 0..kernel {
+                    if chan.get(t + k) {
+                        m.set(t, c * kernel + k, true);
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn conv1d_windows_fast_path_equals_fallback_at_word_boundary() {
+        // 63/64/65 taps straddle the ≤ 64-tap `extract_bits` word-gather
+        // fast path (65 falls back to the per-bit loop); channel counts
+        // and odd, non-word-aligned signal lengths make the per-row field
+        // offsets land at every alignment. The packed structures must be
+        // *identical* (bit content and zeroed tails), not merely
+        // bit-by-bit equal through the accessor.
+        let mut rng = StdRng::seed_from_u64(61);
+        for &kernel in &[63usize, 64, 65] {
+            for &channels in &[1usize, 2, 3] {
+                for &len in &[kernel + 1, 97, 129, 191] {
+                    let input: Vec<BitVec> = (0..channels)
+                        .map(|_| (0..len).map(|_| rng.gen::<bool>()).collect())
+                        .collect();
+                    let fast = BitMatrix::conv1d_windows(&input, kernel);
+                    let reference = conv1d_windows_per_bit(&input, kernel);
+                    assert_eq!(
+                        fast, reference,
+                        "windows diverge at kernel={kernel}, channels={channels}, len={len}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv1d_windows_boundary_taps_popcount_like_float_convolution() {
+        // End-to-end use of the boundary-tap windows: row-vs-row
+        // xnor_popcount against random filters must reproduce the ±1
+        // convolution computed in floats, at 63/64/65 taps on
+        // non-word-aligned widths.
+        let mut rng = StdRng::seed_from_u64(67);
+        for &kernel in &[63usize, 64, 65] {
+            let channels = 2usize;
+            let len = 101usize; // odd, non-aligned
+            let taps = channels * kernel;
+            let x: Vec<Vec<f32>> = (0..channels)
+                .map(|_| {
+                    (0..len)
+                        .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                        .collect()
+                })
+                .collect();
+            let w: Vec<f32> = (0..taps)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
+            let input: Vec<BitVec> = x.iter().map(|c| BitVec::from_signs(c)).collect();
+            let wv = BitVec::from_signs(&w);
+            let windows = BitMatrix::conv1d_windows(&input, kernel);
+            for t in 0..(len - kernel + 1) {
+                let p = xnor_popcount(windows.row_words(t), wv.as_words(), taps);
+                let dot = 2 * p as i32 - taps as i32;
+                let expect: f32 = (0..channels)
+                    .map(|c| {
+                        (0..kernel)
+                            .map(|k| w[c * kernel + k] * x[c][t + k])
+                            .sum::<f32>()
+                    })
+                    .sum();
+                assert_eq!(dot, expect as i32, "kernel {kernel}, step {t}");
+            }
+        }
+    }
+
     #[test]
     fn conv1d_windows_rows_popcount_cleanly() {
         // Word-aligned rows: the window rows must be directly usable by

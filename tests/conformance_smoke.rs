@@ -1,0 +1,37 @@
+//! Workspace-level conformance smoke: the differential oracle and the
+//! fault campaign must hold end to end through the public crate surface —
+//! the same machinery CI gates at larger scale via
+//! `cargo run -p rbnn-bench --bin conformance -- --quick --strict`.
+
+use rbnn_conformance::{campaign, generate, oracle};
+
+#[test]
+fn oracle_agrees_across_all_paths_for_every_family() {
+    // One model per family, full oracle: float / binary single / binary
+    // batch / noise-free RRAM / serve (software + RRAM backends), plus
+    // the noisy margin bound.
+    let cfg = oracle::OracleConfig {
+        samples: 16,
+        ..Default::default()
+    };
+    for index in 0..4 {
+        let mut model = generate::generate(index, 0x5110);
+        let report = oracle::check_model(&mut model, &cfg);
+        assert!(report.passed(), "{report:?}");
+    }
+}
+
+#[test]
+fn reduced_campaign_reproduces_the_tolerance_anchor() {
+    let mut cfg = campaign::CampaignConfig::quick(3);
+    cfg.reps = 8;
+    cfg.verify_trials = 8_000;
+    let report = campaign::run_campaign(&cfg);
+    assert!(report.clean_accuracy > 0.9, "{}", report.clean_accuracy);
+    assert!(
+        report.anchor_ok,
+        "drop {} at anchor BER {:.2e}",
+        report.anchor_drop, report.anchor_ber
+    );
+    assert!(report.verify_ok, "{:?}", report.verify_curve);
+}
