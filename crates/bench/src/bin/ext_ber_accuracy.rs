@@ -1,4 +1,4 @@
-//! Extension experiment (refs [15], [16] of the paper): deployed-classifier
+//! Extension experiment (refs \[15\], \[16\] of the paper): deployed-classifier
 //! accuracy versus weight bit-error rate — why ECC-less operation is safe
 //! at 2T2R error levels.
 

@@ -3,7 +3,7 @@
 //! Drives a pool of engine replicas with pipelined concurrent clients and
 //! reports throughput plus latency percentiles. "Batch size N" means the
 //! system processes N samples per dispatch end to end: clients submit
-//! N-sample window requests ([`ServeHandle::enqueue_window`]) and each
+//! N-sample window requests ([`rbnn_serve::ServeHandle::enqueue_window`]) and each
 //! worker dispatch evaluates one window through the batched kernels —
 //! batch size 1 is therefore exactly the single-sample serving the
 //! workspace had before this subsystem. A separate row shows the

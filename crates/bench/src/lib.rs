@@ -11,9 +11,10 @@
 //! | `table4_memory` | Table IV (memory/savings) |
 //! | `fig7_filter_sweep` | Fig 7 (accuracy vs filter augmentation) |
 //! | `fig8_mobilenet` | Fig 8 + Table III vision row |
-//! | `ext_ber_accuracy` | accuracy-vs-BER extension (refs [15],[16]) |
+//! | `ext_ber_accuracy` | accuracy-vs-BER extension (refs \[15\],\[16\]) |
 //! | `paperbench` | everything above, quick settings |
 //! | `serve_bench` | serving throughput/latency (software + RRAM backends) |
+//! | `stream_bench` | continuous-monitoring ingestion: N patient streams → serve pool (gated) |
 //! | `train_bench` | training throughput vs the pre-overhaul baseline (gated) |
 //! | `conformance` | cross-backend differential oracle + fault campaigns (gated) |
 //!

@@ -1,4 +1,4 @@
-//! Stochastic input binarization (ref [14] of the paper: Hirtzlin et al.,
+//! Stochastic input binarization (ref \[14\] of the paper: Hirtzlin et al.,
 //! *"Stochastic Computing for Hardware Implementation of Binarized Neural
 //! Networks"*, IEEE Access 2019).
 //!

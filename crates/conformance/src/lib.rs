@@ -10,7 +10,7 @@
 //! has four execution paths for the same model; this crate is the net that
 //! lets the next rewrite proceed without fear:
 //!
-//! * [`generate`] — a seeded random **model generator** producing
+//! * [`generate`](mod@generate) — a seeded random **model generator** producing
 //!   paper-family architectures (Dense/Conv1d/Conv2d/BatchNorm/pool stacks
 //!   over ECG/EEG/vision-shaped inputs), deliberately biased toward edge
 //!   shapes: 1-channel signals, odd lengths, 63/64/65-tap kernels

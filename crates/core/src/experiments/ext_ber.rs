@@ -1,4 +1,4 @@
-//! Extension experiment (after the paper's companion refs [15], [16]):
+//! Extension experiment (after the paper's companion refs \[15\], \[16\]):
 //! classifier accuracy versus weight bit-error rate.
 //!
 //! This quantifies *why* the paper can operate without error-correcting

@@ -36,6 +36,18 @@
 //!    noisy fabric), and a fault campaign gates the paper's
 //!    bit-error-tolerance anchor. One command:
 //!    `cargo run --release -p rbnn-bench --bin conformance -- --quick --strict`.
+//! 5. **Streaming**: the always-on layer the paper's wearable scenario
+//!    implies — unbounded per-patient ECG/EEG signals
+//!    (`rbnn_data::stream::SignalSource` sources) are cut into
+//!    training-featurized sliding windows by per-patient `rbnn-stream`
+//!    sessions, fanned through the serve queue by a multi-tenant
+//!    `StreamRouter` (zero-copy shared-window requests, bounded
+//!    per-patient in-flight), and returned as timestamped verdict streams
+//!    with debounced K-of-M alarms plus per-session windows/s and
+//!    µJ/window accounting against the RRAM energy model. Chunked
+//!    ingestion is bitwise-equal to offline batch classification of the
+//!    same windows; `stream_bench --quick --strict` gates ≥ 64 concurrent
+//!    real-time patients in CI. See `examples/continuous_monitoring.rs`.
 //!
 //! The [`deploy`] module is the end-to-end chain; [`experiments`] holds one
 //! module per table/figure (see DESIGN.md §4 for the index); [`tasks`]

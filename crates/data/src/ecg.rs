@@ -67,7 +67,7 @@ impl Electrode {
         Electrode::V6,
     ];
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             Electrode::Ra => 0,
             Electrode::La => 1,
@@ -232,8 +232,9 @@ impl EcgConfig {
     }
 }
 
-/// Simulates the nine electrode potentials of one recording.
-fn electrode_potentials(cfg: &EcgConfig, rng: &mut StdRng) -> Vec<Vec<f32>> {
+/// Simulates the nine electrode potentials of one recording (also the
+/// per-segment synthesis step of [`crate::stream::EcgStream`]).
+pub(crate) fn electrode_potentials(cfg: &EcgConfig, rng: &mut StdRng) -> Vec<Vec<f32>> {
     let n = cfg.samples;
     let fs = cfg.sample_rate;
     // Per-trial heart rate 60–95 bpm with per-beat jitter.

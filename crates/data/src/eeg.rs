@@ -107,11 +107,37 @@ impl EegConfig {
 }
 
 /// Spatial sensitivity of electrode `ch` to a source centred at `center`,
-/// as a Gaussian on the (1-D abstracted) electrode axis.
-fn spatial_gain(ch: usize, center: usize, channels: usize) -> f32 {
+/// as a Gaussian on the (1-D abstracted) electrode axis (shared with the
+/// streaming source, [`crate::stream::EegStream`]).
+pub(crate) fn spatial_gain(ch: usize, center: usize, channels: usize) -> f32 {
     let sigma = channels as f32 / 10.0;
     let d = (ch as f32 - center as f32) / sigma;
     (-0.5 * d * d).exp()
+}
+
+/// One simulated subject's physiology — the per-subject block of the
+/// generative model, drawn identically by the dataset generator and the
+/// streaming source so the two cannot diverge.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SubjectPhysiology {
+    pub(crate) mu_freq: f32,
+    pub(crate) beta_freq: f32,
+    pub(crate) mu_amp: f32,
+    pub(crate) alpha_amp: f32,
+    pub(crate) noise: f32,
+}
+
+impl SubjectPhysiology {
+    pub(crate) fn draw(noise_scale: f32, rng: &mut StdRng) -> Self {
+        let mu_freq = 10.5 + rng.gen_range(-1.0..1.0);
+        Self {
+            mu_freq,
+            beta_freq: 2.0 * mu_freq + rng.gen_range(-1.0..1.0),
+            mu_amp: 1.0 + rng.gen_range(-0.2..0.2),
+            alpha_amp: 0.6 + rng.gen_range(-0.2..0.2),
+            noise: noise_scale * (1.0 + rng.gen_range(-0.2..0.2)),
+        }
+    }
 }
 
 /// Generates the synthetic motor-imagery dataset.
@@ -129,12 +155,13 @@ pub fn generate(cfg: &EegConfig) -> Dataset {
 
     let mut trial = 0usize;
     for _subject in 0..cfg.subjects {
-        // Per-subject physiology.
-        let mu_freq = 10.5 + rng.gen_range(-1.0..1.0);
-        let beta_freq = 2.0 * mu_freq + rng.gen_range(-1.0..1.0);
-        let mu_amp = 1.0 + rng.gen_range(-0.2..0.2);
-        let alpha_amp = 0.6 + rng.gen_range(-0.2..0.2);
-        let subject_noise = cfg.noise_scale * (1.0 + rng.gen_range(-0.2..0.2));
+        let SubjectPhysiology {
+            mu_freq,
+            beta_freq,
+            mu_amp,
+            alpha_amp,
+            noise: subject_noise,
+        } = SubjectPhysiology::draw(cfg.noise_scale, &mut rng);
 
         for k in 0..cfg.trials_per_subject {
             let label = if k % 2 == 0 { LEFT_FIST } else { RIGHT_FIST };

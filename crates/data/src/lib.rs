@@ -31,6 +31,7 @@ mod dataset;
 pub mod ecg;
 pub mod eeg;
 pub mod signal;
+pub mod stream;
 pub mod vision;
 
 pub use dataset::Dataset;

@@ -1,0 +1,451 @@
+//! Unbounded per-patient signal streams for continuous monitoring.
+//!
+//! The paper's target is wearable medical devices that watch a patient
+//! *continuously*: ECG/EEG arrives as an unbounded signal, not as the
+//! pre-cut windows the [`Dataset`](crate::Dataset) generators emit. This
+//! module provides the streaming face of the same generative models —
+//! [`SignalSource`] plus seeded synthetic [`EcgStream`] / [`EegStream`]
+//! implementations that emit *chunks of arbitrary size* from an endless
+//! per-patient recording.
+//!
+//! Two properties make the sources usable as oracle inputs for the
+//! `rbnn-stream` segmentation layer:
+//!
+//! * **seeded determinism** — a source is a pure function of its config
+//!   (two sources built from the same config produce the same signal
+//!   forever);
+//! * **chunk-size invariance** — the emitted frame sequence does not
+//!   depend on how callers slice it: synthesis happens in fixed internal
+//!   segments and chunks are served out of that buffer, so requesting
+//!   1 000 frames at once or one frame 1 000 times yields bitwise-identical
+//!   samples. Offline ("collect everything, segment once") and online
+//!   ("chunk at a time") consumers therefore see the same signal, which is
+//!   what lets the streaming tests pin bitwise equality end to end.
+//!
+//! Frames are **channel-interleaved**: `next_chunk` appends
+//! `frames × channels` floats laid out `[t0c0, t0c1, …, t1c0, …]`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ecg::{self, EcgConfig, Electrode};
+use crate::eeg::{self, LEFT_FIST, RIGHT_FIST};
+use crate::signal;
+
+/// An unbounded multi-channel signal producer (one monitored patient).
+///
+/// Implementations must be deterministic per seed and chunk-size
+/// invariant (see the [module docs](self)).
+pub trait SignalSource {
+    /// Channels per frame.
+    fn channels(&self) -> usize;
+
+    /// Nominal sampling rate in Hz (frames per second of signal time).
+    fn sample_rate(&self) -> f32;
+
+    /// Appends up to `max_frames` frames (channel-interleaved) to `out`
+    /// and returns the number of frames appended. Synthetic sources are
+    /// unbounded and always deliver `max_frames`; a finite source returns
+    /// `0` at end of stream.
+    fn next_chunk(&mut self, max_frames: usize, out: &mut Vec<f32>) -> usize;
+}
+
+impl std::fmt::Debug for dyn SignalSource + Send {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SignalSource")
+            .field("channels", &self.channels())
+            .field("sample_rate", &self.sample_rate())
+            .finish()
+    }
+}
+
+/// Configuration of a continuous 12-lead ECG stream.
+#[derive(Debug, Clone)]
+pub struct EcgStreamConfig {
+    /// Frames synthesized per internal segment (the generative model runs
+    /// one quasi-recording at a time; chunk requests are served from its
+    /// buffer, so this never affects the emitted values' chunking).
+    pub samples_per_segment: usize,
+    /// Sampling rate in Hz.
+    pub sample_rate: f32,
+    /// White measurement-noise amplitude relative to the R peak.
+    pub noise: f32,
+    /// Baseline-wander amplitude.
+    pub wander: f32,
+    /// Electrode pair that gets swapped from
+    /// [`swap_from_segment`](Self::swap_from_segment) on — the streaming
+    /// version of the electrode-inversion event the paper's classifier
+    /// detects (a nurse re-attaches the leads wrong mid-monitoring).
+    pub swap: Option<(Electrode, Electrode)>,
+    /// First segment index with the swap applied (ignored without
+    /// [`swap`](Self::swap)).
+    pub swap_from_segment: usize,
+    /// Master seed (one patient = one seed).
+    pub seed: u64,
+}
+
+impl Default for EcgStreamConfig {
+    fn default() -> Self {
+        Self {
+            samples_per_segment: 1080,
+            sample_rate: 360.0,
+            noise: 0.04,
+            wander: 0.08,
+            swap: None,
+            swap_from_segment: 0,
+            seed: 0x0EC6,
+        }
+    }
+}
+
+/// Endless synthetic 12-lead ECG: the dataset generator's dipole model
+/// ([`ecg`]) run segment after segment with one continuing RNG.
+///
+/// Each internal segment is one quasi-recording (heart rate, electrical
+/// axis and artifact phases are redrawn per segment, like a monitor
+/// re-locking onto the rhythm); lead derivation and the electrode-swap
+/// signature are exactly the dataset generator's.
+#[derive(Debug)]
+pub struct EcgStream {
+    cfg: EcgStreamConfig,
+    rng: StdRng,
+    segment: usize,
+    /// Interleaved frames of the current segment not yet handed out.
+    buf: Vec<f32>,
+    pos: usize,
+}
+
+impl EcgStream {
+    /// A stream for one patient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples_per_segment == 0`.
+    pub fn new(cfg: EcgStreamConfig) -> Self {
+        assert!(cfg.samples_per_segment > 0, "empty segments");
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Self {
+            cfg,
+            rng,
+            segment: 0,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    fn synthesize_segment(&mut self) {
+        let gen_cfg = EcgConfig {
+            trials: 1,
+            samples: self.cfg.samples_per_segment,
+            sample_rate: self.cfg.sample_rate,
+            noise: self.cfg.noise,
+            wander: self.cfg.wander,
+            swaps: Vec::new(),
+            seed: 0, // unused: the stream drives its own continuing RNG
+        };
+        let mut potentials = ecg::electrode_potentials(&gen_cfg, &mut self.rng);
+        if let Some((a, b)) = self.cfg.swap {
+            if self.segment >= self.cfg.swap_from_segment {
+                potentials.swap(a.index(), b.index());
+            }
+        }
+        let leads = ecg::derive_leads(&potentials);
+        let n = self.cfg.samples_per_segment;
+        self.buf.clear();
+        self.buf.reserve(n * 12);
+        for t in 0..n {
+            for lead in &leads {
+                self.buf.push(lead[t]);
+            }
+        }
+        self.pos = 0;
+        self.segment += 1;
+    }
+}
+
+impl SignalSource for EcgStream {
+    fn channels(&self) -> usize {
+        12
+    }
+
+    fn sample_rate(&self) -> f32 {
+        self.cfg.sample_rate
+    }
+
+    fn next_chunk(&mut self, max_frames: usize, out: &mut Vec<f32>) -> usize {
+        let mut produced = 0;
+        while produced < max_frames {
+            if self.pos >= self.buf.len() {
+                self.synthesize_segment();
+            }
+            let avail = (self.buf.len() - self.pos) / 12;
+            let take = avail.min(max_frames - produced);
+            out.extend_from_slice(&self.buf[self.pos..self.pos + take * 12]);
+            self.pos += take * 12;
+            produced += take;
+        }
+        produced
+    }
+}
+
+/// Configuration of a continuous motor-imagery EEG stream.
+#[derive(Debug, Clone)]
+pub struct EegStreamConfig {
+    /// Electrode count.
+    pub channels: usize,
+    /// Frames synthesized per internal segment (one imagery trial).
+    pub samples_per_segment: usize,
+    /// Sampling rate in Hz.
+    pub sample_rate: f32,
+    /// Fractional mu-amplitude suppression under ERD.
+    pub erd_depth: f32,
+    /// Background noise amplitude relative to the mu rhythm.
+    pub noise_scale: f32,
+    /// Imagined movement: [`LEFT_FIST`] or [`RIGHT_FIST`]; sustained for
+    /// the whole stream.
+    pub label: usize,
+    /// Master seed (one subject = one seed; per-subject physiology is
+    /// drawn once at construction).
+    pub seed: u64,
+}
+
+impl Default for EegStreamConfig {
+    fn default() -> Self {
+        Self {
+            channels: 16,
+            samples_per_segment: 192,
+            sample_rate: 160.0,
+            erd_depth: 0.5,
+            noise_scale: 1.0,
+            label: LEFT_FIST,
+            seed: 0x0EE6,
+        }
+    }
+}
+
+/// Endless synthetic motor-imagery EEG: the dataset generator's source
+/// model ([`crate::eeg`]) — per-subject mu/beta rhythms, posterior alpha,
+/// pink background and contralateral ERD — run trial after trial with one
+/// continuing RNG, sustaining a single imagined movement.
+#[derive(Debug)]
+pub struct EegStream {
+    cfg: EegStreamConfig,
+    rng: StdRng,
+    /// Per-subject physiology, drawn once by the same code as the
+    /// dataset generator's per-subject block.
+    subject: eeg::SubjectPhysiology,
+    buf: Vec<f32>,
+    pos: usize,
+}
+
+impl EegStream {
+    /// A stream for one subject.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`, `samples_per_segment == 0` or `label` is
+    /// not one of the two imagery classes.
+    pub fn new(cfg: EegStreamConfig) -> Self {
+        assert!(cfg.channels > 0 && cfg.samples_per_segment > 0);
+        assert!(
+            cfg.label == LEFT_FIST || cfg.label == RIGHT_FIST,
+            "label must be LEFT_FIST or RIGHT_FIST"
+        );
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let subject = eeg::SubjectPhysiology::draw(cfg.noise_scale, &mut rng);
+        Self {
+            cfg,
+            rng,
+            subject,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    fn synthesize_segment(&mut self) {
+        let (t_len, c_len) = (self.cfg.samples_per_segment, self.cfg.channels);
+        let (c3, c4) = (c_len / 4, 3 * c_len / 4);
+        let (erd_center, intact_center) = if self.cfg.label == LEFT_FIST {
+            (c4, c3)
+        } else {
+            (c3, c4)
+        };
+        let erd_gain = 1.0 - self.cfg.erd_depth;
+
+        let mu_phase = self.rng.gen_range(0.0..std::f32::consts::TAU);
+        let beta_phase = self.rng.gen_range(0.0..std::f32::consts::TAU);
+        let alpha_phase = self.rng.gen_range(0.0..std::f32::consts::TAU);
+        let fs = self.cfg.sample_rate;
+        let sub = self.subject;
+        let mu_wave = signal::oscillation(t_len, fs, sub.mu_freq, sub.mu_amp, mu_phase, |_| 1.0);
+        let beta_wave = signal::oscillation(
+            t_len,
+            fs,
+            sub.beta_freq.min(fs / 2.2),
+            0.3 * sub.mu_amp,
+            beta_phase,
+            |_| 1.0,
+        );
+        let alpha_wave = signal::oscillation(
+            t_len,
+            fs,
+            sub.mu_freq - 0.5,
+            sub.alpha_amp,
+            alpha_phase,
+            |_| 1.0,
+        );
+
+        self.buf.clear();
+        self.buf.resize(t_len * c_len, 0.0);
+        for ch in 0..c_len {
+            let g_erd = eeg::spatial_gain(ch, erd_center, c_len);
+            let g_int = eeg::spatial_gain(ch, intact_center, c_len);
+            let g_alpha = eeg::spatial_gain(ch, c_len - 1, c_len);
+            let noise = signal::pink_noise(t_len, &mut self.rng);
+            for t in 0..t_len {
+                let mu_component = mu_wave[t] * (g_erd * erd_gain + g_int)
+                    + beta_wave[t] * (g_erd * erd_gain + g_int);
+                self.buf[t * c_len + ch] =
+                    mu_component + alpha_wave[t] * g_alpha + noise[t] * sub.noise;
+            }
+        }
+        self.pos = 0;
+    }
+}
+
+impl SignalSource for EegStream {
+    fn channels(&self) -> usize {
+        self.cfg.channels
+    }
+
+    fn sample_rate(&self) -> f32 {
+        self.cfg.sample_rate
+    }
+
+    fn next_chunk(&mut self, max_frames: usize, out: &mut Vec<f32>) -> usize {
+        let c = self.cfg.channels;
+        let mut produced = 0;
+        while produced < max_frames {
+            if self.pos >= self.buf.len() {
+                self.synthesize_segment();
+            }
+            let avail = (self.buf.len() - self.pos) / c;
+            let take = avail.min(max_frames - produced);
+            out.extend_from_slice(&self.buf[self.pos..self.pos + take * c]);
+            self.pos += take * c;
+            produced += take;
+        }
+        produced
+    }
+}
+
+/// Collects exactly `frames` frames from `source` into one interleaved
+/// buffer — the offline ("record everything, then process") counterpart of
+/// chunked consumption, used by tests and benches to pin stream/offline
+/// equality.
+pub fn collect_frames(source: &mut dyn SignalSource, frames: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(frames * source.channels());
+    let got = source.next_chunk(frames, &mut out);
+    out.truncate(got * source.channels());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ecg_cfg(seed: u64) -> EcgStreamConfig {
+        EcgStreamConfig {
+            samples_per_segment: 100,
+            seed,
+            ..EcgStreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn ecg_stream_is_deterministic_per_seed() {
+        let a = collect_frames(&mut EcgStream::new(ecg_cfg(7)), 500);
+        let b = collect_frames(&mut EcgStream::new(ecg_cfg(7)), 500);
+        let c = collect_frames(&mut EcgStream::new(ecg_cfg(8)), 500);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 500 * 12);
+    }
+
+    #[test]
+    fn ecg_stream_is_chunk_size_invariant() {
+        let whole = collect_frames(&mut EcgStream::new(ecg_cfg(3)), 421);
+        let mut chunked = Vec::new();
+        let mut s = EcgStream::new(ecg_cfg(3));
+        // Awkward prime-sized chunks straddling every segment boundary.
+        for chunk in [1usize, 97, 13, 100, 210] {
+            assert_eq!(s.next_chunk(chunk, &mut chunked), chunk);
+        }
+        assert_eq!(whole, chunked);
+    }
+
+    #[test]
+    fn ecg_swap_changes_signal_only_from_swap_segment() {
+        let clean = collect_frames(&mut EcgStream::new(ecg_cfg(5)), 300);
+        let mut cfg = ecg_cfg(5);
+        cfg.swap = Some((Electrode::Ra, Electrode::La));
+        cfg.swap_from_segment = 2; // segments are 100 frames each
+        let swapped = collect_frames(&mut EcgStream::new(cfg), 300);
+        assert_eq!(clean[..200 * 12], swapped[..200 * 12]);
+        assert_ne!(clean[200 * 12..], swapped[200 * 12..]);
+    }
+
+    #[test]
+    fn eeg_stream_is_chunk_size_invariant_and_seeded() {
+        let cfg = EegStreamConfig {
+            samples_per_segment: 64,
+            channels: 8,
+            seed: 11,
+            ..EegStreamConfig::default()
+        };
+        let whole = collect_frames(&mut EegStream::new(cfg.clone()), 200);
+        assert_eq!(whole.len(), 200 * 8);
+        let mut chunked = Vec::new();
+        let mut s = EegStream::new(cfg.clone());
+        for chunk in [3usize, 61, 64, 72] {
+            s.next_chunk(chunk, &mut chunked);
+        }
+        assert_eq!(whole, chunked);
+        let again = collect_frames(&mut EegStream::new(cfg), 200);
+        assert_eq!(whole, again);
+    }
+
+    #[test]
+    fn eeg_labels_lateralize_band_power() {
+        // Left-fist imagery suppresses C4; right-fist suppresses C3 — the
+        // streaming source must preserve the dataset generator's class
+        // mechanism.
+        let base = EegStreamConfig {
+            channels: 16,
+            samples_per_segment: 256,
+            sample_rate: 64.0,
+            erd_depth: 0.7,
+            noise_scale: 0.3,
+            seed: 21,
+            ..EegStreamConfig::default()
+        };
+        let ratio = |label: usize| -> f32 {
+            let cfg = EegStreamConfig {
+                label,
+                ..base.clone()
+            };
+            let frames = collect_frames(&mut EegStream::new(cfg), 1024);
+            let extract =
+                |ch: usize| -> Vec<f32> { frames.iter().skip(ch).step_by(16).copied().collect() };
+            let p3 = signal::band_power(&extract(4), 64.0, 8.0, 13.0);
+            let p4 = signal::band_power(&extract(12), 64.0, 8.0, 13.0);
+            p4 / (p3 + 1e-9)
+        };
+        assert!(
+            ratio(LEFT_FIST) < ratio(RIGHT_FIST),
+            "left {} right {}",
+            ratio(LEFT_FIST),
+            ratio(RIGHT_FIST)
+        );
+    }
+}

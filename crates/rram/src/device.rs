@@ -15,7 +15,7 @@
 //!   read of a weak device is a coin flip, while a differential 2T2R read
 //!   still resolves correctly unless *both* devices of the pair are weak —
 //!   the mechanism by which differential storage buys its ~two orders of
-//!   magnitude (the paper's companion studies [15], [16] liken it to a
+//!   magnitude (the paper's companion studies \[15\], \[16\] liken it to a
 //!   single-error-correction code of equivalent redundancy).
 
 use rand::Rng;

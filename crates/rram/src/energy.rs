@@ -100,6 +100,18 @@ pub fn estimate_network(net: &BinaryNetwork, p: &EnergyParams) -> InferenceEnerg
     }
 }
 
+/// Energy of `senses` PCSA read events in nanojoules: one differential
+/// sense plus one popcount accumulation per event — the per-read
+/// accounting hook for always-on serving. The serving stats count senses
+/// per engine replica (`EngineSnapshot::senses` in `rbnn-serve`), and the
+/// streaming layer divides this through its window counts to report
+/// µJ/window per patient; on a noise-free/fresh fabric it agrees exactly
+/// with [`estimate_network`]'s per-inference figure times the inference
+/// count, since every synapse is sensed once per read.
+pub fn sense_energy_nj(senses: u64, p: &EnergyParams) -> f64 {
+    senses as f64 * (p.sense_fj + p.popcount_bit_fj) / 1e6
+}
+
 /// One-time programming energy of the whole network, in nanojoules.
 pub fn programming_energy_nj(net: &BinaryNetwork, p: &EnergyParams) -> f64 {
     net.weight_bits() as f64 * p.program_fj / 1e6
@@ -145,6 +157,21 @@ mod tests {
             (energy_ratio / synapse_ratio - 1.0).abs() < 1e-6,
             "energy must scale exactly with synapses: {energy_ratio} vs {synapse_ratio}"
         );
+    }
+
+    #[test]
+    fn per_read_accounting_matches_per_inference_estimate() {
+        // One full read of the network senses every synapse once, so the
+        // per-read hook at `weight_bits` senses must equal the
+        // per-inference estimate exactly.
+        let net = classifier(408, 75, 2);
+        let p = EnergyParams::default_figures();
+        let per_inference = estimate_network(&net, &p).rram_nj;
+        let per_read = sense_energy_nj(net.weight_bits() as u64, &p);
+        assert!((per_read - per_inference).abs() < 1e-9);
+        assert_eq!(sense_energy_nj(0, &p), 0.0);
+        // Linear in the sense count.
+        assert!((sense_energy_nj(2000, &p) - 2.0 * sense_energy_nj(1000, &p)).abs() < 1e-12);
     }
 
     #[test]

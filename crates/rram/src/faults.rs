@@ -5,7 +5,7 @@
 //! sensing has pushed the BER down. This module injects i.i.d. bit flips at
 //! a chosen BER into packed weight matrices or whole deployed networks so
 //! the accuracy-vs-BER relation can be swept (the extension experiment of
-//! DESIGN.md, after refs [15], [16]).
+//! DESIGN.md, after refs \[15\], \[16\]).
 
 use rand::Rng;
 

@@ -1,6 +1,6 @@
 //! Program-and-verify controller.
 //!
-//! The paper's companion studies ([15], [16]) report bit-error rates "under
+//! The paper's companion studies (\[15\], \[16\]) report bit-error rates "under
 //! various programming conditions"; industrially, the standard way to trade
 //! programming energy for reliability is a **program-verify loop**: after
 //! each programming pulse the cell is read back against a guard-banded

@@ -40,8 +40,15 @@
 //! println!("{}", server.shutdown());
 //! ```
 //!
-//! See `crates/bench/src/bin/serve_bench.rs` for the load generator and
-//! `examples/serving.rs` for an end-to-end trained-model walkthrough.
+//! Long-lived producers (continuous-monitoring sessions, load generators)
+//! should bind a [`TaskClient`] once via [`ServeHandle::client`]: the
+//! task's registration and feature width are validated at bind time, so
+//! each of the session's thousands of submits skips the per-request
+//! registry lookup. The `rbnn-stream` router is built on this path.
+//!
+//! See `crates/bench/src/bin/serve_bench.rs` for the load generator,
+//! `examples/serving.rs` for an end-to-end trained-model walkthrough, and
+//! `crates/stream` for the continuous-monitoring ingestion layer on top.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -56,6 +63,6 @@ pub use batcher::{BatchPolicy, Batcher};
 pub use registry::{demo_network, Backend, ModelEntry, ModelRegistry, ServeTask};
 pub use server::{
     classify_matrix, Pending, PendingWindow, Prediction, ServeConfig, ServeError, ServeHandle,
-    Server,
+    Server, TaskClient,
 };
 pub use stats::{EngineSnapshot, ServerStats, StatsSnapshot};

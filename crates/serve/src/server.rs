@@ -151,6 +151,52 @@ struct Shared {
     widths: BTreeMap<ServeTask, usize>,
 }
 
+impl Shared {
+    /// The one enqueue path every client API funnels through: validates
+    /// each sample against the pre-resolved feature `width`, then pushes —
+    /// blocking on a full queue (backpressure) or, when `blocking` is
+    /// false, shedding with [`ServeError::Overloaded`].
+    fn submit(
+        &self,
+        task: ServeTask,
+        width: usize,
+        rows: RequestRows,
+        blocking: bool,
+    ) -> Result<mpsc::Receiver<Result<Vec<Prediction>, ServeError>>, ServeError> {
+        for row in rows.rows() {
+            if row.len() != width {
+                return Err(ServeError::FeatureWidth {
+                    expected: width,
+                    got: row.len(),
+                });
+            }
+        }
+        let (reply, rx) = mpsc::channel();
+        let request = Request {
+            task,
+            rows,
+            submitted: Instant::now(),
+            reply,
+        };
+        let outcome = if blocking {
+            self.queue.push(request)
+        } else {
+            self.queue.try_push(request)
+        };
+        match outcome {
+            Ok(()) => {
+                self.stats.record_submitted();
+                Ok(rx)
+            }
+            Err(PushError::Full) => {
+                self.stats.record_rejected();
+                Err(ServeError::Overloaded)
+            }
+            Err(PushError::Closed) => Err(ServeError::ShuttingDown),
+        }
+    }
+}
+
 /// Cloneable synchronous client of a running [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServeHandle {
@@ -164,43 +210,14 @@ impl ServeHandle {
         rows: RequestRows,
         blocking: bool,
     ) -> Result<mpsc::Receiver<Result<Vec<Prediction>, ServeError>>, ServeError> {
-        // One registry lookup per request, one length check per sample.
+        // One registry lookup per request (a TaskClient resolves it once
+        // instead), one length check per sample.
         let expected = *self
             .shared
             .widths
             .get(&task)
             .ok_or(ServeError::UnknownTask(task))?;
-        for row in rows.rows() {
-            if row.len() != expected {
-                return Err(ServeError::FeatureWidth {
-                    expected,
-                    got: row.len(),
-                });
-            }
-        }
-        let (reply, rx) = mpsc::channel();
-        let request = Request {
-            task,
-            rows,
-            submitted: Instant::now(),
-            reply,
-        };
-        let outcome = if blocking {
-            self.shared.queue.push(request)
-        } else {
-            self.shared.queue.try_push(request)
-        };
-        match outcome {
-            Ok(()) => {
-                self.shared.stats.record_submitted();
-                Ok(rx)
-            }
-            Err(PushError::Full) => {
-                self.shared.stats.record_rejected();
-                Err(ServeError::Overloaded)
-            }
-            Err(PushError::Closed) => Err(ServeError::ShuttingDown),
-        }
+        self.shared.submit(task, expected, rows, blocking)
     }
 
     fn recv_one(
@@ -289,6 +306,100 @@ impl ServeHandle {
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot(self.shared.queue.len())
     }
+
+    /// Binds this handle to one task, validating the registration **once**:
+    /// the returned [`TaskClient`] submits without any per-request registry
+    /// lookup — the session-friendly enqueue path for long-lived producers
+    /// (a continuous-monitoring session submits thousands of windows for
+    /// the same model; re-resolving the task each time is pure overhead,
+    /// and the pre-client alternative of re-`insert`ing models or passing
+    /// the task per call assumed one-shot matrices).
+    pub fn client(&self, task: ServeTask) -> Result<TaskClient, ServeError> {
+        let width = *self
+            .shared
+            .widths
+            .get(&task)
+            .ok_or(ServeError::UnknownTask(task))?;
+        Ok(TaskClient {
+            shared: Arc::clone(&self.shared),
+            task,
+            width,
+        })
+    }
+}
+
+/// A [`ServeHandle`] pre-bound to one task (from [`ServeHandle::client`]).
+///
+/// The task's registration and feature width are resolved at construction,
+/// so every submit skips the registry lookup — the natural client shape
+/// for per-session producers like `rbnn-stream`, which submit an unbounded
+/// sequence of windows against one model. Clone freely; clones share the
+/// same server.
+#[derive(Debug, Clone)]
+pub struct TaskClient {
+    shared: Arc<Shared>,
+    task: ServeTask,
+    width: usize,
+}
+
+impl TaskClient {
+    /// The bound task.
+    pub fn task(&self) -> ServeTask {
+        self.task
+    }
+
+    /// Feature width the bound model expects.
+    pub fn in_features(&self) -> usize {
+        self.width
+    }
+
+    fn submit(
+        &self,
+        rows: RequestRows,
+    ) -> Result<mpsc::Receiver<Result<Vec<Prediction>, ServeError>>, ServeError> {
+        self.shared.submit(self.task, self.width, rows, true)
+    }
+
+    /// Classifies one feature vector, blocking until the pool answers
+    /// (see [`ServeHandle::classify`]).
+    pub fn classify(&self, features: Vec<f32>) -> Result<Prediction, ServeError> {
+        let rx = self.submit(RequestRows::Owned(vec![features]))?;
+        ServeHandle::recv_one(rx)
+    }
+
+    /// Enqueues one sample and returns a [`Pending`] ticket (see
+    /// [`ServeHandle::enqueue`]).
+    pub fn enqueue(&self, features: Vec<f32>) -> Result<Pending, ServeError> {
+        Ok(Pending {
+            rx: self.submit(RequestRows::Owned(vec![features]))?,
+        })
+    }
+
+    /// Enqueues a multi-sample window request (see
+    /// [`ServeHandle::enqueue_window`]).
+    pub fn enqueue_window(&self, rows: Vec<Vec<f32>>) -> Result<PendingWindow, ServeError> {
+        Ok(PendingWindow {
+            rx: self.submit(RequestRows::Owned(rows))?,
+        })
+    }
+
+    /// Zero-copy multi-sample enqueue: the window is shared, not moved
+    /// (see [`ServeHandle::enqueue_shared`]).
+    pub fn enqueue_shared(&self, rows: Arc<Vec<Vec<f32>>>) -> Result<PendingWindow, ServeError> {
+        Ok(PendingWindow {
+            rx: self.submit(RequestRows::Shared(rows))?,
+        })
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Point-in-time server statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot(self.shared.queue.len())
+    }
 }
 
 /// A not-yet-answered single-sample request (from
@@ -309,7 +420,9 @@ impl Pending {
         match self.rx.try_recv() {
             Ok(Ok(mut predictions)) => Some(predictions.pop().ok_or(ServeError::ShuttingDown)),
             Ok(Err(e)) => Some(Err(e)),
-            Err(_) => None,
+            Err(mpsc::TryRecvError::Empty) => None,
+            // The worker dropped the reply channel unanswered: shutdown.
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
         }
     }
 }
@@ -325,6 +438,19 @@ impl PendingWindow {
     /// Blocks until the pool answers with one prediction per sample.
     pub fn wait(self) -> Result<Vec<Prediction>, ServeError> {
         self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Returns the answer if it has already arrived — the non-blocking
+    /// probe that lets one producer thread multiplex many in-flight
+    /// windows (e.g. a stream router draining whichever patient's verdict
+    /// lands first).
+    pub fn poll(&self) -> Option<Result<Vec<Prediction>, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            // The worker dropped the reply channel unanswered: shutdown.
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
+        }
     }
 }
 
@@ -509,7 +635,7 @@ const CLASSIFY_MATRIX_WINDOW: usize = 256;
 /// caller thread, returning predicted classes in row order (used by
 /// benches/examples to drive load without writing client boilerplate).
 ///
-/// Requests are *pipelined*: up to [`CLASSIFY_MATRIX_WINDOW`] rows are
+/// Requests are *pipelined*: up to `CLASSIFY_MATRIX_WINDOW` (256) rows are
 /// enqueued before the oldest response is awaited, so the pool sees a deep
 /// queue and can form real batches. (An earlier revision submitted rows
 /// strictly synchronously — one request in flight — which could never

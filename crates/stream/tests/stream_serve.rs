@@ -1,0 +1,176 @@
+//! Segmentation edge cases pinned against one-shot offline segmentation
+//! of the same signal, bitwise through the serve path.
+//!
+//! For each geometry the same seeded signal is consumed twice: streamed in
+//! deliberately awkward chunks (prime sizes, so windows and gaps straddle
+//! chunk boundaries) and offline in one buffered pass. Both window sets
+//! are then classified through a running `rbnn-serve` pool on the
+//! software backend, and every logit must agree to the bit
+//! (`f32::to_bits`) — the same equality the conformance oracle holds the
+//! batch paths to.
+
+use std::sync::Arc;
+
+use rbnn_data::stream::{collect_frames, EcgStream, EcgStreamConfig, SignalSource};
+use rbnn_rram::EngineConfig;
+use rbnn_serve::{demo_network, Backend, ModelRegistry, ServeConfig, ServeTask, Server};
+use rbnn_stream::{
+    Normalization, SegmenterConfig, Session, SessionConfig, TailPolicy, WindowLayout,
+};
+
+const CHANNELS: usize = 12;
+
+fn session(window: usize, stride: usize, tail: TailPolicy) -> Session {
+    Session::new(SessionConfig {
+        segmenter: SegmenterConfig {
+            channels: CHANNELS,
+            window,
+            stride,
+            tail,
+        },
+        layout: WindowLayout::ChannelMajor,
+        normalization: Normalization::PerWindow,
+    })
+}
+
+fn source(seed: u64) -> EcgStream {
+    EcgStream::new(EcgStreamConfig {
+        samples_per_segment: 97, // prime: segment joins never align with windows
+        seed,
+        ..EcgStreamConfig::default()
+    })
+}
+
+/// Streams `total_frames` through a session in awkward chunk sizes,
+/// then finishes; returns the feature windows.
+fn stream_windows(
+    seed: u64,
+    total_frames: usize,
+    mut session: Session,
+) -> Vec<rbnn_stream::Window> {
+    let mut src = source(seed);
+    let mut out = Vec::new();
+    let mut remaining = total_frames;
+    let chunk_sizes = [1usize, 13, 7, 61, 29, 101];
+    let mut i = 0;
+    let mut buf = Vec::new();
+    while remaining > 0 {
+        let want = chunk_sizes[i % chunk_sizes.len()].min(remaining);
+        i += 1;
+        buf.clear();
+        let got = src.next_chunk(want, &mut buf);
+        assert_eq!(got, want);
+        out.extend(session.push_chunk(&buf));
+        remaining -= got;
+    }
+    out.extend(session.finish());
+    out
+}
+
+/// Offline oracle: the whole signal in one buffer, one segmentation pass.
+fn offline_windows(
+    seed: u64,
+    total_frames: usize,
+    mut session: Session,
+) -> Vec<rbnn_stream::Window> {
+    let mut src = source(seed);
+    let frames = collect_frames(&mut src, total_frames);
+    let mut out = session.push_chunk(&frames);
+    out.extend(session.finish());
+    out
+}
+
+/// Classifies windows through the serving pipeline and returns each
+/// window's logits as raw bits.
+fn serve_logit_bits(server: &Server, windows: &[rbnn_stream::Window]) -> Vec<Vec<u32>> {
+    let client = server.handle().client(ServeTask::Ecg).expect("bound");
+    let rows: Arc<Vec<Vec<f32>>> = Arc::new(windows.iter().map(|w| w.features.clone()).collect());
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let predictions = client
+        .enqueue_shared(rows)
+        .expect("queued")
+        .wait()
+        .expect("served");
+    predictions
+        .into_iter()
+        .map(|p| p.logits.iter().map(|l| l.to_bits()).collect())
+        .collect()
+}
+
+fn check_geometry(window: usize, stride: usize, tail: TailPolicy, total_frames: usize) {
+    let net = demo_network(&[CHANNELS * window, 24, 2], model_seed(window, stride));
+    let mut registry = ModelRegistry::new();
+    registry.insert(ServeTask::Ecg, net.clone(), EngineConfig::test_chip(3));
+    let server = Server::start(
+        &registry,
+        &ServeConfig {
+            workers: 2,
+            backend: Backend::Software,
+            ..Default::default()
+        },
+    );
+
+    let seed = 0x5EED ^ (window as u64) << 8 ^ stride as u64;
+    let streamed = stream_windows(seed, total_frames, session(window, stride, tail));
+    let offline = offline_windows(seed, total_frames, session(window, stride, tail));
+
+    // The window sequences themselves must match exactly …
+    assert_eq!(streamed.len(), offline.len(), "w={window} s={stride}");
+    for (a, b) in streamed.iter().zip(&offline) {
+        assert_eq!(a.meta, b.meta);
+        let ab: Vec<u32> = a.features.iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u32> = b.features.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ab, bb, "w={window} s={stride} window {}", a.meta.index);
+    }
+
+    // … and so must the logits the serve path produces for them, both
+    // against each other and against the direct network.
+    let streamed_bits = serve_logit_bits(&server, &streamed);
+    let offline_bits = serve_logit_bits(&server, &offline);
+    assert_eq!(streamed_bits, offline_bits, "w={window} s={stride}");
+    for (w, bits) in streamed.iter().zip(&streamed_bits) {
+        let direct: Vec<u32> = net
+            .logits(&w.features)
+            .iter()
+            .map(|l| l.to_bits())
+            .collect();
+        assert_eq!(*bits, direct, "w={window} s={stride}");
+    }
+    server.shutdown();
+}
+
+/// Seed mixer so each geometry gets a distinct model.
+fn model_seed(window: usize, stride: usize) -> u64 {
+    (window as u64) << 16 | stride as u64
+}
+
+#[test]
+fn window_equals_stride_through_serve_path() {
+    // Exact tiling; 407 frames leave a 407 − 5·80 = 7-frame tail (dropped).
+    check_geometry(80, 80, TailPolicy::Drop, 407);
+}
+
+#[test]
+fn overlapping_windows_through_serve_path() {
+    // 50% overlap; every window shares frames with its neighbours.
+    check_geometry(64, 32, TailPolicy::Drop, 403);
+}
+
+#[test]
+fn gapped_stride_through_serve_path() {
+    // stride > window: classify 48 frames, skip 52 — duty-cycled
+    // monitoring. Gap debt must survive chunk boundaries.
+    check_geometry(48, 100, TailPolicy::Drop, 521);
+}
+
+#[test]
+fn padded_tail_through_serve_path() {
+    // 390 frames = 4×90 windows + a 30-frame tail, zero-padded to a full
+    // window and classified.
+    let streamed = stream_windows(1, 390, session(90, 90, TailPolicy::Pad));
+    let dropped = stream_windows(1, 390, session(90, 90, TailPolicy::Drop));
+    assert_eq!(streamed.len(), dropped.len() + 1, "pad emits the tail");
+    check_geometry(90, 90, TailPolicy::Pad, 390);
+}

@@ -21,7 +21,7 @@
 //!   fixed k-order, so results are bitwise identical for every thread
 //!   count.
 //!
-//! The pre-overhaul loops are preserved in [`reference`] and can be selected
+//! The pre-overhaul loops are preserved in [`reference`](mod@reference) and can be selected
 //! at runtime with [`set_reference_kernels`]; `train_bench` uses that to
 //! measure honest before/after speedups and the test-suite uses the naive
 //! triple loop as the parity oracle.

@@ -31,7 +31,7 @@ use crate::{Shape, Tensor};
 /// shape churn (e.g. switching models) cannot grow the pool without bound.
 const MAX_POOLED: usize = 64;
 
-/// A free-list arena of `f32` buffers (see the [module docs](self)).
+/// A free-list arena of `f32` buffers (see the `scratch` module docs).
 #[derive(Debug, Default)]
 pub struct Scratch {
     free: Vec<Vec<f32>>,

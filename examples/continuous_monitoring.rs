@@ -1,0 +1,116 @@
+//! Continuous monitoring walkthrough: a fleet of synthetic patients
+//! streaming unbounded 12-lead ECG through per-patient sliding-window
+//! sessions into the batched serving runtime, with debounced K-of-M
+//! alarms and per-patient energy/latency accounting — the always-on
+//! wearable scenario the paper targets.
+//!
+//! Run with: `cargo run --example continuous_monitoring --release`
+
+use rbnn_data::ecg::{Electrode, INVERTED};
+use rbnn_data::stream::{EcgStream, EcgStreamConfig};
+use rbnn_rram::energy::{estimate_network, EnergyParams};
+use rbnn_rram::EngineConfig;
+use rbnn_serve::{demo_network, Backend, ModelRegistry, ServeConfig, ServeTask, Server};
+use rbnn_stream::{
+    AlarmConfig, Normalization, RouterConfig, SegmenterConfig, Session, SessionConfig,
+    StreamRouter, TailPolicy, WindowLayout,
+};
+
+/// 12-lead ECG at 360 Hz, 1-second windows with 50% overlap.
+const SAMPLE_RATE: f32 = 360.0;
+const WINDOW: usize = 360;
+const STRIDE: usize = 180;
+
+fn main() {
+    // 1. A deployed ECG window classifier (demo ±1 weights — swap in
+    //    `export_classifier` output for a trained one, as in
+    //    `examples/serving.rs`) registered for the ECG task.
+    let network = demo_network(&[12 * WINDOW, 80, 2], 0xC0DE);
+    let energy = estimate_network(&network, &EnergyParams::default_figures());
+    let mut registry = ModelRegistry::new();
+    registry.insert(ServeTask::Ecg, network, EngineConfig::test_chip(9));
+    let server = Server::start(
+        &registry,
+        &ServeConfig {
+            workers: 2,
+            backend: Backend::Software,
+            ..Default::default()
+        },
+    );
+
+    // 2. Bind a per-session client once (no per-request registry lookup)
+    //    and build the router: 8 patients, 3-of-5 debounced alarms,
+    //    µJ/window from the RRAM energy model.
+    let client = server.handle().client(ServeTask::Ecg).expect("registered");
+    let mut router = StreamRouter::new(
+        client,
+        RouterConfig {
+            chunk_frames: 120,
+            windows_per_patient: 20,
+            alarm: AlarmConfig {
+                k: 3,
+                m: 5,
+                positive_class: INVERTED,
+            },
+            energy_nj_per_window: energy.rram_nj,
+            ..Default::default()
+        },
+    );
+    for id in 0..8usize {
+        // Odd patients suffer an arm-electrode swap mid-stream — the
+        // event the paper's classifier is trained to catch.
+        let mut cfg = EcgStreamConfig {
+            sample_rate: SAMPLE_RATE,
+            seed: 0xBED + id as u64,
+            ..EcgStreamConfig::default()
+        };
+        if id % 2 == 1 {
+            cfg.swap = Some((Electrode::Ra, Electrode::La));
+            cfg.swap_from_segment = 2;
+        }
+        let session = Session::new(SessionConfig {
+            segmenter: SegmenterConfig {
+                channels: 12,
+                window: WINDOW,
+                stride: STRIDE,
+                tail: TailPolicy::Drop,
+            },
+            layout: WindowLayout::ChannelMajor,
+            normalization: Normalization::PerWindow,
+        });
+        router.add_patient(id, Box::new(EcgStream::new(cfg)), session);
+    }
+
+    // 3. Run the fleet and read the per-patient verdict streams.
+    let reports = router.run().expect("streaming run");
+    println!("patient  windows  rt-factor  p99        µJ/window  alarms");
+    for r in &reports {
+        println!(
+            "{:>7}  {:>7}  {:>8.1}×  {:>8.0}µs  {:>9.4}  {:>6}",
+            r.id,
+            r.windows,
+            r.realtime_factor,
+            r.p99_latency.as_secs_f64() * 1e6,
+            r.energy_uj_per_window,
+            r.alarms_raised,
+        );
+    }
+    // Show one patient's timeline around its first alarm, if any fired.
+    if let Some(r) = reports.iter().find(|r| r.alarms_raised > 0) {
+        println!("\npatient {} timeline (signal-time, class, alarm):", r.id);
+        for v in r.verdicts.iter().take(20) {
+            println!(
+                "  t={:>6.2}s  window {:>3}  class {}  {}{}",
+                v.signal_time_s,
+                v.window,
+                v.class,
+                if v.alarm_active { "ALARM" } else { "-" },
+                match v.alarm_event {
+                    Some(e) => format!("  ({e:?})"),
+                    None => String::new(),
+                }
+            );
+        }
+    }
+    server.shutdown();
+}
