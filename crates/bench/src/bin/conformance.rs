@@ -20,17 +20,15 @@
 
 use serde::Serialize;
 
-use rbnn_bench::{archive_json, banner, parse_scale_with, RunScale};
+use rbnn_bench::{banner, emit_bench, parse_scale_with, RunScale};
 use rbnn_conformance::{campaign, generate, oracle};
 
 #[derive(Serialize)]
 struct ConformanceReport {
-    scale: &'static str,
     model_count: usize,
     oracle_ok: bool,
     models: Vec<oracle::OracleReport>,
     campaign: campaign::CampaignReport,
-    accepted: bool,
 }
 
 fn flag(ok: bool) -> &'static str {
@@ -149,17 +147,12 @@ fn main() {
     );
 
     let report = ConformanceReport {
-        scale: match scale {
-            RunScale::Quick => "quick",
-            RunScale::Full => "full",
-        },
         model_count,
         oracle_ok,
         models,
         campaign: campaign_report,
-        accepted,
     };
-    archive_json("conformance", &report);
+    emit_bench("conformance", scale, Some(accepted), &report);
 
     if strict && !accepted {
         std::process::exit(1);

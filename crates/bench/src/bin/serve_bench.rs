@@ -33,7 +33,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
-use rbnn_bench::{archive_json, banner, parse_scale_with, RunScale};
+use rbnn_bench::{
+    banner, emit_bench, host_cores, parse_scale_with, report_overhead_gate,
+    telemetry_overhead_pair, RunScale,
+};
 use rbnn_rram::EngineConfig;
 use rbnn_serve::{
     demo_network, Backend, BatchPolicy, ModelRegistry, ServeConfig, ServeTask, Server,
@@ -56,7 +59,8 @@ struct OperatingPoint {
     senses: u64,
 }
 
-/// Full archive of one serve_bench run.
+/// Full archive of one serve_bench run (the payload inside the standard
+/// [`rbnn_bench::BenchEnvelope`]).
 #[derive(Debug, Clone, Serialize)]
 struct ServeBenchResult {
     task: String,
@@ -64,6 +68,10 @@ struct ServeBenchResult {
     speedup_batch64_vs_1: f64,
     /// Deployed-model RRAM throughput at batch 64 (margin-gated path).
     rram_deployed_samples_per_s: f64,
+    /// Throughput with telemetry globally disabled / enabled (overhead gate).
+    telemetry_disabled_samples_per_s: f64,
+    telemetry_enabled_samples_per_s: f64,
+    telemetry_overhead_ok: bool,
 }
 
 /// Floor for the deployed-model RRAM operating point under
@@ -189,9 +197,7 @@ fn main() {
         "serve_bench — batched multi-engine serving throughput (ECG classifier)",
         scale,
     );
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cores = host_cores();
     println!("host parallelism: {cores} core(s)");
 
     // Two ECG classifier scales: the shape this repo's own pipeline deploys
@@ -325,17 +331,40 @@ fn main() {
         points.push(p);
     }
 
-    archive_json(
+    // Telemetry overhead gate: the same batch-64 operating point with the
+    // global telemetry switch off, then on. Enabled must stay within 5%.
+    println!();
+    let (overhead_disabled, overhead_enabled) = telemetry_overhead_pair(|| {
+        drive(
+            "overhead probe",
+            &deployed,
+            Backend::Software,
+            64,
+            1,
+            workers,
+            clients,
+            samples_per_client / 4,
+        )
+        .samples_per_s
+    });
+    let overhead_ok = report_overhead_gate("batch 64", overhead_disabled, overhead_enabled, 0.05);
+
+    emit_bench(
         "serve_bench",
+        scale,
+        Some(accepted && rram_accepted && overhead_ok),
         &ServeBenchResult {
             task: "ecg".into(),
             points,
             speedup_batch64_vs_1: speedup,
             rram_deployed_samples_per_s: rram_deployed_64,
+            telemetry_disabled_samples_per_s: overhead_disabled,
+            telemetry_enabled_samples_per_s: overhead_enabled,
+            telemetry_overhead_ok: overhead_ok,
         },
     );
 
-    if (strict && !accepted) || (rram_strict && !rram_accepted) {
+    if (strict && !(accepted && overhead_ok)) || (rram_strict && !rram_accepted) {
         std::process::exit(1);
     }
 }

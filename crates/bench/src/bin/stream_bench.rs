@@ -33,7 +33,10 @@ use std::time::Duration;
 
 use serde::Serialize;
 
-use rbnn_bench::{archive_json, banner, parse_scale_with, RunScale};
+use rbnn_bench::{
+    banner, emit_bench, host_cores, parse_scale_with, report_overhead_gate, results_dir,
+    telemetry_overhead_pair, RunScale,
+};
 use rbnn_data::ecg::{Electrode, INVERTED};
 use rbnn_data::stream::{collect_frames, EcgStream, EcgStreamConfig};
 use rbnn_rram::energy::{estimate_network, sense_energy_nj, EnergyParams};
@@ -43,6 +46,7 @@ use rbnn_stream::{
     AlarmConfig, Normalization, PatientReport, RouterConfig, SegmenterConfig, Session,
     SessionConfig, StreamRouter, TailPolicy, WindowLayout,
 };
+use rbnn_telemetry::SpanRecord;
 
 /// 12-lead ECG at the MIT-BIH-style rate the acceptance gate names.
 const SAMPLE_RATE: f32 = 360.0;
@@ -98,7 +102,11 @@ struct StreamBenchResult {
     parity_ok: bool,
     realtime_ok: bool,
     latency_ok: bool,
-    accepted: bool,
+    /// Fleet throughput with telemetry globally disabled / enabled
+    /// (overhead gate).
+    telemetry_disabled_windows_per_s: f64,
+    telemetry_enabled_windows_per_s: f64,
+    telemetry_overhead_ok: bool,
 }
 
 fn patient_source(id: usize) -> EcgStream {
@@ -136,7 +144,7 @@ fn run_fleet(
     patients: usize,
     windows_per_patient: u64,
     energy_nj_per_window: f64,
-) -> (Vec<PatientReport>, FleetSummary) {
+) -> (Vec<PatientReport>, FleetSummary, Vec<SpanRecord>) {
     let server = Server::start(
         registry,
         &ServeConfig {
@@ -164,6 +172,9 @@ fn run_fleet(
         router.add_patient(id, Box::new(patient_source(id)), patient_session());
     }
     let reports = router.run().expect("streaming run");
+    // Sampled request-lifecycle spans must be read out before the worker
+    // pool (and its ring) is torn down.
+    let spans = server.span_samples();
     let snap = server.shutdown();
     let senses: u64 = snap.engines.iter().map(|e| e.senses).sum();
 
@@ -207,7 +218,54 @@ fn run_fleet(
             })
             .collect(),
     };
-    (reports, summary)
+    (reports, summary, spans)
+}
+
+/// Prints the worst sampled request span — the telemetry view of the
+/// fleet's p99 tail, decomposed into its lifecycle phases — and returns
+/// it for the archive.
+fn report_worst_span(spans: &[SpanRecord]) -> Option<SpanRecord> {
+    let worst = spans.iter().max_by_key(|s| s.total())?.clone();
+    println!(
+        "worst sampled span ({} of {} sampled): total {:>7.0}µs = queue {:>7.0}µs + \
+         batch {:>7.0}µs + service {:>7.0}µs ({} dominated)",
+        worst.samples,
+        spans.len(),
+        worst.total().as_secs_f64() * 1e6,
+        worst.queue_wait.as_secs_f64() * 1e6,
+        worst.batch_wait.as_secs_f64() * 1e6,
+        worst.service.as_secs_f64() * 1e6,
+        worst.dominant_phase(),
+    );
+    Some(worst)
+}
+
+/// Archives `bench_results/telemetry.json`: the global registry snapshot
+/// plus the span decomposition of the software fleet's worst window. The
+/// snapshot's own JSON renderer is used verbatim so the file stays pinned
+/// to the `rbnn-telemetry` exposition format.
+fn archive_telemetry(spans: &[SpanRecord], worst: Option<&SpanRecord>) {
+    let mut out = String::from("{\"bench\":\"stream_bench\",\"worst_span_us\":");
+    match worst {
+        Some(w) => out.push_str(&format!(
+            "{{\"queue_wait\":{:.3},\"batch_wait\":{:.3},\"service\":{:.3},\"total\":{:.3},\"samples\":{}}}",
+            w.queue_wait.as_secs_f64() * 1e6,
+            w.batch_wait.as_secs_f64() * 1e6,
+            w.service.as_secs_f64() * 1e6,
+            w.total().as_secs_f64() * 1e6,
+            w.samples,
+        )),
+        None => out.push_str("null"),
+    }
+    out.push_str(&format!(",\"sampled_spans\":{}", spans.len()));
+    out.push_str(",\"snapshot\":");
+    out.push_str(&rbnn_telemetry::global().snapshot().to_json());
+    out.push('}');
+    let path = results_dir().join("telemetry.json");
+    match std::fs::write(&path, out) {
+        Ok(()) => eprintln!("(telemetry archived to {})", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
 }
 
 /// Offline oracle: re-derive every patient's windows from a fresh source
@@ -282,10 +340,7 @@ fn main() {
         "stream_bench — continuous-monitoring ingestion (N patients → serve pool)",
         scale,
     );
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    println!("host parallelism: {cores} core(s)");
+    println!("host parallelism: {} core(s)", host_cores());
 
     let (patients, windows_per_patient, rram_patients, rram_windows) = match scale {
         RunScale::Quick => (64usize, 30u64, 8usize, 8u64),
@@ -304,7 +359,7 @@ fn main() {
          {SAMPLE_RATE} Hz, alarm 3-of-5:",
         CHANNELS * WINDOW
     );
-    let (reports, software) = run_fleet(
+    let (reports, software, spans) = run_fleet(
         &registry,
         Backend::Software,
         patients,
@@ -312,6 +367,7 @@ fn main() {
         energy.rram_nj,
     );
     print_fleet("software fleet", &software);
+    let worst_span = report_worst_span(&spans);
 
     let (parity_windows, parity_ok) = check_parity(&net, &reports);
     println!(
@@ -324,7 +380,7 @@ fn main() {
     );
 
     println!("\nrram backend fleet (margin-gated senses; measured per-read energy):");
-    let (_, rram) = run_fleet(
+    let (_, rram, _) = run_fleet(
         &registry,
         Backend::Rram,
         rram_patients,
@@ -333,21 +389,47 @@ fn main() {
     );
     print_fleet("rram fleet", &rram);
 
+    // Telemetry overhead gate: a quarter-size software fleet with the
+    // global switch off, then on. Enabled must stay within 5%.
+    println!();
+    let overhead_patients = (patients / 4).max(8);
+    let (overhead_disabled, overhead_enabled) = telemetry_overhead_pair(|| {
+        let (_, summary, _) = run_fleet(
+            &registry,
+            Backend::Software,
+            overhead_patients,
+            windows_per_patient,
+            energy.rram_nj,
+        );
+        summary.fleet_windows_per_s
+    });
+    let overhead_ok = report_overhead_gate(
+        &format!("{overhead_patients}-patient fleet"),
+        overhead_disabled,
+        overhead_enabled,
+        0.05,
+    );
+
     let realtime_ok = software.min_realtime_factor >= 1.0 && software.patients >= 64;
     let latency_ok = software.max_p99_us <= P99_FLOOR.as_secs_f64() * 1e6;
-    let accepted = realtime_ok && latency_ok && parity_ok;
+    let accepted = realtime_ok && latency_ok && parity_ok && overhead_ok;
     println!(
-        "\nacceptance: {} (realtime ≥1× for all {} patients: {}; p99 ≤ {:?}: {}; parity: {})",
+        "\nacceptance: {} (realtime ≥1× for all {} patients: {}; p99 ≤ {:?}: {}; parity: {}; \
+         telemetry overhead ≤5%: {})",
         if accepted { "PASS" } else { "FAIL" },
         software.patients,
         if realtime_ok { "yes" } else { "NO" },
         P99_FLOOR,
         if latency_ok { "yes" } else { "NO" },
         if parity_ok { "yes" } else { "NO" },
+        if overhead_ok { "yes" } else { "NO" },
     );
 
-    archive_json(
+    archive_telemetry(&spans, worst_span.as_ref());
+    emit_bench(
         "stream_bench",
+        scale,
+        Some(accepted),
         &StreamBenchResult {
             task: "ecg".into(),
             sample_rate_hz: SAMPLE_RATE,
@@ -359,7 +441,9 @@ fn main() {
             parity_ok,
             realtime_ok,
             latency_ok,
-            accepted,
+            telemetry_disabled_windows_per_s: overhead_disabled,
+            telemetry_enabled_windows_per_s: overhead_enabled,
+            telemetry_overhead_ok: overhead_ok,
         },
     );
 

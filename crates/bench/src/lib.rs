@@ -38,6 +38,16 @@ pub enum RunScale {
     Full,
 }
 
+impl RunScale {
+    /// The scale's canonical archive name (`"quick"` / `"full"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunScale::Quick => "quick",
+            RunScale::Full => "full",
+        }
+    }
+}
+
 /// Parses `--quick` / `--full` from the process arguments.
 ///
 /// Unknown arguments abort with a usage message — benches should never
@@ -107,6 +117,112 @@ pub fn archive_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
+/// Number of logical cores on the host (1 when detection fails).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The uniform archive wrapper every bench result ships in: bench name,
+/// run scale, host parallelism and the overall gate verdict (when the
+/// bench has one) around the bench-specific `results` payload.
+///
+/// The vendored `serde_derive` only handles non-generic structs, so the
+/// [`Serialize`] impl is written out by hand against the shim's
+/// field-writing helpers.
+pub struct BenchEnvelope<'a, T: Serialize> {
+    /// Bench binary name (`serve_bench`, `stream_bench`, …).
+    pub bench: &'a str,
+    /// Scale the run executed at.
+    pub scale: RunScale,
+    /// Logical cores on the measuring host — throughput numbers are
+    /// meaningless without it.
+    pub host_cores: usize,
+    /// Overall acceptance verdict; `None` for benches with no gate.
+    pub accepted: Option<bool>,
+    /// The bench-specific result payload.
+    pub results: &'a T,
+}
+
+impl<T: Serialize> Serialize for BenchEnvelope<'_, T> {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        out.push('{');
+        let inner = indent + 1;
+        serde::json_field(out, inner, "bench", true);
+        serde::write_json_string(out, self.bench);
+        serde::json_field(out, inner, "scale", false);
+        serde::write_json_string(out, self.scale.as_str());
+        serde::json_field(out, inner, "host_cores", false);
+        self.host_cores.write_json(out, inner);
+        serde::json_field(out, inner, "accepted", false);
+        self.accepted.write_json(out, inner);
+        serde::json_field(out, inner, "results", false);
+        self.results.write_json(out, inner);
+        serde::newline_indent(out, indent);
+        out.push('}');
+    }
+}
+
+/// Archives `results` inside the standard [`BenchEnvelope`] as
+/// `bench_results/<name>.json` — the one emission path gated benches
+/// share, so downstream tooling sees a uniform top level.
+pub fn emit_bench<T: Serialize>(name: &str, scale: RunScale, accepted: Option<bool>, results: &T) {
+    archive_json(
+        name,
+        &BenchEnvelope {
+            bench: name,
+            scale,
+            host_cores: host_cores(),
+            accepted,
+            results,
+        },
+    );
+}
+
+/// Measures the telemetry tax: runs `work` once with telemetry globally
+/// disabled and once enabled, and returns `(disabled, enabled)` throughput
+/// from the closure's own samples-per-second metric. Takes the best of
+/// two pairs — single wall-clock ratios on shared runners are noisy —
+/// and always restores the enabled state.
+pub fn telemetry_overhead_pair(mut work: impl FnMut() -> f64) -> (f64, f64) {
+    let was_enabled = rbnn_telemetry::enabled();
+    let mut best: Option<(f64, f64)> = None;
+    for _ in 0..2 {
+        rbnn_telemetry::set_enabled(false);
+        let disabled = work();
+        rbnn_telemetry::set_enabled(true);
+        let enabled = work();
+        let keep = match best {
+            Some((d, e)) => enabled / disabled.max(1e-12) > e / d.max(1e-12),
+            None => true,
+        };
+        if keep {
+            best = Some((disabled, enabled));
+        }
+    }
+    rbnn_telemetry::set_enabled(was_enabled);
+    best.expect("two pairs ran")
+}
+
+/// Prints and judges a telemetry overhead pair: enabled throughput must
+/// stay within `tolerance` (e.g. `0.05`) of disabled.
+pub fn report_overhead_gate(label: &str, disabled: f64, enabled: f64, tolerance: f64) -> bool {
+    let ratio = enabled / disabled.max(1e-12);
+    let ok = ratio >= 1.0 - tolerance;
+    println!(
+        "telemetry overhead ({label}): disabled {disabled:.0}/s, enabled {enabled:.0}/s \
+         ({:+.1}%) — {}",
+        (ratio - 1.0) * 100.0,
+        if ok {
+            "within tolerance"
+        } else {
+            "EXCEEDS tolerance"
+        }
+    );
+    ok
+}
+
 /// Prints the standard bench header.
 pub fn banner(title: &str, scale: RunScale) {
     println!("==============================================================");
@@ -129,6 +245,63 @@ mod tests {
     fn results_dir_is_creatable() {
         let d = results_dir();
         assert!(d.exists() || d == PathBuf::from("."));
+    }
+
+    #[test]
+    fn envelope_renders_the_pinned_shape() {
+        #[derive(Serialize)]
+        struct Payload {
+            throughput: f64,
+        }
+        let env = BenchEnvelope {
+            bench: "selftest",
+            scale: RunScale::Quick,
+            host_cores: 4,
+            accepted: Some(true),
+            results: &Payload { throughput: 12.5 },
+        };
+        let mut out = String::new();
+        env.write_json(&mut out, 0);
+        assert_eq!(
+            out,
+            "{\n  \"bench\": \"selftest\",\n  \"scale\": \"quick\",\n  \
+             \"host_cores\": 4,\n  \"accepted\": true,\n  \"results\": {\n    \
+             \"throughput\": 12.5\n  }\n}"
+        );
+    }
+
+    #[test]
+    fn envelope_without_gate_emits_null_accepted() {
+        let env = BenchEnvelope {
+            bench: "b",
+            scale: RunScale::Full,
+            host_cores: 1,
+            accepted: None,
+            results: &7u32,
+        };
+        let mut out = String::new();
+        env.write_json(&mut out, 0);
+        assert!(out.contains("\"accepted\": null"));
+        assert!(out.contains("\"scale\": \"full\""));
+    }
+
+    #[test]
+    fn overhead_pair_restores_enabled_state() {
+        rbnn_telemetry::set_enabled(true);
+        let mut calls = 0u32;
+        let (d, e) = telemetry_overhead_pair(|| {
+            calls += 1;
+            calls as f64
+        });
+        assert_eq!(calls, 4, "two disabled/enabled pairs");
+        assert!(d > 0.0 && e > 0.0);
+        assert!(rbnn_telemetry::enabled(), "enabled state restored");
+    }
+
+    #[test]
+    fn overhead_gate_judges_the_ratio() {
+        assert!(report_overhead_gate("t", 100.0, 96.0, 0.05));
+        assert!(!report_overhead_gate("t", 100.0, 90.0, 0.05));
     }
 
     #[test]

@@ -1,12 +1,58 @@
 //! Mini-batch training loop, evaluation helpers and training history.
 
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use rbnn_telemetry::{Counter, LogHistogram};
 use rbnn_tensor::{Scratch, Tensor};
 
 use crate::{loss, metrics, Layer, LrSchedule, Optimizer, Phase};
+
+/// Process-wide handles for the training-loop phase timings on the global
+/// telemetry registry.  All `fit` runs in the process aggregate into the
+/// same series; per-epoch phase totals land in the histograms, so one
+/// histogram sample = one epoch's cumulative time in that phase.
+struct TrainTelemetry {
+    epochs: Arc<Counter>,
+    batches: Arc<Counter>,
+    forward_us: Arc<LogHistogram>,
+    backward_us: Arc<LogHistogram>,
+    optim_us: Arc<LogHistogram>,
+}
+
+fn train_telemetry() -> &'static TrainTelemetry {
+    static CELL: OnceLock<TrainTelemetry> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let reg = rbnn_telemetry::global();
+        TrainTelemetry {
+            epochs: reg.counter("rbnn_train_epochs_total", "", "Training epochs completed."),
+            batches: reg.counter(
+                "rbnn_train_batches_total",
+                "",
+                "Training mini-batch steps completed.",
+            ),
+            forward_us: reg.histogram(
+                "rbnn_train_epoch_forward_us",
+                "",
+                "Per-epoch cumulative forward-pass time (microseconds).",
+            ),
+            backward_us: reg.histogram(
+                "rbnn_train_epoch_backward_us",
+                "",
+                "Per-epoch cumulative backward-pass time (microseconds).",
+            ),
+            optim_us: reg.histogram(
+                "rbnn_train_epoch_optim_us",
+                "",
+                "Per-epoch cumulative optimizer-step time (microseconds).",
+            ),
+        }
+    })
+}
 
 /// Configuration of a training run.
 #[derive(Debug, Clone)]
@@ -198,6 +244,9 @@ pub fn fit(
     let mut scratch = Scratch::new();
     let mut xb = Tensor::default();
     let mut yb: Vec<usize> = Vec::with_capacity(cfg.batch_size);
+    // Resolved once per run: the per-batch clock reads below disappear
+    // entirely when telemetry is disabled.
+    let telemetry = rbnn_telemetry::enabled().then(train_telemetry);
 
     for epoch in 0..cfg.epochs {
         if let Some(schedule) = &cfg.lr_schedule {
@@ -207,18 +256,29 @@ pub fn fit(
         let mut epoch_loss = 0.0f32;
         let mut epoch_hits = 0.0f32;
         let mut batches = 0usize;
+        let mut forward_ns = 0u64;
+        let mut backward_ns = 0u64;
+        let mut optim_ns = 0u64;
         for chunk in order.chunks(cfg.batch_size) {
             train.x.gather_rows_into(chunk, &mut xb);
             yb.clear();
             yb.extend(chunk.iter().map(|&i| train.y[i]));
             model.zero_grad();
+            let t0 = telemetry.map(|_| Instant::now());
             let logits = model.forward_with(&xb, Phase::Train, &mut scratch);
+            if let Some(t0) = t0 {
+                forward_ns += t0.elapsed().as_nanos() as u64;
+            }
             let (loss_value, grad) = loss::softmax_cross_entropy(&logits, &yb);
             epoch_hits += metrics::accuracy(&logits, &yb) * yb.len() as f32;
             scratch.recycle(logits);
             // Root of the backward pass: the gradient w.r.t. the training
             // inputs is never consumed, so the first layer skips it.
+            let t0 = telemetry.map(|_| Instant::now());
             let gx = model.backward_root_with(&grad, &mut scratch);
+            if let Some(t0) = t0 {
+                backward_ns += t0.elapsed().as_nanos() as u64;
+            }
             scratch.recycle(gx);
             // `grad` was freshly allocated by the loss (O(batch·classes));
             // dropping it keeps the arena population stable — recycling it
@@ -226,9 +286,20 @@ pub fn fit(
             // perpetual evict/realloc cycle.
             drop(grad);
             let mut params = model.params_mut();
+            let t0 = telemetry.map(|_| Instant::now());
             opt.step(&mut params);
+            if let Some(t0) = t0 {
+                optim_ns += t0.elapsed().as_nanos() as u64;
+            }
             epoch_loss += loss_value;
             batches += 1;
+        }
+        if let Some(t) = telemetry {
+            t.epochs.inc();
+            t.batches.add(batches as u64);
+            t.forward_us.record_value(forward_ns as f64 / 1e3);
+            t.backward_us.record_value(backward_ns as f64 / 1e3);
+            t.optim_us.record_value(optim_ns as f64 / 1e3);
         }
         history.train_loss.push(epoch_loss / batches.max(1) as f32);
         history.train_acc.push(epoch_hits / n as f32);
@@ -422,6 +493,36 @@ mod tests {
         for (pf, pr) in full.params().iter().zip(root.params()) {
             assert_eq!(pf.grad.as_slice(), pr.grad.as_slice());
         }
+    }
+
+    #[test]
+    fn fit_reports_phase_timings_on_the_global_registry() {
+        let epochs_before = train_telemetry().epochs.get();
+        let batches_before = train_telemetry().batches.get();
+        let forward_before = train_telemetry().forward_us.count();
+
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 4, WeightMode::Real, &mut rng));
+        let (x, y) = blobs(32, 22);
+        let mut opt = Adam::new(0.01);
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            ..Default::default()
+        };
+        let _ = fit(&mut net, Labelled::new(&x, &y), None, &mut opt, &cfg);
+
+        // Other tests in this binary run `fit` concurrently against the same
+        // process-global series, so assert deltas as lower bounds.
+        assert!(train_telemetry().epochs.get() >= epochs_before + 3);
+        // 32 samples / batch 8 = 4 batches per epoch.
+        assert!(train_telemetry().batches.get() >= batches_before + 12);
+        assert!(train_telemetry().forward_us.count() >= forward_before + 3);
+        // Phase time was actually measured, not just counted.
+        assert!(train_telemetry().forward_us.sum() > 0.0);
+        assert!(train_telemetry().backward_us.sum() > 0.0);
+        assert!(train_telemetry().optim_us.sum() > 0.0);
     }
 
     #[test]

@@ -7,10 +7,72 @@
 //! threshold — exactly the "basic architecture for implementing fully
 //! connected BNN layer from in-memory computing basic blocks" of the paper.
 
+use std::sync::{Arc, OnceLock};
+
 use rbnn_binary::{BinaryDense, BinaryNetwork};
+use rbnn_telemetry::{Counter, FloatCounter, Gauge};
 use rbnn_tensor::{par, BitVec, Tensor};
 
+use crate::energy::{sense_energy_nj, EnergyParams};
 use crate::{ArrayStats, DeviceParams, PcsaParams, RramArray};
+
+/// Process-wide RRAM fabric telemetry, aggregated across every
+/// [`NetworkEngine`] in the process (serving replicas, tests and benches
+/// alike) — the fleet-level view of how much array activity and estimated
+/// sense energy the workload is consuming.
+struct FabricTelemetry {
+    /// PCSA senses across all engines.
+    senses: Arc<Counter>,
+    /// Device-pair programming events across all engines.
+    programs: Arc<Counter>,
+    /// Estimated cumulative sense energy in µJ (default energy figures).
+    energy_uj: Arc<FloatCounter>,
+    /// Marginal-cell fraction of the most recently programmed or aged
+    /// fabric (last-write-wins across engines).
+    marginal_fraction: Arc<Gauge>,
+    energy: EnergyParams,
+}
+
+fn fabric_telemetry() -> &'static FabricTelemetry {
+    static FABRIC: OnceLock<FabricTelemetry> = OnceLock::new();
+    FABRIC.get_or_init(|| {
+        let reg = rbnn_telemetry::global();
+        FabricTelemetry {
+            senses: reg.counter(
+                "rbnn_rram_senses_total",
+                "",
+                "PCSA sense operations across all engines.",
+            ),
+            programs: reg.counter(
+                "rbnn_rram_programs_total",
+                "",
+                "Device-pair programming events across all engines.",
+            ),
+            energy_uj: reg.float_counter(
+                "rbnn_rram_energy_uj_total",
+                "",
+                "Estimated cumulative PCSA sense energy (uJ, default figures).",
+            ),
+            marginal_fraction: reg.gauge(
+                "rbnn_rram_marginal_fraction",
+                "",
+                "Marginal (still-Monte-Carlo) cell fraction of the last programmed/aged fabric.",
+            ),
+            energy: EnergyParams::default_figures(),
+        }
+    })
+}
+
+/// Records a batch of sense events on the fleet counters (plus their
+/// estimated energy through [`sense_energy_nj`]).
+fn record_fabric_senses(senses: u64) {
+    if senses == 0 {
+        return;
+    }
+    let t = fabric_telemetry();
+    t.senses.add(senses);
+    t.energy_uj.add(sense_energy_nj(senses, &t.energy) / 1e3);
+}
 
 /// Physical configuration of the array fabric.
 #[derive(Debug, Clone)]
@@ -335,7 +397,30 @@ impl NetworkEngine {
                 DenseEngine::program(l, &layer_cfg)
             })
             .collect();
-        Self { layers }
+        let engine = Self { layers };
+        if rbnn_telemetry::enabled() {
+            fabric_telemetry().programs.add(engine.stats().programs);
+            engine.update_marginal_gauge();
+        }
+        engine
+    }
+
+    /// Total programmed cells (synapses) across layers.
+    pub fn cell_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.in_features() * l.out_features())
+            .sum()
+    }
+
+    /// Publishes this fabric's marginal-cell fraction on the fleet gauge.
+    fn update_marginal_gauge(&self) {
+        let cells = self.cell_count();
+        if cells > 0 {
+            fabric_telemetry()
+                .marginal_fraction
+                .set(self.marginal_cells() as f64 / cells as f64);
+        }
     }
 
     /// The per-layer engines.
@@ -375,6 +460,11 @@ impl NetworkEngine {
         for l in &mut self.layers {
             l.set_cycles(cycles);
         }
+        // Wear re-evaluates the margin gate, so the marginal fraction
+        // shifts; refresh the fleet gauge.
+        if rbnn_telemetry::enabled() {
+            self.update_marginal_gauge();
+        }
     }
 
     /// Aggregated operation counters.
@@ -391,12 +481,17 @@ impl NetworkEngine {
     /// Logits for a real-valued feature vector (sign-binarized at the
     /// input interface).
     pub fn logits(&mut self, x: &[f32]) -> Vec<f32> {
+        let before = rbnn_telemetry::enabled().then(|| self.stats().senses);
         let mut h = BitVec::from_signs(x);
         let n = self.layers.len();
         for l in &mut self.layers[..n - 1] {
             h = l.forward_sign(&h);
         }
-        self.layers[n - 1].forward_affine(&h)
+        let out = self.layers[n - 1].forward_affine(&h);
+        if let Some(b) = before {
+            record_fabric_senses(self.stats().senses - b);
+        }
+        out
     }
 
     /// Batched logits for a `[N, in]` feature matrix: returns a
@@ -423,6 +518,7 @@ impl NetworkEngine {
     ///
     /// Panics if any slice's length differs from the network input width.
     pub fn logits_batch_rows(&mut self, rows: &[&[f32]]) -> Tensor {
+        let before = rbnn_telemetry::enabled().then(|| self.stats().senses);
         let n = rows.len();
         let mut h: Vec<BitVec> = rows.iter().map(|r| BitVec::from_signs(r)).collect();
         let depth = self.layers.len();
@@ -431,7 +527,11 @@ impl NetworkEngine {
         }
         let logits = self.layers[depth - 1].forward_affine_batch(&h);
         let out = self.layers[depth - 1].out_features();
-        Tensor::from_vec(logits.into_iter().flatten().collect(), [n, out])
+        let result = Tensor::from_vec(logits.into_iter().flatten().collect(), [n, out]);
+        if let Some(b) = before {
+            record_fabric_senses(self.stats().senses - b);
+        }
+        result
     }
 
     /// Batched argmax classification of a `[N, in]` feature matrix.
@@ -556,6 +656,36 @@ mod tests {
         let x = vec![1.0f32; 70];
         let _ = engine.logits(&x);
         assert!(engine.stats().senses > 0);
+    }
+
+    #[test]
+    fn fabric_telemetry_tracks_programs_senses_and_energy() {
+        let mut rng = engine_rng(77);
+        let net = random_network(&mut rng);
+        let t = super::fabric_telemetry();
+        let programs_before = t.programs.get();
+        let senses_before = t.senses.get();
+        let energy_before = t.energy_uj.get();
+        let mut engine = NetworkEngine::program(&net, &EngineConfig::test_chip(70));
+        // Programming registered every device-pair write on the fleet
+        // counter (other tests run concurrently, so assert deltas as
+        // lower bounds).
+        assert!(t.programs.get() >= programs_before + (40 * 70 + 4 * 40) as u64);
+        let frac = t.marginal_fraction.get();
+        assert!((0.0..=1.0).contains(&frac), "fraction {frac}");
+        let local_before = engine.stats().senses;
+        let x = vec![1.0f32; 70];
+        let _ = engine.logits(&x);
+        let local_delta = engine.stats().senses - local_before;
+        assert!(local_delta > 0);
+        assert!(t.senses.get() >= senses_before + local_delta);
+        // Energy follows the senses through the default figures.
+        let expected_uj = crate::energy::sense_energy_nj(
+            local_delta,
+            &crate::energy::EnergyParams::default_figures(),
+        ) / 1e3;
+        assert!(t.energy_uj.get() >= energy_before + expected_uj - 1e-12);
+        assert_eq!(engine.cell_count(), 40 * 70 + 4 * 40);
     }
 
     #[test]

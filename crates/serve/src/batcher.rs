@@ -74,7 +74,22 @@ impl Batcher {
     /// consecutive sub-polls time out with the queue still empty, the
     /// batch dispatches early — an idle tail, not a forming batch.
     pub fn next_batch<T>(&mut self, queue: &BoundedQueue<T>) -> Option<Vec<T>> {
+        self.next_batch_with(queue, |_| {})
+    }
+
+    /// [`next_batch`](Self::next_batch) with a dequeue observer: `on_pop`
+    /// runs on each newly popped chunk *at the moment it leaves the
+    /// queue*, before any further lingering. The serving layer uses it to
+    /// timestamp requests at dequeue, separating genuine queue wait from
+    /// the batcher's own linger in span traces (stamping after the full
+    /// batch formed would fold the linger into queue wait).
+    pub fn next_batch_with<T>(
+        &mut self,
+        queue: &BoundedQueue<T>,
+        mut on_pop: impl FnMut(&mut [T]),
+    ) -> Option<Vec<T>> {
         let mut batch = queue.pop_up_to(self.policy.max_batch)?;
+        on_pop(&mut batch);
         if batch.len() < self.policy.max_batch {
             let linger = self.current_linger();
             if !linger.is_zero() {
@@ -94,7 +109,8 @@ impl Batcher {
                         None => break,
                         // Sub-poll timed out with nothing queued.
                         Some(more) if more.is_empty() => empty_polls += 1,
-                        Some(more) => {
+                        Some(mut more) => {
+                            on_pop(&mut more);
                             batch.extend(more);
                             empty_polls = 0;
                         }

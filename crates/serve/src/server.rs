@@ -16,6 +16,7 @@ use std::time::Instant;
 
 use rbnn_binary::BinaryNetwork;
 use rbnn_rram::NetworkEngine;
+use rbnn_telemetry::{SpanRecord, SpanRing};
 use rbnn_tensor::Tensor;
 
 use crate::batcher::{BatchPolicy, Batcher};
@@ -131,6 +132,10 @@ struct Request {
     task: ServeTask,
     rows: RequestRows,
     submitted: Instant,
+    /// When a worker popped this request off the queue — stamped by the
+    /// batcher's dequeue observer (only while telemetry is enabled), it
+    /// separates queue wait from batching linger in span traces.
+    dequeued: Option<Instant>,
     reply: mpsc::Sender<Result<Vec<Prediction>, ServeError>>,
 }
 
@@ -148,6 +153,9 @@ impl std::fmt::Debug for Request {
 struct Shared {
     queue: BoundedQueue<Request>,
     stats: ServerStats,
+    /// Sampled request-lifecycle traces (1-in-N completions), for post-hoc
+    /// tail decomposition into queue / batch-linger / service phases.
+    spans: SpanRing,
     widths: BTreeMap<ServeTask, usize>,
 }
 
@@ -176,6 +184,7 @@ impl Shared {
             task,
             rows,
             submitted: Instant::now(),
+            dequeued: None,
             reply,
         };
         let outcome = if blocking {
@@ -305,6 +314,13 @@ impl ServeHandle {
     /// Point-in-time server statistics.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot(self.shared.queue.len())
+    }
+
+    /// Sampled request-lifecycle traces (1-in-16 completions), each
+    /// decomposing one request into queue-wait / batch-linger / service
+    /// phases. Empty while telemetry is disabled.
+    pub fn span_samples(&self) -> Vec<SpanRecord> {
+        self.shared.spans.samples()
     }
 
     /// Binds this handle to one task, validating the registration **once**:
@@ -503,6 +519,7 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             stats: ServerStats::new(config.workers),
+            spans: SpanRing::new(SPAN_RING_CAPACITY),
             widths,
         });
 
@@ -533,7 +550,19 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("rbnn-serve-{worker_idx}"))
                     .spawn(move || {
-                        while let Some(batch) = batcher.next_batch(&shared.queue) {
+                        loop {
+                            // Stamp each chunk as it leaves the queue (one
+                            // clock read per pop, not per request) so span
+                            // traces can split queue wait from the linger.
+                            let batch = batcher.next_batch_with(&shared.queue, |chunk| {
+                                if rbnn_telemetry::enabled() {
+                                    let now = Instant::now();
+                                    for request in chunk.iter_mut() {
+                                        request.dequeued = Some(now);
+                                    }
+                                }
+                            });
+                            let Some(batch) = batch else { break };
                             if batch.is_empty() {
                                 continue;
                             }
@@ -559,6 +588,12 @@ impl Server {
         self.shared.stats.snapshot(self.shared.queue.len())
     }
 
+    /// Sampled request-lifecycle traces (see
+    /// [`ServeHandle::span_samples`]).
+    pub fn span_samples(&self) -> Vec<SpanRecord> {
+        self.shared.spans.samples()
+    }
+
     /// Stops intake, drains queued requests, and joins the pool.
     pub fn shutdown(mut self) -> StatsSnapshot {
         self.shutdown_in_place();
@@ -578,6 +613,17 @@ impl Drop for Server {
         self.shutdown_in_place();
     }
 }
+
+/// Span-ring capacity: enough retained samples to characterize a tail
+/// (at 1-in-16 sampling this covers the last ~8k completions) while the
+/// ring itself stays a few KiB.
+const SPAN_RING_CAPACITY: usize = 512;
+
+/// One request lifecycle in every `SPAN_SAMPLE_EVERY` completions is
+/// retained as a full [`SpanRecord`]. Sampling keys off the completion
+/// ordinal, so the very first request is always captured (short tests and
+/// demos see at least one trace).
+const SPAN_SAMPLE_EVERY: u64 = 16;
 
 /// Runs one micro-batch: group by task, evaluate batched, answer each
 /// request with one prediction per sample it carried.
@@ -600,6 +646,10 @@ fn serve_batch(
             .flat_map(|r| r.rows.rows().iter().map(Vec::as_slice))
             .collect();
         samples_total += rows.len();
+        // Dispatch stamp: the batch is formed and this task group is
+        // handed to the engine. Everything before is queue wait (+linger),
+        // everything after is service.
+        let dispatched = Instant::now();
         let (logits, senses) = engine.logits_batch_rows(&rows);
         senses_total += senses;
         let classes = logits.dim(1);
@@ -616,9 +666,23 @@ fn serve_batch(
                 .collect();
             offset += request.rows.rows().len();
             let latency = request.submitted.elapsed();
+            let queue_wait = dispatched.duration_since(request.submitted);
+            let service = latency.saturating_sub(queue_wait);
             // A client that gave up is not an error; drop the response.
             let _ = request.reply.send(Ok(predictions));
-            shared.stats.record_completed(latency);
+            let ordinal = shared
+                .stats
+                .record_completed_split(latency, queue_wait, service);
+            if ordinal % SPAN_SAMPLE_EVERY == 1 && rbnn_telemetry::enabled() {
+                if let Some(dequeued) = request.dequeued {
+                    shared.spans.push(SpanRecord {
+                        queue_wait: dequeued.duration_since(request.submitted),
+                        batch_wait: dispatched.duration_since(dequeued),
+                        service,
+                        samples: request.rows.rows().len(),
+                    });
+                }
+            }
         }
     }
     shared
@@ -806,6 +870,36 @@ mod tests {
         // Two requests, thirteen samples.
         assert_eq!(snap.completed, 2);
         assert_eq!(snap.engines.iter().map(|e| e.samples).sum::<u64>(), 13);
+    }
+
+    #[test]
+    fn span_samples_decompose_latency() {
+        let (server, registry) = demo_server(2, Backend::Software);
+        let handle = server.handle();
+        let net = &registry.get(ServeTask::Ecg).unwrap().network;
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..40 {
+            let x = random_features(net.in_features(), &mut rng);
+            handle.classify(ServeTask::Ecg, x).expect("served");
+        }
+        let spans = handle.span_samples();
+        assert!(
+            !spans.is_empty(),
+            "40 completions at 1-in-16 sampling must retain spans"
+        );
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 40);
+        for span in &spans {
+            assert_eq!(span.samples, 1);
+            // The three phases sum to the end-to-end latency, which must
+            // sit inside the observed latency range.
+            assert!(span.total() > Duration::ZERO);
+            assert!(span.service > Duration::ZERO, "engine time can't be zero");
+        }
+        // The split histograms saw every completion: components' p50s are
+        // populated and bounded by the end-to-end p50-like scale.
+        assert!(snap.service_p50 > Duration::ZERO);
+        assert!(snap.queue_p50 + snap.service_p50 >= snap.p50 / 2);
     }
 
     #[test]

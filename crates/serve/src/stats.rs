@@ -1,47 +1,48 @@
 //! Server telemetry: throughput, latency percentiles, queue depth and
 //! per-engine array counters.
 //!
-//! Latencies are recorded into a fixed log-scaled histogram (5% resolution
-//! steps from 1 µs to ~17 min), so recording is lock-free and percentile
-//! queries never scan unbounded sample vectors — the usual
-//! high-throughput-server compromise (HdrHistogram in miniature).
+//! Latencies are recorded into fixed log-scaled histograms
+//! ([`rbnn_telemetry::LogHistogram`], 5% resolution steps from 1 µs to
+//! ~17 min), so recording is lock-free and percentile queries never scan
+//! unbounded sample vectors — the usual high-throughput-server compromise
+//! (HdrHistogram in miniature). End-to-end latency is tracked alongside
+//! its two components — **queue wait** (submission → dispatch, including
+//! the batcher linger) and **service time** (dispatch → completion) — so a
+//! p99 spike can be attributed to batching policy or to the engine.
+//!
+//! Every series a `ServerStats` collects is simultaneously registered on
+//! the process-wide [`rbnn_telemetry::global`] registry under a unique
+//! `server="<n>"` label, so Prometheus/JSON exposition sees each server
+//! instance without any extra bookkeeping on the hot path: the handles
+//! recorded here *are* the registry's.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-/// Number of histogram buckets; bucket `i` covers latencies up to
-/// `1µs · GROWTH^i`.
-const BUCKETS: usize = 420;
-/// Per-bucket growth factor (≈5% resolution).
-const GROWTH: f64 = 1.05;
+use rbnn_telemetry::{Counter, Gauge, LogHistogram};
 
-fn bucket_of(latency: Duration) -> usize {
-    let micros = latency.as_secs_f64() * 1e6;
-    if micros <= 1.0 {
-        return 0;
-    }
-    (micros.ln() / GROWTH.ln()).ceil().min((BUCKETS - 1) as f64) as usize
-}
+/// Shape of the dispatched-batch-size histogram: 48 buckets of 25% cover
+/// batch sizes 1 to ~3.6e4, far beyond any sane `max_batch`.
+const BATCH_SIZE_BUCKETS: usize = 48;
+const BATCH_SIZE_GROWTH: f64 = 1.25;
 
-/// Geometric midpoint of bucket `i`'s bounds — the unbiased point estimate
-/// for a log-scaled bucket. Reporting the upper bound instead (as an
-/// earlier revision did) overstates every percentile by up to one bucket
-/// width (~5%).
-fn bucket_mid_micros(i: usize) -> f64 {
-    GROWTH.powf(i as f64 - 0.5)
-}
+/// Monotonic id distinguishing server instances on the global registry
+/// (tests and benches start many servers per process; each needs its own
+/// label so exact-count assertions hold per instance).
+static SERVER_SEQ: AtomicUsize = AtomicUsize::new(0);
 
-/// Per-worker engine counters.
-#[derive(Debug, Default)]
+/// Per-worker engine counters (registry handles, labeled
+/// `server="<n>",worker="<m>"`).
+#[derive(Debug)]
 pub struct EngineCounters {
     /// Batches dispatched to this engine replica.
-    pub batches: AtomicU64,
+    pub batches: Arc<Counter>,
     /// Samples inferred by this replica.
-    pub samples: AtomicU64,
+    pub samples: Arc<Counter>,
     /// PCSA sense operations performed by this replica (RRAM backend; zero
     /// on the software backend).
-    pub senses: AtomicU64,
+    pub senses: Arc<Counter>,
 }
 
 /// Point-in-time view of one engine replica's counters.
@@ -68,60 +69,140 @@ pub struct ServerStats {
     /// nanoseconds — the trailing edge of the throughput window, so idle
     /// time *after* traffic stops does not smear the rate either.
     last_completed_nanos: AtomicU64,
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    rejected: AtomicU64,
-    batch_count: AtomicU64,
-    batch_samples: AtomicU64,
-    histogram: Vec<AtomicU64>,
+    submitted: Arc<Counter>,
+    completed: Arc<Counter>,
+    rejected: Arc<Counter>,
+    latency: Arc<LogHistogram>,
+    queue_wait: Arc<LogHistogram>,
+    service: Arc<LogHistogram>,
+    batch_sizes: Arc<LogHistogram>,
+    queue_depth: Arc<Gauge>,
     engines: Vec<EngineCounters>,
 }
 
 impl ServerStats {
-    /// A collector for `workers` engine replicas.
+    /// A collector for `workers` engine replicas, registered on the global
+    /// telemetry registry under a fresh `server="<n>"` label.
     pub fn new(workers: usize) -> Self {
+        let seq = SERVER_SEQ.fetch_add(1, Ordering::Relaxed);
+        let label = format!("server=\"{seq}\"");
+        let reg = rbnn_telemetry::global();
         Self {
             started: Instant::now(),
             first_completed: OnceLock::new(),
             last_completed_nanos: AtomicU64::new(0),
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            batch_count: AtomicU64::new(0),
-            batch_samples: AtomicU64::new(0),
-            histogram: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
-            engines: (0..workers).map(|_| EngineCounters::default()).collect(),
+            submitted: reg.counter(
+                "rbnn_serve_submitted_total",
+                &label,
+                "Requests accepted into the queue.",
+            ),
+            completed: reg.counter(
+                "rbnn_serve_completed_total",
+                &label,
+                "Requests completed (responses delivered).",
+            ),
+            rejected: reg.counter(
+                "rbnn_serve_rejected_total",
+                &label,
+                "Requests refused for backpressure.",
+            ),
+            latency: reg.histogram(
+                "rbnn_serve_latency_us",
+                &label,
+                "End-to-end request latency (µs).",
+            ),
+            queue_wait: reg.histogram(
+                "rbnn_serve_queue_wait_us",
+                &label,
+                "Submission-to-dispatch wait (µs), batcher linger included.",
+            ),
+            service: reg.histogram(
+                "rbnn_serve_service_us",
+                &label,
+                "Dispatch-to-completion service time (µs).",
+            ),
+            batch_sizes: reg.histogram_with(
+                "rbnn_serve_batch_size",
+                &label,
+                "Dispatched batch sizes (samples per batch).",
+                || LogHistogram::new(BATCH_SIZE_BUCKETS, BATCH_SIZE_GROWTH),
+            ),
+            queue_depth: reg.gauge(
+                "rbnn_serve_queue_depth",
+                &label,
+                "Requests waiting in the queue at last snapshot.",
+            ),
+            engines: (0..workers)
+                .map(|w| {
+                    let wl = format!("{label},worker=\"{w}\"");
+                    EngineCounters {
+                        batches: reg.counter(
+                            "rbnn_serve_worker_batches_total",
+                            &wl,
+                            "Batches dispatched to this engine replica.",
+                        ),
+                        samples: reg.counter(
+                            "rbnn_serve_worker_samples_total",
+                            &wl,
+                            "Samples inferred by this engine replica.",
+                        ),
+                        senses: reg.counter(
+                            "rbnn_serve_worker_senses_total",
+                            &wl,
+                            "PCSA senses performed by this engine replica.",
+                        ),
+                    }
+                })
+                .collect(),
         }
     }
 
     /// Records an accepted request.
     pub fn record_submitted(&self) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.submitted.inc();
     }
 
     /// Records a request refused for backpressure.
     pub fn record_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.inc();
     }
 
     /// Records one completed request with its end-to-end latency.
     pub fn record_completed(&self, latency: Duration) {
+        self.complete(latency);
+    }
+
+    /// Records one completed request with its end-to-end latency *and* its
+    /// phase decomposition (`queue_wait` = submission → dispatch including
+    /// the batcher linger, `service` = dispatch → completion). Returns the
+    /// completion ordinal (1-based), which the server uses for 1-in-N span
+    /// sampling.
+    pub fn record_completed_split(
+        &self,
+        latency: Duration,
+        queue_wait: Duration,
+        service: Duration,
+    ) -> u64 {
+        self.queue_wait.record(queue_wait);
+        self.service.record(service);
+        self.complete(latency)
+    }
+
+    fn complete(&self, latency: Duration) -> u64 {
         self.first_completed.get_or_init(Instant::now);
         self.last_completed_nanos
             .fetch_max(self.started.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        self.completed.fetch_add(1, Ordering::Relaxed);
-        self.histogram[bucket_of(latency)].fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency);
+        self.completed.add(1)
     }
 
     /// Records one dispatched batch of `samples` requests on `worker`.
     pub fn record_batch(&self, worker: usize, samples: usize, senses: u64) {
-        self.batch_count.fetch_add(1, Ordering::Relaxed);
-        self.batch_samples
-            .fetch_add(samples as u64, Ordering::Relaxed);
+        self.batch_sizes.record_value(samples as f64);
         if let Some(e) = self.engines.get(worker) {
-            e.batches.fetch_add(1, Ordering::Relaxed);
-            e.samples.fetch_add(samples as u64, Ordering::Relaxed);
-            e.senses.fetch_add(senses, Ordering::Relaxed);
+            e.batches.inc();
+            e.samples.add(samples as u64);
+            e.senses.add(senses);
         }
     }
 
@@ -129,55 +210,20 @@ impl ServerStats {
     /// geometric midpoint of the containing bucket's bounds (the unbiased
     /// estimate for log-scaled buckets).
     pub fn latency_quantile(&self, q: f64) -> Duration {
-        self.latency_quantiles(&[q])[0]
+        self.latency.duration_quantile(q)
     }
 
-    /// Latencies at several quantiles in **one** histogram pass: the
-    /// per-bucket atomics are loaded once and every requested quantile is
-    /// resolved against the same cumulative walk, instead of rescanning
-    /// the full histogram per quantile.
+    /// Latencies at several quantiles in one histogram pass (see
+    /// [`LogHistogram::duration_quantiles`]).
     pub fn latency_quantiles(&self, qs: &[f64]) -> Vec<Duration> {
-        let counts: Vec<u64> = self
-            .histogram
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return vec![Duration::ZERO; qs.len()];
-        }
-        let targets: Vec<u64> = qs
-            .iter()
-            .map(|q| ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64)
-            .collect();
-        let last = Duration::from_secs_f64(bucket_mid_micros(BUCKETS - 1) / 1e6);
-        let mut out = vec![last; qs.len()];
-        let mut resolved = vec![false; qs.len()];
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            let mut all_done = true;
-            for (j, &target) in targets.iter().enumerate() {
-                if !resolved[j] {
-                    if seen >= target {
-                        out[j] = Duration::from_secs_f64(bucket_mid_micros(i) / 1e6);
-                        resolved[j] = true;
-                    } else {
-                        all_done = false;
-                    }
-                }
-            }
-            if all_done {
-                break;
-            }
-        }
-        out
+        self.latency.duration_quantiles(qs)
     }
 
     /// A consistent-enough point-in-time summary.
     pub fn snapshot(&self, queue_depth: usize) -> StatsSnapshot {
-        let completed = self.completed.load(Ordering::Relaxed);
-        let batches = self.batch_count.load(Ordering::Relaxed);
+        self.queue_depth.set(queue_depth as f64);
+        let completed = self.completed.get();
+        let batches = self.batch_sizes.count();
         let elapsed = self.started.elapsed();
         // Rate window: first completion → last completion, not collector
         // construction → snapshot — idle time before traffic arrives or
@@ -194,11 +240,13 @@ impl ServerStats {
                 Duration::from_nanos(last_nanos.saturating_sub(first_nanos))
             })
             .unwrap_or(Duration::ZERO);
-        let quantiles = self.latency_quantiles(&[0.50, 0.95, 0.99]);
+        let quantiles = self.latency.duration_quantiles(&[0.50, 0.95, 0.99]);
+        let queue_q = self.queue_wait.duration_quantiles(&[0.50, 0.99]);
+        let service_q = self.service.duration_quantiles(&[0.50, 0.99]);
         StatsSnapshot {
-            submitted: self.submitted.load(Ordering::Relaxed),
+            submitted: self.submitted.get(),
             completed,
-            rejected: self.rejected.load(Ordering::Relaxed),
+            rejected: self.rejected.get(),
             queue_depth,
             elapsed,
             window,
@@ -208,20 +256,24 @@ impl ServerStats {
                 0.0
             },
             mean_batch: if batches > 0 {
-                self.batch_samples.load(Ordering::Relaxed) as f64 / batches as f64
+                self.batch_sizes.sum() / batches as f64
             } else {
                 0.0
             },
             p50: quantiles[0],
             p95: quantiles[1],
             p99: quantiles[2],
+            queue_p50: queue_q[0],
+            queue_p99: queue_q[1],
+            service_p50: service_q[0],
+            service_p99: service_q[1],
             engines: self
                 .engines
                 .iter()
                 .map(|e| EngineSnapshot {
-                    batches: e.batches.load(Ordering::Relaxed),
-                    samples: e.samples.load(Ordering::Relaxed),
-                    senses: e.senses.load(Ordering::Relaxed),
+                    batches: e.batches.get(),
+                    samples: e.samples.get(),
+                    senses: e.senses.get(),
                 })
                 .collect(),
         }
@@ -256,6 +308,14 @@ pub struct StatsSnapshot {
     pub p95: Duration,
     /// 99th-percentile latency.
     pub p99: Duration,
+    /// Median submission-to-dispatch wait (queue + batcher linger).
+    pub queue_p50: Duration,
+    /// 99th-percentile submission-to-dispatch wait.
+    pub queue_p99: Duration,
+    /// Median dispatch-to-completion service time.
+    pub service_p50: Duration,
+    /// 99th-percentile dispatch-to-completion service time.
+    pub service_p99: Duration,
     /// Per engine-replica counters.
     pub engines: Vec<EngineSnapshot>,
 }
@@ -276,6 +336,11 @@ impl std::fmt::Display for StatsSnapshot {
             f,
             "latency p50 {:?}  p95 {:?}  p99 {:?}",
             self.p50, self.p95, self.p99
+        )?;
+        writeln!(
+            f,
+            "queue-wait p50 {:?}  p99 {:?} | service p50 {:?}  p99 {:?}",
+            self.queue_p50, self.queue_p99, self.service_p50, self.service_p99
         )?;
         for (i, e) in self.engines.iter().enumerate() {
             writeln!(
@@ -341,6 +406,45 @@ mod tests {
     }
 
     #[test]
+    fn split_components_feed_their_own_histograms() {
+        let stats = ServerStats::new(1);
+        // Queue-dominated requests: 9ms wait, 1ms service.
+        for _ in 0..50 {
+            let ordinal = stats.record_completed_split(
+                Duration::from_millis(10),
+                Duration::from_millis(9),
+                Duration::from_millis(1),
+            );
+            assert!(ordinal >= 1);
+        }
+        let snap = stats.snapshot(0);
+        assert_eq!(snap.completed, 50);
+        // Each component's percentile tracks its own distribution, and the
+        // split preserves the ordering queue ≫ service.
+        let q = snap.queue_p50.as_secs_f64() * 1e3;
+        let s = snap.service_p50.as_secs_f64() * 1e3;
+        assert!((8.5..=9.5).contains(&q), "queue p50 {q}ms");
+        assert!((0.9..=1.1).contains(&s), "service p50 {s}ms");
+        // End-to-end p50 still reflects the full latency.
+        let e2e = snap.p50.as_secs_f64() * 1e3;
+        assert!((9.5..=10.5).contains(&e2e), "e2e p50 {e2e}ms");
+    }
+
+    #[test]
+    fn completion_ordinal_counts_all_completions() {
+        // record_completed and record_completed_split share one ordinal
+        // sequence — the server's 1-in-N span sampler depends on it.
+        let stats = ServerStats::new(1);
+        stats.record_completed(Duration::from_micros(10));
+        let ordinal = stats.record_completed_split(
+            Duration::from_micros(10),
+            Duration::from_micros(5),
+            Duration::from_micros(5),
+        );
+        assert_eq!(ordinal, 2);
+    }
+
+    #[test]
     fn quantile_is_bucket_midpoint_not_upper_bound() {
         // Regression: quantiles used to report the bucket *upper* bound,
         // overstating every percentile by up to one bucket width (~5%).
@@ -359,8 +463,9 @@ mod tests {
             );
         }
         // The midpoint must sit strictly below the old upper-bound report.
-        let i = bucket_of(lat);
-        assert!(bucket_mid_micros(i) < GROWTH.powi(i as i32));
+        let hist = LogHistogram::latency();
+        let i = hist.bucket_of(1000.0);
+        assert!(hist.bucket_mid(i) < hist.bucket_bound(i));
     }
 
     #[test]
@@ -371,6 +476,8 @@ mod tests {
         // the implementation, across magnitudes from µs to seconds. Any
         // silent return to upper-bound (or linear-midpoint) reporting
         // shifts every value by ≥ 2.4% and fails the exact comparison.
+        // (This pin survived the histogram's move into rbnn-telemetry:
+        // the shared LogHistogram must keep serving these exact values.)
         for &us in &[3u64, 47, 1000, 12_345, 800_000, 5_000_000] {
             let stats = ServerStats::new(1);
             stats.record_completed(Duration::from_micros(us));
@@ -412,6 +519,26 @@ mod tests {
         for (q, got) in qs.iter().zip(&batch) {
             assert_eq!(*got, stats.latency_quantile(*q), "q={q}");
         }
+    }
+
+    #[test]
+    fn stats_surface_on_the_global_telemetry_registry() {
+        // Every ServerStats registers its series under a unique server
+        // label, so the process-wide exposition sees this instance's exact
+        // counts without double bookkeeping.
+        let stats = ServerStats::new(1);
+        stats.record_submitted();
+        stats.record_completed(Duration::from_micros(80));
+        let text = rbnn_telemetry::global().snapshot().render_prometheus();
+        // Find this instance's series among however many servers the test
+        // process has started: one submitted line with value exactly 1 is
+        // not unique, so locate by handle identity instead — bump by a
+        // recognizable amount and re-render.
+        stats.submitted.add(1_000_000);
+        let text2 = rbnn_telemetry::global().snapshot().render_prometheus();
+        assert!(text.contains("rbnn_serve_submitted_total{server="));
+        assert!(text2.contains(" 1000001"), "instance series must update");
+        assert!(text2.contains("rbnn_serve_latency_us_bucket{server="));
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::time::{Duration, Instant};
 
 use rbnn_data::stream::SignalSource;
 use rbnn_serve::{PendingWindow, Prediction, ServeError, TaskClient};
+use rbnn_telemetry::{Counter, Gauge};
 
 use crate::segment::WindowMeta;
 use crate::session::{AlarmConfig, AlarmEvent, AlarmState, Session};
@@ -124,6 +125,52 @@ struct InFlight {
     submitted: Instant,
 }
 
+/// Live per-patient telemetry handles (labeled `patient="<id>"` on the
+/// global registry). Registered only while telemetry is enabled; a
+/// disabled run carries `None` and pays nothing.
+struct PatientTelemetry {
+    /// Achieved frame rate ÷ sample rate, updated as replies land — the
+    /// live counterpart of [`PatientReport::realtime_factor`], so a fleet
+    /// supervisor can see a patient falling behind *during* the run
+    /// instead of at shutdown.
+    realtime: Arc<Gauge>,
+    /// 1.0 while this patient's alarm is active, else 0.0.
+    alarm_active: Arc<Gauge>,
+    /// Windows classified so far.
+    windows: Arc<Counter>,
+    /// Alarm raise events so far.
+    alarms: Arc<Counter>,
+}
+
+impl PatientTelemetry {
+    fn register(id: usize) -> Self {
+        let reg = rbnn_telemetry::global();
+        let label = format!("patient=\"{id}\"");
+        Self {
+            realtime: reg.gauge(
+                "rbnn_stream_realtime_factor",
+                &label,
+                "Achieved frame rate over the source sample rate (>=1 is real time).",
+            ),
+            alarm_active: reg.gauge(
+                "rbnn_stream_alarm_active",
+                &label,
+                "1 while the patient's debounced alarm is raised.",
+            ),
+            windows: reg.counter(
+                "rbnn_stream_windows_total",
+                &label,
+                "Windows classified for this patient.",
+            ),
+            alarms: reg.counter(
+                "rbnn_stream_alarms_total",
+                &label,
+                "Alarm raise events for this patient.",
+            ),
+        }
+    }
+}
+
 /// One monitored patient inside the router.
 struct PatientSlot {
     id: usize,
@@ -139,6 +186,7 @@ struct PatientSlot {
     alarms_raised: u64,
     /// A finite source returned 0 frames (synthetic ones never do).
     exhausted: bool,
+    telemetry: Option<PatientTelemetry>,
 }
 
 /// Fans N concurrent patient sessions into one serve queue and collects
@@ -217,6 +265,7 @@ impl StreamRouter {
             submitted_windows: 0,
             alarms_raised: 0,
             exhausted: false,
+            telemetry: rbnn_telemetry::enabled().then(|| PatientTelemetry::register(id)),
         })
     }
 
@@ -241,7 +290,7 @@ impl StreamRouter {
             let mut progress = false;
             let mut all_done = true;
             for p in &mut self.patients {
-                progress |= drain_ready(p)?;
+                progress |= drain_ready(p, t0)?;
                 let want_more = !p.exhausted && p.submitted_windows < self.cfg.windows_per_patient;
                 if want_more && p.in_flight.len() < self.cfg.max_in_flight {
                     progress |= pull_and_submit(p, &self.client, &self.cfg)?;
@@ -261,7 +310,7 @@ impl StreamRouter {
                 if let Some(p) = self.patients.iter_mut().find(|p| !p.in_flight.is_empty()) {
                     let inflight = p.in_flight.pop_front().expect("non-empty");
                     let predictions = inflight.pending.wait()?;
-                    absorb_reply(p, inflight.metas, inflight.submitted, predictions);
+                    absorb_reply(p, inflight.metas, inflight.submitted, predictions, t0);
                 }
             }
         }
@@ -276,7 +325,7 @@ impl StreamRouter {
 
 /// Polls a patient's in-flight queue front-to-back, absorbing every reply
 /// that has already landed. Returns whether anything was absorbed.
-fn drain_ready(p: &mut PatientSlot) -> Result<bool, ServeError> {
+fn drain_ready(p: &mut PatientSlot, run_started: Instant) -> Result<bool, ServeError> {
     let mut any = false;
     while let Some(front) = p.in_flight.front() {
         match front.pending.poll() {
@@ -284,7 +333,13 @@ fn drain_ready(p: &mut PatientSlot) -> Result<bool, ServeError> {
             Some(result) => {
                 let inflight = p.in_flight.pop_front().expect("non-empty");
                 let predictions = result?;
-                absorb_reply(p, inflight.metas, inflight.submitted, predictions);
+                absorb_reply(
+                    p,
+                    inflight.metas,
+                    inflight.submitted,
+                    predictions,
+                    run_started,
+                );
                 any = true;
             }
         }
@@ -340,15 +395,20 @@ fn absorb_reply(
     metas: Vec<WindowMeta>,
     submitted: Instant,
     predictions: Vec<Prediction>,
+    run_started: Instant,
 ) {
     debug_assert_eq!(metas.len(), predictions.len());
     let latency = submitted.elapsed();
     let window_frames = p.session.features_per_window() / p.session.channels();
     let rate = p.source.sample_rate() as f64;
+    let absorbed = metas.len() as u64;
     for (meta, prediction) in metas.into_iter().zip(predictions) {
         let alarm_event = p.alarm.update(prediction.class);
         if alarm_event == Some(AlarmEvent::Raised) {
             p.alarms_raised += 1;
+            if let Some(t) = &p.telemetry {
+                t.alarms.inc();
+            }
         }
         p.latencies.push(latency);
         p.verdicts.push(Verdict {
@@ -361,6 +421,15 @@ fn absorb_reply(
             alarm_active: p.alarm.active(),
             alarm_event,
         });
+    }
+    // Live gauges: a supervisor scraping mid-run sees each patient's
+    // current realtime factor and alarm state instead of waiting for the
+    // shutdown-only report.
+    if let Some(t) = &p.telemetry {
+        t.windows.add(absorbed);
+        t.alarm_active.set(if p.alarm.active() { 1.0 } else { 0.0 });
+        let secs = run_started.elapsed().as_secs_f64().max(1e-9);
+        t.realtime.set((p.frames as f64 / secs) / rate);
     }
 }
 
@@ -520,6 +589,32 @@ mod tests {
             assert_eq!(v.alarm_active, replay.active());
         }
         assert_eq!(report.alarms_raised, raises);
+        server.shutdown();
+    }
+
+    #[test]
+    fn live_gauges_surface_on_the_global_registry() {
+        let (server, _net) = server();
+        let client = server.handle().client(ServeTask::Ecg).expect("bound");
+        let cfg = RouterConfig {
+            chunk_frames: 100,
+            windows_per_patient: 6,
+            ..RouterConfig::default()
+        };
+        let mut router = StreamRouter::new(client, cfg);
+        // A patient id no other test uses, so the series are this test's.
+        let id = 424_242;
+        router.add_patient(id, Box::new(ecg_source(7)), session(WINDOW));
+        let report = router.run().expect("run").remove(0);
+        let reg = rbnn_telemetry::global();
+        let label = format!("patient=\"{id}\"");
+        let windows = reg.counter("rbnn_stream_windows_total", &label, "");
+        assert_eq!(windows.get(), report.windows);
+        let realtime = reg.gauge("rbnn_stream_realtime_factor", &label, "");
+        assert!(realtime.get() > 0.0, "live realtime factor must be set");
+        let alarm = reg.gauge("rbnn_stream_alarm_active", &label, "");
+        let last_active = report.verdicts.last().expect("verdicts").alarm_active;
+        assert_eq!(alarm.get() == 1.0, last_active);
         server.shutdown();
     }
 

@@ -1,0 +1,264 @@
+//! The metrics registry: named, labeled handles to the atomic primitives.
+//!
+//! Registration (`counter`/`gauge`/`histogram`) takes a write lock once per
+//! metric; the returned `Arc` handle is then recorded through lock-free for
+//! the rest of the process lifetime. Look-ups are get-or-create, so two
+//! subsystems asking for the same (name, labels) pair share one series.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use crate::export::{HistogramSample, NumberSample, TelemetrySnapshot};
+use crate::metrics::{Counter, FloatCounter, Gauge, LogHistogram};
+
+/// A metric series identity: metric name plus a rendered label set.
+///
+/// Labels are stored pre-rendered in Prometheus form (e.g. `server="0"` or
+/// `patient="p3",shard="1"`) — the registry treats them as an opaque,
+/// ordered key. Empty string means no labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric family name (`rbnn_serve_completed_total`, …).
+    pub name: String,
+    /// Rendered label pairs, or empty for an unlabeled series.
+    pub labels: String,
+}
+
+impl MetricKey {
+    /// A key for `name` with pre-rendered `labels`.
+    pub fn new(name: &str, labels: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            labels: labels.to_string(),
+        }
+    }
+}
+
+enum MetricEntry {
+    Counter(Arc<Counter>),
+    FloatCounter(Arc<FloatCounter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<LogHistogram>),
+}
+
+struct Family {
+    help: String,
+    series: BTreeMap<String, MetricEntry>,
+}
+
+/// A collection of named metric series with lock-free recording handles.
+///
+/// Usually accessed through [`crate::global`], but independent registries
+/// can be created for tests or scoped collection.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: RwLock<BTreeMap<String, Family>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn entry_or_insert<T>(
+        &self,
+        name: &str,
+        labels: &str,
+        help: &str,
+        make: impl FnOnce() -> MetricEntry,
+        pick: impl Fn(&MetricEntry) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        if let Some(found) = self
+            .families
+            .read()
+            .expect("registry lock")
+            .get(name)
+            .and_then(|f| f.series.get(labels))
+            .and_then(&pick)
+        {
+            return found;
+        }
+        let mut families = self.families.write().expect("registry lock");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        let entry = family.series.entry(labels.to_string()).or_insert_with(make);
+        pick(entry).unwrap_or_else(|| {
+            panic!("telemetry metric `{name}{{{labels}}}` re-registered with a different type")
+        })
+    }
+
+    /// Gets or creates a [`Counter`] series.
+    pub fn counter(&self, name: &str, labels: &str, help: &str) -> Arc<Counter> {
+        self.entry_or_insert(
+            name,
+            labels,
+            help,
+            || MetricEntry::Counter(Arc::new(Counter::new())),
+            |e| match e {
+                MetricEntry::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Gets or creates a [`FloatCounter`] series.
+    pub fn float_counter(&self, name: &str, labels: &str, help: &str) -> Arc<FloatCounter> {
+        self.entry_or_insert(
+            name,
+            labels,
+            help,
+            || MetricEntry::FloatCounter(Arc::new(FloatCounter::new())),
+            |e| match e {
+                MetricEntry::FloatCounter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Gets or creates a [`Gauge`] series.
+    pub fn gauge(&self, name: &str, labels: &str, help: &str) -> Arc<Gauge> {
+        self.entry_or_insert(
+            name,
+            labels,
+            help,
+            || MetricEntry::Gauge(Arc::new(Gauge::new())),
+            |e| match e {
+                MetricEntry::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Gets or creates a latency-shaped [`LogHistogram`] series
+    /// (microsecond unit, 5% buckets).
+    pub fn histogram(&self, name: &str, labels: &str, help: &str) -> Arc<LogHistogram> {
+        self.histogram_with(name, labels, help, LogHistogram::latency)
+    }
+
+    /// Gets or creates a [`LogHistogram`] series with a caller-chosen shape
+    /// (only consulted on first registration).
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &str,
+        help: &str,
+        make: impl FnOnce() -> LogHistogram,
+    ) -> Arc<LogHistogram> {
+        self.entry_or_insert(
+            name,
+            labels,
+            help,
+            || MetricEntry::Histogram(Arc::new(make())),
+            |e| match e {
+                MetricEntry::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Point-in-time copy of every series, ready for exposition.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let families = self.families.read().expect("registry lock");
+        let mut snap = TelemetrySnapshot::default();
+        for (name, family) in families.iter() {
+            for (labels, entry) in family.series.iter() {
+                match entry {
+                    MetricEntry::Counter(c) => snap.counters.push(NumberSample {
+                        name: name.clone(),
+                        labels: labels.clone(),
+                        help: family.help.clone(),
+                        value: c.get() as f64,
+                    }),
+                    MetricEntry::FloatCounter(c) => snap.counters.push(NumberSample {
+                        name: name.clone(),
+                        labels: labels.clone(),
+                        help: family.help.clone(),
+                        value: c.get(),
+                    }),
+                    MetricEntry::Gauge(g) => snap.gauges.push(NumberSample {
+                        name: name.clone(),
+                        labels: labels.clone(),
+                        help: family.help.clone(),
+                        value: g.get(),
+                    }),
+                    MetricEntry::Histogram(h) => {
+                        let counts = h.bucket_counts();
+                        snap.histograms.push(HistogramSample {
+                            name: name.clone(),
+                            labels: labels.clone(),
+                            help: family.help.clone(),
+                            growth: h.growth(),
+                            counts,
+                            sum: h.sum(),
+                        });
+                    }
+                }
+            }
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_shares_one_series() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("rbnn_test_total", "", "help");
+        let b = reg.counter("rbnn_test_total", "", "ignored second help");
+        a.add(5);
+        assert_eq!(b.get(), 5);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn labels_split_series() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("rbnn_test_total", "shard=\"0\"", "help");
+        let b = reg.counter("rbnn_test_total", "shard=\"1\"", "help");
+        a.inc();
+        assert_eq!(a.get(), 1);
+        assert_eq!(b.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered with a different type")]
+    fn type_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("rbnn_test_total", "", "help");
+        let _ = reg.gauge("rbnn_test_total", "", "help");
+    }
+
+    #[test]
+    fn snapshot_sees_all_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z_counter", "", "a counter").add(7);
+        reg.float_counter("y_energy", "", "an energy counter")
+            .add(0.5);
+        reg.gauge("x_gauge", "k=\"v\"", "a gauge").set(2.5);
+        reg.histogram("w_hist", "", "a histogram")
+            .record_value(100.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.len(), 2);
+        assert_eq!(snap.gauges.len(), 1);
+        assert_eq!(snap.histograms.len(), 1);
+        // Families are sorted by name for deterministic exposition.
+        assert_eq!(snap.counters[0].name, "y_energy");
+        assert_eq!(snap.counters[1].name, "z_counter");
+        assert_eq!(snap.histograms[0].counts.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn histogram_with_custom_shape_only_on_first_registration() {
+        let reg = MetricsRegistry::new();
+        let a = reg.histogram_with("batch", "", "batch sizes", || LogHistogram::new(64, 2.0));
+        let b = reg.histogram("batch", "", "batch sizes");
+        assert_eq!(a.buckets(), 64);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

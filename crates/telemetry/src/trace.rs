@@ -1,0 +1,190 @@
+//! Request-lifecycle span tracing.
+//!
+//! A [`SpanRecord`] decomposes one request's end-to-end latency into the
+//! three phases of the serving pipeline:
+//!
+//! ```text
+//! submit ──queue_wait──▶ dequeue ──batch_wait──▶ dispatch ──service──▶ done
+//!          (in queue)              (batcher linger)         (engine)
+//! ```
+//!
+//! Records are sampled (typically 1-in-N completions) into a fixed
+//! [`SpanRing`] so that after a run the tail can be decomposed: a p99
+//! spike whose samples are dominated by `batch_wait` implicates the
+//! linger policy, one dominated by `service` implicates the engine.
+//!
+//! The ring trades completeness for zero hot-path cost: each slot is a
+//! `Mutex<Option<SpanRecord>>` taken with `try_lock`, so a writer that
+//! collides with a reader (or another writer on the same slot) drops its
+//! sample instead of waiting.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One sampled request lifecycle, decomposed into pipeline phases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanRecord {
+    /// Time from submission until a worker dequeued the request.
+    pub queue_wait: Duration,
+    /// Time from dequeue until the batch was dispatched to an engine
+    /// (the batching linger).
+    pub batch_wait: Duration,
+    /// Time from dispatch until the reply was posted (engine evaluation
+    /// plus reply fan-out).
+    pub service: Duration,
+    /// Number of samples in the request this span belongs to.
+    pub samples: usize,
+}
+
+impl SpanRecord {
+    /// End-to-end latency: the sum of the three phases.
+    pub fn total(&self) -> Duration {
+        self.queue_wait + self.batch_wait + self.service
+    }
+
+    /// The dominant phase name (`"queue"`, `"batch"`, or `"service"`).
+    pub fn dominant_phase(&self) -> &'static str {
+        if self.queue_wait >= self.batch_wait && self.queue_wait >= self.service {
+            "queue"
+        } else if self.batch_wait >= self.service {
+            "batch"
+        } else {
+            "service"
+        }
+    }
+}
+
+/// Fixed-capacity ring of sampled [`SpanRecord`]s.
+#[derive(Debug)]
+pub struct SpanRing {
+    slots: Box<[Mutex<Option<SpanRecord>>]>,
+    next: AtomicUsize,
+}
+
+impl SpanRing {
+    /// A ring holding up to `capacity` most-recent samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "span ring needs at least one slot");
+        Self {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Capacity in samples.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Pushes a sample, overwriting the oldest; silently dropped if the
+    /// target slot is contended (never blocks).
+    pub fn push(&self, record: SpanRecord) {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        if let Ok(mut slot) = self.slots[idx].try_lock() {
+            *slot = Some(record);
+        }
+    }
+
+    /// Copies out every retained sample (unordered).
+    pub fn samples(&self) -> Vec<SpanRecord> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.try_lock().ok().and_then(|guard| *guard))
+            .collect()
+    }
+
+    /// The retained sample with the largest end-to-end latency — the
+    /// closest witness to the observed p99/p100 tail.
+    pub fn worst(&self) -> Option<SpanRecord> {
+        self.samples()
+            .into_iter()
+            .max_by(|a, b| a.total().cmp(&b.total()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(q: u64, b: u64, s: u64) -> SpanRecord {
+        SpanRecord {
+            queue_wait: Duration::from_micros(q),
+            batch_wait: Duration::from_micros(b),
+            service: Duration::from_micros(s),
+            samples: 1,
+        }
+    }
+
+    #[test]
+    fn total_and_dominant_phase() {
+        let r = span(10, 20, 5);
+        assert_eq!(r.total(), Duration::from_micros(35));
+        assert_eq!(r.dominant_phase(), "batch");
+        assert_eq!(span(30, 20, 5).dominant_phase(), "queue");
+        assert_eq!(span(1, 2, 50).dominant_phase(), "service");
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_most_recent() {
+        let ring = SpanRing::new(4);
+        for i in 0..10u64 {
+            ring.push(span(i, 0, 0));
+        }
+        let mut waits: Vec<u64> = ring
+            .samples()
+            .iter()
+            .map(|r| r.queue_wait.as_micros() as u64)
+            .collect();
+        waits.sort_unstable();
+        // Ten pushes through four slots: the last four survive.
+        assert_eq!(waits, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn worst_picks_largest_total() {
+        let ring = SpanRing::new(8);
+        ring.push(span(1, 1, 1));
+        ring.push(span(100, 5, 5));
+        ring.push(span(2, 2, 90));
+        assert_eq!(ring.worst().expect("samples"), span(100, 5, 5));
+    }
+
+    #[test]
+    fn empty_ring_has_no_worst() {
+        let ring = SpanRing::new(8);
+        assert!(ring.worst().is_none());
+        assert!(ring.samples().is_empty());
+    }
+
+    #[test]
+    fn concurrent_pushes_never_block_or_corrupt() {
+        use std::sync::Arc;
+        let ring = Arc::new(SpanRing::new(32));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        ring.push(span(t * 10_000 + i, 1, 1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("push thread");
+        }
+        let samples = ring.samples();
+        assert!(samples.len() <= 32);
+        // Every surviving record is one that was actually pushed (no
+        // torn reads): phase fields must match the writer's pattern.
+        for r in samples {
+            assert_eq!(r.batch_wait, Duration::from_micros(1));
+            assert_eq!(r.service, Duration::from_micros(1));
+        }
+    }
+}
