@@ -1,0 +1,340 @@
+//! A lightweight item/block visitor over the token stream.
+//!
+//! The lints need three structural facts the flat token list doesn't give
+//! directly:
+//!
+//! 1. **Test regions** — items annotated `#[cfg(test)]` or `#[test]` are
+//!    exempt from every lint (tests unwrap and panic on purpose), so their
+//!    line spans must be known;
+//! 2. **Function spans** — panic-freedom and zero-alloc zones can be scoped
+//!    to named functions (`functions = ["worker_loop"]` in `analysis.toml`),
+//!    and the nested-lock lint reasons per function body;
+//! 3. **Comment adjacency** — `// SAFETY:` and ordering-justification
+//!    checks ask "is there a comment run immediately above this line?".
+//!
+//! The visitor is brace-matching, not parsing: it tracks `{}`/`[]` depth,
+//! recognizes `fn name … {` item heads and attribute spans, and records
+//! line ranges. That is enough structure for lexical lints and keeps the
+//! crate dependency-free.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{LexedFile, TokenKind};
+
+/// A function item (or method) with its body's extent.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub start_line: usize,
+    /// 1-based line of the body's closing brace (start line if bodyless).
+    pub end_line: usize,
+    /// Token index of the body's opening `{` (exclusive of signature),
+    /// or `usize::MAX` for bodyless declarations.
+    pub body_start: usize,
+    /// Token index one past the body's closing `}`.
+    pub body_end: usize,
+}
+
+/// Structural facts about one lexed file.
+#[derive(Debug, Default)]
+pub struct FileModel {
+    /// Line ranges (inclusive) covered by `#[cfg(test)]`/`#[test]` items.
+    pub test_spans: Vec<(usize, usize)>,
+    /// Every function item found, outermost first.
+    pub fn_spans: Vec<FnSpan>,
+    /// line → concatenated text of the comment(s) covering that line.
+    pub comment_lines: BTreeMap<usize, String>,
+    /// Lines whose first token is `#` (attribute lines) — treated as
+    /// transparent when walking upward looking for a justifying comment.
+    pub attr_lines: BTreeSet<usize>,
+    /// Lines containing at least one code token.
+    pub code_lines: BTreeSet<usize>,
+}
+
+impl FileModel {
+    /// Is `line` inside a `#[cfg(test)]`/`#[test]` item?
+    pub fn in_test(&self, line: usize) -> bool {
+        self.test_spans.iter().any(|&(s, e)| s <= line && line <= e)
+    }
+
+    /// The comment text justifying `line`: the trailing comment on the line
+    /// itself plus the contiguous comment run immediately above it
+    /// (attribute lines are transparent, blank lines break the run).
+    pub fn justifying_comments(&self, line: usize) -> String {
+        let mut text = String::new();
+        if let Some(t) = self.comment_lines.get(&line) {
+            text.push_str(t);
+            text.push('\n');
+        }
+        let mut l = line.saturating_sub(1);
+        while l > 0 {
+            if let Some(t) = self.comment_lines.get(&l) {
+                text.push_str(t);
+                text.push('\n');
+            } else if self.attr_lines.contains(&l) {
+                // `#[inline]` between the comment and the item: keep walking.
+            } else {
+                break;
+            }
+            l -= 1;
+        }
+        text
+    }
+
+    /// Is `line` inside the body of any function named `name`?
+    pub fn in_fn(&self, name: &str, line: usize) -> bool {
+        self.fn_spans
+            .iter()
+            .any(|f| f.name == name && f.start_line <= line && line <= f.end_line)
+    }
+}
+
+/// Builds the [`FileModel`] for a lexed file.
+pub fn build(lexed: &LexedFile) -> FileModel {
+    let mut model = FileModel::default();
+
+    for c in &lexed.comments {
+        for l in c.line..=c.end_line {
+            model
+                .comment_lines
+                .entry(l)
+                .and_modify(|t| {
+                    t.push('\n');
+                    t.push_str(&c.text);
+                })
+                .or_insert_with(|| c.text.clone());
+        }
+    }
+
+    let toks = &lexed.tokens;
+    let mut seen_line_first: BTreeMap<usize, usize> = BTreeMap::new();
+    for (idx, t) in toks.iter().enumerate() {
+        model.code_lines.insert(t.line);
+        seen_line_first.entry(t.line).or_insert(idx);
+    }
+    for (&line, &idx) in &seen_line_first {
+        if toks[idx].kind == TokenKind::Punct('#') {
+            model.attr_lines.insert(line);
+        }
+    }
+
+    // Pass 1: attributes and test items.
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokenKind::Punct('#') {
+            let (attr_end, is_test) = scan_attribute(lexed, i);
+            if is_test {
+                // Collect any further attributes, then span the item.
+                let mut j = attr_end;
+                while j < toks.len() && toks[j].kind == TokenKind::Punct('#') {
+                    let (next_end, _) = scan_attribute(lexed, j);
+                    j = next_end;
+                }
+                let (start_line, end_line, item_end) = item_extent(lexed, j);
+                model
+                    .test_spans
+                    .push((toks[i].line.min(start_line), end_line));
+                i = item_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+
+    // Pass 2: function spans (including fns inside test items — harmless,
+    // since lints skip test lines first).
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let TokenKind::Ident(kw) = &toks[i].kind {
+            if kw == "fn" {
+                if let Some(TokenKind::Ident(name)) = toks.get(i + 1).map(|t| &t.kind) {
+                    let (start_line, end_line, body_start, body_end) = fn_extent(lexed, i);
+                    model.fn_spans.push(FnSpan {
+                        name: name.clone(),
+                        start_line,
+                        end_line,
+                        body_start,
+                        body_end,
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+
+    model
+}
+
+/// Scans the attribute starting at token `i` (a `#`); returns the index
+/// just past its closing `]` and whether it mentions `test` (`#[test]`,
+/// `#[cfg(test)]`, `#[cfg(all(test, …))]`).
+fn scan_attribute(lexed: &LexedFile, i: usize) -> (usize, bool) {
+    let toks = &lexed.tokens;
+    let mut j = i + 1;
+    // Inner attribute `#![…]` — skip the bang.
+    if matches!(toks.get(j).map(|t| &t.kind), Some(TokenKind::Punct('!'))) {
+        j += 1;
+    }
+    if !matches!(toks.get(j).map(|t| &t.kind), Some(TokenKind::Punct('['))) {
+        return (i + 1, false);
+    }
+    let mut depth = 0usize;
+    let mut is_test = false;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1, is_test);
+                }
+            }
+            // `#[cfg(not(test))]` gates *production* code: skip the
+            // negated predicate so it doesn't read as a test item.
+            TokenKind::Ident(s) if s == "not" => {
+                if matches!(
+                    toks.get(j + 1).map(|t| &t.kind),
+                    Some(TokenKind::Punct('('))
+                ) {
+                    let mut parens = 0usize;
+                    j += 1;
+                    while j < toks.len() {
+                        match &toks[j].kind {
+                            TokenKind::Punct('(') => parens += 1,
+                            TokenKind::Punct(')') => {
+                                parens -= 1;
+                                if parens == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            TokenKind::Ident(s) if s == "test" => is_test = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, is_test)
+}
+
+/// The extent of the item starting at token `j`: (start_line, end_line,
+/// index one past the item). The item ends at the `}` matching its first
+/// `{`, or at the first top-level `;` for braceless items.
+fn item_extent(lexed: &LexedFile, j: usize) -> (usize, usize, usize) {
+    let toks = &lexed.tokens;
+    let start_line = toks.get(j).map_or(1, |t| t.line);
+    let mut k = j;
+    while k < toks.len() {
+        match &toks[k].kind {
+            TokenKind::Punct('{') => {
+                let end = matching_brace(lexed, k);
+                let end_line = toks
+                    .get(end.saturating_sub(1))
+                    .map_or(start_line, |t| t.line);
+                return (start_line, end_line, end);
+            }
+            TokenKind::Punct(';') => {
+                return (start_line, toks[k].line, k + 1);
+            }
+            _ => k += 1,
+        }
+    }
+    (start_line, toks.last().map_or(start_line, |t| t.line), k)
+}
+
+/// The extent of the `fn` item whose `fn` keyword is token `i`.
+fn fn_extent(lexed: &LexedFile, i: usize) -> (usize, usize, usize, usize) {
+    let toks = &lexed.tokens;
+    let start_line = toks[i].line;
+    let mut k = i;
+    while k < toks.len() {
+        match &toks[k].kind {
+            TokenKind::Punct('{') => {
+                let end = matching_brace(lexed, k);
+                let end_line = toks
+                    .get(end.saturating_sub(1))
+                    .map_or(start_line, |t| t.line);
+                return (start_line, end_line, k, end);
+            }
+            TokenKind::Punct(';') => return (start_line, toks[k].line, usize::MAX, k + 1),
+            _ => k += 1,
+        }
+    }
+    (start_line, start_line, usize::MAX, k)
+}
+
+/// Index one past the `}` matching the `{` at token `open`.
+fn matching_brace(lexed: &LexedFile, open: usize) -> usize {
+    let toks = &lexed.tokens;
+    let mut depth = 0usize;
+    let mut k = open;
+    while k < toks.len() {
+        match &toks[k].kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_mod_is_a_test_span() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\nfn also_live() {}\n";
+        let lexed = lex(src);
+        let m = build(&lexed);
+        assert!(!m.in_test(1));
+        assert!(m.in_test(3));
+        assert!(m.in_test(5));
+        assert!(!m.in_test(7));
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies_and_names() {
+        let src = "pub fn outer(a: usize) -> usize {\n    let f = |x: usize| x + 1;\n    f(a)\n}\nfn bodyless();\n";
+        let lexed = lex(src);
+        let m = build(&lexed);
+        assert!(m.in_fn("outer", 2));
+        assert!(m.in_fn("outer", 4));
+        assert!(!m.in_fn("outer", 5));
+        assert!(m.fn_spans.iter().any(|f| f.name == "bodyless"));
+    }
+
+    #[test]
+    fn justifying_comments_walk_runs_and_attributes() {
+        let src = "// SAFETY: the invariant.\n#[inline]\nunsafe fn f() {}\n\nlet x = 1; // Relaxed: trailing.\n";
+        let lexed = lex(src);
+        let m = build(&lexed);
+        assert!(m.justifying_comments(3).contains("SAFETY:"));
+        assert!(m.justifying_comments(5).contains("Relaxed"));
+        // The blank line 4 breaks the run: line 5 must not see line 1.
+        assert!(!m.justifying_comments(5).contains("SAFETY:"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_span() {
+        let src = "#[cfg(feature = \"x\")]\nfn gated() { x.unwrap(); }\n";
+        let lexed = lex(src);
+        let m = build(&lexed);
+        assert!(!m.in_test(2));
+    }
+}

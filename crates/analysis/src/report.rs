@@ -1,0 +1,233 @@
+//! Human-readable diagnostics and the machine-readable JSON report.
+//!
+//! The JSON mirrors the `bench_results/*.json` convention the benchmark
+//! binaries follow (a top-level `"bench"` discriminator plus flat fields),
+//! so fleet tooling can ingest `analysis.json` alongside `serve.json` and
+//! friends. Serialization is hand-rolled string building — same approach as
+//! `rbnn-telemetry`'s exposition — keeping the crate dependency-free.
+
+use std::collections::BTreeMap;
+
+use crate::config::Waiver;
+use crate::lints::{Lint, Violation};
+
+/// The outcome of a whole scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Unwaived violations (the scan fails in `--strict` if non-empty).
+    pub violations: Vec<Violation>,
+    /// Violations matched and suppressed by a waiver, with the reason.
+    pub waived: Vec<(Violation, String)>,
+    /// Waivers that matched nothing — also a failure (stale suppressions
+    /// must not outlive the code they excused).
+    pub unused_waivers: Vec<Waiver>,
+}
+
+impl Report {
+    /// Does the scan pass?
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty() && self.unused_waivers.is_empty()
+    }
+
+    /// Violation count per lint id (zero-filled for clean lints).
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts: BTreeMap<&'static str, usize> =
+            Lint::all().iter().map(|l| (l.id(), 0)).collect();
+        for v in &self.violations {
+            *counts.entry(v.lint.id()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Renders the human-readable diagnostic listing plus summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!(
+                "{}:{} [{}] {}\n    suggestion: {}\n",
+                v.path, v.line, v.lint, v.message, v.suggestion
+            ));
+        }
+        for (v, reason) in &self.waived {
+            out.push_str(&format!(
+                "{}:{} [{}] waived: {} (reason: {})\n",
+                v.path, v.line, v.lint, v.message, reason
+            ));
+        }
+        for w in &self.unused_waivers {
+            out.push_str(&format!(
+                "analysis.toml: waiver {} {}:{} matches nothing — delete it\n",
+                w.lint, w.path, w.line
+            ));
+        }
+        out.push_str(&format!(
+            "rbnn-analysis: {} files scanned, {} violation{}, {} waived, {} stale waiver{} — {}\n",
+            self.files_scanned,
+            self.violations.len(),
+            if self.violations.len() == 1 { "" } else { "s" },
+            self.waived.len(),
+            self.unused_waivers.len(),
+            if self.unused_waivers.len() == 1 {
+                ""
+            } else {
+                "s"
+            },
+            if self.passed() { "PASS" } else { "FAIL" },
+        ));
+        out
+    }
+
+    /// Renders the machine-readable JSON report.
+    pub fn render_json(&self, strict: bool) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"bench\": \"analysis\",\n");
+        s.push_str("  \"schema\": 1,\n");
+        s.push_str(&format!("  \"strict\": {strict},\n"));
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!("  \"passed\": {},\n", self.passed()));
+        s.push_str("  \"counts\": {");
+        let counts = self.counts();
+        let mut first = true;
+        for (id, n) in &counts {
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            s.push_str(&format!("\"{id}\": {n}"));
+        }
+        s.push_str("},\n");
+        push_violation_array(
+            &mut s,
+            "violations",
+            self.violations.iter().map(|v| (v, None)),
+        );
+        s.push_str(",\n");
+        push_violation_array(
+            &mut s,
+            "waived",
+            self.waived.iter().map(|(v, r)| (v, Some(r.as_str()))),
+        );
+        s.push_str(",\n  \"stale_waivers\": [");
+        for (i, w) in self.unused_waivers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"lint\": {}, \"path\": {}, \"line\": {}}}",
+                json_str(&w.lint),
+                json_str(&w.path),
+                w.line
+            ));
+        }
+        if !self.unused_waivers.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+fn push_violation_array<'a>(
+    s: &mut String,
+    key: &str,
+    items: impl Iterator<Item = (&'a Violation, Option<&'a str>)>,
+) {
+    s.push_str(&format!("  \"{key}\": ["));
+    let mut any = false;
+    for (i, (v, reason)) in items.enumerate() {
+        any = true;
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"lint\": {}, \"name\": {}, \"message\": {}, \"suggestion\": {}",
+            json_str(&v.path),
+            v.line,
+            json_str(v.lint.id()),
+            json_str(v.lint.name()),
+            json_str(&v.message),
+            json_str(&v.suggestion),
+        ));
+        if let Some(r) = reason {
+            s.push_str(&format!(", \"waiver_reason\": {}", json_str(r)));
+        }
+        s.push('}');
+    }
+    if any {
+        s.push_str("\n  ");
+    }
+    s.push(']');
+}
+
+/// Escapes a string for JSON.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            files_scanned: 3,
+            violations: vec![Violation {
+                path: "crates/x/src/lib.rs".to_string(),
+                line: 7,
+                lint: Lint::PanicPath,
+                message: "`.unwrap()` call in zone `q`".to_string(),
+                suggestion: "recover".to_string(),
+            }],
+            waived: Vec::new(),
+            unused_waivers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn text_has_location_id_and_suggestion() {
+        let text = sample().render_text();
+        assert!(text.contains("crates/x/src/lib.rs:7"));
+        assert!(text.contains("RA0004 panic-path"));
+        assert!(text.contains("suggestion: recover"));
+        assert!(text.contains("FAIL"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_counts_are_zero_filled() {
+        let json = sample().render_json(true);
+        assert!(json.contains("\"bench\": \"analysis\""));
+        assert!(json.contains("\"RA0001\": 0"));
+        assert!(json.contains("\"RA0004\": 1"));
+        assert!(json.contains("\"passed\": false"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_report_passes() {
+        let r = Report {
+            files_scanned: 1,
+            ..Default::default()
+        };
+        assert!(r.passed());
+        assert!(r.render_text().contains("PASS"));
+        assert!(r.render_json(false).contains("\"passed\": true"));
+    }
+}

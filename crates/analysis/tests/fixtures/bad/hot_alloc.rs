@@ -1,0 +1,14 @@
+//! RA0005 positive: allocation inside a declared zero-alloc function.
+
+pub fn hot_loop(src: &[f32], dst: &mut [f32]) {
+    let scaled: Vec<f32> = src.iter().map(|x| x * 2.0).collect();
+    let label = format!("{} rows", scaled.len());
+    let copy = scaled.to_vec();
+    dst[..copy.len()].copy_from_slice(&copy);
+    drop(label);
+}
+
+pub fn setup(n: usize) -> Vec<f32> {
+    // Outside the zone function: setup may allocate freely.
+    vec![0.0; n]
+}

@@ -1,0 +1,11 @@
+//! RA0007 positive: debug leftovers and stdout noise in library code.
+
+pub fn frobnicate(x: u32) -> u32 {
+    let doubled = dbg!(x * 2);
+    println!("frobnicated {doubled}");
+    doubled
+}
+
+pub fn unfinished() -> u32 {
+    todo!("implement the inverse")
+}

@@ -1,0 +1,21 @@
+//! RA0006 positive: a nested `.lock()` while an earlier guard is live,
+//! and a blocking `.lock()` inside a try-lock-only zone function.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+pub fn transfer(p: &Pair, amount: u64) {
+    let mut from = p.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut to = p.b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *from -= amount;
+    *to += amount;
+}
+
+pub fn try_only(slot: &Mutex<u64>, v: u64) {
+    let mut guard = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *guard = v;
+}

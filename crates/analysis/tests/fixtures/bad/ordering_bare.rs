@@ -1,0 +1,13 @@
+//! RA0002 positive: atomic orderings without justification comments.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static HITS: AtomicUsize = AtomicUsize::new(0);
+
+pub fn bump() -> usize {
+    HITS.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn publish(flag: &std::sync::atomic::AtomicBool) {
+    flag.store(true, Ordering::Release);
+}

@@ -1,0 +1,22 @@
+//! RA0004 positive: panic paths inside a declared panic-freedom zone.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+pub struct Queue {
+    inner: Mutex<VecDeque<u32>>,
+}
+
+impl Queue {
+    pub fn pop(&self) -> u32 {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        q.pop_front().unwrap()
+    }
+
+    pub fn first(&self, items: &[u32]) -> u32 {
+        if items.is_empty() {
+            panic!("empty batch");
+        }
+        items[0]
+    }
+}

@@ -1,0 +1,11 @@
+//! RA0003 positive: SeqCst outside the allowlist (the justification
+//! comment satisfies RA0002, so only the allowlist lint fires).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static MODE: AtomicUsize = AtomicUsize::new(0);
+
+pub fn set_mode(m: usize) {
+    // SeqCst: defensive strongest ordering.
+    MODE.store(m, Ordering::SeqCst);
+}

@@ -1,0 +1,5 @@
+//! RA0001 positive: `unsafe` without a SAFETY comment.
+
+pub fn read_first(v: &[f32]) -> f32 {
+    unsafe { *v.get_unchecked(0) }
+}

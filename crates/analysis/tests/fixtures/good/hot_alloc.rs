@@ -1,0 +1,12 @@
+//! RA0005 negative: the hot path reuses caller-provided buffers.
+
+pub fn hot_loop(src: &[f32], dst: &mut [f32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = s * 2.0;
+    }
+}
+
+pub fn setup(n: usize) -> Vec<f32> {
+    // Outside the zone function: setup may allocate freely.
+    vec![0.0; n]
+}

@@ -1,0 +1,20 @@
+//! RA0007 negative: libraries report through return values; strings that
+//! merely *mention* `println!` or `dbg!` must not trip the lexical lint.
+
+pub fn frobnicate(x: u32) -> u32 {
+    x * 2
+}
+
+pub fn describe() -> &'static str {
+    "this library never calls println! or dbg! outside tests"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn doubled() {
+        // Test code may print freely.
+        println!("checking {}", super::frobnicate(21));
+        assert_eq!(super::frobnicate(21), 42);
+    }
+}

@@ -1,0 +1,24 @@
+//! RA0006 negative: one lock at a time; the recording path is try-lock-only.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+pub fn transfer(p: &Pair, amount: u64) {
+    {
+        let mut from = p.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *from -= amount;
+    }
+    let mut to = p.b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *to += amount;
+}
+
+pub fn try_only(slot: &Mutex<u64>, v: u64) {
+    // Contended slot: drop the sample rather than block the recorder.
+    if let Ok(mut guard) = slot.try_lock() {
+        *guard = v;
+    }
+}

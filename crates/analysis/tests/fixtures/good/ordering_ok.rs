@@ -1,0 +1,20 @@
+//! RA0002 negative: every ordering names itself in a justification.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+static HITS: AtomicUsize = AtomicUsize::new(0);
+
+pub fn bump() -> usize {
+    // Relaxed: standalone statistics counter; nothing is ordered after it.
+    HITS.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn publish(flag: &AtomicBool) {
+    flag.store(true, Ordering::Release); // Release: pairs with the Acquire load in `consume`.
+}
+
+pub fn consume(flag: &AtomicBool) -> bool {
+    // Acquire: pairs with the Release store in `publish`, making the
+    // producer's writes visible before the flag reads true.
+    flag.load(Ordering::Acquire)
+}

@@ -1,0 +1,32 @@
+//! RA0004 negative: the same queue written to degrade gracefully.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+pub struct Queue {
+    inner: Mutex<VecDeque<u32>>,
+}
+
+impl Queue {
+    pub fn pop(&self) -> Option<u32> {
+        let mut q = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        q.pop_front()
+    }
+
+    pub fn first(&self, items: &[u32]) -> Option<u32> {
+        items.first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt even inside a zone file.
+    #[test]
+    fn pop_empty_is_none() {
+        let q = super::Queue {
+            inner: std::sync::Mutex::new(std::collections::VecDeque::new()),
+        };
+        assert!(q.pop().is_none());
+        assert!(q.first(&[]).is_none());
+    }
+}

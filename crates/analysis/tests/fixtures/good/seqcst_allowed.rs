@@ -1,0 +1,11 @@
+//! RA0003 negative: this file is on `seqcst_allow` in fixtures.toml —
+//! a test-facing global toggle where the fence cost does not matter.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+pub fn set_override(n: usize) {
+    // SeqCst: test-facing toggle, set between runs, never on a hot path.
+    OVERRIDE.store(n, Ordering::SeqCst);
+}

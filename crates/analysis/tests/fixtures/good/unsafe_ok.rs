@@ -1,0 +1,27 @@
+//! RA0001 negative: every `unsafe` site carries its invariant.
+
+pub fn read_first(v: &[f32]) -> f32 {
+    // SAFETY: caller guarantees `v` is non-empty (checked at the API
+    // boundary), so index 0 is in bounds.
+    unsafe { *v.get_unchecked(0) }
+}
+
+/// # Safety
+///
+/// `ptr` must point to `len` initialized f32s with no live aliases.
+pub unsafe fn sum_raw(ptr: *const f32, len: usize) -> f32 {
+    // SAFETY: the function contract above covers the whole range.
+    let s = unsafe { std::slice::from_raw_parts(ptr, len) };
+    s.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: no SAFETY comment required here.
+    #[test]
+    fn raw_roundtrip() {
+        let v = [1.0f32, 2.0];
+        let got = unsafe { super::sum_raw(v.as_ptr(), v.len()) };
+        assert_eq!(got, 3.0);
+    }
+}

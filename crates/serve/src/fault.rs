@@ -1,0 +1,42 @@
+//! Test-only engine-fault injection.
+//!
+//! The panic-containment contract of the worker pool — an engine replica
+//! that panics degrades one batch, never the pool — is only worth having
+//! if a test can exercise it. This module is the hook: arming it makes the
+//! next N engine dispatches (process-wide, across all workers) panic
+//! inside the dispatch that [`serve_batch`](crate::Server) guards, exactly
+//! where a real engine defect would unwind.
+//!
+//! Hidden from docs; not part of the public serving API. Production code
+//! never arms it, so the steady-state cost is one relaxed load per batch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ARMED: AtomicU64 = AtomicU64::new(0);
+
+/// Arms the next `n` engine dispatches to panic (process-wide).
+///
+/// Passing `0` disarms. Each injected panic consumes one charge, so
+/// concurrent workers never over-fire.
+pub fn arm_engine_panics(n: u64) {
+    // Relaxed: a test-harness toggle; the spawned workers observe it via
+    // the same atomic, and exactness comes from the fetch_update below.
+    ARMED.store(n, Ordering::Relaxed);
+}
+
+/// Consumes one armed charge and panics, or returns quietly when disarmed.
+pub(crate) fn maybe_inject() {
+    // Relaxed: fast-path read of the same standalone counter; a stale zero
+    // only delays injection by one batch, which the tests tolerate.
+    if ARMED.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    // Relaxed: the decrement races only with itself; `checked_sub` makes
+    // the charge count exact without ordering any other memory.
+    if ARMED
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1)) // Relaxed: see above.
+        .is_ok()
+    {
+        panic!("injected engine fault");
+    }
+}

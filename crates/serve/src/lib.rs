@@ -54,6 +54,8 @@
 #![warn(missing_debug_implementations)]
 
 mod batcher;
+#[doc(hidden)]
+pub mod fault;
 pub mod queue;
 mod registry;
 mod server;

@@ -8,7 +8,7 @@
 //! bounded-buffer construction.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 /// Why a push was refused.
@@ -43,6 +43,17 @@ impl<T> std::fmt::Debug for BoundedQueue<T> {
 }
 
 impl<T> BoundedQueue<T> {
+    /// Acquires the queue lock, recovering from poisoning.
+    ///
+    /// A panicking holder (e.g. an engine worker dying mid-drain) poisons
+    /// the mutex, but every critical section in this module upholds the
+    /// queue invariants (`len <= capacity`, `closed` is monotone) on every
+    /// exit path — including unwinds — so the recovered state is always
+    /// consistent and the queue keeps serving the surviving threads.
+    fn lock_inner(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Creates a queue holding at most `capacity` items.
     ///
     /// # Panics
@@ -63,7 +74,7 @@ impl<T> BoundedQueue<T> {
 
     /// Current number of queued items (the queue-depth gauge).
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").items.len()
+        self.lock_inner().items.len()
     }
 
     /// True if no items are queued.
@@ -79,7 +90,7 @@ impl<T> BoundedQueue<T> {
     /// Enqueues, blocking while the queue is full — the backpressure path:
     /// a caller faster than the engine pool is slowed to its rate.
     pub fn push(&self, item: T) -> Result<(), PushError> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.lock_inner();
         loop {
             if inner.closed {
                 return Err(PushError::Closed);
@@ -89,14 +100,17 @@ impl<T> BoundedQueue<T> {
                 self.ready.notify_one();
                 return Ok(());
             }
-            inner = self.space.wait(inner).expect("queue poisoned");
+            inner = self
+                .space
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Enqueues without blocking; a full queue is reported to the caller
     /// instead (load-shedding path).
     pub fn try_push(&self, item: T) -> Result<(), PushError> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.lock_inner();
         if inner.closed {
             return Err(PushError::Closed);
         }
@@ -112,7 +126,7 @@ impl<T> BoundedQueue<T> {
     /// then drains up to `max` items. Returns `None` only after close with
     /// an empty queue — the consumer's termination signal.
     pub fn pop_up_to(&self, max: usize) -> Option<Vec<T>> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.lock_inner();
         loop {
             if !inner.items.is_empty() {
                 return Some(self.drain_locked(&mut inner, max));
@@ -120,14 +134,17 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).expect("queue poisoned");
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Like [`pop_up_to`](Self::pop_up_to) but gives up at `deadline`,
     /// returning an empty batch on timeout.
     pub fn pop_up_to_deadline(&self, max: usize, deadline: Instant) -> Option<Vec<T>> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.lock_inner();
         loop {
             if !inner.items.is_empty() {
                 return Some(self.drain_locked(&mut inner, max));
@@ -142,7 +159,7 @@ impl<T> BoundedQueue<T> {
             let (guard, timeout) = self
                 .ready
                 .wait_timeout(inner, deadline - now)
-                .expect("queue poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             inner = guard;
             if timeout.timed_out() && inner.items.is_empty() {
                 return Some(Vec::new());
@@ -161,7 +178,7 @@ impl<T> BoundedQueue<T> {
     /// Closes the queue: pending items remain poppable, new pushes fail,
     /// blocked producers and consumers wake.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.lock_inner();
         inner.closed = true;
         self.ready.notify_all();
         self.space.notify_all();
@@ -217,6 +234,29 @@ mod tests {
         thread::sleep(Duration::from_millis(20));
         q.close();
         assert_eq!(consumer.join().unwrap(), None);
+        assert_eq!(q.push(9), Err(PushError::Closed));
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_on_every_path() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.push(1).unwrap();
+        // Poison the mutex: a panic while the guard is held.
+        let q2 = Arc::clone(&q);
+        let poisoner = thread::spawn(move || {
+            let _guard = q2.inner.lock().unwrap();
+            panic!("poison the queue lock");
+        });
+        assert!(poisoner.join().is_err());
+        // Every public path must recover the poisoned lock and keep the
+        // queue serving with its state intact.
+        assert_eq!(q.len(), 1);
+        q.push(2).unwrap();
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop_up_to(8).unwrap(), vec![1, 2, 3]);
+        let deadline = Instant::now() + Duration::from_millis(5);
+        assert_eq!(q.pop_up_to_deadline(4, deadline), Some(Vec::new()));
+        q.close();
         assert_eq!(q.push(9), Err(PushError::Closed));
     }
 

@@ -85,6 +85,10 @@ pub enum ServeError {
     Overloaded,
     /// The server is shutting down.
     ShuttingDown,
+    /// The engine replica evaluating this batch panicked. The faulty
+    /// replica is retired; the worker and every other replica keep
+    /// serving, so retrying the request on the same handle is safe.
+    EngineFault,
 }
 
 impl std::fmt::Display for ServeError {
@@ -99,6 +103,9 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Overloaded => write!(f, "request queue full (load shed)"),
             ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::EngineFault => {
+                write!(f, "engine replica panicked while serving the batch")
+            }
         }
     }
 }
@@ -549,26 +556,7 @@ impl Server {
                 let mut batcher = Batcher::new(config.batch.clone());
                 std::thread::Builder::new()
                     .name(format!("rbnn-serve-{worker_idx}"))
-                    .spawn(move || {
-                        loop {
-                            // Stamp each chunk as it leaves the queue (one
-                            // clock read per pop, not per request) so span
-                            // traces can split queue wait from the linger.
-                            let batch = batcher.next_batch_with(&shared.queue, |chunk| {
-                                if rbnn_telemetry::enabled() {
-                                    let now = Instant::now();
-                                    for request in chunk.iter_mut() {
-                                        request.dequeued = Some(now);
-                                    }
-                                }
-                            });
-                            let Some(batch) = batch else { break };
-                            if batch.is_empty() {
-                                continue;
-                            }
-                            serve_batch(&shared, worker_idx, &mut engines, batch);
-                        }
-                    })
+                    .spawn(move || worker_loop(&shared, worker_idx, &mut engines, &mut batcher))
                     .expect("spawn worker")
             })
             .collect();
@@ -625,8 +613,45 @@ const SPAN_RING_CAPACITY: usize = 512;
 /// demos see at least one trace).
 const SPAN_SAMPLE_EVERY: u64 = 16;
 
+/// One worker's serve loop: pull micro-batches until the queue closes.
+///
+/// This is a panic-freedom zone (see `analysis.toml`): a dying worker
+/// silently shrinks the pool, so nothing in the loop body may unwind —
+/// engine panics are contained inside [`serve_batch`].
+fn worker_loop(
+    shared: &Shared,
+    worker_idx: usize,
+    engines: &mut BTreeMap<ServeTask, WorkerEngine>,
+    batcher: &mut Batcher,
+) {
+    loop {
+        // Stamp each chunk as it leaves the queue (one clock read per
+        // pop, not per request) so span traces can split queue wait from
+        // the linger.
+        let batch = batcher.next_batch_with(&shared.queue, |chunk| {
+            if rbnn_telemetry::enabled() {
+                let now = Instant::now();
+                for request in chunk.iter_mut() {
+                    request.dequeued = Some(now);
+                }
+            }
+        });
+        let Some(batch) = batch else { break };
+        if batch.is_empty() {
+            continue;
+        }
+        serve_batch(shared, worker_idx, engines, batch);
+    }
+}
+
 /// Runs one micro-batch: group by task, evaluate batched, answer each
 /// request with one prediction per sample it carried.
+///
+/// A panicking engine replica degrades only its own task group: the
+/// unwind is caught, every request in the group is answered with
+/// [`ServeError::EngineFault`], and the replica is retired from this
+/// worker (its interior state may be inconsistent mid-unwind). The worker
+/// thread itself — and every other replica it holds — keeps serving.
 fn serve_batch(
     shared: &Shared,
     worker_idx: usize,
@@ -640,7 +665,12 @@ fn serve_batch(
     let mut senses_total = 0u64;
     let mut samples_total = 0usize;
     for (task, requests) in by_task {
-        let engine = engines.get_mut(&task).expect("validated at submit");
+        // Submit validated the task, so a miss here means the replica was
+        // retired after a fault — fail the group, keep the worker.
+        let Some(engine) = engines.get_mut(&task) else {
+            fail_group(requests);
+            continue;
+        };
         let rows: Vec<&[f32]> = requests
             .iter()
             .flat_map(|r| r.rows.rows().iter().map(Vec::as_slice))
@@ -650,7 +680,18 @@ fn serve_batch(
         // handed to the engine. Everything before is queue wait (+linger),
         // everything after is service.
         let dispatched = Instant::now();
-        let (logits, senses) = engine.logits_batch_rows(&rows);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::fault::maybe_inject();
+            engine.logits_batch_rows(&rows)
+        }));
+        let (logits, senses) = match outcome {
+            Ok(result) => result,
+            Err(_) => {
+                engines.remove(&task);
+                fail_group(requests);
+                continue;
+            }
+        };
         senses_total += senses;
         let classes = logits.dim(1);
         let mut offset = 0usize;
@@ -688,6 +729,15 @@ fn serve_batch(
     shared
         .stats
         .record_batch(worker_idx, samples_total, senses_total);
+}
+
+/// Answers every request of a faulted task group with
+/// [`ServeError::EngineFault`]. A client that already gave up (dropped
+/// receiver) is not an error.
+fn fail_group(requests: Vec<Request>) {
+    for request in requests {
+        let _ = request.reply.send(Err(ServeError::EngineFault));
+    }
 }
 
 /// Largest number of requests [`classify_matrix`] keeps in flight. Deep

@@ -84,6 +84,8 @@ impl ServerStats {
     /// A collector for `workers` engine replicas, registered on the global
     /// telemetry registry under a fresh `server="<n>"` label.
     pub fn new(workers: usize) -> Self {
+        // Relaxed: a unique-id counter — each caller just needs a distinct
+        // label; no other memory is ordered against it.
         let seq = SERVER_SEQ.fetch_add(1, Ordering::Relaxed);
         let label = format!("server=\"{seq}\"");
         let reg = rbnn_telemetry::global();
@@ -190,8 +192,10 @@ impl ServerStats {
 
     fn complete(&self, latency: Duration) -> u64 {
         self.first_completed.get_or_init(Instant::now);
+        // Relaxed: a monotone high-water mark read by snapshots; statistics
+        // tolerate a slightly stale value and nothing else piggybacks on it.
         self.last_completed_nanos
-            .fetch_max(self.started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .fetch_max(self.started.elapsed().as_nanos() as u64, Ordering::Relaxed); // Relaxed: see above.
         self.latency.record(latency);
         self.completed.add(1)
     }
@@ -236,6 +240,8 @@ impl ServerStats {
             .get()
             .map(|first| {
                 let first_nanos = first.duration_since(self.started).as_nanos() as u64;
+                // Relaxed: snapshots are advisory summaries; pairing with the
+                // relaxed fetch_max above is the whole protocol.
                 let last_nanos = self.last_completed_nanos.load(Ordering::Relaxed);
                 Duration::from_nanos(last_nanos.saturating_sub(first_nanos))
             })

@@ -1,0 +1,64 @@
+//! Regression test for the pool's panic-containment contract: an engine
+//! replica that panics mid-batch fails its own task group with
+//! [`ServeError::EngineFault`] and is retired — the worker thread, the
+//! queue, and every other replica keep serving.
+//!
+//! One test function on purpose: the injection hook is process-wide, so
+//! concurrent test threads arming it would race each other.
+
+use rbnn_serve::{Backend, ModelRegistry, ServeConfig, ServeError, ServeTask, Server};
+
+fn features(registry: &ModelRegistry, task: ServeTask) -> Vec<f32> {
+    let n = registry
+        .get(task)
+        .expect("registered")
+        .network
+        .in_features();
+    (0..n).map(|i| (i % 7) as f32 - 3.0).collect()
+}
+
+#[test]
+fn engine_panic_degrades_one_replica_not_the_pool() {
+    let registry = ModelRegistry::demo(7);
+    let config = ServeConfig {
+        workers: 1, // one replica per task: the post-fault state is deterministic
+        backend: Backend::Software,
+        ..Default::default()
+    };
+    let server = Server::start(&registry, &config);
+    let handle = server.handle();
+
+    // Healthy baseline on the task we are about to break.
+    let ecg = features(&registry, ServeTask::Ecg);
+    handle
+        .classify(ServeTask::Ecg, ecg.clone())
+        .expect("healthy replica serves");
+
+    // The next engine dispatch panics inside the worker.
+    rbnn_serve::fault::arm_engine_panics(1);
+    let faulted = handle.classify(ServeTask::Ecg, ecg.clone());
+    assert_eq!(
+        faulted,
+        Err(ServeError::EngineFault),
+        "panicking batch must fail, not hang"
+    );
+
+    // The worker survived: the other replicas it holds still serve...
+    let eeg = features(&registry, ServeTask::Eeg);
+    for _ in 0..10 {
+        handle
+            .classify(ServeTask::Eeg, eeg.clone())
+            .expect("sibling replica unaffected by the fault");
+    }
+    // ...and the retired replica's task fails fast instead of wedging.
+    let after = handle.classify(ServeTask::Ecg, ecg);
+    assert_eq!(after, Err(ServeError::EngineFault));
+
+    // Shutdown still drains and joins cleanly.
+    let snap = server.shutdown();
+    assert!(
+        snap.completed >= 11,
+        "completed {} of 11+ healthy requests",
+        snap.completed
+    );
+}

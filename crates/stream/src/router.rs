@@ -308,9 +308,10 @@ impl StreamRouter {
                 // Every patient is waiting on the pool: block on the
                 // oldest outstanding reply instead of spinning.
                 if let Some(p) = self.patients.iter_mut().find(|p| !p.in_flight.is_empty()) {
-                    let inflight = p.in_flight.pop_front().expect("non-empty");
-                    let predictions = inflight.pending.wait()?;
-                    absorb_reply(p, inflight.metas, inflight.submitted, predictions, t0);
+                    if let Some(inflight) = p.in_flight.pop_front() {
+                        let predictions = inflight.pending.wait()?;
+                        absorb_reply(p, inflight.metas, inflight.submitted, predictions, t0);
+                    }
                 }
             }
         }
@@ -327,22 +328,25 @@ impl StreamRouter {
 /// that has already landed. Returns whether anything was absorbed.
 fn drain_ready(p: &mut PatientSlot, run_started: Instant) -> Result<bool, ServeError> {
     let mut any = false;
-    while let Some(front) = p.in_flight.front() {
-        match front.pending.poll() {
-            None => break,
-            Some(result) => {
-                let inflight = p.in_flight.pop_front().expect("non-empty");
-                let predictions = result?;
-                absorb_reply(
-                    p,
-                    inflight.metas,
-                    inflight.submitted,
-                    predictions,
-                    run_started,
-                );
-                any = true;
-            }
-        }
+    loop {
+        let Some(front) = p.in_flight.front() else {
+            break;
+        };
+        let Some(result) = front.pending.poll() else {
+            break;
+        };
+        let Some(inflight) = p.in_flight.pop_front() else {
+            break;
+        };
+        let predictions = result?;
+        absorb_reply(
+            p,
+            inflight.metas,
+            inflight.submitted,
+            predictions,
+            run_started,
+        );
+        any = true;
     }
     Ok(any)
 }

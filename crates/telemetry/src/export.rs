@@ -278,6 +278,9 @@ impl FlightRecorder {
                     .max(Duration::from_millis(1));
                 let mut elapsed = Duration::ZERO;
                 loop {
+                    // Relaxed: the flag is the only shared state; the final
+                    // snapshot is ordered by the join in `shutdown`, not by
+                    // this load.
                     if stop_flag.load(Ordering::Relaxed) {
                         break;
                     }
@@ -306,6 +309,8 @@ impl FlightRecorder {
     }
 
     fn shutdown(&mut self) {
+        // Relaxed: the recorder thread polls this flag; `join` below is the
+        // synchronization point for everything it wrote.
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.thread.take() {
             let _ = t.join();

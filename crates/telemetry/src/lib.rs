@@ -66,6 +66,9 @@ static ENABLED: AtomicBool = AtomicBool::new(true);
 /// disabled build pays only this branch.
 #[inline]
 pub fn enabled() -> bool {
+    // Relaxed: a standalone on/off flag — instrumentation sites tolerate
+    // observing a flip late by a few events, and nothing else is ordered
+    // against the load.
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -74,6 +77,8 @@ pub fn enabled() -> bool {
 /// Flipping the flag mid-run is safe (recording through live handles is
 /// always sound); already-registered series simply stop/resume updating.
 pub fn set_enabled(on: bool) {
+    // Relaxed: pairs with the load in `enabled`; eventual visibility is the
+    // contract (series "stop/resume updating"), not synchronization.
     ENABLED.store(on, Ordering::Relaxed);
 }
 

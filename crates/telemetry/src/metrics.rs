@@ -29,11 +29,15 @@ impl Counter {
     /// decisions keyed off an event index).
     #[inline]
     pub fn add(&self, n: u64) -> u64 {
+        // Relaxed: an independent event count — fetch_add is atomic per
+        // series, and no other memory is ordered against it.
         self.0.fetch_add(n, Ordering::Relaxed) + n
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // Relaxed: exposition reads a monotonic count; staleness by a few
+        // events is inherent to sampling, ordering buys nothing.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -54,12 +58,15 @@ impl FloatCounter {
     /// the type encodes intent, not an invariant).
     #[inline]
     pub fn add(&self, v: f64) {
+        // Relaxed: the CAS loop's correctness comes from compare_exchange
+        // itself (lost races reload and retry); the bit pattern is the only
+        // shared state, so no acquire/release pairing is needed.
         let mut current = self.0.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(current) + v).to_bits();
             match self
                 .0
-                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) // Relaxed: see CAS note above.
             {
                 Ok(_) => return,
                 Err(seen) => current = seen,
@@ -69,6 +76,7 @@ impl FloatCounter {
 
     /// Current value.
     pub fn get(&self) -> f64 {
+        // Relaxed: point-in-time sample of a monotonic sum.
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 }
@@ -87,11 +95,14 @@ impl Gauge {
     /// Sets the value.
     #[inline]
     pub fn set(&self, v: f64) {
+        // Relaxed: last-write-wins by definition of a gauge; the stored
+        // bits are self-contained, nothing downstream is ordered on them.
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> f64 {
+        // Relaxed: reads whichever write most recently landed.
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 }
@@ -186,6 +197,8 @@ impl LogHistogram {
     /// Records one observation of `value` units.
     #[inline]
     pub fn record_value(&self, value: f64) {
+        // Relaxed: each bucket is an independent event counter; a scrape
+        // racing a record may miss the newest sample, which is fine.
         self.counts[self.bucket_of(value)].fetch_add(1, Ordering::Relaxed);
         self.sum.add(value);
     }
@@ -198,6 +211,8 @@ impl LogHistogram {
 
     /// Total observations recorded.
     pub fn count(&self) -> u64 {
+        // Relaxed: bucket reads need no mutual consistency — quantiles and
+        // totals are statistical summaries, not linearizable snapshots.
         self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
@@ -210,7 +225,7 @@ impl LogHistogram {
     pub fn bucket_counts(&self) -> Vec<u64> {
         self.counts
             .iter()
-            .map(|c| c.load(Ordering::Relaxed))
+            .map(|c| c.load(Ordering::Relaxed)) // Relaxed: statistical snapshot, as in `count`.
             .collect()
     }
 

@@ -84,6 +84,8 @@ impl SpanRing {
     /// Pushes a sample, overwriting the oldest; silently dropped if the
     /// target slot is contended (never blocks).
     pub fn push(&self, record: SpanRecord) {
+        // Relaxed: the counter only spreads writers across slots; slot
+        // contents are protected by each slot's mutex, not by this index.
         let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.slots.len();
         if let Ok(mut slot) = self.slots[idx].try_lock() {
             *slot = Some(record);

@@ -56,12 +56,17 @@ pub(crate) static TEST_GLOBALS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::ne
 /// with the reference kernels) and for debugging numerical differences; it
 /// is process-global and not meant for production use.
 pub fn set_reference_kernels(on: bool) {
+    // SeqCst: test/bench-only global toggle, far off the hot path — the
+    // strongest ordering makes the switch immediately visible to every
+    // thread of a sweep without reasoning about weaker fences.
     REFERENCE_MODE.store(on, Ordering::SeqCst);
 }
 
 /// True when [`set_reference_kernels`] routed the kernels to the
 /// pre-overhaul loops.
 pub fn reference_kernels_enabled() -> bool {
+    // SeqCst: pairs with the store in `set_reference_kernels`; checked once
+    // per GEMM call, so the fence cost is irrelevant.
     REFERENCE_MODE.load(Ordering::SeqCst)
 }
 
@@ -253,8 +258,11 @@ pub fn gemm(
                         PACK_A.with(|acell| {
                             let mut ap = acell.take();
                             loop {
+                                // Relaxed: the fetch_add only needs to hand
+                                // out unique panel indices; the thread-scope
+                                // join publishes the written rows.
                                 let panel =
-                                    next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                    next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed); // Relaxed: see above.
                                 if panel >= row_panels {
                                     break;
                                 }
@@ -342,7 +350,12 @@ fn run_panel(
         let mut acc = [[0.0f32; NR]; MR];
         microkernel(ap, &bp[jt * k * NR..(jt + 1) * k * NR], k, &mut acc);
         for r in 0..mr {
-            // Panels never share output rows, so the raw writes don't alias.
+            // SAFETY: `out_ptr` points at the `m × n` output buffer, which
+            // outlives the thread scope. Bounds: `i0 + r < m` (r < mr) and
+            // `jbase + jlim <= n`, so the `jlim`-element row slice is in
+            // bounds. Aliasing: each output row belongs to exactly one
+            // panel and panels are claimed uniquely via `fetch_add`, so no
+            // two workers ever overlap a row.
             let orow = unsafe {
                 std::slice::from_raw_parts_mut(out_ptr.0.add((i0 + r) * n + jbase), jlim)
             };
@@ -359,7 +372,12 @@ fn run_panel(
 /// Raw pointer wrapper asserting cross-thread transferability; the caller
 /// guarantees workers touch disjoint rows.
 struct SendPtr(*mut f32);
+// SAFETY: the wrapper is only shared within a `thread::scope` whose workers
+// write disjoint output rows (panel ownership is unique), so sending the
+// pointer across threads cannot create aliased mutable access.
 unsafe impl Send for SendPtr {}
+// SAFETY: `&SendPtr` only exposes the raw pointer; all dereferencing sites
+// uphold the disjoint-row contract documented above.
 unsafe impl Sync for SendPtr {}
 
 /// The pre-overhaul kernels, kept verbatim as benchmarking baselines and
@@ -381,6 +399,10 @@ pub mod reference {
             for p0 in (0..k).step_by(BLOCK) {
                 let p1 = (p0 + BLOCK).min(k);
                 for i in i0..i1 {
+                    // SAFETY: `i < i1 <= m`, so row `i` lies inside the
+                    // `m × n` output; `par_for` hands each row block to
+                    // exactly one worker, so no other thread writes rows
+                    // `i0..i1` concurrently.
                     let orow = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(i * n), n) };
                     for p in p0..p1 {
                         let av = a[i * k + p];
@@ -424,6 +446,9 @@ pub mod reference {
         let out_ptr = SendPtr(out.as_mut_ptr());
         let out_ptr = &out_ptr;
         par::par_for(m, |i| {
+            // SAFETY: `i < m`, so row `i` is inside the `m × n` output, and
+            // `par_for` assigns each `i` to exactly one worker — disjoint
+            // row writes, no aliasing.
             let orow = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(i * n), n) };
             let arow = &a[i * k..(i + 1) * k];
             for (j, o) in orow.iter_mut().enumerate() {
@@ -438,7 +463,12 @@ pub mod reference {
     }
 
     struct SendPtr(*mut f32);
+    // SAFETY: shared only inside `par_for` scopes whose workers write
+    // disjoint output rows; transferring the pointer cannot introduce
+    // aliased mutable access.
     unsafe impl Send for SendPtr {}
+    // SAFETY: `&SendPtr` exposes only the raw pointer value; every deref
+    // site upholds the one-worker-per-row contract.
     unsafe impl Sync for SendPtr {}
 }
 

@@ -149,6 +149,11 @@ unsafe fn im2col1d_write(src: &[f32], geom: &Conv1dGeom, dst: *mut f32, col0: us
     for c in 0..geom.channels {
         for kk in 0..geom.kernel {
             let row = c * geom.kernel + kk;
+            // SAFETY: caller contract (`# Safety` above) — `dst` covers
+            // `rows · ld` f32s with `row < patch_rows` and
+            // `col0 + out_len <= ld`, and this worker exclusively owns the
+            // `out_len`-wide column block at `col0`, so the segment is in
+            // bounds and unaliased.
             let seg = unsafe { std::slice::from_raw_parts_mut(dst.add(row * ld + col0), out_len) };
             for (t, d) in seg.iter_mut().enumerate() {
                 let pos = t * geom.stride + kk;
@@ -210,9 +215,11 @@ pub fn im2col1d_batch(x: &Tensor, geom: &Conv1dGeom, cols_all: &mut Tensor) {
     let dst = SendPtr(cols_all.as_mut_slice().as_mut_ptr());
     let dst = &dst;
     par::par_for(n, |i| {
-        // Sample i writes the disjoint strided column block i·out_len…;
-        // the writer only materializes row-segment slices inside that
-        // block, so workers never hold aliasing references.
+        // SAFETY: `cols_all` was resized to `[patch_rows, n · out_len]`, so
+        // the pointer covers every write. Sample i writes the disjoint
+        // strided column block i·out_len…; the writer only materializes
+        // row-segment slices inside that block, so workers never hold
+        // aliasing references.
         unsafe {
             im2col1d_write(
                 &xs[i * sample..(i + 1) * sample],
@@ -244,7 +251,9 @@ pub fn im2col1d_batch_backward(gcols_all: &Tensor, geom: &Conv1dGeom, grad_x: &m
     let dst = SendPtr(grad_x.as_mut_slice().as_mut_ptr());
     let dst = &dst;
     par::par_for(n, |i| {
-        // Sample i owns the contiguous slice i·sample…, disjoint per worker.
+        // SAFETY: `grad_x` was resized to `[n, channels, len]`, so slice
+        // `i·sample..(i+1)·sample` is in bounds; each sample index is
+        // claimed by exactly one worker, so the slices are disjoint.
         let dsti = unsafe { std::slice::from_raw_parts_mut(dst.0.add(i * sample), sample) };
         im2col1d_scatter(src, geom, i * out_len, ld, dsti);
     });
@@ -252,7 +261,12 @@ pub fn im2col1d_batch_backward(gcols_all: &Tensor, geom: &Conv1dGeom, grad_x: &m
 
 /// Raw pointer wrapper for the disjoint-region parallel writes above.
 struct SendPtr(*mut f32);
+// SAFETY: shared only within `par_for` scopes whose workers write disjoint
+// column blocks / sample slices, so moving the pointer across threads
+// cannot create aliased mutable access.
 unsafe impl Send for SendPtr {}
+// SAFETY: `&SendPtr` exposes only the pointer value; every dereference
+// site documents and upholds the disjoint-region contract.
 unsafe impl Sync for SendPtr {}
 
 /// Geometry of a 2-D convolution over a `[channels, height, width]` image.
@@ -447,7 +461,12 @@ unsafe fn im2col2d_write(src: &[f32], geom: &Conv2dGeom, dst: *mut f32, col0: us
         for ky in 0..geom.kernel_h {
             for kx in 0..geom.kernel_w {
                 let row = (c * geom.kernel_h + ky) * geom.kernel_w + kx;
-                let seg =
+                // SAFETY: caller contract (`# Safety` above) — `dst` covers
+                // `rows · ld` f32s with `row < patch_rows` and
+                // `col0 + oh·ow <= ld`, and this worker exclusively owns
+                // the column block at `col0`, so the segment is in bounds
+                // and unaliased.
+                let seg = // SAFETY: see block comment above.
                     unsafe { std::slice::from_raw_parts_mut(dst.add(row * ld + col0), oh * ow) };
                 for oy in 0..oh {
                     let iy = oy * geom.stride_h + ky;
@@ -523,8 +542,10 @@ pub fn im2col2d_batch(x: &Tensor, geom: &Conv2dGeom, cols_all: &mut Tensor) {
     let dst = SendPtr(cols_all.as_mut_slice().as_mut_ptr());
     let dst = &dst;
     par::par_for(n, |i| {
-        // As in `im2col1d_batch`: only disjoint row-segment slices are
-        // materialized, never a whole-buffer `&mut` per worker.
+        // SAFETY: `cols_all` was resized to `[patch_rows, n · oh · ow]`, so
+        // the pointer covers every write; as in `im2col1d_batch`, sample i
+        // owns the disjoint column block i·oh·ow… and only row-segment
+        // slices inside it are materialized, never a whole-buffer `&mut`.
         unsafe {
             im2col2d_write(
                 &xs[i * sample..(i + 1) * sample],
@@ -556,6 +577,9 @@ pub fn im2col2d_batch_backward(gcols_all: &Tensor, geom: &Conv2dGeom, grad_x: &m
     let dst = SendPtr(grad_x.as_mut_slice().as_mut_ptr());
     let dst = &dst;
     par::par_for(n, |i| {
+        // SAFETY: `grad_x` was resized to `[n, channels, h, w]`, so slice
+        // `i·sample..(i+1)·sample` is in bounds; one worker per sample
+        // index keeps the slices disjoint.
         let dsti = unsafe { std::slice::from_raw_parts_mut(dst.0.add(i * sample), sample) };
         im2col2d_scatter(src, geom, i * plane_out, ld, dsti);
     });

@@ -18,6 +18,9 @@ static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// process environment (`set_var` is not thread-safe under a concurrent
 /// test harness).
 pub fn set_thread_override(threads: Option<usize>) {
+    // SeqCst: test-facing global toggle, set between sweeps and never on a
+    // hot path — strongest ordering so the new count is immediately visible
+    // to every thread without reasoning about weaker fences.
     THREAD_OVERRIDE.store(threads.map_or(0, |n| n.max(1)), Ordering::SeqCst);
 }
 
@@ -27,6 +30,8 @@ pub fn set_thread_override(threads: Option<usize>) {
 /// overridden with [`set_thread_override`] or (e.g. for deterministic
 /// single-thread debugging) the `RBNN_THREADS` environment variable.
 pub fn num_threads() -> usize {
+    // SeqCst: pairs with the store in `set_thread_override`; read once per
+    // parallel section, so the fence cost is noise.
     let over = THREAD_OVERRIDE.load(Ordering::SeqCst);
     if over > 0 {
         return over;
@@ -71,6 +76,8 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // Relaxed: the counter only hands out unique indices; the
+                // scope join publishes every worker's effects.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -151,6 +158,8 @@ where
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    // Relaxed: unique-claim counter; the per-slot mutex and
+                    // the scope join order the actual element accesses.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
