@@ -39,7 +39,8 @@ use rbnn_bench::{
 };
 use rbnn_rram::EngineConfig;
 use rbnn_serve::{
-    demo_network, Backend, BatchPolicy, ModelRegistry, ServeConfig, ServeTask, Server,
+    demo_network, AdmissionPolicy, Backend, BatchPolicy, ModelRegistry, ServeConfig, ServeTask,
+    Server,
 };
 
 /// One measured operating point.
@@ -110,6 +111,10 @@ fn drive(
         queue_capacity: 1024,
         seed: 0xBEEF,
         engine_threads: 1,
+        // The bench deliberately saturates the queue and leans on
+        // backpressure; load shedding would turn that into rejections.
+        admission: AdmissionPolicy::Block,
+        ..Default::default()
     };
     let server = Server::start(registry, &config);
     let width = registry

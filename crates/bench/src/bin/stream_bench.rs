@@ -166,6 +166,7 @@ fn run_fleet(
                 positive_class: INVERTED,
             },
             energy_nj_per_window,
+            ..Default::default()
         },
     );
     for id in 0..patients {
@@ -296,12 +297,19 @@ fn check_parity(net: &rbnn_binary::BinaryNetwork, reports: &[PatientReport]) -> 
         let classes = logits.dim(1);
         for (i, verdict) in report.verdicts.iter().enumerate() {
             let offline_row = &logits.as_slice()[i * classes..(i + 1) * classes];
-            let a: Vec<u32> = verdict.logits.iter().map(|l| l.to_bits()).collect();
+            let Some(streamed) = verdict.logits() else {
+                eprintln!(
+                    "parity: patient {} window {} failed in a fault-free run: {:?}",
+                    report.id, verdict.window, verdict.outcome
+                );
+                return (checked, false);
+            };
+            let a: Vec<u32> = streamed.iter().map(|l| l.to_bits()).collect();
             let b: Vec<u32> = offline_row.iter().map(|l| l.to_bits()).collect();
             if a != b {
                 eprintln!(
                     "parity: patient {} window {} logits diverge: {:?} vs {:?}",
-                    report.id, verdict.window, verdict.logits, offline_row
+                    report.id, verdict.window, streamed, offline_row
                 );
                 return (checked, false);
             }

@@ -15,6 +15,7 @@
 //! | `paperbench` | everything above, quick settings |
 //! | `serve_bench` | serving throughput/latency (software + RRAM backends) |
 //! | `stream_bench` | continuous-monitoring ingestion: N patient streams → serve pool (gated) |
+//! | `chaos_bench` | fault-injection gate: fleet stays real-time and loss-free under seeded chaos (gated) |
 //! | `train_bench` | training throughput vs the pre-overhaul baseline (gated) |
 //! | `conformance` | cross-backend differential oracle + fault campaigns (gated) |
 //!

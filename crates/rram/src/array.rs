@@ -277,6 +277,22 @@ impl RramArray {
         }
     }
 
+    /// Re-programs every synapse to its currently-stored weight — the
+    /// periodic refresh cycle of a deployed fabric. On worn devices
+    /// (after [`set_cycles`](Self::set_cycles)) the re-realized
+    /// resistances draw from the widened, weak-event-prone worn
+    /// distributions, so the marginal band grows: refresh is the path
+    /// through which accumulated wear becomes visible to inference.
+    pub fn refresh(&mut self) {
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let idx = row * self.cols + col;
+                let weight = self.synapses[idx].programmed_weight();
+                self.program_bit(row, col, weight);
+            }
+        }
+    }
+
     /// Reads one word line through the column PCSAs.
     pub fn read_row(&mut self, row: usize) -> BitVec {
         assert!(row < self.rows, "row {row} out of range");

@@ -255,6 +255,16 @@ impl DenseEngine {
         }
     }
 
+    /// Re-programs every tile's synapses to their stored weights at the
+    /// current wear level; see [`RramArray::refresh`].
+    pub fn refresh(&mut self) {
+        for row in &mut self.tiles {
+            for array in row {
+                array.refresh();
+            }
+        }
+    }
+
     /// Aggregated operation counters across arrays.
     pub fn stats(&self) -> ArrayStats {
         let mut total = ArrayStats::default();
@@ -462,6 +472,21 @@ impl NetworkEngine {
         }
         // Wear re-evaluates the margin gate, so the marginal fraction
         // shifts; refresh the fleet gauge.
+        if rbnn_telemetry::enabled() {
+            self.update_marginal_gauge();
+        }
+    }
+
+    /// Re-programs the whole network onto the (possibly worn) fabric —
+    /// the periodic weight-refresh cycle of a deployed chip. Re-realized
+    /// resistances draw from the current wear level's distributions, so
+    /// after [`set_cycles`](Self::set_cycles) a refresh is what actually
+    /// moves cells into the marginal band (wear alone only changes the
+    /// statistics of future programming events).
+    pub fn refresh(&mut self) {
+        for l in &mut self.layers {
+            l.refresh();
+        }
         if rbnn_telemetry::enabled() {
             self.update_marginal_gauge();
         }

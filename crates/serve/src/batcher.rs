@@ -90,6 +90,41 @@ impl Batcher {
     ) -> Option<Vec<T>> {
         let mut batch = queue.pop_up_to(self.policy.max_batch)?;
         on_pop(&mut batch);
+        Some(self.linger_and_record(queue, batch, on_pop))
+    }
+
+    /// [`next_batch_with`](Self::next_batch_with) whose *initial* wait is
+    /// bounded by `initial_wait`: when nothing arrives inside the window
+    /// the call returns an **empty** batch instead of blocking
+    /// indefinitely. The worker loop uses this as its idle tick — it must
+    /// come back around periodically to heartbeat the supervisor and
+    /// respawn due replicas even when no traffic is flowing. An empty
+    /// return skips the linger and leaves the fill EWMA untouched (an
+    /// idle tick is not a formed batch and must not drag the adaptive
+    /// linger toward zero).
+    pub fn next_batch_within<T>(
+        &mut self,
+        queue: &BoundedQueue<T>,
+        initial_wait: Duration,
+        mut on_pop: impl FnMut(&mut [T]),
+    ) -> Option<Vec<T>> {
+        let deadline = Instant::now() + initial_wait;
+        let mut batch = queue.pop_up_to_deadline(self.policy.max_batch, deadline)?;
+        if batch.is_empty() {
+            return Some(batch);
+        }
+        on_pop(&mut batch);
+        Some(self.linger_and_record(queue, batch, on_pop))
+    }
+
+    /// Shared tail of the batch-formation paths: linger for stragglers on
+    /// a partial batch, then fold the final fill ratio into the EWMA.
+    fn linger_and_record<T>(
+        &mut self,
+        queue: &BoundedQueue<T>,
+        mut batch: Vec<T>,
+        mut on_pop: impl FnMut(&mut [T]),
+    ) -> Vec<T> {
         if batch.len() < self.policy.max_batch {
             let linger = self.current_linger();
             if !linger.is_zero() {
@@ -120,7 +155,7 @@ impl Batcher {
         }
         let ratio = batch.len() as f64 / self.policy.max_batch as f64;
         self.fill = 0.8 * self.fill + 0.2 * ratio;
-        Some(batch)
+        batch
     }
 }
 
@@ -251,6 +286,36 @@ mod tests {
         assert!(
             batch.len() >= 3,
             "trickle should accumulate before dispatch, got {batch:?}"
+        );
+    }
+
+    #[test]
+    fn bounded_wait_ticks_empty_without_touching_fill() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        let mut b = Batcher::new(BatchPolicy::default());
+        let linger_before = b.current_linger();
+        let t0 = Instant::now();
+        let batch = b
+            .next_batch_within(&q, Duration::from_millis(20), |_| {})
+            .unwrap();
+        assert!(batch.is_empty(), "idle tick returns an empty batch");
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+        assert_eq!(
+            b.current_linger(),
+            linger_before,
+            "an idle tick must not move the fill EWMA"
+        );
+        // With items available it forms a batch like next_batch.
+        q.push(7).unwrap();
+        let batch = b
+            .next_batch_within(&q, Duration::from_millis(20), |_| {})
+            .unwrap();
+        assert_eq!(batch, vec![7]);
+        // A closed drained queue still terminates with None.
+        q.close();
+        assert_eq!(
+            b.next_batch_within(&q, Duration::from_millis(5), |_| {}),
+            None
         );
     }
 

@@ -27,6 +27,20 @@
 //!    histogram (p50/p95/p99), throughput, batch fill and per-replica
 //!    array counters.
 //!
+//! The runtime is *self-healing*: a replica that panics is retired,
+//! answered with a retryable [`ServeError::EngineFault`], and respawned
+//! by its worker under the [`Supervisor`]'s exponential backoff (crash
+//! loops quarantine after a cap). Admission is governed by
+//! [`AdmissionPolicy`] — the default *sheds* the newest routine request
+//! when the queue is full instead of blocking, and [`Priority::Urgent`]
+//! submissions may evict the newest routine entry. Requests carry
+//! optional deadlines ([`SubmitOptions`]); expired requests are dropped
+//! before dispatch with [`ServeError::DeadlineExceeded`]. Worn RRAM
+//! replicas whose marginal-cell fraction crosses
+//! [`ServeConfig::degrade_marginal_threshold`] fall back to bit-exact
+//! software XNOR of the same network ([`ReplicaHealth::Degraded`]).
+//! [`ServeHandle::fleet_health`] reports the whole picture.
+//!
 //! ```
 //! use rbnn_serve::{ModelRegistry, ServeConfig, ServeTask, Server};
 //!
@@ -58,13 +72,18 @@ mod batcher;
 pub mod fault;
 pub mod queue;
 mod registry;
+mod retry;
 mod server;
 mod stats;
+mod supervisor;
 
 pub use batcher::{BatchPolicy, Batcher};
+pub use fault::ChaosPlan;
 pub use registry::{demo_network, Backend, ModelEntry, ModelRegistry, ServeTask};
+pub use retry::RetryPolicy;
 pub use server::{
-    classify_matrix, Pending, PendingWindow, Prediction, ServeConfig, ServeError, ServeHandle,
-    Server, TaskClient,
+    classify_matrix, AdmissionPolicy, Pending, PendingWindow, Prediction, Priority, ServeConfig,
+    ServeError, ServeHandle, Server, SubmitOptions, TaskClient,
 };
 pub use stats::{EngineSnapshot, ServerStats, StatsSnapshot};
+pub use supervisor::{FleetHealth, ReplicaHealth, ReplicaReport, Supervisor, SupervisorPolicy};

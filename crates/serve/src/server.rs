@@ -1,4 +1,5 @@
-//! The serving runtime: request intake, worker pool, dispatch.
+//! The serving runtime: request intake, worker pool, dispatch,
+//! supervision.
 //!
 //! A [`Server`] owns a bounded request queue and a pool of worker threads.
 //! Each worker holds its *own replica* of every registered model's engine —
@@ -7,22 +8,101 @@
 //! serialize the whole pool behind one lock. Workers pull micro-batches
 //! through a [`Batcher`](crate::Batcher), group them by task, run the
 //! batched kernels, and answer each request through its one-shot channel.
+//!
+//! Resilience (see also [`crate::supervisor`]): admission is governed by
+//! [`AdmissionPolicy`] (load-shed by default, with priority lanes);
+//! requests may carry deadlines ([`SubmitOptions`]) and are answered with
+//! [`ServeError::DeadlineExceeded`] instead of consuming engine time once
+//! expired; a replica that panics mid-batch is retired, then respawned by
+//! its owning worker after a supervisor-managed backoff (quarantined if it
+//! crash-loops); an RRAM replica whose fabric degrades past the
+//! marginal-cell threshold falls back to the bit-exact software path.
 
 use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rbnn_binary::BinaryNetwork;
-use rbnn_rram::NetworkEngine;
+use rbnn_rram::{EngineConfig, NetworkEngine};
 use rbnn_telemetry::{SpanRecord, SpanRing};
 use rbnn_tensor::Tensor;
 
 use crate::batcher::{BatchPolicy, Batcher};
-use crate::queue::{BoundedQueue, PushError};
+use crate::fault::ChaosEvent;
+use crate::queue::{BoundedQueue, Lane, PushError};
 use crate::registry::{Backend, ModelRegistry, ServeTask};
+use crate::retry::RetryPolicy;
 use crate::stats::{ServerStats, StatsSnapshot};
+use crate::supervisor::{FleetHealth, Supervisor, SupervisorPolicy};
+
+/// What happens to new work when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Reject-newest load shedding (the default): a full queue answers
+    /// the push with [`ServeError::Overloaded`] immediately; an urgent
+    /// push may instead evict the newest *routine* queued request (which
+    /// is answered with `Overloaded` through its own reply channel). No
+    /// producer ever blocks, so an overloaded fleet stays responsive and
+    /// stale work is dropped before stale verdicts are served.
+    #[default]
+    Shed,
+    /// Classic backpressure: a full queue blocks the producer until
+    /// space frees. Right for closed-loop load generators and batch
+    /// pipelines that *want* to be slowed to the pool's rate; wrong for
+    /// realtime monitoring, where blocking turns overload into unbounded
+    /// staleness.
+    Block,
+}
+
+/// Request priority, mapped onto the queue's two lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Normal traffic (the default).
+    #[default]
+    Routine,
+    /// Alarm-adjacent / latency-critical work: drained before routine
+    /// requests and, under [`AdmissionPolicy::Shed`] overload, may evict
+    /// the newest routine request instead of being rejected.
+    Urgent,
+}
+
+impl Priority {
+    fn lane(self) -> Lane {
+        match self {
+            Priority::Routine => Lane::Routine,
+            Priority::Urgent => Lane::Urgent,
+        }
+    }
+}
+
+/// Per-request submission options (priority lane and deadline budget).
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// Which queue lane the request enters.
+    pub priority: Priority,
+    /// Optional end-to-end budget measured from submission: once it
+    /// elapses, a worker answers [`ServeError::DeadlineExceeded`] at
+    /// dispatch instead of spending engine time on a verdict nobody can
+    /// use. `None` (default) never expires.
+    pub deadline: Option<Duration>,
+}
+
+impl SubmitOptions {
+    /// Routine priority, no deadline — the legacy submit behavior.
+    pub fn routine() -> Self {
+        Self::default()
+    }
+
+    /// Urgent priority with an optional deadline.
+    pub fn urgent(deadline: Option<Duration>) -> Self {
+        Self {
+            priority: Priority::Urgent,
+            deadline,
+        }
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -33,7 +113,7 @@ pub struct ServeConfig {
     pub backend: Backend,
     /// Batch formation policy.
     pub batch: BatchPolicy,
-    /// Request queue capacity (the backpressure bound).
+    /// Request queue capacity (the backpressure/shedding bound).
     pub queue_capacity: usize,
     /// Base seed for per-replica RRAM device sampling.
     pub seed: u64,
@@ -44,6 +124,17 @@ pub struct ServeConfig {
     /// wear makes individual dispatches slow. Ignored on the software
     /// backend.
     pub engine_threads: usize,
+    /// What happens to new work when the queue is full.
+    pub admission: AdmissionPolicy,
+    /// Respawn/quarantine policy for faulted replicas.
+    pub supervisor: SupervisorPolicy,
+    /// Marginal-cell fraction above which an RRAM replica falls back to
+    /// the bit-exact software XNOR path (degraded mode). Checked after
+    /// each dispatch; `0.0` disables the fallback. The default (5%) sits
+    /// far above any fresh fabric (≪ 1% marginal) but below the
+    /// heavily-worn regime where Monte-Carlo senses dominate both the
+    /// latency and the error budget.
+    pub degrade_marginal_threshold: f64,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +146,9 @@ impl Default for ServeConfig {
             queue_capacity: 4096,
             seed: 0x5EED,
             engine_threads: 1,
+            admission: AdmissionPolicy::Shed,
+            supervisor: SupervisorPolicy::default(),
+            degrade_marginal_threshold: 0.05,
         }
     }
 }
@@ -80,15 +174,24 @@ pub enum ServeError {
         /// Width the request carried.
         got: usize,
     },
-    /// The queue is full and the request was load-shed
-    /// (only from [`ServeHandle::try_classify`]).
+    /// The queue is full and the request was load-shed — either rejected
+    /// at admission ([`AdmissionPolicy::Shed`], [`ServeHandle::try_classify`])
+    /// or evicted from the queue by an urgent arrival.
     Overloaded,
     /// The server is shutting down.
     ShuttingDown,
-    /// The engine replica evaluating this batch panicked. The faulty
-    /// replica is retired; the worker and every other replica keep
-    /// serving, so retrying the request on the same handle is safe.
+    /// The engine replica evaluating this batch panicked. The replica is
+    /// retired and respawned by the supervisor after a backoff (or
+    /// quarantined if it crash-loops); the worker and every other replica
+    /// keep serving, so retrying the request on the same handle is safe.
     EngineFault,
+    /// The engine reported a transient, retryable error for this batch;
+    /// the replica itself stays healthy. (In production this models I/O
+    /// or scheduling hiccups; the chaos harness injects it directly.)
+    Transient,
+    /// The request's [`deadline`](SubmitOptions::deadline) expired before
+    /// engine dispatch; it was dropped without consuming engine time.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for ServeError {
@@ -105,6 +208,12 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "server shutting down"),
             ServeError::EngineFault => {
                 write!(f, "engine replica panicked while serving the batch")
+            }
+            ServeError::Transient => {
+                write!(f, "engine reported a transient error for the batch")
+            }
+            ServeError::DeadlineExceeded => {
+                write!(f, "request deadline expired before engine dispatch")
             }
         }
     }
@@ -139,6 +248,9 @@ struct Request {
     task: ServeTask,
     rows: RequestRows,
     submitted: Instant,
+    /// Absolute expiry: a worker answers [`ServeError::DeadlineExceeded`]
+    /// at dispatch instead of evaluating past this instant.
+    deadline: Option<Instant>,
     /// When a worker popped this request off the queue — stamped by the
     /// batcher's dequeue observer (only while telemetry is enabled), it
     /// separates queue wait from batching linger in span traces.
@@ -164,19 +276,30 @@ struct Shared {
     /// tail decomposition into queue / batch-linger / service phases.
     spans: SpanRing,
     widths: BTreeMap<ServeTask, usize>,
+    supervisor: Supervisor,
+    admission: AdmissionPolicy,
+    /// See [`ServeConfig::degrade_marginal_threshold`].
+    degrade_marginal_threshold: f64,
 }
 
 impl Shared {
     /// The one enqueue path every client API funnels through: validates
-    /// each sample against the pre-resolved feature `width`, then pushes —
-    /// blocking on a full queue (backpressure) or, when `blocking` is
-    /// false, shedding with [`ServeError::Overloaded`].
+    /// each sample against the pre-resolved feature `width`, stamps the
+    /// deadline, then pushes onto the request's priority lane. Under
+    /// [`AdmissionPolicy::Block`] a full queue blocks the producer
+    /// (backpressure); under [`AdmissionPolicy::Shed`] — or whenever
+    /// `force_shed` is set ([`ServeHandle::try_classify`]) — a full queue
+    /// answers [`ServeError::Overloaded`] instead, and an urgent push may
+    /// evict the newest queued routine request (whose own reply channel
+    /// receives `Overloaded`: every accepted enqueue still reaches a
+    /// terminal verdict or typed error).
     fn submit(
         &self,
         task: ServeTask,
         width: usize,
         rows: RequestRows,
-        blocking: bool,
+        opts: &SubmitOptions,
+        force_shed: bool,
     ) -> Result<mpsc::Receiver<Result<Vec<Prediction>, ServeError>>, ServeError> {
         for row in rows.rows() {
             if row.len() != width {
@@ -187,20 +310,29 @@ impl Shared {
             }
         }
         let (reply, rx) = mpsc::channel();
+        let now = Instant::now();
         let request = Request {
             task,
             rows,
-            submitted: Instant::now(),
+            submitted: now,
+            deadline: opts.deadline.map(|d| now + d),
             dequeued: None,
             reply,
         };
-        let outcome = if blocking {
-            self.queue.push(request)
+        let lane = opts.priority.lane();
+        let outcome = if force_shed || self.admission == AdmissionPolicy::Shed {
+            self.queue.push_shed(request, lane)
         } else {
-            self.queue.try_push(request)
+            self.queue.push_lane(request, lane).map(|()| None)
         };
         match outcome {
-            Ok(()) => {
+            Ok(evicted) => {
+                if let Some(victim) = evicted {
+                    self.stats.record_evicted();
+                    // The evicted client may have given up already; a
+                    // dropped receiver is not an error.
+                    let _ = victim.reply.send(Err(ServeError::Overloaded));
+                }
                 self.stats.record_submitted();
                 Ok(rx)
             }
@@ -224,7 +356,8 @@ impl ServeHandle {
         &self,
         task: ServeTask,
         rows: RequestRows,
-        blocking: bool,
+        opts: &SubmitOptions,
+        force_shed: bool,
     ) -> Result<mpsc::Receiver<Result<Vec<Prediction>, ServeError>>, ServeError> {
         // One registry lookup per request (a TaskClient resolves it once
         // instead), one length check per sample.
@@ -233,7 +366,7 @@ impl ServeHandle {
             .widths
             .get(&task)
             .ok_or(ServeError::UnknownTask(task))?;
-        self.shared.submit(task, expected, rows, blocking)
+        self.shared.submit(task, expected, rows, opts, force_shed)
     }
 
     fn recv_one(
@@ -247,10 +380,27 @@ impl ServeHandle {
     }
 
     /// Classifies one feature vector, blocking until the pool answers.
-    /// When the queue is full the call *waits* (backpressure) rather than
-    /// shedding.
+    /// A full queue sheds or blocks according to the server's
+    /// [`AdmissionPolicy`].
     pub fn classify(&self, task: ServeTask, features: Vec<f32>) -> Result<Prediction, ServeError> {
-        let rx = self.submit(task, RequestRows::Owned(vec![features]), true)?;
+        let rx = self.submit(
+            task,
+            RequestRows::Owned(vec![features]),
+            &SubmitOptions::default(),
+            false,
+        )?;
+        Self::recv_one(rx)
+    }
+
+    /// [`classify`](Self::classify) with explicit [`SubmitOptions`]
+    /// (priority lane, deadline).
+    pub fn classify_with(
+        &self,
+        task: ServeTask,
+        features: Vec<f32>,
+        opts: &SubmitOptions,
+    ) -> Result<Prediction, ServeError> {
+        let rx = self.submit(task, RequestRows::Owned(vec![features]), opts, false)?;
         Self::recv_one(rx)
     }
 
@@ -262,7 +412,12 @@ impl ServeHandle {
         task: ServeTask,
         rows: Vec<Vec<f32>>,
     ) -> Result<Vec<Prediction>, ServeError> {
-        let rx = self.submit(task, RequestRows::Owned(rows), true)?;
+        let rx = self.submit(
+            task,
+            RequestRows::Owned(rows),
+            &SubmitOptions::default(),
+            false,
+        )?;
         rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
     }
 
@@ -270,10 +425,14 @@ impl ServeHandle {
     /// ticket — the pipelined client path: keeping a window of outstanding
     /// requests in flight is what lets the pool form deep batches (a
     /// strictly synchronous caller never queues more than one).
-    /// Blocks only when the queue is full (backpressure).
     pub fn enqueue(&self, task: ServeTask, features: Vec<f32>) -> Result<Pending, ServeError> {
         Ok(Pending {
-            rx: self.submit(task, RequestRows::Owned(vec![features]), true)?,
+            rx: self.submit(
+                task,
+                RequestRows::Owned(vec![features]),
+                &SubmitOptions::default(),
+                false,
+            )?,
         })
     }
 
@@ -284,7 +443,12 @@ impl ServeHandle {
         rows: Vec<Vec<f32>>,
     ) -> Result<PendingWindow, ServeError> {
         Ok(PendingWindow {
-            rx: self.submit(task, RequestRows::Owned(rows), true)?,
+            rx: self.submit(
+                task,
+                RequestRows::Owned(rows),
+                &SubmitOptions::default(),
+                false,
+            )?,
         })
     }
 
@@ -298,24 +462,41 @@ impl ServeHandle {
         rows: Arc<Vec<Vec<f32>>>,
     ) -> Result<PendingWindow, ServeError> {
         Ok(PendingWindow {
-            rx: self.submit(task, RequestRows::Shared(rows), true)?,
+            rx: self.submit(
+                task,
+                RequestRows::Shared(rows),
+                &SubmitOptions::default(),
+                false,
+            )?,
         })
     }
 
-    /// Like [`classify`](Self::classify) but load-sheds instead of
-    /// blocking when the queue is full.
+    /// Like [`classify`](Self::classify) but *always* load-sheds on a
+    /// full queue, regardless of the server's admission policy.
     pub fn try_classify(
         &self,
         task: ServeTask,
         features: Vec<f32>,
     ) -> Result<Prediction, ServeError> {
-        let rx = self.submit(task, RequestRows::Owned(vec![features]), false)?;
+        let rx = self.submit(
+            task,
+            RequestRows::Owned(vec![features]),
+            &SubmitOptions::default(),
+            true,
+        )?;
         Self::recv_one(rx)
     }
 
     /// Current queue depth.
     pub fn queue_depth(&self) -> usize {
         self.shared.queue.len()
+    }
+
+    /// Point-in-time fleet health: per-replica status (healthy / down /
+    /// quarantined / degraded), fault and respawn counts, worker
+    /// heartbeat ages.
+    pub fn fleet_health(&self) -> FleetHealth {
+        self.shared.supervisor.fleet_health()
     }
 
     /// Point-in-time server statistics.
@@ -379,22 +560,56 @@ impl TaskClient {
     fn submit(
         &self,
         rows: RequestRows,
+        opts: &SubmitOptions,
     ) -> Result<mpsc::Receiver<Result<Vec<Prediction>, ServeError>>, ServeError> {
-        self.shared.submit(self.task, self.width, rows, true)
+        self.shared.submit(self.task, self.width, rows, opts, false)
     }
 
     /// Classifies one feature vector, blocking until the pool answers
     /// (see [`ServeHandle::classify`]).
     pub fn classify(&self, features: Vec<f32>) -> Result<Prediction, ServeError> {
-        let rx = self.submit(RequestRows::Owned(vec![features]))?;
+        let rx = self.submit(
+            RequestRows::Owned(vec![features]),
+            &SubmitOptions::default(),
+        )?;
         ServeHandle::recv_one(rx)
+    }
+
+    /// [`classify`](Self::classify) with automatic retry on transient
+    /// failures: shed admissions, transient engine errors and engine
+    /// faults are retried with jittered exponential backoff up to
+    /// `policy.max_attempts` total attempts. Non-retryable errors
+    /// (deadline expiry, shutdown, bad input) return immediately.
+    pub fn classify_retry(
+        &self,
+        features: Vec<f32>,
+        opts: &SubmitOptions,
+        policy: &RetryPolicy,
+    ) -> Result<Prediction, ServeError> {
+        let salt = features.len() as u64;
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self
+                .submit(RequestRows::Owned(vec![features.clone()]), opts)
+                .and_then(ServeHandle::recv_one);
+            match outcome {
+                Err(e) if e.is_retryable() && policy.allows_retry(attempt) => {
+                    std::thread::sleep(policy.backoff(attempt, salt));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Enqueues one sample and returns a [`Pending`] ticket (see
     /// [`ServeHandle::enqueue`]).
     pub fn enqueue(&self, features: Vec<f32>) -> Result<Pending, ServeError> {
         Ok(Pending {
-            rx: self.submit(RequestRows::Owned(vec![features]))?,
+            rx: self.submit(
+                RequestRows::Owned(vec![features]),
+                &SubmitOptions::default(),
+            )?,
         })
     }
 
@@ -402,7 +617,20 @@ impl TaskClient {
     /// [`ServeHandle::enqueue_window`]).
     pub fn enqueue_window(&self, rows: Vec<Vec<f32>>) -> Result<PendingWindow, ServeError> {
         Ok(PendingWindow {
-            rx: self.submit(RequestRows::Owned(rows))?,
+            rx: self.submit(RequestRows::Owned(rows), &SubmitOptions::default())?,
+        })
+    }
+
+    /// [`enqueue_window`](Self::enqueue_window) with explicit
+    /// [`SubmitOptions`] — the stream router's submission path (urgent
+    /// lane for alarm-adjacent windows, per-window deadlines).
+    pub fn enqueue_window_with(
+        &self,
+        rows: Vec<Vec<f32>>,
+        opts: &SubmitOptions,
+    ) -> Result<PendingWindow, ServeError> {
+        Ok(PendingWindow {
+            rx: self.submit(RequestRows::Owned(rows), opts)?,
         })
     }
 
@@ -410,13 +638,30 @@ impl TaskClient {
     /// (see [`ServeHandle::enqueue_shared`]).
     pub fn enqueue_shared(&self, rows: Arc<Vec<Vec<f32>>>) -> Result<PendingWindow, ServeError> {
         Ok(PendingWindow {
-            rx: self.submit(RequestRows::Shared(rows))?,
+            rx: self.submit(RequestRows::Shared(rows), &SubmitOptions::default())?,
+        })
+    }
+
+    /// [`enqueue_shared`](Self::enqueue_shared) with explicit
+    /// [`SubmitOptions`].
+    pub fn enqueue_shared_with(
+        &self,
+        rows: Arc<Vec<Vec<f32>>>,
+        opts: &SubmitOptions,
+    ) -> Result<PendingWindow, ServeError> {
+        Ok(PendingWindow {
+            rx: self.submit(RequestRows::Shared(rows), opts)?,
         })
     }
 
     /// Current queue depth.
     pub fn queue_depth(&self) -> usize {
         self.shared.queue.len()
+    }
+
+    /// Point-in-time fleet health (see [`ServeHandle::fleet_health`]).
+    pub fn fleet_health(&self) -> FleetHealth {
+        self.shared.supervisor.fleet_health()
     }
 
     /// Point-in-time server statistics.
@@ -498,6 +743,69 @@ impl WorkerEngine {
             }
         }
     }
+
+    /// Fast-forwards device wear and runs one weight-refresh cycle on the
+    /// worn fabric (chaos drift injection): the refresh re-realizes every
+    /// resistance from the worn distributions, which is what actually
+    /// pushes cells into the marginal band. No-op on the software backend
+    /// — there is no fabric to age.
+    fn age(&mut self, cycles: u64) {
+        if let WorkerEngine::Rram(engine) = self {
+            engine.set_cycles(cycles);
+            engine.refresh();
+        }
+    }
+
+    /// Fraction of cells whose programmed window has collapsed into the
+    /// marginal band, or `None` on the software backend.
+    fn marginal_fraction(&self) -> Option<f64> {
+        match self {
+            WorkerEngine::Software(_) => None,
+            WorkerEngine::Rram(engine) => {
+                let cells = engine.cell_count();
+                if cells == 0 {
+                    return None;
+                }
+                Some(engine.marginal_cells() as f64 / cells as f64)
+            }
+        }
+    }
+}
+
+/// Everything needed to (re)build one worker's engine replica for one
+/// task. Retained for the lifetime of the worker so the supervisor can
+/// respawn a retired replica: a rebuild from the spec reprograms a
+/// *fresh* fabric (same network, same per-replica seed), which is
+/// exactly the recovery model of swapping in a spare die.
+struct ReplicaSpec {
+    network: BinaryNetwork,
+    backend: Backend,
+    engine_config: EngineConfig,
+    engine_threads: usize,
+}
+
+impl ReplicaSpec {
+    /// Builds (or rebuilds) the engine this spec describes.
+    fn build(&self) -> WorkerEngine {
+        match self.backend {
+            Backend::Software => WorkerEngine::Software(self.network.clone()),
+            Backend::Rram => {
+                let mut engine = NetworkEngine::program(&self.network, &self.engine_config);
+                engine.set_parallelism(self.engine_threads);
+                WorkerEngine::Rram(engine)
+            }
+        }
+    }
+}
+
+/// One worker's replica slot: the rebuild recipe plus the live engine
+/// (`None` while the replica is down or quarantined).
+struct Replica {
+    spec: ReplicaSpec,
+    engine: Option<WorkerEngine>,
+    /// Set by a respawn, cleared by the first successful batch — the
+    /// signal to tell the supervisor the replica is stable again.
+    fresh_respawn: bool,
 }
 
 /// A running serving runtime. Dropping the server shuts it down and joins
@@ -523,40 +831,54 @@ impl Server {
             .tasks()
             .map(|t| (t, registry.in_features(t).expect("registered")))
             .collect();
+        let tasks: Vec<ServeTask> = registry.tasks().collect();
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             stats: ServerStats::new(config.workers),
             spans: SpanRing::new(SPAN_RING_CAPACITY),
             widths,
+            supervisor: Supervisor::new(config.supervisor.clone(), config.workers, &tasks),
+            admission: config.admission,
+            degrade_marginal_threshold: config.degrade_marginal_threshold,
         });
 
         let workers = (0..config.workers)
             .map(|worker_idx| {
                 let shared = Arc::clone(&shared);
-                let mut engines: BTreeMap<ServeTask, WorkerEngine> = registry
+                let mut replicas: BTreeMap<ServeTask, Replica> = registry
                     .tasks()
                     .map(|task| {
                         let entry = registry.get(task).expect("registered");
-                        let engine = match config.backend {
-                            Backend::Software => WorkerEngine::Software(entry.network.clone()),
-                            Backend::Rram => {
-                                let mut cfg = entry.engine_config.clone();
-                                cfg.seed = cfg
-                                    .seed
-                                    .wrapping_add(config.seed)
-                                    .wrapping_add(worker_idx as u64 * 0x9E37_79B9);
-                                let mut engine = NetworkEngine::program(&entry.network, &cfg);
-                                engine.set_parallelism(config.engine_threads);
-                                WorkerEngine::Rram(engine)
-                            }
+                        let mut engine_config = entry.engine_config.clone();
+                        // Distinct device seed per worker: replicas are
+                        // independently fabricated chips, not clones of
+                        // one die — and a respawn programs yet another
+                        // fresh fabric from the same recipe.
+                        engine_config.seed = engine_config
+                            .seed
+                            .wrapping_add(config.seed)
+                            .wrapping_add(worker_idx as u64 * 0x9E37_79B9);
+                        let spec = ReplicaSpec {
+                            network: entry.network.clone(),
+                            backend: config.backend,
+                            engine_config,
+                            engine_threads: config.engine_threads,
                         };
-                        (task, engine)
+                        let engine = Some(spec.build());
+                        (
+                            task,
+                            Replica {
+                                spec,
+                                engine,
+                                fresh_respawn: false,
+                            },
+                        )
                     })
                     .collect();
                 let mut batcher = Batcher::new(config.batch.clone());
                 std::thread::Builder::new()
                     .name(format!("rbnn-serve-{worker_idx}"))
-                    .spawn(move || worker_loop(&shared, worker_idx, &mut engines, &mut batcher))
+                    .spawn(move || worker_loop(&shared, worker_idx, &mut replicas, &mut batcher))
                     .expect("spawn worker")
             })
             .collect();
@@ -580,6 +902,11 @@ impl Server {
     /// [`ServeHandle::span_samples`]).
     pub fn span_samples(&self) -> Vec<SpanRecord> {
         self.shared.spans.samples()
+    }
+
+    /// Point-in-time fleet health (see [`ServeHandle::fleet_health`]).
+    pub fn fleet_health(&self) -> FleetHealth {
+        self.shared.supervisor.fleet_health()
     }
 
     /// Stops intake, drains queued requests, and joins the pool.
@@ -613,7 +940,15 @@ const SPAN_RING_CAPACITY: usize = 512;
 /// demos see at least one trace).
 const SPAN_SAMPLE_EVERY: u64 = 16;
 
-/// One worker's serve loop: pull micro-batches until the queue closes.
+/// How long an idle worker waits for traffic before coming back around to
+/// heartbeat the supervisor and respawn due replicas. Short enough that a
+/// respawn whose backoff has elapsed is picked up promptly, long enough to
+/// stay invisible in CPU profiles of an idle pool.
+const WORKER_TICK: Duration = Duration::from_millis(25);
+
+/// One worker's serve loop: pull micro-batches until the queue closes,
+/// ticking every [`WORKER_TICK`] even when idle so supervision (heartbeat,
+/// backoff-elapsed respawns) keeps running without traffic.
 ///
 /// This is a panic-freedom zone (see `analysis.toml`): a dying worker
 /// silently shrinks the pool, so nothing in the loop body may unwind —
@@ -621,14 +956,16 @@ const SPAN_SAMPLE_EVERY: u64 = 16;
 fn worker_loop(
     shared: &Shared,
     worker_idx: usize,
-    engines: &mut BTreeMap<ServeTask, WorkerEngine>,
+    replicas: &mut BTreeMap<ServeTask, Replica>,
     batcher: &mut Batcher,
 ) {
     loop {
+        shared.supervisor.heartbeat(worker_idx);
+        respawn_due_replicas(shared, worker_idx, replicas);
         // Stamp each chunk as it leaves the queue (one clock read per
         // pop, not per request) so span traces can split queue wait from
         // the linger.
-        let batch = batcher.next_batch_with(&shared.queue, |chunk| {
+        let batch = batcher.next_batch_within(&shared.queue, WORKER_TICK, |chunk| {
             if rbnn_telemetry::enabled() {
                 let now = Instant::now();
                 for request in chunk.iter_mut() {
@@ -640,35 +977,91 @@ fn worker_loop(
         if batch.is_empty() {
             continue;
         }
-        serve_batch(shared, worker_idx, engines, batch);
+        serve_batch(shared, worker_idx, replicas, batch);
     }
 }
 
-/// Runs one micro-batch: group by task, evaluate batched, answer each
-/// request with one prediction per sample it carried.
+/// Rebuilds every replica of this worker whose respawn backoff has
+/// elapsed. Only the owning worker thread touches its engines, so
+/// recovery needs no cross-thread engine handoff: the supervisor decides
+/// *when*, the worker performs the rebuild.
+fn respawn_due_replicas(
+    shared: &Shared,
+    worker_idx: usize,
+    replicas: &mut BTreeMap<ServeTask, Replica>,
+) {
+    for (task, replica) in replicas.iter_mut() {
+        if replica.engine.is_none() && shared.supervisor.respawn_due(worker_idx, *task) {
+            try_respawn(shared, worker_idx, *task, replica);
+        }
+    }
+}
+
+/// One respawn attempt: rebuild the engine from the retained spec. A
+/// rebuild that itself panics (e.g. chaos armed during programming)
+/// counts as another fault and pushes the backoff further out.
+fn try_respawn(shared: &Shared, worker_idx: usize, task: ServeTask, replica: &mut Replica) {
+    let rebuilt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| replica.spec.build()));
+    match rebuilt {
+        Ok(engine) => {
+            replica.engine = Some(engine);
+            replica.fresh_respawn = true;
+            shared.supervisor.respawned(worker_idx, task);
+        }
+        Err(_) => {
+            shared.supervisor.record_fault(worker_idx, task);
+        }
+    }
+}
+
+/// Runs one micro-batch: group by task, drop expired requests, evaluate
+/// batched, answer each survivor with one prediction per sample.
 ///
 /// A panicking engine replica degrades only its own task group: the
 /// unwind is caught, every request in the group is answered with
 /// [`ServeError::EngineFault`], and the replica is retired from this
-/// worker (its interior state may be inconsistent mid-unwind). The worker
-/// thread itself — and every other replica it holds — keeps serving.
+/// worker (its interior state may be inconsistent mid-unwind) — the
+/// supervisor schedules its respawn. The worker thread itself — and every
+/// other replica it holds — keeps serving.
 fn serve_batch(
     shared: &Shared,
     worker_idx: usize,
-    engines: &mut BTreeMap<ServeTask, WorkerEngine>,
+    replicas: &mut BTreeMap<ServeTask, Replica>,
     batch: Vec<Request>,
 ) {
     let mut by_task: BTreeMap<ServeTask, Vec<Request>> = BTreeMap::new();
+    let now = Instant::now();
     for request in batch {
+        // Deadline check happens *before* the engine sees the request: an
+        // expired answer is useless to the caller, so spending senses on
+        // it would only add latency to everything queued behind it.
+        if request.deadline.is_some_and(|d| now >= d) {
+            shared.stats.record_expired();
+            let _ = request.reply.send(Err(ServeError::DeadlineExceeded));
+            continue;
+        }
         by_task.entry(request.task).or_default().push(request);
     }
     let mut senses_total = 0u64;
     let mut samples_total = 0usize;
     for (task, requests) in by_task {
-        // Submit validated the task, so a miss here means the replica was
-        // retired after a fault — fail the group, keep the worker.
-        let Some(engine) = engines.get_mut(&task) else {
-            fail_group(requests);
+        // Submit validated the task, so a miss here means the slot map is
+        // inconsistent — fail the group, keep the worker.
+        let Some(replica) = replicas.get_mut(&task) else {
+            fail_group(requests, ServeError::EngineFault);
+            continue;
+        };
+        // A retired replica whose backoff has elapsed respawns lazily on
+        // first demand, so a fault under sustained traffic recovers
+        // without waiting for an idle tick.
+        if replica.engine.is_none() && shared.supervisor.respawn_due(worker_idx, task) {
+            try_respawn(shared, worker_idx, task, replica);
+        }
+        let Some(engine) = replica.engine.as_mut() else {
+            // Still down or quarantined: the group fails fast with a
+            // retryable error and the client's backoff takes it to
+            // another worker (or a later attempt).
+            fail_group(requests, ServeError::EngineFault);
             continue;
         };
         let rows: Vec<&[f32]> = requests
@@ -681,17 +1074,36 @@ fn serve_batch(
         // everything after is service.
         let dispatched = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            crate::fault::maybe_inject();
-            engine.logits_batch_rows(&rows)
+            match crate::fault::next_event() {
+                Some(ChaosEvent::Panic) => crate::fault::injected_panic(),
+                Some(ChaosEvent::Stall(pause)) => std::thread::sleep(pause),
+                Some(ChaosEvent::Transient) => return Err(()),
+                Some(ChaosEvent::Drift { cycles }) => engine.age(cycles),
+                None => {}
+            }
+            Ok(engine.logits_batch_rows(&rows))
         }));
         let (logits, senses) = match outcome {
-            Ok(result) => result,
+            Ok(Ok(result)) => result,
+            Ok(Err(())) => {
+                // Transient engine error: the replica stays up, the group
+                // is answered with a retryable error.
+                shared.stats.record_transient();
+                fail_group(requests, ServeError::Transient);
+                continue;
+            }
             Err(_) => {
-                engines.remove(&task);
-                fail_group(requests);
+                replica.engine = None;
+                shared.supervisor.record_fault(worker_idx, task);
+                fail_group(requests, ServeError::EngineFault);
                 continue;
             }
         };
+        if replica.fresh_respawn {
+            replica.fresh_respawn = false;
+            shared.supervisor.mark_stable(worker_idx, task);
+        }
+        maybe_degrade(shared, worker_idx, task, replica);
         senses_total += senses;
         let classes = logits.dim(1);
         let mut offset = 0usize;
@@ -731,12 +1143,32 @@ fn serve_batch(
         .record_batch(worker_idx, samples_total, senses_total);
 }
 
-/// Answers every request of a faulted task group with
-/// [`ServeError::EngineFault`]. A client that already gave up (dropped
-/// receiver) is not an error.
-fn fail_group(requests: Vec<Request>) {
+/// Answers every request of a failed task group with `error`. A client
+/// that already gave up (dropped receiver) is not an error.
+fn fail_group(requests: Vec<Request>, error: ServeError) {
     for request in requests {
-        let _ = request.reply.send(Err(ServeError::EngineFault));
+        let _ = request.reply.send(Err(error.clone()));
+    }
+}
+
+/// Degraded-mode fallback: when an RRAM replica's marginal-cell fraction
+/// crosses the configured threshold, swap the replica to bit-exact
+/// software XNOR evaluation of the *same* network. Inference keeps
+/// flowing at software speed while the fleet report shows the die as
+/// degraded — mirroring the paper's deployment story, where the
+/// digital path is the always-available fallback for a worn fabric.
+fn maybe_degrade(shared: &Shared, worker_idx: usize, task: ServeTask, replica: &mut Replica) {
+    if shared.degrade_marginal_threshold <= 0.0 {
+        return;
+    }
+    let Some(engine) = replica.engine.as_ref() else {
+        return;
+    };
+    if let Some(fraction) = engine.marginal_fraction() {
+        if fraction > shared.degrade_marginal_threshold {
+            replica.engine = Some(WorkerEngine::Software(replica.spec.network.clone()));
+            shared.supervisor.record_degraded(worker_idx, task);
+        }
     }
 }
 

@@ -72,6 +72,9 @@ pub struct ServerStats {
     submitted: Arc<Counter>,
     completed: Arc<Counter>,
     rejected: Arc<Counter>,
+    evicted: Arc<Counter>,
+    expired: Arc<Counter>,
+    transient: Arc<Counter>,
     latency: Arc<LogHistogram>,
     queue_wait: Arc<LogHistogram>,
     service: Arc<LogHistogram>,
@@ -107,6 +110,21 @@ impl ServerStats {
                 "rbnn_serve_rejected_total",
                 &label,
                 "Requests refused for backpressure.",
+            ),
+            evicted: reg.counter(
+                "rbnn_serve_evicted_total",
+                &label,
+                "Queued routine requests evicted by urgent arrivals under overload.",
+            ),
+            expired: reg.counter(
+                "rbnn_serve_expired_total",
+                &label,
+                "Requests whose deadline expired before engine dispatch.",
+            ),
+            transient: reg.counter(
+                "rbnn_serve_transient_total",
+                &label,
+                "Requests failed by a transient (retryable, non-fatal) engine error.",
             ),
             latency: reg.histogram(
                 "rbnn_serve_latency_us",
@@ -167,6 +185,22 @@ impl ServerStats {
     /// Records a request refused for backpressure.
     pub fn record_rejected(&self) {
         self.rejected.inc();
+    }
+
+    /// Records a queued routine request evicted by an urgent arrival.
+    pub fn record_evicted(&self) {
+        self.evicted.inc();
+    }
+
+    /// Records a request dropped at dispatch because its deadline had
+    /// already expired.
+    pub fn record_expired(&self) {
+        self.expired.inc();
+    }
+
+    /// Records a request failed by a transient engine error.
+    pub fn record_transient(&self) {
+        self.transient.inc();
     }
 
     /// Records one completed request with its end-to-end latency.
@@ -253,6 +287,9 @@ impl ServerStats {
             submitted: self.submitted.get(),
             completed,
             rejected: self.rejected.get(),
+            evicted: self.evicted.get(),
+            expired: self.expired.get(),
+            transient: self.transient.get(),
             queue_depth,
             elapsed,
             window,
@@ -295,6 +332,12 @@ pub struct StatsSnapshot {
     pub completed: u64,
     /// Requests refused for backpressure.
     pub rejected: u64,
+    /// Queued routine requests evicted by urgent arrivals under overload.
+    pub evicted: u64,
+    /// Requests whose deadline expired before engine dispatch.
+    pub expired: u64,
+    /// Requests failed by a transient (retryable) engine error.
+    pub transient: u64,
     /// Queue depth at snapshot time.
     pub queue_depth: usize,
     /// Time since the collector was created.
@@ -330,11 +373,15 @@ impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{:.0} req/s | {}/{} completed ({} rejected) | queue {} | mean batch {:.1}",
+            "{:.0} req/s | {}/{} completed ({} rejected, {} evicted, {} expired, {} transient) \
+             | queue {} | mean batch {:.1}",
             self.throughput,
             self.completed,
             self.submitted,
             self.rejected,
+            self.evicted,
+            self.expired,
+            self.transient,
             self.queue_depth,
             self.mean_batch
         )?;

@@ -1,0 +1,504 @@
+//! Replica supervision: fault accounting, respawn backoff, quarantine,
+//! and fleet-health reporting.
+//!
+//! Before this module, a replica that panicked mid-batch was retired
+//! forever (PR 7's containment contract): the pool survived, but each
+//! fault permanently shrank it. The supervisor closes the loop — it is
+//! the bookkeeping half of a crash-loop restart policy:
+//!
+//! - every engine fault is recorded against its `(worker, task)` replica
+//!   cell, which enters **Down** with an exponential backoff window
+//!   (base × 2^consecutive-faults, capped);
+//! - the owning worker polls [`Supervisor::respawn_due`] on its dispatch
+//!   and idle-tick paths and rebuilds the engine from its retained spec
+//!   once the window elapses (**lazy, in-worker respawn** — engines are
+//!   not `Send`-shared, so only the owning thread can rebuild one);
+//! - a replica that keeps faulting without an intervening successful
+//!   batch ([`Supervisor::mark_stable`]) is **Quarantined** after a
+//!   configurable cap and never respawned — the crash-loop breaker;
+//! - a replica whose RRAM fabric degrades past the marginal-cell
+//!   threshold is marked **Degraded** when the worker swaps it to the
+//!   software XNOR path — still serving, flagged for operators;
+//! - workers heartbeat once per batch/idle tick, so a wedged worker is
+//!   visible as a stale heartbeat in [`FleetHealth`].
+//!
+//! All state lives behind short per-cell mutexes (poison-recovering, no
+//! nested acquisition); aggregate health is published to the global
+//! telemetry registry as gauges recomputed after every transition.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use rbnn_telemetry::{Counter, Gauge};
+
+use crate::registry::ServeTask;
+
+/// Respawn/quarantine policy for faulted replicas.
+#[derive(Debug, Clone)]
+pub struct SupervisorPolicy {
+    /// Backoff before the first respawn attempt; doubles per consecutive
+    /// fault.
+    pub base_backoff: Duration,
+    /// Upper bound on any respawn backoff.
+    pub max_backoff: Duration,
+    /// Consecutive faults (without an intervening stable batch) at which
+    /// a replica is quarantined instead of respawned. `1` quarantines on
+    /// the first fault; `u32::MAX` effectively disables quarantine.
+    pub quarantine_after: u32,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        Self {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            quarantine_after: 8,
+        }
+    }
+}
+
+/// Health of one `(worker, task)` engine replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaHealth {
+    /// Serving on its configured backend.
+    Healthy,
+    /// Faulted; awaiting its backoff window before respawn.
+    Down,
+    /// Crash-looped past the quarantine cap; never respawned.
+    Quarantined,
+    /// Serving, but fell back from RRAM to the software XNOR path after
+    /// its fabric's marginal-cell fraction crossed the degrade threshold.
+    Degraded,
+}
+
+#[derive(Debug)]
+struct CellState {
+    health: ReplicaHealth,
+    /// Total faults ever recorded.
+    faults: u64,
+    /// Total successful respawns.
+    respawns: u64,
+    /// Consecutive faults since the last stable (successful) batch —
+    /// the crash-loop detector input.
+    streak: u32,
+    /// End of the current backoff window while Down.
+    backoff_until: Option<Instant>,
+    /// When the current outage began (first fault of the streak).
+    down_since: Option<Instant>,
+    /// fault → successful-respawn delay of the most recent recovery.
+    last_respawn_delay: Option<Duration>,
+    /// Worst fault → successful-respawn delay seen.
+    max_respawn_delay: Option<Duration>,
+}
+
+impl CellState {
+    fn new() -> Self {
+        Self {
+            health: ReplicaHealth::Healthy,
+            faults: 0,
+            respawns: 0,
+            streak: 0,
+            backoff_until: None,
+            down_since: None,
+            last_respawn_delay: None,
+            max_respawn_delay: None,
+        }
+    }
+}
+
+/// Point-in-time status of one replica, as reported in [`FleetHealth`]
+/// (via `ServeHandle::fleet_health`).
+#[derive(Debug, Clone)]
+pub struct ReplicaReport {
+    /// Owning worker index.
+    pub worker: usize,
+    /// Task this replica serves.
+    pub task: ServeTask,
+    /// Current health.
+    pub health: ReplicaHealth,
+    /// Total faults recorded against this replica.
+    pub faults: u64,
+    /// Total successful respawns.
+    pub respawns: u64,
+    /// fault → respawn delay of the most recent recovery.
+    pub last_respawn_delay: Option<Duration>,
+    /// Worst fault → respawn delay seen.
+    pub max_respawn_delay: Option<Duration>,
+}
+
+/// Aggregate fleet health snapshot.
+#[derive(Debug, Clone)]
+pub struct FleetHealth {
+    /// Worker thread count.
+    pub workers: usize,
+    /// Per-replica statuses, ordered by (worker, task).
+    pub replicas: Vec<ReplicaReport>,
+    /// Age of each worker's most recent heartbeat.
+    pub heartbeat_ages: Vec<Duration>,
+    /// Replicas currently serving on their configured backend.
+    pub healthy: usize,
+    /// Replicas awaiting respawn.
+    pub down: usize,
+    /// Replicas quarantined by the crash-loop breaker.
+    pub quarantined: usize,
+    /// Replicas serving on the degraded software fallback.
+    pub degraded: usize,
+    /// Total faults across the fleet.
+    pub faults: u64,
+    /// Total successful respawns across the fleet.
+    pub respawns: u64,
+    /// Worst fault → respawn delay across the fleet.
+    pub max_respawn_delay: Option<Duration>,
+}
+
+impl std::fmt::Display for FleetHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fleet: {} workers, {} healthy / {} down / {} quarantined / {} degraded replicas, \
+             {} faults, {} respawns",
+            self.workers,
+            self.healthy,
+            self.down,
+            self.quarantined,
+            self.degraded,
+            self.faults,
+            self.respawns
+        )?;
+        if let Some(d) = self.max_respawn_delay {
+            write!(f, ", worst respawn {:.1} ms", d.as_secs_f64() * 1e3)?;
+        }
+        Ok(())
+    }
+}
+
+/// The fleet supervisor. Shared by workers and the control plane via the
+/// server's `Shared` state; all methods are `&self`.
+#[derive(Debug)]
+pub struct Supervisor {
+    policy: SupervisorPolicy,
+    /// One cell per worker per task, fixed at startup.
+    cells: Vec<BTreeMap<ServeTask, Mutex<CellState>>>,
+    /// Per-worker heartbeat: nanoseconds since `started`, relaxed.
+    heartbeats: Vec<AtomicU64>,
+    started: Instant,
+    faults_total: Arc<Counter>,
+    respawns_total: Arc<Counter>,
+    healthy_gauge: Arc<Gauge>,
+    quarantined_gauge: Arc<Gauge>,
+    degraded_gauge: Arc<Gauge>,
+}
+
+impl Supervisor {
+    /// Builds the supervisor for `workers` workers each holding one
+    /// replica per task in `tasks`; all replicas start Healthy.
+    pub(crate) fn new(policy: SupervisorPolicy, workers: usize, tasks: &[ServeTask]) -> Self {
+        let reg = rbnn_telemetry::global();
+        let cells = (0..workers)
+            .map(|_| {
+                tasks
+                    .iter()
+                    .map(|&t| (t, Mutex::new(CellState::new())))
+                    .collect()
+            })
+            .collect();
+        let sup = Self {
+            policy,
+            cells,
+            heartbeats: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            started: Instant::now(),
+            faults_total: reg.counter(
+                "rbnn_serve_replica_faults_total",
+                "",
+                "Engine replica faults (panics) contained by the pool.",
+            ),
+            respawns_total: reg.counter(
+                "rbnn_serve_replica_respawns_total",
+                "",
+                "Faulted replicas successfully respawned by the supervisor.",
+            ),
+            healthy_gauge: reg.gauge(
+                "rbnn_serve_replicas_healthy",
+                "",
+                "Replicas currently serving on their configured backend.",
+            ),
+            quarantined_gauge: reg.gauge(
+                "rbnn_serve_replicas_quarantined",
+                "",
+                "Replicas quarantined by the crash-loop breaker.",
+            ),
+            degraded_gauge: reg.gauge(
+                "rbnn_serve_replicas_degraded",
+                "",
+                "Replicas serving on the degraded software fallback.",
+            ),
+        };
+        sup.publish_gauges();
+        sup
+    }
+
+    /// Short-critical-section lock of one replica cell, poison-recovering
+    /// (every critical section here leaves the cell consistent).
+    fn lock_cell<'a>(
+        &'a self,
+        worker: usize,
+        task: ServeTask,
+    ) -> Option<MutexGuard<'a, CellState>> {
+        let cell = self.cells.get(worker)?.get(&task)?;
+        Some(cell.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Records a worker liveness tick (once per batch / idle tick).
+    pub(crate) fn heartbeat(&self, worker: usize) {
+        if let Some(hb) = self.heartbeats.get(worker) {
+            // Relaxed: a monotone freshness stamp; readers tolerate
+            // staleness of one tick.
+            hb.store(self.started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Records an engine fault (panic) or failed respawn attempt against
+    /// a replica; returns its new health (`Down` with a fresh backoff
+    /// window, or `Quarantined` once the crash-loop cap is hit).
+    pub(crate) fn record_fault(&self, worker: usize, task: ServeTask) -> ReplicaHealth {
+        let now = Instant::now();
+        let health = {
+            let Some(mut cell) = self.lock_cell(worker, task) else {
+                return ReplicaHealth::Quarantined;
+            };
+            cell.faults += 1;
+            cell.streak = cell.streak.saturating_add(1);
+            if cell.down_since.is_none() {
+                cell.down_since = Some(now);
+            }
+            if cell.streak >= self.policy.quarantine_after {
+                cell.health = ReplicaHealth::Quarantined;
+                cell.backoff_until = None;
+            } else {
+                let exp = cell.streak.saturating_sub(1).min(20);
+                let backoff = self
+                    .policy
+                    .base_backoff
+                    .saturating_mul(1u32 << exp)
+                    .min(self.policy.max_backoff);
+                cell.health = ReplicaHealth::Down;
+                cell.backoff_until = Some(now + backoff);
+            }
+            cell.health
+        };
+        self.faults_total.inc();
+        self.publish_gauges();
+        health
+    }
+
+    /// True when a Down replica's backoff window has elapsed and the
+    /// owning worker should attempt a respawn. Quarantined replicas are
+    /// never due.
+    pub(crate) fn respawn_due(&self, worker: usize, task: ServeTask) -> bool {
+        let Some(cell) = self.lock_cell(worker, task) else {
+            return false;
+        };
+        cell.health == ReplicaHealth::Down && cell.backoff_until.is_none_or(|t| Instant::now() >= t)
+    }
+
+    /// Records a successful engine rebuild: the replica is Healthy again
+    /// and its fault → respawn delay is captured for the chaos gate.
+    pub(crate) fn respawned(&self, worker: usize, task: ServeTask) {
+        {
+            let Some(mut cell) = self.lock_cell(worker, task) else {
+                return;
+            };
+            let delay = cell.down_since.take().map(|t| t.elapsed());
+            cell.last_respawn_delay = delay;
+            cell.max_respawn_delay = match (cell.max_respawn_delay, delay) {
+                (Some(m), Some(d)) => Some(m.max(d)),
+                (m, d) => m.or(d),
+            };
+            cell.respawns += 1;
+            cell.health = ReplicaHealth::Healthy;
+            cell.backoff_until = None;
+        }
+        self.respawns_total.inc();
+        self.publish_gauges();
+    }
+
+    /// Resets a replica's crash-loop streak after its first successful
+    /// batch post-respawn — faults separated by stable service never
+    /// accumulate into quarantine.
+    pub(crate) fn mark_stable(&self, worker: usize, task: ServeTask) {
+        if let Some(mut cell) = self.lock_cell(worker, task) {
+            cell.streak = 0;
+        }
+    }
+
+    /// Records the RRAM → software degraded-mode fallback for a replica.
+    pub(crate) fn record_degraded(&self, worker: usize, task: ServeTask) {
+        {
+            let Some(mut cell) = self.lock_cell(worker, task) else {
+                return;
+            };
+            cell.health = ReplicaHealth::Degraded;
+        }
+        self.publish_gauges();
+    }
+
+    /// Recomputes the fleet gauges from a sequential scan of the cells
+    /// (one short lock at a time — never nested).
+    fn publish_gauges(&self) {
+        let mut healthy = 0u64;
+        let mut quarantined = 0u64;
+        let mut degraded = 0u64;
+        for worker in &self.cells {
+            for cell in worker.values() {
+                let state = cell.lock().unwrap_or_else(PoisonError::into_inner);
+                match state.health {
+                    ReplicaHealth::Healthy => healthy += 1,
+                    ReplicaHealth::Quarantined => quarantined += 1,
+                    ReplicaHealth::Degraded => degraded += 1,
+                    ReplicaHealth::Down => {}
+                }
+            }
+        }
+        self.healthy_gauge.set(healthy as f64);
+        self.quarantined_gauge.set(quarantined as f64);
+        self.degraded_gauge.set(degraded as f64);
+    }
+
+    /// Snapshots every replica and worker heartbeat.
+    pub(crate) fn fleet_health(&self) -> FleetHealth {
+        let mut replicas = Vec::new();
+        let mut healthy = 0;
+        let mut down = 0;
+        let mut quarantined = 0;
+        let mut degraded = 0;
+        let mut faults = 0;
+        let mut respawns = 0;
+        let mut max_delay: Option<Duration> = None;
+        for (worker, tasks) in self.cells.iter().enumerate() {
+            for (&task, cell) in tasks {
+                let state = cell.lock().unwrap_or_else(PoisonError::into_inner);
+                match state.health {
+                    ReplicaHealth::Healthy => healthy += 1,
+                    ReplicaHealth::Down => down += 1,
+                    ReplicaHealth::Quarantined => quarantined += 1,
+                    ReplicaHealth::Degraded => degraded += 1,
+                }
+                faults += state.faults;
+                respawns += state.respawns;
+                max_delay = match (max_delay, state.max_respawn_delay) {
+                    (Some(m), Some(d)) => Some(m.max(d)),
+                    (m, d) => m.or(d),
+                };
+                replicas.push(ReplicaReport {
+                    worker,
+                    task,
+                    health: state.health,
+                    faults: state.faults,
+                    respawns: state.respawns,
+                    last_respawn_delay: state.last_respawn_delay,
+                    max_respawn_delay: state.max_respawn_delay,
+                });
+            }
+        }
+        let now = self.started.elapsed().as_nanos() as u64;
+        let heartbeat_ages = self
+            .heartbeats
+            .iter()
+            // Relaxed: heartbeat ages are an advisory health readout; a
+            // stale read shows up as a slightly older age, nothing more.
+            .map(|hb| Duration::from_nanos(now.saturating_sub(hb.load(Ordering::Relaxed))))
+            .collect();
+        FleetHealth {
+            workers: self.cells.len(),
+            replicas,
+            heartbeat_ages,
+            healthy,
+            down,
+            quarantined,
+            degraded,
+            faults,
+            respawns,
+            max_respawn_delay: max_delay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn supervisor(policy: SupervisorPolicy) -> Supervisor {
+        Supervisor::new(policy, 2, &[ServeTask::Ecg, ServeTask::Eeg])
+    }
+
+    #[test]
+    fn fault_enters_down_with_exponential_backoff_then_respawns() {
+        let sup = supervisor(SupervisorPolicy {
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(100),
+            quarantine_after: 8,
+        });
+        assert_eq!(sup.record_fault(0, ServeTask::Ecg), ReplicaHealth::Down);
+        // Inside the backoff window: not due yet.
+        assert!(!sup.respawn_due(0, ServeTask::Ecg));
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(sup.respawn_due(0, ServeTask::Ecg));
+        sup.respawned(0, ServeTask::Ecg);
+        let health = sup.fleet_health();
+        assert_eq!(health.healthy, 4);
+        assert_eq!(health.faults, 1);
+        assert_eq!(health.respawns, 1);
+        let delay = health.max_respawn_delay.expect("recovery recorded");
+        assert!(delay >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn crash_loop_quarantines_after_cap_and_stable_service_resets_streak() {
+        let sup = supervisor(SupervisorPolicy {
+            base_backoff: Duration::from_micros(1),
+            max_backoff: Duration::from_micros(1),
+            quarantine_after: 3,
+        });
+        // Two faults broken up by stable service: streak resets, no
+        // quarantine.
+        for _ in 0..2 {
+            assert_eq!(sup.record_fault(0, ServeTask::Ecg), ReplicaHealth::Down);
+            std::thread::sleep(Duration::from_millis(1));
+            assert!(sup.respawn_due(0, ServeTask::Ecg));
+            sup.respawned(0, ServeTask::Ecg);
+            sup.mark_stable(0, ServeTask::Ecg);
+        }
+        // Three consecutive faults with no stable batch: quarantined.
+        assert_eq!(sup.record_fault(0, ServeTask::Ecg), ReplicaHealth::Down);
+        sup.respawned(0, ServeTask::Ecg);
+        assert_eq!(sup.record_fault(0, ServeTask::Ecg), ReplicaHealth::Down);
+        sup.respawned(0, ServeTask::Ecg);
+        assert_eq!(
+            sup.record_fault(0, ServeTask::Ecg),
+            ReplicaHealth::Quarantined
+        );
+        assert!(
+            !sup.respawn_due(0, ServeTask::Ecg),
+            "quarantine is terminal"
+        );
+        let health = sup.fleet_health();
+        assert_eq!(health.quarantined, 1);
+        assert_eq!(health.healthy, 3);
+    }
+
+    #[test]
+    fn degraded_replica_counts_and_heartbeats_age() {
+        let sup = supervisor(SupervisorPolicy::default());
+        sup.heartbeat(0);
+        sup.record_degraded(1, ServeTask::Eeg);
+        let health = sup.fleet_health();
+        assert_eq!(health.degraded, 1);
+        assert_eq!(health.healthy, 3);
+        assert_eq!(health.heartbeat_ages.len(), 2);
+        // Worker 0 ticked just now; worker 1 never did (age = since start).
+        assert!(health.heartbeat_ages[0] < Duration::from_secs(1));
+        assert!(health.heartbeat_ages[1] >= health.heartbeat_ages[0]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Degraded-mode fallback: a fabric-drift episode that pushes an RRAM
+//! replica's marginal-cell fraction past the configured threshold swaps
+//! the replica to bit-exact software XNOR of the same network. Service
+//! never stops; the fleet report shows the die as degraded.
+//!
+//! One test function on purpose: the injection hook is process-wide, so
+//! concurrent test threads arming it would race each other.
+
+use rbnn_serve::{
+    Backend, ChaosPlan, ModelRegistry, ReplicaHealth, ServeConfig, ServeTask, Server,
+};
+
+#[test]
+fn drifted_rram_replica_degrades_to_software_and_keeps_serving() {
+    let registry = ModelRegistry::demo(7);
+    let config = ServeConfig {
+        workers: 1,
+        backend: Backend::Rram,
+        ..Default::default()
+    };
+    let server = Server::start(&registry, &config);
+    let handle = server.handle();
+    let n = registry
+        .get(ServeTask::Ecg)
+        .expect("registered")
+        .network
+        .in_features();
+    let ecg: Vec<f32> = (0..n).map(|i| (i % 7) as f32 - 3.0).collect();
+
+    // Fresh fabric: healthy, bit-exact serving.
+    handle
+        .classify(ServeTask::Ecg, ecg.clone())
+        .expect("fresh RRAM replica serves");
+    assert_eq!(handle.fleet_health().degraded, 0);
+
+    // One drift episode at the next dispatch: ~3e9 endurance cycles plus
+    // a weight refresh leaves ≈6.5% of cells marginal — past the default
+    // 5% degrade threshold.
+    rbnn_serve::fault::arm_chaos(ChaosPlan {
+        drift_at_dispatch: Some(0),
+        ..Default::default()
+    });
+    let verdict = handle.classify(ServeTask::Ecg, ecg.clone());
+    assert!(
+        verdict.is_ok(),
+        "the drifted dispatch itself still answers: {verdict:?}"
+    );
+    rbnn_serve::fault::disarm_chaos();
+
+    // The replica fell back to software and keeps serving.
+    let fleet = handle.fleet_health();
+    assert_eq!(fleet.degraded, 1, "drift must degrade the replica: {fleet}");
+    let ecg_replica = fleet
+        .replicas
+        .iter()
+        .find(|r| r.task == ServeTask::Ecg)
+        .expect("ecg replica reported");
+    assert_eq!(ecg_replica.health, ReplicaHealth::Degraded);
+    for _ in 0..5 {
+        handle
+            .classify(ServeTask::Ecg, ecg.clone())
+            .expect("degraded replica serves on the software path");
+    }
+
+    // Degradation is per-replica: the EEG die is untouched.
+    let eeg_n = registry
+        .get(ServeTask::Eeg)
+        .expect("registered")
+        .network
+        .in_features();
+    handle
+        .classify(
+            ServeTask::Eeg,
+            (0..eeg_n).map(|i| (i % 3) as f32 - 1.0).collect(),
+        )
+        .expect("sibling RRAM replica unaffected");
+    assert_eq!(handle.fleet_health().degraded, 1);
+
+    drop(server);
+}

@@ -24,6 +24,16 @@
 //!    windows/s, real-time factor and µJ/window against the RRAM energy
 //!    model ([`rbnn_rram::energy`]).
 //!
+//! The router is loss-free under faults: every submitted window reaches a
+//! terminal [`Verdict`] — [`WindowOutcome::Classified`] or a typed
+//! [`WindowOutcome::Failed`] once the [`RouterConfig::retry`] budget runs
+//! out. Retryable failures (shed admission, engine faults, transient
+//! errors) back off with jitter and resubmit; windows of an alarm-active
+//! patient ride the urgent queue lane; [`RouterConfig::deadline`] bounds
+//! each window's freshness. `chaos_bench` (in `rbnn-bench`) drives this
+//! whole stack through seeded fault injection and gates zero lost
+//! requests at 64 patients.
+//!
 //! The segmentation layer guarantees **chunk-size invariance**: the
 //! window sequence is a pure function of the frame sequence, so streamed
 //! classification is bitwise-equal to one-shot offline segmentation of
@@ -78,7 +88,7 @@ mod router;
 mod segment;
 mod session;
 
-pub use router::{PatientReport, RouterConfig, StreamRouter, Verdict};
+pub use router::{PatientReport, RouterConfig, StreamRouter, Verdict, WindowOutcome};
 pub use segment::{Segmenter, SegmenterConfig, TailPolicy, WindowMeta};
 pub use session::{
     AlarmConfig, AlarmEvent, AlarmState, Normalization, Session, SessionConfig, Window,

@@ -19,13 +19,25 @@
 //! [`PatientReport`] closes with windows/s, the real-time factor
 //! (achieved frame rate ÷ the source's sampling rate) and µJ/window from
 //! the RRAM energy model (`rbnn_rram::energy`).
+//!
+//! The router is *loss-free under faults*: every submitted window reaches
+//! a terminal [`Verdict`] — either [`WindowOutcome::Classified`] or a
+//! typed [`WindowOutcome::Failed`]. Retryable failures (shed admission,
+//! engine faults, transient errors) are retried with jittered exponential
+//! backoff up to the [`RouterConfig::retry`] budget before a failure
+//! verdict is issued. Windows submitted while a patient's alarm is active
+//! ride the urgent queue lane ([`rbnn_serve::Priority::Urgent`]) so an
+//! overloaded pool sheds routine traffic first, and every submission
+//! carries the optional [`RouterConfig::deadline`] freshness budget.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rbnn_data::stream::SignalSource;
-use rbnn_serve::{PendingWindow, Prediction, ServeError, TaskClient};
+use rbnn_serve::{
+    PendingWindow, Prediction, Priority, RetryPolicy, ServeError, SubmitOptions, TaskClient,
+};
 use rbnn_telemetry::{Counter, Gauge};
 
 use crate::segment::WindowMeta;
@@ -50,6 +62,15 @@ pub struct RouterConfig {
     /// (`.rram_nj`); reported per patient as µJ/window. Zero leaves the
     /// energy columns unreported.
     pub energy_nj_per_window: f64,
+    /// Freshness budget attached to every submitted window: a window the
+    /// pool cannot dispatch inside this budget is dropped server-side
+    /// with [`ServeError::DeadlineExceeded`] instead of wasting engine
+    /// time on a stale answer. `None` disables deadlines.
+    pub deadline: Option<Duration>,
+    /// Backoff/budget policy for retrying retryable failures (shed
+    /// admission, engine faults, transient errors) before a window is
+    /// given a [`WindowOutcome::Failed`] verdict.
+    pub retry: RetryPolicy,
 }
 
 impl Default for RouterConfig {
@@ -60,31 +81,83 @@ impl Default for RouterConfig {
             windows_per_patient: 64,
             alarm: AlarmConfig::default(),
             energy_nj_per_window: 0.0,
+            deadline: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
 
-/// One classified window of one patient's stream.
+/// Terminal outcome of one submitted window: the classification, or the
+/// typed error left after the retry budget ran out. Every submitted
+/// window gets exactly one — the router never silently drops work.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WindowOutcome {
+    /// The pool answered.
+    Classified {
+        /// Predicted class.
+        class: usize,
+        /// Raw logits (bitwise-equal to offline batch classification of
+        /// the same window on the software backend).
+        logits: Vec<f32>,
+    },
+    /// The window could not be classified inside the retry budget; the
+    /// error is the *last* failure observed.
+    Failed(ServeError),
+}
+
+/// One terminal window verdict in one patient's stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Verdict {
-    /// Per-patient window index (0-based, gapless).
+    /// Per-patient window index (0-based; gapless and in stream order on
+    /// fault-free runs — a retried window may land out of order).
     pub window: u64,
     /// Absolute frame index of the window's first frame.
     pub start_frame: u64,
     /// Signal-time timestamp of the window's *end* in seconds — when a
     /// real-time monitor could first have produced this verdict.
     pub signal_time_s: f64,
-    /// Predicted class.
-    pub class: usize,
-    /// Raw logits (bitwise-equal to offline batch classification of the
-    /// same window on the software backend).
-    pub logits: Vec<f32>,
-    /// Wall-clock window-to-verdict latency (submit → reply drained).
+    /// Classification or typed failure.
+    pub outcome: WindowOutcome,
+    /// Wall-clock window-to-verdict latency, measured from the *first*
+    /// submission attempt (retries and their backoffs are included).
     pub latency: Duration,
+    /// Submission attempts beyond the first that this window consumed.
+    pub retries: u32,
     /// Alarm state after this verdict was absorbed.
     pub alarm_active: bool,
     /// Alarm transition this verdict caused, if any.
     pub alarm_event: Option<AlarmEvent>,
+}
+
+impl Verdict {
+    /// Predicted class, when classified.
+    pub fn class(&self) -> Option<usize> {
+        match &self.outcome {
+            WindowOutcome::Classified { class, .. } => Some(*class),
+            WindowOutcome::Failed(_) => None,
+        }
+    }
+
+    /// Raw logits, when classified.
+    pub fn logits(&self) -> Option<&[f32]> {
+        match &self.outcome {
+            WindowOutcome::Classified { logits, .. } => Some(logits),
+            WindowOutcome::Failed(_) => None,
+        }
+    }
+
+    /// Whether the pool answered this window.
+    pub fn is_classified(&self) -> bool {
+        matches!(self.outcome, WindowOutcome::Classified { .. })
+    }
+
+    /// The terminal error, when the window failed.
+    pub fn error(&self) -> Option<&ServeError> {
+        match &self.outcome {
+            WindowOutcome::Classified { .. } => None,
+            WindowOutcome::Failed(e) => Some(e),
+        }
+    }
 }
 
 /// End-of-run summary of one patient's session.
@@ -100,6 +173,11 @@ pub struct PatientReport {
     pub windows: u64,
     /// Alarm raise events over the run.
     pub alarms_raised: u64,
+    /// Windows whose retry budget ran out ([`WindowOutcome::Failed`]
+    /// verdicts). Zero on a healthy pool.
+    pub failed_windows: u64,
+    /// Re-submission attempts consumed across all windows.
+    pub retries: u64,
     /// Wall-clock duration of the whole run (shared by all patients —
     /// they ran concurrently).
     pub elapsed: Duration,
@@ -118,11 +196,27 @@ pub struct PatientReport {
 }
 
 /// A window request in flight: the ticket plus everything needed to turn
-/// its reply into verdicts.
+/// its reply into verdicts — or to resubmit it after a retryable failure
+/// (the shared rows are retained; a retry is one more `Arc` bump).
 struct InFlight {
     pending: PendingWindow,
+    rows: Arc<Vec<Vec<f32>>>,
     metas: Vec<WindowMeta>,
-    submitted: Instant,
+    /// First submission attempt (latency baseline across retries).
+    first_submitted: Instant,
+    /// Zero-based attempt ordinal of this submission.
+    attempt: u32,
+}
+
+/// A failed request waiting out its backoff before resubmission.
+struct RetryEntry {
+    rows: Arc<Vec<Vec<f32>>>,
+    metas: Vec<WindowMeta>,
+    first_submitted: Instant,
+    /// Attempt ordinal the resubmission will carry.
+    attempt: u32,
+    /// Earliest instant the resubmission may happen.
+    not_before: Instant,
 }
 
 /// Live per-patient telemetry handles (labeled `patient="<id>"` on the
@@ -140,6 +234,10 @@ struct PatientTelemetry {
     windows: Arc<Counter>,
     /// Alarm raise events so far.
     alarms: Arc<Counter>,
+    /// Windows whose retry budget ran out.
+    failed: Arc<Counter>,
+    /// Re-submission attempts so far.
+    retries: Arc<Counter>,
 }
 
 impl PatientTelemetry {
@@ -167,6 +265,16 @@ impl PatientTelemetry {
                 &label,
                 "Alarm raise events for this patient.",
             ),
+            failed: reg.counter(
+                "rbnn_stream_failed_windows_total",
+                &label,
+                "Windows that exhausted the retry budget and got a failure verdict.",
+            ),
+            retries: reg.counter(
+                "rbnn_stream_retries_total",
+                &label,
+                "Window re-submission attempts after retryable failures.",
+            ),
         }
     }
 }
@@ -178,12 +286,15 @@ struct PatientSlot {
     session: Session,
     alarm: AlarmState,
     in_flight: VecDeque<InFlight>,
+    retry_queue: VecDeque<RetryEntry>,
     verdicts: Vec<Verdict>,
     latencies: Vec<Duration>,
     chunk: Vec<f32>,
     frames: u64,
     submitted_windows: u64,
     alarms_raised: u64,
+    failed_windows: u64,
+    retries: u64,
     /// A finite source returned 0 frames (synthetic ones never do).
     exhausted: bool,
     telemetry: Option<PatientTelemetry>,
@@ -258,12 +369,15 @@ impl StreamRouter {
             session,
             alarm: AlarmState::new(self.cfg.alarm.clone()),
             in_flight: VecDeque::new(),
+            retry_queue: VecDeque::new(),
             verdicts: Vec::new(),
             latencies: Vec::new(),
             chunk: Vec::new(),
             frames: 0,
             submitted_windows: 0,
             alarms_raised: 0,
+            failed_windows: 0,
+            retries: 0,
             exhausted: false,
             telemetry: rbnn_telemetry::enabled().then(|| PatientTelemetry::register(id)),
         })
@@ -276,13 +390,17 @@ impl StreamRouter {
 
     /// Runs every stream to its window target and returns one report per
     /// patient (same order as registration). Patients are multiplexed:
-    /// each loop iteration drains whichever replies have landed, then
-    /// tops up each patient that has in-flight budget left.
+    /// each loop iteration drains whichever replies have landed, resubmits
+    /// retries whose backoff has elapsed, then tops up each patient that
+    /// has in-flight budget left. Every submitted window terminates in a
+    /// [`Verdict`] — classified, or typed-failed after the retry budget.
     ///
     /// # Errors
     ///
-    /// Returns the first [`ServeError`] any submission or reply hits
-    /// (e.g. the server shut down mid-run).
+    /// Returns [`ServeError::ShuttingDown`] if the server goes away
+    /// mid-run (the one failure retrying cannot outlast). All other
+    /// failures become [`WindowOutcome::Failed`] verdicts instead of
+    /// aborting the run.
     pub fn run(&mut self) -> Result<Vec<PatientReport>, ServeError> {
         assert!(!self.patients.is_empty(), "no patients registered");
         let t0 = Instant::now();
@@ -290,14 +408,15 @@ impl StreamRouter {
             let mut progress = false;
             let mut all_done = true;
             for p in &mut self.patients {
-                progress |= drain_ready(p, t0)?;
+                progress |= drain_ready(p, &self.cfg, t0)?;
+                progress |= submit_due_retries(p, &self.client, &self.cfg)?;
                 let want_more = !p.exhausted && p.submitted_windows < self.cfg.windows_per_patient;
                 if want_more && p.in_flight.len() < self.cfg.max_in_flight {
                     progress |= pull_and_submit(p, &self.client, &self.cfg)?;
                 }
                 let still_wants =
                     !p.exhausted && p.submitted_windows < self.cfg.windows_per_patient;
-                if still_wants || !p.in_flight.is_empty() {
+                if still_wants || !p.in_flight.is_empty() || !p.retry_queue.is_empty() {
                     all_done = false;
                 }
             }
@@ -305,14 +424,7 @@ impl StreamRouter {
                 break;
             }
             if !progress {
-                // Every patient is waiting on the pool: block on the
-                // oldest outstanding reply instead of spinning.
-                if let Some(p) = self.patients.iter_mut().find(|p| !p.in_flight.is_empty()) {
-                    if let Some(inflight) = p.in_flight.pop_front() {
-                        let predictions = inflight.pending.wait()?;
-                        absorb_reply(p, inflight.metas, inflight.submitted, predictions, t0);
-                    }
-                }
+                idle_wait(&mut self.patients, &self.cfg, t0)?;
             }
         }
         let elapsed = t0.elapsed();
@@ -324,9 +436,51 @@ impl StreamRouter {
     }
 }
 
-/// Polls a patient's in-flight queue front-to-back, absorbing every reply
-/// that has already landed. Returns whether anything was absorbed.
-fn drain_ready(p: &mut PatientSlot, run_started: Instant) -> Result<bool, ServeError> {
+/// Nothing landed and nothing was submittable this pass: block on the
+/// oldest outstanding reply, or — when the only remaining work is retry
+/// entries waiting out their backoff — sleep until the earliest one is
+/// due, instead of spinning.
+fn idle_wait(
+    patients: &mut [PatientSlot],
+    cfg: &RouterConfig,
+    run_started: Instant,
+) -> Result<(), ServeError> {
+    if let Some(p) = patients.iter_mut().find(|p| !p.in_flight.is_empty()) {
+        if let Some(inflight) = p.in_flight.pop_front() {
+            let result = inflight.pending.wait();
+            return settle_reply(
+                p,
+                inflight.rows,
+                inflight.metas,
+                inflight.first_submitted,
+                inflight.attempt,
+                result,
+                cfg,
+                run_started,
+            );
+        }
+    }
+    let earliest = patients
+        .iter()
+        .flat_map(|p| p.retry_queue.iter().map(|r| r.not_before))
+        .min();
+    if let Some(due) = earliest {
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep((due - now).min(Duration::from_millis(5)));
+        }
+    }
+    Ok(())
+}
+
+/// Polls a patient's in-flight queue front-to-back, settling every reply
+/// that has already landed (classified, requeued for retry, or typed-
+/// failed). Returns whether anything was settled.
+fn drain_ready(
+    p: &mut PatientSlot,
+    cfg: &RouterConfig,
+    run_started: Instant,
+) -> Result<bool, ServeError> {
     let mut any = false;
     loop {
         let Some(front) = p.in_flight.front() else {
@@ -338,17 +492,152 @@ fn drain_ready(p: &mut PatientSlot, run_started: Instant) -> Result<bool, ServeE
         let Some(inflight) = p.in_flight.pop_front() else {
             break;
         };
-        let predictions = result?;
-        absorb_reply(
+        settle_reply(
             p,
+            inflight.rows,
             inflight.metas,
-            inflight.submitted,
-            predictions,
+            inflight.first_submitted,
+            inflight.attempt,
+            result,
+            cfg,
             run_started,
-        );
+        )?;
         any = true;
     }
     Ok(any)
+}
+
+/// Routes one landed reply to its terminal state: predictions become
+/// classified verdicts; a retryable failure with budget left is scheduled
+/// for resubmission after backoff; anything else becomes failure
+/// verdicts. [`ServeError::ShuttingDown`] aborts the run — the server is
+/// gone, so no retry can ever land.
+#[allow(clippy::too_many_arguments)]
+fn settle_reply(
+    p: &mut PatientSlot,
+    rows: Arc<Vec<Vec<f32>>>,
+    metas: Vec<WindowMeta>,
+    first_submitted: Instant,
+    attempt: u32,
+    result: Result<Vec<Prediction>, ServeError>,
+    cfg: &RouterConfig,
+    run_started: Instant,
+) -> Result<(), ServeError> {
+    match result {
+        Ok(predictions) => {
+            absorb_reply(p, metas, first_submitted, attempt, predictions, run_started);
+            Ok(())
+        }
+        Err(ServeError::ShuttingDown) => Err(ServeError::ShuttingDown),
+        Err(e) if e.is_retryable() && cfg.retry.allows_retry(attempt) => {
+            schedule_retry(p, rows, metas, first_submitted, attempt, cfg);
+            Ok(())
+        }
+        Err(e) => {
+            absorb_failure(p, metas, first_submitted, attempt, e);
+            Ok(())
+        }
+    }
+}
+
+/// Queues a failed request for resubmission once its jittered backoff has
+/// elapsed (salted by patient id so a fleet hitting one fault does not
+/// retry in lockstep).
+fn schedule_retry(
+    p: &mut PatientSlot,
+    rows: Arc<Vec<Vec<f32>>>,
+    metas: Vec<WindowMeta>,
+    first_submitted: Instant,
+    attempt: u32,
+    cfg: &RouterConfig,
+) {
+    p.retries += 1;
+    if let Some(t) = &p.telemetry {
+        t.retries.inc();
+    }
+    let not_before = Instant::now() + cfg.retry.backoff(attempt, p.id as u64);
+    p.retry_queue.push_back(RetryEntry {
+        rows,
+        metas,
+        first_submitted,
+        attempt: attempt + 1,
+        not_before,
+    });
+}
+
+/// Resubmits every retry entry whose backoff has elapsed, in-flight
+/// budget permitting. Returns whether anything was resubmitted.
+fn submit_due_retries(
+    p: &mut PatientSlot,
+    client: &TaskClient,
+    cfg: &RouterConfig,
+) -> Result<bool, ServeError> {
+    let mut any = false;
+    let now = Instant::now();
+    while p.in_flight.len() < cfg.max_in_flight
+        && p.retry_queue.front().is_some_and(|r| r.not_before <= now)
+    {
+        let Some(entry) = p.retry_queue.pop_front() else {
+            break;
+        };
+        submit_request(
+            p,
+            client,
+            cfg,
+            entry.rows,
+            entry.metas,
+            entry.first_submitted,
+            entry.attempt,
+        )?;
+        any = true;
+    }
+    Ok(any)
+}
+
+/// Submits one shared-window request on the lane the patient's alarm
+/// state selects; a synchronous shed/failure goes straight back through
+/// the retry/failure path.
+fn submit_request(
+    p: &mut PatientSlot,
+    client: &TaskClient,
+    cfg: &RouterConfig,
+    rows: Arc<Vec<Vec<f32>>>,
+    metas: Vec<WindowMeta>,
+    first_submitted: Instant,
+    attempt: u32,
+) -> Result<(), ServeError> {
+    // Alarm-adjacent windows ride the urgent lane: while this patient's
+    // alarm is raised, its follow-up windows preempt routine traffic on
+    // an overloaded queue instead of being shed alongside it.
+    let opts = SubmitOptions {
+        priority: if p.alarm.active() {
+            Priority::Urgent
+        } else {
+            Priority::Routine
+        },
+        deadline: cfg.deadline,
+    };
+    match client.enqueue_shared_with(Arc::clone(&rows), &opts) {
+        Ok(pending) => {
+            p.in_flight.push_back(InFlight {
+                pending,
+                rows,
+                metas,
+                first_submitted,
+                attempt,
+            });
+            Ok(())
+        }
+        Err(ServeError::ShuttingDown) => Err(ServeError::ShuttingDown),
+        Err(e) if e.is_retryable() && cfg.retry.allows_retry(attempt) => {
+            schedule_retry(p, rows, metas, first_submitted, attempt, cfg);
+            Ok(())
+        }
+        Err(e) => {
+            absorb_failure(p, metas, first_submitted, attempt, e);
+            Ok(())
+        }
+    }
 }
 
 /// Pulls one chunk from the source, segments it, and submits any completed
@@ -382,13 +671,7 @@ fn pull_and_submit(
         rows.push(w.features);
     }
     p.submitted_windows += metas.len() as u64;
-    let submitted = Instant::now();
-    let pending = client.enqueue_shared(Arc::new(rows))?;
-    p.in_flight.push_back(InFlight {
-        pending,
-        metas,
-        submitted,
-    });
+    submit_request(p, client, cfg, Arc::new(rows), metas, Instant::now(), 0)?;
     Ok(true)
 }
 
@@ -397,12 +680,13 @@ fn pull_and_submit(
 fn absorb_reply(
     p: &mut PatientSlot,
     metas: Vec<WindowMeta>,
-    submitted: Instant,
+    first_submitted: Instant,
+    attempt: u32,
     predictions: Vec<Prediction>,
     run_started: Instant,
 ) {
     debug_assert_eq!(metas.len(), predictions.len());
-    let latency = submitted.elapsed();
+    let latency = first_submitted.elapsed();
     let window_frames = p.session.features_per_window() / p.session.channels();
     let rate = p.source.sample_rate() as f64;
     let absorbed = metas.len() as u64;
@@ -419,9 +703,12 @@ fn absorb_reply(
             window: meta.index,
             start_frame: meta.start_frame,
             signal_time_s: (meta.start_frame + window_frames as u64) as f64 / rate,
-            class: prediction.class,
-            logits: prediction.logits,
+            outcome: WindowOutcome::Classified {
+                class: prediction.class,
+                logits: prediction.logits,
+            },
             latency,
+            retries: attempt,
             alarm_active: p.alarm.active(),
             alarm_event,
         });
@@ -437,9 +724,44 @@ fn absorb_reply(
     }
 }
 
+/// Issues the terminal failure verdicts for a request whose retry budget
+/// ran out (or whose error was never retryable). The alarm state machine
+/// is *not* advanced — a failed window carries no class, and inventing
+/// one would corrupt the debounce counters the alarm rests on.
+fn absorb_failure(
+    p: &mut PatientSlot,
+    metas: Vec<WindowMeta>,
+    first_submitted: Instant,
+    attempt: u32,
+    error: ServeError,
+) {
+    let latency = first_submitted.elapsed();
+    let window_frames = p.session.features_per_window() / p.session.channels();
+    let rate = p.source.sample_rate() as f64;
+    let failed = metas.len() as u64;
+    p.failed_windows += failed;
+    for meta in metas {
+        p.latencies.push(latency);
+        p.verdicts.push(Verdict {
+            window: meta.index,
+            start_frame: meta.start_frame,
+            signal_time_s: (meta.start_frame + window_frames as u64) as f64 / rate,
+            outcome: WindowOutcome::Failed(error.clone()),
+            latency,
+            retries: attempt,
+            alarm_active: p.alarm.active(),
+            alarm_event: None,
+        });
+    }
+    if let Some(t) = &p.telemetry {
+        t.failed.add(failed);
+    }
+}
+
 /// Closes one patient's books into a report.
 fn finish_report(p: &mut PatientSlot, elapsed: Duration, cfg: &RouterConfig) -> PatientReport {
     debug_assert!(p.in_flight.is_empty());
+    debug_assert!(p.retry_queue.is_empty());
     let windows = p.verdicts.len() as u64;
     let secs = elapsed.as_secs_f64().max(1e-9);
     p.latencies.sort_unstable();
@@ -457,6 +779,8 @@ fn finish_report(p: &mut PatientSlot, elapsed: Duration, cfg: &RouterConfig) -> 
         frames: p.frames,
         windows,
         alarms_raised: p.alarms_raised,
+        failed_windows: p.failed_windows,
+        retries: p.retries,
         elapsed,
         windows_per_s: windows as f64 / secs,
         realtime_factor: (p.frames as f64 / secs) / p.source.sample_rate() as f64,
@@ -542,15 +866,19 @@ mod tests {
                 assert_eq!(v.window, w.meta.index);
                 assert_eq!(v.start_frame, w.meta.start_frame);
                 let expect = net.logits(&w.features);
-                let got_bits: Vec<u32> = v.logits.iter().map(|x| x.to_bits()).collect();
+                let logits = v.logits().expect("fault-free run classifies everything");
+                let got_bits: Vec<u32> = logits.iter().map(|x| x.to_bits()).collect();
                 let expect_bits: Vec<u32> = expect.iter().map(|x| x.to_bits()).collect();
                 assert_eq!(
                     got_bits, expect_bits,
                     "patient {patient} window {}",
                     v.window
                 );
-                assert_eq!(v.class, net.classify(&w.features));
+                assert_eq!(v.class(), Some(net.classify(&w.features)));
+                assert_eq!(v.retries, 0, "fault-free run never retries");
             }
+            assert_eq!(report.failed_windows, 0);
+            assert_eq!(report.retries, 0);
             // Verdict stream is ordered and gapless.
             for (i, v) in report.verdicts.iter().enumerate() {
                 assert_eq!(v.window, i as u64);
@@ -585,7 +913,7 @@ mod tests {
         });
         let mut raises = 0u64;
         for v in &report.verdicts {
-            let event = replay.update(v.class);
+            let event = replay.update(v.class().expect("fault-free run"));
             if event == Some(AlarmEvent::Raised) {
                 raises += 1;
             }

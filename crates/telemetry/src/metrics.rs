@@ -100,6 +100,29 @@ impl Gauge {
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
+    /// Adds `delta` (may be negative) — a CAS loop like
+    /// [`FloatCounter::add`], for gauges that track a live population
+    /// (healthy replicas, in-flight windows) where concurrent increments
+    /// and decrements must not lose updates the way racing
+    /// `set(get() ± 1)` pairs would.
+    #[inline]
+    pub fn add(&self, delta: f64) {
+        // Relaxed: the CAS loop's correctness comes from compare_exchange
+        // itself (lost races reload and retry); the bit pattern is the only
+        // shared state, so no acquire/release pairing is needed.
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) // Relaxed: see CAS note above.
+            {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
     /// Current value.
     pub fn get(&self) -> f64 {
         // Relaxed: reads whichever write most recently landed.
@@ -322,6 +345,27 @@ mod tests {
         g.set(3.5);
         g.set(-1.25);
         assert_eq!(g.get(), -1.25);
+    }
+
+    #[test]
+    fn gauge_add_survives_concurrent_updates() {
+        let g = Arc::new(Gauge::new());
+        g.set(100.0);
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        // Two threads add, two subtract: net zero.
+                        g.add(if t % 2 == 0 { 1.0 } else { -1.0 });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("gauge updater");
+        }
+        assert_eq!(g.get(), 100.0, "racing add/sub pairs must not lose updates");
     }
 
     #[test]

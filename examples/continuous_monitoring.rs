@@ -103,7 +103,10 @@ fn main() {
                 "  t={:>6.2}s  window {:>3}  class {}  {}{}",
                 v.signal_time_s,
                 v.window,
-                v.class,
+                match v.class() {
+                    Some(c) => c.to_string(),
+                    None => "fault".to_string(),
+                },
                 if v.alarm_active { "ALARM" } else { "-" },
                 match v.alarm_event {
                     Some(e) => format!("  ({e:?})"),
