@@ -27,7 +27,7 @@ use std::time::Duration;
 
 use serde::Serialize;
 
-use rbnn_bench::{banner, emit_bench, host_cores, parse_scale_with, RunScale};
+use rbnn_bench::{banner, emit_bench_with_dispatch, host_cores, parse_scale_with, RunScale};
 use rbnn_data::ecg::{Electrode, INVERTED};
 use rbnn_data::stream::{collect_frames, EcgStream, EcgStreamConfig};
 use rbnn_rram::EngineConfig;
@@ -410,7 +410,7 @@ fn main() {
         && drift_no_lost_ok;
     println!("\nacceptance: {}", if accepted { "PASS" } else { "FAIL" });
 
-    emit_bench(
+    emit_bench_with_dispatch(
         "chaos",
         scale,
         Some(accepted),

@@ -34,7 +34,7 @@ use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
 use rbnn_bench::{
-    banner, emit_bench, host_cores, parse_scale_with, report_overhead_gate,
+    banner, emit_bench_with_dispatch, host_cores, parse_scale_with, report_overhead_gate,
     telemetry_overhead_pair, RunScale,
 };
 use rbnn_rram::EngineConfig;
@@ -354,7 +354,7 @@ fn main() {
     });
     let overhead_ok = report_overhead_gate("batch 64", overhead_disabled, overhead_enabled, 0.05);
 
-    emit_bench(
+    emit_bench_with_dispatch(
         "serve_bench",
         scale,
         Some(accepted && rram_accepted && overhead_ok),

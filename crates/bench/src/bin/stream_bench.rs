@@ -34,8 +34,8 @@ use std::time::Duration;
 use serde::Serialize;
 
 use rbnn_bench::{
-    banner, emit_bench, host_cores, parse_scale_with, report_overhead_gate, results_dir,
-    telemetry_overhead_pair, RunScale,
+    banner, emit_bench_with_dispatch, host_cores, parse_scale_with, report_overhead_gate,
+    results_dir, telemetry_overhead_pair, RunScale,
 };
 use rbnn_data::ecg::{Electrode, INVERTED};
 use rbnn_data::stream::{collect_frames, EcgStream, EcgStreamConfig};
@@ -434,7 +434,7 @@ fn main() {
     );
 
     archive_telemetry(&spans, worst_span.as_ref());
-    emit_bench(
+    emit_bench_with_dispatch(
         "stream_bench",
         scale,
         Some(accepted),

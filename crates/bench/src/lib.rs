@@ -125,6 +125,40 @@ pub fn host_cores() -> usize {
         .unwrap_or(1)
 }
 
+/// Snapshot of the runtime kernel-dispatch decisions
+/// ([`rbnn_tensor::dispatch_report`]) in flat-JSON form, recorded in bench
+/// envelopes so cross-host artifact diffs are explainable from the feature
+/// set that produced them. (Numeric results are host-invariant by the
+/// dispatch contract; only the timing rows may differ.)
+#[derive(Debug, Serialize)]
+pub struct KernelDispatch {
+    /// Detected host CPU features, comma-separated.
+    pub features: String,
+    /// True when the scalar override (`RBNN_KERNELS=scalar` or
+    /// programmatic) pinned the kernels.
+    pub forced_scalar: bool,
+    /// Selected XNOR-popcount kernel.
+    pub popcount: String,
+    /// Selected sign-packing kernel.
+    pub pack: String,
+    /// Selected GEMM micro-kernel.
+    pub gemm: String,
+}
+
+impl KernelDispatch {
+    /// Captures the current dispatch decisions.
+    pub fn capture() -> Self {
+        let r = rbnn_tensor::dispatch_report();
+        Self {
+            features: r.features_csv(),
+            forced_scalar: r.forced_scalar,
+            popcount: r.popcount.to_string(),
+            pack: r.pack.to_string(),
+            gemm: r.gemm.to_string(),
+        }
+    }
+}
+
 /// The uniform archive wrapper every bench result ships in: bench name,
 /// run scale, host parallelism and the overall gate verdict (when the
 /// bench has one) around the bench-specific `results` payload.
@@ -142,6 +176,10 @@ pub struct BenchEnvelope<'a, T: Serialize> {
     pub host_cores: usize,
     /// Overall acceptance verdict; `None` for benches with no gate.
     pub accepted: Option<bool>,
+    /// Kernel-dispatch snapshot; `None` for benches whose artifacts must
+    /// stay byte-identical across dispatch modes (conformance compares its
+    /// forced-scalar and dispatched JSON with `cmp`).
+    pub dispatch: Option<KernelDispatch>,
     /// The bench-specific result payload.
     pub results: &'a T,
 }
@@ -158,6 +196,8 @@ impl<T: Serialize> Serialize for BenchEnvelope<'_, T> {
         self.host_cores.write_json(out, inner);
         serde::json_field(out, inner, "accepted", false);
         self.accepted.write_json(out, inner);
+        serde::json_field(out, inner, "dispatch", false);
+        self.dispatch.write_json(out, inner);
         serde::json_field(out, inner, "results", false);
         self.results.write_json(out, inner);
         serde::newline_indent(out, indent);
@@ -168,6 +208,12 @@ impl<T: Serialize> Serialize for BenchEnvelope<'_, T> {
 /// Archives `results` inside the standard [`BenchEnvelope`] as
 /// `bench_results/<name>.json` — the one emission path gated benches
 /// share, so downstream tooling sees a uniform top level.
+///
+/// No dispatch snapshot is recorded: artifacts emitted through this path
+/// stay byte-identical between the dispatched and forced-scalar kernel
+/// modes (the conformance CI leg compares them with `cmp`). Benches whose
+/// payload is timing-dependent anyway should prefer
+/// [`emit_bench_with_dispatch`].
 pub fn emit_bench<T: Serialize>(name: &str, scale: RunScale, accepted: Option<bool>, results: &T) {
     archive_json(
         name,
@@ -176,6 +222,29 @@ pub fn emit_bench<T: Serialize>(name: &str, scale: RunScale, accepted: Option<bo
             scale,
             host_cores: host_cores(),
             accepted,
+            dispatch: None,
+            results,
+        },
+    );
+}
+
+/// [`emit_bench`] plus the [`KernelDispatch`] snapshot — for benches with
+/// timing rows, where cross-host diffs must be explainable from the active
+/// feature set.
+pub fn emit_bench_with_dispatch<T: Serialize>(
+    name: &str,
+    scale: RunScale,
+    accepted: Option<bool>,
+    results: &T,
+) {
+    archive_json(
+        name,
+        &BenchEnvelope {
+            bench: name,
+            scale,
+            host_cores: host_cores(),
+            accepted,
+            dispatch: Some(KernelDispatch::capture()),
             results,
         },
     );
@@ -259,6 +328,7 @@ mod tests {
             scale: RunScale::Quick,
             host_cores: 4,
             accepted: Some(true),
+            dispatch: None,
             results: &Payload { throughput: 12.5 },
         };
         let mut out = String::new();
@@ -266,9 +336,31 @@ mod tests {
         assert_eq!(
             out,
             "{\n  \"bench\": \"selftest\",\n  \"scale\": \"quick\",\n  \
-             \"host_cores\": 4,\n  \"accepted\": true,\n  \"results\": {\n    \
-             \"throughput\": 12.5\n  }\n}"
+             \"host_cores\": 4,\n  \"accepted\": true,\n  \"dispatch\": null,\n  \
+             \"results\": {\n    \"throughput\": 12.5\n  }\n}"
         );
+    }
+
+    #[test]
+    fn dispatch_snapshot_names_the_selected_kernels() {
+        let d = KernelDispatch::capture();
+        #[cfg(target_arch = "x86_64")]
+        assert!(d.features.contains("sse2"), "x86_64 must report sse2");
+        assert!(["scalar", "avx2-harley-seal", "avx512-vpopcntdq"].contains(&d.popcount.as_str()));
+        assert!(["scalar", "avx-movemask"].contains(&d.pack.as_str()));
+        assert!(["scalar-fma", "avx2-fma"].contains(&d.gemm.as_str()));
+        let env = BenchEnvelope {
+            bench: "selftest",
+            scale: RunScale::Quick,
+            host_cores: 1,
+            accepted: None,
+            dispatch: Some(d),
+            results: &0u32,
+        };
+        let mut out = String::new();
+        env.write_json(&mut out, 0);
+        assert!(out.contains("\"dispatch\": {"));
+        assert!(out.contains("\"popcount\""));
     }
 
     #[test]
@@ -278,6 +370,7 @@ mod tests {
             scale: RunScale::Full,
             host_cores: 1,
             accepted: None,
+            dispatch: None,
             results: &7u32,
         };
         let mut out = String::new();

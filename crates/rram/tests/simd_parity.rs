@@ -1,0 +1,80 @@
+//! The RRAM sense path's deterministic rows resolve through the same
+//! dispatched XNOR/popcount word kernels as the software path; on a
+//! noise-free fabric the counts must be bitwise identical between the
+//! forced-scalar oracle and runtime SIMD dispatch.
+
+use std::sync::Mutex;
+
+use rbnn_rram::{EngineConfig, RramArray};
+use rbnn_tensor::{clear_forced_scalar, set_forced_scalar, BitMatrix, BitVec};
+
+static SCALAR_TOGGLE: Mutex<()> = Mutex::new(());
+
+fn xorshift(seed: &mut u64) -> u64 {
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    *seed
+}
+
+#[test]
+fn noise_free_sense_counts_bitwise_equal_across_dispatch_modes() {
+    let _guard = SCALAR_TOGGLE.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = EngineConfig::noise_free(11);
+    let (rows, cols) = (32usize, 32usize);
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    let weights = BitMatrix::from_signs(
+        &(0..rows * cols)
+            .map(|_| {
+                if xorshift(&mut seed) & 1 == 1 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect::<Vec<f32>>(),
+        rows,
+        cols,
+    );
+    let inputs: Vec<BitVec> = (0..4)
+        .map(|_| {
+            BitVec::from_bools(
+                &(0..cols)
+                    .map(|_| xorshift(&mut seed) & 1 == 1)
+                    .collect::<Vec<bool>>(),
+            )
+        })
+        .collect();
+
+    // Two identically seeded arrays, one per dispatch mode: same fabric,
+    // same programmed weights, so any count difference is a kernel bug.
+    let mut counts = Vec::new();
+    for forced in [true, false] {
+        set_forced_scalar(forced);
+        let mut array = RramArray::new(rows, cols, cfg.device.clone(), cfg.pcsa.clone(), 42);
+        array.program_matrix(&weights);
+        let mode_counts: Vec<u32> = inputs
+            .iter()
+            .flat_map(|x| {
+                (0..rows)
+                    .map(|r| array.xnor_popcount_row(r, x))
+                    .collect::<Vec<u32>>()
+            })
+            .collect();
+        counts.push(mode_counts);
+    }
+    clear_forced_scalar();
+    assert_eq!(counts[0], counts[1]);
+
+    // On the noise-free fabric the sensed counts also equal the software
+    // XNOR/popcount oracle on the programmed weights.
+    let expect: Vec<u32> = inputs
+        .iter()
+        .flat_map(|x| {
+            (0..rows)
+                .map(|r| weights.row(r).xnor_popcount(x))
+                .collect::<Vec<u32>>()
+        })
+        .collect();
+    assert_eq!(counts[1], expect);
+}

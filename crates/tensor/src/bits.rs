@@ -9,6 +9,8 @@
 
 use std::fmt;
 
+use crate::kernels::{pack, popcount};
+
 const WORD_BITS: usize = 64;
 
 #[inline]
@@ -69,13 +71,13 @@ pub fn xnor_popcount(a: &[u64], b: &[u64], len: usize) -> u32 {
         a.len() >= nw && b.len() >= nw,
         "operand shorter than {len} bits"
     );
-    // Full words in a branch-free loop (vectorizes to hardware popcount),
-    // then the partially occupied tail word once.
+    // Full words go through the runtime-dispatched kernel (scalar oracle /
+    // AVX2 Harley-Seal / AVX-512 VPOPCNTDQ — all bitwise equal), then the
+    // partially occupied tail word is masked and counted once. Slicing to
+    // `full` words here means the SIMD kernels never see tail or
+    // out-of-range words.
     let full = if len % WORD_BITS == 0 { nw } else { nw - 1 };
-    let mut count = 0u32;
-    for w in 0..full {
-        count += (!(a[w] ^ b[w])).count_ones();
-    }
+    let mut count = popcount::xnor_popcount_words(&a[..full], &b[..full]);
     if full < nw {
         count += ((!(a[full] ^ b[full])) & tail_mask(len)).count_ones();
     }
@@ -107,15 +109,18 @@ impl BitVec {
         }
     }
 
-    /// Packs the signs of a float slice (`x ≥ 0` becomes bit 1 / value +1,
-    /// matching [`Tensor::signum_binary`](crate::Tensor::signum_binary)).
+    /// Packs the signs of a float slice via the canonical
+    /// [`sign_bit`](crate::sign_bit) predicate (`x ≥ 0` becomes bit 1 /
+    /// value +1, NaN → −1, `-0.0` → +1, matching
+    /// [`Tensor::signum_binary`](crate::Tensor::signum_binary)).
     ///
-    /// Word-at-a-time and branchless: sign-random data would mispredict a
-    /// per-bit branch on nearly every element, which once dominated the
-    /// whole inference hot path.
+    /// Word-at-a-time, branchless, and runtime-dispatched to the AVX
+    /// movemask kernel where the host supports it: sign-random data would
+    /// mispredict a per-bit branch on nearly every element, which once
+    /// dominated the whole inference hot path.
     pub fn from_signs(values: &[f32]) -> Self {
         let mut v = Self::zeros(values.len());
-        pack_words(&mut v.words, values.len(), |i| values[i] >= 0.0);
+        pack::pack_signs(values, &mut v.words);
         v
     }
 
@@ -402,7 +407,9 @@ impl BitMatrix {
     }
 
     /// Packs the signs of a row-major float matrix of shape `[rows, cols]`
-    /// (branchless, word-at-a-time — see [`BitVec::from_signs`]).
+    /// via the canonical [`sign_bit`](crate::sign_bit) predicate
+    /// (branchless, word-at-a-time, runtime-dispatched — see
+    /// [`BitVec::from_signs`]).
     ///
     /// # Panics
     ///
@@ -413,7 +420,7 @@ impl BitMatrix {
         for r in 0..rows {
             let row_values = &values[r * cols..(r + 1) * cols];
             let row_words = &mut m.data[r * m.words_per_row..(r + 1) * m.words_per_row];
-            pack_words(row_words, cols, |i| row_values[i] >= 0.0);
+            pack::pack_signs(row_values, row_words);
         }
         m
     }
@@ -434,7 +441,7 @@ impl BitMatrix {
                 "from_sign_rows: row {r} width mismatch"
             );
             let row_words = &mut m.data[r * m.words_per_row..(r + 1) * m.words_per_row];
-            pack_words(row_words, cols, |i| row_values[i] >= 0.0);
+            pack::pack_signs(row_values, row_words);
         }
         m
     }

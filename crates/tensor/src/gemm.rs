@@ -10,11 +10,13 @@
 //!   kernel reads both streams contiguously regardless of whether the caller
 //!   asked for `A·B`, `Aᵀ·B` or `A·Bᵀ`;
 //! * the **micro kernel** keeps an `MR × NR` accumulator tile in registers
-//!   and walks the shared dimension once; the inner tile is a constant-bound
-//!   loop the auto-vectorizer lifts to SIMD (no intrinsics, no `fast-math`;
-//!   `mul_add` is used only on targets whose feature set includes hardware
-//!   FMA — on others, e.g. the CI baseline `x86-64-v2`, it would lower to a
-//!   libm call slower than scalar code, so those builds use mul + add);
+//!   and walks the shared dimension once. The contraction order is
+//!   canonical and host-invariant: every output lane is one fused
+//!   multiply-add chain in fixed k-order (see `microkernel_scalar`), and
+//!   the AVX2+FMA variant is selected **at runtime** via
+//!   [`crate::kernels::dispatch`] — never by compile-time
+//!   `cfg(target_feature)`, which silently forked the numerics between the
+//!   local `target-cpu=native` build and the CI `x86-64-v2` build;
 //! * work is **split over row panels** across scoped worker threads (one
 //!   tight closure-free path when a single worker is configured). Each
 //!   output element is produced by exactly one worker accumulating in a
@@ -29,6 +31,7 @@
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering};
 
+use crate::kernels::dispatch::{gemm_kernel, GemmKernel};
 use crate::par;
 
 /// Rows of the register accumulator tile (4×16 measured fastest on this
@@ -44,8 +47,9 @@ const NC: usize = 256;
 static REFERENCE_MODE: AtomicBool = AtomicBool::new(false);
 
 /// Serializes tests that toggle process-global kernel state
-/// ([`set_reference_kernels`]) against tests whose assertions would observe
-/// the toggle (bitwise comparisons between two kernel invocations).
+/// ([`set_reference_kernels`], [`crate::set_forced_scalar`]) against tests
+/// whose assertions would observe the toggle (bitwise comparisons between
+/// two kernel invocations, timing measurements).
 #[cfg(test)]
 pub(crate) static TEST_GLOBALS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
@@ -160,16 +164,34 @@ fn pack_a_panel(
     }
 }
 
-/// The register-tile micro kernel: accumulates the packed `kc`-long panels
-/// into an `MR × NR` tile. Constant bounds + `chunks_exact` keep the inner
-/// loops free of bounds checks so they vectorize.
-///
-/// When the compile target has hardware FMA (e.g. `target-cpu=native`
-/// builds), `mul_add` contracts each lane into one fused instruction; on
-/// targets without it (the CI baseline `x86-64-v2`) `mul_add` would lower
-/// to a libm call, so that build uses separate mul + add.
+/// Dispatches the register-tile micro kernel selected once per [`gemm`]
+/// call: accumulates the packed `kc`-long panels into an `MR × NR` tile.
 #[inline]
-fn microkernel(ap: &[f32], btile: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+fn microkernel(kern: GemmKernel, ap: &[f32], btile: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+    match kern {
+        // SAFETY: `GemmKernel::Fma` is only ever constructed by
+        // `dispatch::gemm_kernel()` after `is_x86_feature_detected!`
+        // confirmed the host executes AVX2 and FMA instructions.
+        #[cfg(target_arch = "x86_64")]
+        GemmKernel::Fma => unsafe { microkernel_fma(ap, btile, kc, acc) },
+        _ => microkernel_scalar(ap, btile, kc, acc),
+    }
+}
+
+/// The canonical scalar micro kernel and the definition of this crate's
+/// **contraction order**: each accumulator lane `acc[r][j]` is one fused
+/// multiply-add chain `acc = fma(a[p·MR+r], b[p·NR+j], acc)` walked in
+/// ascending `p`. `f32::mul_add` is correctly rounded on every target —
+/// hardware `vfmadd` where the build enables it, libm `fmaf` otherwise —
+/// so this kernel produces bit-identical results on every host, and the
+/// SIMD variant below reproduces the same chains lane-for-lane. (The old
+/// `cfg(target_feature = "fma")` mul-vs-fuse branch picked *different
+/// numerics* per build target; runtime dispatch may only change speed.)
+///
+/// Constant bounds + `chunks_exact` keep the inner loops free of bounds
+/// checks so they vectorize on builds whose baseline includes FMA.
+#[inline]
+fn microkernel_scalar(ap: &[f32], btile: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
     for (arow, brow) in ap[..kc * MR]
         .chunks_exact(MR)
         .zip(btile[..kc * NR].chunks_exact(NR))
@@ -177,15 +199,48 @@ fn microkernel(ap: &[f32], btile: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) 
         for r in 0..MR {
             let av = arow[r];
             let accr = &mut acc[r];
-            #[cfg(target_feature = "fma")]
             for j in 0..NR {
                 accr[j] = av.mul_add(brow[j], accr[j]);
             }
-            #[cfg(not(target_feature = "fma"))]
-            for j in 0..NR {
-                accr[j] += av * brow[j];
-            }
         }
+    }
+}
+
+/// AVX2+FMA micro kernel: the 4×16 accumulator tile lives in eight `__m256`
+/// registers and every k-step issues one `vfmadd231ps` per row half — the
+/// same per-lane fused chains, in the same k-order, as
+/// [`microkernel_scalar`], so the two are bitwise interchangeable.
+///
+/// # Safety
+///
+/// Caller must ensure the host supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn microkernel_fma(ap: &[f32], btile: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+    use std::arch::x86_64::*;
+
+    debug_assert!(ap.len() >= kc * MR && btile.len() >= kc * NR);
+    let mut vacc = [[_mm256_setzero_ps(); 2]; MR];
+    for (v, row) in vacc.iter_mut().zip(acc.iter()) {
+        v[0] = _mm256_loadu_ps(row.as_ptr());
+        v[1] = _mm256_loadu_ps(row.as_ptr().add(8));
+    }
+    let mut a = ap.as_ptr();
+    let mut b = btile.as_ptr();
+    for _ in 0..kc {
+        let b0 = _mm256_loadu_ps(b);
+        let b1 = _mm256_loadu_ps(b.add(8));
+        for (r, v) in vacc.iter_mut().enumerate() {
+            let av = _mm256_broadcast_ss(&*a.add(r));
+            v[0] = _mm256_fmadd_ps(av, b0, v[0]);
+            v[1] = _mm256_fmadd_ps(av, b1, v[1]);
+        }
+        a = a.add(MR);
+        b = b.add(NR);
+    }
+    for (v, row) in vacc.iter().zip(acc.iter_mut()) {
+        _mm256_storeu_ps(row.as_mut_ptr(), v[0]);
+        _mm256_storeu_ps(row.as_mut_ptr().add(8), v[1]);
     }
 }
 
@@ -215,6 +270,10 @@ pub fn gemm(
         out.fill(0.0);
         return;
     }
+    // Resolved once per call: the same kernel runs for every panel and
+    // every worker, so a concurrent override flip cannot mix kernels
+    // within one GEMM (not that it would matter — they are bitwise equal).
+    let kern = gemm_kernel();
 
     let row_panels = m.div_ceil(MR);
     let workers = par::num_threads().min(row_panels);
@@ -227,7 +286,9 @@ pub fn gemm(
             PACK_A.with(|acell| {
                 let mut bp = bcell.take();
                 let mut ap = acell.take();
-                gemm_sequential(a, a_layout, b, b_layout, m, k, n, out, &mut bp, &mut ap);
+                gemm_sequential(
+                    kern, a, a_layout, b, b_layout, m, k, n, out, &mut bp, &mut ap,
+                );
                 bcell.replace(bp);
                 acell.replace(ap);
             });
@@ -267,7 +328,8 @@ pub fn gemm(
                                     break;
                                 }
                                 run_panel(
-                                    a, a_layout, m, k, n, panel, j0, nc, bp_ref, &mut ap, out_ref,
+                                    kern, a, a_layout, m, k, n, panel, j0, nc, bp_ref, &mut ap,
+                                    out_ref,
                                 );
                             }
                             acell.replace(ap);
@@ -285,6 +347,7 @@ pub fn gemm(
 /// plain loops over `&mut out`.
 #[allow(clippy::too_many_arguments)]
 fn gemm_sequential(
+    kern: GemmKernel,
     a: &[f32],
     a_layout: Layout,
     b: &[f32],
@@ -309,7 +372,7 @@ fn gemm_sequential(
                 let jbase = j0 + jt * NR;
                 let jlim = NR.min(j0 + nc - jbase);
                 let mut acc = [[0.0f32; NR]; MR];
-                microkernel(ap, &bp[jt * k * NR..(jt + 1) * k * NR], k, &mut acc);
+                microkernel(kern, ap, &bp[jt * k * NR..(jt + 1) * k * NR], k, &mut acc);
                 for r in 0..mr {
                     let orow = &mut out[(i0 + r) * n + jbase..(i0 + r) * n + jbase + jlim];
                     for (o, &v) in orow.iter_mut().zip(&acc[r][..jlim]) {
@@ -328,6 +391,7 @@ fn gemm_sequential(
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn run_panel(
+    kern: GemmKernel,
     a: &[f32],
     a_layout: Layout,
     m: usize,
@@ -348,7 +412,7 @@ fn run_panel(
         let jbase = j0 + jt * NR;
         let jlim = NR.min(j0 + nc - jbase);
         let mut acc = [[0.0f32; NR]; MR];
-        microkernel(ap, &bp[jt * k * NR..(jt + 1) * k * NR], k, &mut acc);
+        microkernel(kern, ap, &bp[jt * k * NR..(jt + 1) * k * NR], k, &mut acc);
         for r in 0..mr {
             // SAFETY: `out_ptr` points at the `m × n` output buffer, which
             // outlives the thread scope. Bounds: `i0 + r < m` (r < mr) and
@@ -577,6 +641,57 @@ mod tests {
             let bt = transpose(&b, k, n);
             reference::matmul_nt(&a, &bt, &mut out, m, k, n);
             assert!(out.iter().zip(&expect).all(|(g, w)| (g - w).abs() < 1e-3));
+        }
+    }
+
+    /// Satellite regression test for the `cfg(target_feature = "fma")` bug:
+    /// the forced-scalar and runtime-dispatched micro kernels must agree
+    /// **bit for bit** on the same host (the canonical fused contraction
+    /// order is one set of numerics, whatever ISA executes it), and both
+    /// must agree with the naive oracle to tolerance.
+    #[test]
+    fn forced_scalar_and_dispatched_gemm_bitwise_equal() {
+        let _guard = TEST_GLOBALS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(m, k, n) in SHAPES {
+            let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+            let mut scalar_out = vec![0.0f32; m * n];
+            let mut simd_out = vec![0.0f32; m * n];
+            crate::kernels::dispatch::set_forced_scalar(true);
+            gemm(
+                &a,
+                Layout::RowMajor,
+                &b,
+                Layout::RowMajor,
+                m,
+                k,
+                n,
+                &mut scalar_out,
+            );
+            crate::kernels::dispatch::set_forced_scalar(false);
+            gemm(
+                &a,
+                Layout::RowMajor,
+                &b,
+                Layout::RowMajor,
+                m,
+                k,
+                n,
+                &mut simd_out,
+            );
+            crate::kernels::dispatch::clear_forced_scalar();
+            for (i, (s, d)) in scalar_out.iter().zip(&simd_out).enumerate() {
+                assert_eq!(
+                    s.to_bits(),
+                    d.to_bits(),
+                    "({m},{k},{n}) elem {i}: scalar {s} vs dispatched {d}"
+                );
+            }
+            let expect = naive(&a, &b, m, k, n);
+            for (got, want) in simd_out.iter().zip(&expect) {
+                assert!((got - want).abs() <= 1e-3, "({m},{k},{n}): {got} vs {want}");
+            }
         }
     }
 

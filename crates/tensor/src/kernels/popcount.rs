@@ -1,0 +1,239 @@
+//! XNOR-popcount word kernels: scalar oracle, AVX2 Harley-Seal, AVX-512
+//! VPOPCNTDQ.
+//!
+//! All three count `Σ popcount(!(a[w] ^ b[w]))` over whole `u64` words —
+//! pure integer arithmetic, so every path is **bitwise equal
+//! unconditionally**; runtime dispatch (see [`crate::kernels::dispatch`])
+//! only changes speed. Tail-bit masking for lengths that are not a multiple
+//! of 64 stays in `bits::xnor_popcount`, which slices its operands to whole
+//! words before calling in here.
+
+use super::dispatch::{popcount_kernel, PopcountKernel};
+
+/// Counts matching bits of `a` vs `b` over whole words, dispatched to the
+/// fastest kernel the host supports (forced-scalar override respected).
+///
+/// Extra words in the longer slice are ignored (`zip` semantics); callers
+/// pass equal-length slices.
+#[inline]
+pub(crate) fn xnor_popcount_words(a: &[u64], b: &[u64]) -> u32 {
+    match popcount_kernel() {
+        PopcountKernel::Scalar => xnor_popcount_words_scalar(a, b),
+        // SAFETY: `PopcountKernel::Avx2` is only ever selected by
+        // `popcount_kernel()` after `is_x86_feature_detected!("avx2")`
+        // confirmed the host executes AVX2 instructions.
+        #[cfg(target_arch = "x86_64")]
+        PopcountKernel::Avx2 => unsafe { xnor_popcount_words_avx2(a, b) },
+        // SAFETY: `PopcountKernel::Avx512` is only selected after runtime
+        // detection of both `avx512f` and `avx512vpopcntdq`.
+        #[cfg(target_arch = "x86_64")]
+        PopcountKernel::Avx512 => unsafe { xnor_popcount_words_avx512(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => xnor_popcount_words_scalar(a, b),
+    }
+}
+
+/// The canonical scalar kernel — the parity oracle every SIMD path must
+/// match bit for bit (`zip` keeps it panic-free on any slice lengths).
+#[inline]
+pub(crate) fn xnor_popcount_words_scalar(a: &[u64], b: &[u64]) -> u32 {
+    let mut count = 0u32;
+    for (x, y) in a.iter().zip(b) {
+        count += (!(x ^ y)).count_ones();
+    }
+    count
+}
+
+/// AVX2 Harley-Seal popcount: carry-save adders compress 16 vectors per
+/// block so the (comparatively expensive) nibble-LUT byte popcount runs
+/// once per 1024 input bits instead of once per 256.
+///
+/// # Safety
+///
+/// Caller must ensure the host supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn xnor_popcount_words_avx2(a: &[u64], b: &[u64]) -> u32 {
+    use std::arch::x86_64::*;
+
+    let n = a.len().min(b.len());
+    let ap = a.as_ptr() as *const __m256i;
+    let bp = b.as_ptr() as *const __m256i;
+    let nvec = n / 4;
+    // Per-nibble popcount table, replicated across both 128-bit lanes.
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3,
+        3, 4,
+    );
+    let low = _mm256_set1_epi8(0x0f);
+    let ones = _mm256_set1_epi64x(-1);
+
+    /// Sums the popcounts of the 32 bytes of `v` into four u64 lanes.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be executing with AVX2 available (guaranteed here: only
+    /// called from inside this `#[target_feature(enable = "avx2")]` body).
+    #[inline(always)]
+    unsafe fn pc_bytes(v: __m256i, lut: __m256i, low: __m256i) -> __m256i {
+        let lo = _mm256_and_si256(v, low);
+        let hi = _mm256_and_si256(_mm256_srli_epi32::<4>(v), low);
+        let p = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+        _mm256_sad_epu8(p, _mm256_setzero_si256())
+    }
+
+    /// Carry-save adder: returns (carry, sum) of three bit-vectors.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be executing with AVX2 available (guaranteed here: only
+    /// called from inside this `#[target_feature(enable = "avx2")]` body).
+    #[inline(always)]
+    unsafe fn csa(a: __m256i, b: __m256i, c: __m256i) -> (__m256i, __m256i) {
+        let u = _mm256_xor_si256(a, b);
+        (
+            _mm256_or_si256(_mm256_and_si256(a, b), _mm256_and_si256(u, c)),
+            _mm256_xor_si256(u, c),
+        )
+    }
+
+    /// Loads vector `i` of each operand and forms their XNOR.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be a valid vector index for both operands.
+    #[inline(always)]
+    unsafe fn ldx(ap: *const __m256i, bp: *const __m256i, i: usize, ones: __m256i) -> __m256i {
+        _mm256_xor_si256(
+            _mm256_xor_si256(_mm256_loadu_si256(ap.add(i)), _mm256_loadu_si256(bp.add(i))),
+            ones,
+        )
+    }
+
+    let mut total = _mm256_setzero_si256();
+    let mut onesv = _mm256_setzero_si256();
+    let mut twos = _mm256_setzero_si256();
+    let mut fours = _mm256_setzero_si256();
+    let mut eights = _mm256_setzero_si256();
+    let mut i = 0usize;
+    while i + 16 <= nvec {
+        let (twos_a, o1) = csa(onesv, ldx(ap, bp, i, ones), ldx(ap, bp, i + 1, ones));
+        let (twos_b, o2) = csa(o1, ldx(ap, bp, i + 2, ones), ldx(ap, bp, i + 3, ones));
+        let (fours_a, t1) = csa(twos, twos_a, twos_b);
+        let (twos_a, o3) = csa(o2, ldx(ap, bp, i + 4, ones), ldx(ap, bp, i + 5, ones));
+        let (twos_b, o4) = csa(o3, ldx(ap, bp, i + 6, ones), ldx(ap, bp, i + 7, ones));
+        let (fours_b, t2) = csa(t1, twos_a, twos_b);
+        let (eights_a, f1) = csa(fours, fours_a, fours_b);
+        let (twos_a, o5) = csa(o4, ldx(ap, bp, i + 8, ones), ldx(ap, bp, i + 9, ones));
+        let (twos_b, o6) = csa(o5, ldx(ap, bp, i + 10, ones), ldx(ap, bp, i + 11, ones));
+        let (fours_a, t3) = csa(t2, twos_a, twos_b);
+        let (twos_a, o7) = csa(o6, ldx(ap, bp, i + 12, ones), ldx(ap, bp, i + 13, ones));
+        let (twos_b, o8) = csa(o7, ldx(ap, bp, i + 14, ones), ldx(ap, bp, i + 15, ones));
+        let (fours_b, t4) = csa(t3, twos_a, twos_b);
+        let (eights_b, f2) = csa(f1, fours_a, fours_b);
+        let (sixteens, e1) = csa(eights, eights_a, eights_b);
+        onesv = o8;
+        twos = t4;
+        fours = f2;
+        eights = e1;
+        total = _mm256_add_epi64(total, pc_bytes(sixteens, lut, low));
+        i += 16;
+    }
+    // Fold the partial carry-save counters back in with their weights.
+    total = _mm256_slli_epi64::<4>(total);
+    total = _mm256_add_epi64(total, _mm256_slli_epi64::<3>(pc_bytes(eights, lut, low)));
+    total = _mm256_add_epi64(total, _mm256_slli_epi64::<2>(pc_bytes(fours, lut, low)));
+    total = _mm256_add_epi64(total, _mm256_slli_epi64::<1>(pc_bytes(twos, lut, low)));
+    total = _mm256_add_epi64(total, pc_bytes(onesv, lut, low));
+    while i < nvec {
+        total = _mm256_add_epi64(total, pc_bytes(ldx(ap, bp, i, ones), lut, low));
+        i += 1;
+    }
+    let mut lanes = [0u64; 4];
+    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, total);
+    let mut count = lanes.iter().sum::<u64>() as u32;
+    // Remaining 0–3 words fall through to the scalar oracle.
+    let (_, a_tail) = a.split_at(nvec * 4);
+    let (_, b_tail) = b.split_at(nvec * 4);
+    count += xnor_popcount_words_scalar(a_tail, b_tail);
+    count
+}
+
+/// AVX-512 popcount via the VPOPCNTDQ extension: one `vpopcntq` per eight
+/// words, accumulated in 64-bit lanes.
+///
+/// # Safety
+///
+/// Caller must ensure the host supports AVX-512F and AVX-512 VPOPCNTDQ.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vpopcntdq")]
+unsafe fn xnor_popcount_words_avx512(a: &[u64], b: &[u64]) -> u32 {
+    use std::arch::x86_64::*;
+
+    let n = a.len().min(b.len());
+    let mut acc = _mm512_setzero_si512();
+    let ones = _mm512_set1_epi64(-1);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let va = _mm512_loadu_si512(a.as_ptr().add(i) as *const _);
+        let vb = _mm512_loadu_si512(b.as_ptr().add(i) as *const _);
+        let x = _mm512_xor_si512(_mm512_xor_si512(va, vb), ones);
+        acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x));
+        i += 8;
+    }
+    let mut count = _mm512_reduce_add_epi64(acc) as u32;
+    // Remaining 0–7 words fall through to the scalar oracle.
+    let (_, a_tail) = a.split_at(i);
+    let (_, b_tail) = b.split_at(i);
+    count += xnor_popcount_words_scalar(a_tail, b_tail);
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(seed: &mut u64) -> u64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *seed
+    }
+
+    #[test]
+    fn simd_kernels_match_scalar_bitwise() {
+        let mut seed = 0x243f_6a88_85a3_08d3u64;
+        for words in [0usize, 1, 3, 4, 5, 15, 16, 17, 63, 64, 65, 128, 257] {
+            let a: Vec<u64> = (0..words).map(|_| xorshift(&mut seed)).collect();
+            let b: Vec<u64> = (0..words).map(|_| xorshift(&mut seed)).collect();
+            let want = xnor_popcount_words_scalar(&a, &b);
+            #[cfg(target_arch = "x86_64")]
+            {
+                if is_x86_feature_detected!("avx2") {
+                    // SAFETY: avx2 detected on this host.
+                    let got = unsafe { xnor_popcount_words_avx2(&a, &b) };
+                    assert_eq!(got, want, "avx2 mismatch at {words} words");
+                }
+                if is_x86_feature_detected!("avx512f")
+                    && is_x86_feature_detected!("avx512vpopcntdq")
+                {
+                    // SAFETY: avx512f + avx512vpopcntdq detected on this host.
+                    let got = unsafe { xnor_popcount_words_avx512(&a, &b) };
+                    assert_eq!(got, want, "avx512 mismatch at {words} words");
+                }
+            }
+            // The dispatched entry point agrees with the oracle too,
+            // whichever kernel it picked.
+            assert_eq!(xnor_popcount_words(&a, &b), want);
+        }
+    }
+
+    #[test]
+    fn all_ones_and_all_zeros() {
+        let ones = vec![u64::MAX; 33];
+        let zeros = vec![0u64; 33];
+        assert_eq!(xnor_popcount_words(&ones, &ones), 33 * 64);
+        assert_eq!(xnor_popcount_words(&ones, &zeros), 0);
+        assert_eq!(xnor_popcount_words(&zeros, &zeros), 33 * 64);
+    }
+}

@@ -33,6 +33,7 @@
 mod bits;
 pub mod gemm;
 mod im2col;
+pub mod kernels;
 mod matmul;
 pub mod par;
 mod scratch;
@@ -45,6 +46,11 @@ pub use im2col::{
     im2col1d, im2col1d_backward, im2col1d_batch, im2col1d_batch_backward, im2col2d,
     im2col2d_backward, im2col2d_batch, im2col2d_batch_backward, Conv1dGeom, Conv2dGeom,
 };
+pub use kernels::dispatch::{
+    clear_forced_scalar, dispatch_report, forced_scalar, host_features, set_forced_scalar,
+    CpuFeatures, DispatchReport,
+};
+pub use kernels::sign_bit;
 pub use scratch::Scratch;
 pub use shape::Shape;
 pub use tensor::{argmax, Tensor};

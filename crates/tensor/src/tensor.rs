@@ -444,9 +444,12 @@ impl Tensor {
 
     /// The elementwise sign with `sign(0) = +1`, as used for BNN weight and
     /// activation binarization (a weight of exactly 0 maps to +1 so every
-    /// synapse has a definite differential state).
+    /// synapse has a definite differential state). Semantics — including
+    /// NaN → −1 and `-0.0` → +1 — are pinned by the canonical
+    /// [`sign_bit`](crate::sign_bit) predicate shared with the bit-packing
+    /// kernels.
     pub fn signum_binary(&self) -> Tensor {
-        self.map(|x| if x >= 0.0 { 1.0 } else { -1.0 })
+        self.map(|x| if crate::sign_bit(x) { 1.0 } else { -1.0 })
     }
 
     /// [`signum_binary`](Self::signum_binary) written into `dst`, reusing
@@ -455,7 +458,7 @@ impl Tensor {
     pub fn signum_binary_into(&self, dst: &mut Tensor) {
         dst.resize_for_overwrite(self.shape.clone());
         for (d, &x) in dst.data.iter_mut().zip(&self.data) {
-            *d = if x >= 0.0 { 1.0 } else { -1.0 };
+            *d = if crate::sign_bit(x) { 1.0 } else { -1.0 };
         }
     }
 
