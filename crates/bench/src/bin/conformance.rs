@@ -57,8 +57,8 @@ fn main() {
     };
 
     println!(
-        "\n{:<34} {:>7} {:>6} {:>6} {:>6} {:>6} {:>14}",
-        "model", "fl dev", "batch", "rram", "serve", "noisy", "flips obs/bnd"
+        "\n{:<34} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>14}",
+        "model", "fl dev", "batch", "plan", "rram", "serve", "noisy", "flips obs/bnd"
     );
     let mut models = Vec::with_capacity(model_count);
     for index in 0..model_count {
@@ -66,7 +66,7 @@ fn main() {
         let report = oracle::check_model(&mut model, &oracle_cfg);
         let noisy = report.noisy.as_ref();
         println!(
-            "{:<34} {:>7.0e} {:>6} {:>6} {:>6} {:>6} {:>14}",
+            "{:<34} {:>7.0e} {:>6} {:>6} {:>6} {:>6} {:>6} {:>14}",
             report.model,
             report.max_float_logit_dev,
             flag(
@@ -74,6 +74,7 @@ fn main() {
                     && report.float_sign_mismatches == 0
                     && report.float_argmax_mismatches == 0
             ),
+            flag(report.plan_bitwise && report.rram_plan_bitwise),
             flag(report.rram_batch_bitwise && report.rram_single_bitwise),
             flag(report.serve_bitwise.unwrap_or(true) && report.serve_rram_bitwise.unwrap_or(true)),
             flag(noisy.map_or(true, |n| n.within_bound)),
@@ -86,7 +87,7 @@ fn main() {
     }
     let oracle_ok = models.iter().all(oracle::OracleReport::passed);
     println!(
-        "\noracle: {} models through float/binary/batched/RRAM/serve paths: {}",
+        "\noracle: {} models through float/binary/batched/plan/RRAM/serve paths: {}",
         model_count,
         if oracle_ok { "PASS" } else { "FAIL" }
     );

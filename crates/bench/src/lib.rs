@@ -143,6 +143,10 @@ pub struct KernelDispatch {
     pub pack: String,
     /// Selected GEMM micro-kernel.
     pub gemm: String,
+    /// Active serve executor mode (`graph`/`legacy`): the config default
+    /// plus the `RBNN_EXECUTOR` override — the CI executor matrix records
+    /// which mode produced a timing artifact.
+    pub executor: String,
 }
 
 impl KernelDispatch {
@@ -155,6 +159,9 @@ impl KernelDispatch {
             popcount: r.popcount.to_string(),
             pack: r.pack.to_string(),
             gemm: r.gemm.to_string(),
+            executor: rbnn_serve::ExecutorMode::active_default()
+                .name()
+                .to_string(),
         }
     }
 }

@@ -26,6 +26,7 @@ pub struct FoldedThreshold {
 
 impl FoldedThreshold {
     /// Evaluates the rule on a popcount value.
+    #[inline]
     pub fn fire(&self, popcount: u32) -> bool {
         (popcount as i64 >= self.min_popcount) ^ self.negate
     }

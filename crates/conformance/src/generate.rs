@@ -40,6 +40,15 @@ pub enum ShapeFamily {
     Eeg,
     /// Small 2-D convolutional front end (the §IV vision workload).
     Vision,
+    /// Deep pure-MLP chain whose widths walk the full 63/64/65/127/128
+    /// packed-word edge set, so *every* fusion boundary of the op-graph
+    /// executor (pack → xnor/popcount → threshold → sign-pack) sits on a
+    /// word edge in some layer.
+    Chain,
+    /// 1-channel, odd-length conv front end feeding an edge-width chain —
+    /// the other regime the fused kernels must survive: a conv-derived
+    /// feature width that is nothing like a multiple of 64.
+    ChainConv,
 }
 
 impl ShapeFamily {
@@ -50,6 +59,8 @@ impl ShapeFamily {
             ShapeFamily::Ecg => "ecg",
             ShapeFamily::Eeg => "eeg",
             ShapeFamily::Vision => "vision",
+            ShapeFamily::Chain => "chain",
+            ShapeFamily::ChainConv => "chainconv",
         }
     }
 }
@@ -113,6 +124,10 @@ const EDGE_WIDTHS: [usize; 6] = [63, 64, 65, 127, 128, 33];
 /// path.
 const EDGE_KERNELS: [usize; 3] = [63, 64, 65];
 
+/// The packed-word boundary walk of the [`ShapeFamily::Chain`] families:
+/// every width the fused executor kernels change regime at.
+const CHAIN_WIDTHS: [usize; 5] = [63, 64, 65, 127, 128];
+
 fn pick<T: Copy>(options: &[T], rng: &mut StdRng) -> T {
     options[rng.gen_range(0..options.len())]
 }
@@ -147,20 +162,23 @@ fn build_classifier(dims: &[usize], rng: &mut StdRng) -> Sequential {
 ///
 /// Deterministic: the same `(index, seed)` always produces the same model
 /// (architecture, weights, and warmed BatchNorm statistics). Families
-/// cycle with `index` so any run of ≥ 4 consecutive indices covers all
-/// four; edge shapes are guaranteed early (index 0 exercises a
+/// cycle with `index` so any run of ≥ 6 consecutive indices covers all
+/// six; edge shapes are guaranteed early (index 0 exercises a
 /// 65-feature word-boundary MLP, the 1-D indices among 0..8 cover all of
-/// the 63/64/65-tap kernels).
+/// the 63/64/65-tap kernels, and the chain families at indices 4 and 5
+/// mod 6 rotate through the full 63/64/65/127/128 fusion-boundary walk).
 pub fn generate(index: usize, seed: u64) -> GeneratedModel {
     let mut rng = StdRng::seed_from_u64(
         seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(index as u64),
     );
-    let family = match index % 4 {
+    let family = match index % 6 {
         0 => ShapeFamily::Mlp,
         1 => ShapeFamily::Ecg,
         2 => ShapeFamily::Eeg,
-        _ => ShapeFamily::Vision,
+        3 => ShapeFamily::Vision,
+        4 => ShapeFamily::Chain,
+        _ => ShapeFamily::ChainConv,
     };
 
     let (extractor, input_shape, feature_width, shape_label) = match family {
@@ -256,12 +274,58 @@ pub fn generate(index: usize, seed: u64) -> GeneratedModel {
                 format!("c{channels}s{side}k{k}"),
             )
         }
+        ShapeFamily::Chain => {
+            // Input width rotates through the edge set with the stream, so
+            // the *front* fusion boundary is walked too.
+            let f = CHAIN_WIDTHS[(index / 6) % CHAIN_WIDTHS.len()];
+            (None, vec![f], f, format!("f{f}"))
+        }
+        ShapeFamily::ChainConv => {
+            // 1-channel, odd-length signal through an edge-tap kernel: the
+            // conv-derived feature width is nothing like a word multiple.
+            let kernel = EDGE_KERNELS[(index / 6) % EDGE_KERNELS.len()];
+            let len = (kernel + rng.gen_range(12..48)) | 1;
+            let out_channels = rng.gen_range(2..4usize);
+            let mut seq = Sequential::new();
+            seq.push(Conv1d::new(
+                1,
+                out_channels,
+                kernel,
+                1,
+                0,
+                WeightMode::Real,
+                &mut rng,
+            ));
+            seq.push(Activation::relu());
+            seq.push(rbnn_nn::Flatten::new());
+            let f = out_channels * (len - kernel + 1);
+            (Some(seq), vec![1, len], f, format!("c1l{len}k{kernel}"))
+        }
     };
 
-    // Classifier widths: 1–2 binarized hidden layers, 2–6 classes.
+    // Classifier widths: 1–2 binarized hidden layers, 2–6 classes — except
+    // the chain families, whose hidden widths deterministically walk the
+    // packed-word edge set so every fusion boundary sits on a word edge in
+    // some layer.
     let mut dims = vec![feature_width];
-    for _ in 0..rng.gen_range(1..3usize) {
-        dims.push(hidden_width(&mut rng));
+    match family {
+        ShapeFamily::Chain => {
+            let start = (index / 6) % CHAIN_WIDTHS.len();
+            for step in 1..=CHAIN_WIDTHS.len() {
+                dims.push(CHAIN_WIDTHS[(start + step) % CHAIN_WIDTHS.len()]);
+            }
+        }
+        ShapeFamily::ChainConv => {
+            let start = (index / 6) % CHAIN_WIDTHS.len();
+            for step in 0..3 {
+                dims.push(CHAIN_WIDTHS[(start + step) % CHAIN_WIDTHS.len()]);
+            }
+        }
+        _ => {
+            for _ in 0..rng.gen_range(1..3usize) {
+                dims.push(hidden_width(&mut rng));
+            }
+        }
     }
     dims.push(rng.gen_range(2..7usize));
     let mut classifier = build_classifier(&dims, &mut rng);
@@ -335,6 +399,37 @@ mod tests {
         // Index 0 pins the 65-feature word-boundary MLP.
         let m0 = generate(0, 1);
         assert_eq!(m0.feature_width(), 65);
+    }
+
+    #[test]
+    fn chain_families_walk_every_fusion_boundary_width() {
+        // Index 4 (mod 6) is the deep edge-width chain: every width of the
+        // 63/64/65/127/128 walk must appear as some layer's input width,
+        // i.e. at some fusion boundary of the lowered op graph.
+        let m = generate(4, 1);
+        assert_eq!(m.family, ShapeFamily::Chain);
+        let widths: Vec<usize> = m.network.layers().iter().map(|l| l.in_features()).collect();
+        for w in CHAIN_WIDTHS {
+            assert!(
+                widths.contains(&w),
+                "chain model missing edge width {w}: {widths:?}"
+            );
+        }
+
+        // Index 5 (mod 6) is the 1-channel odd-length conv front.
+        let c = generate(5, 1);
+        assert_eq!(c.family, ShapeFamily::ChainConv);
+        assert_eq!(c.input_shape[0], 1, "single-channel front");
+        assert_eq!(c.input_shape[1] % 2, 1, "odd signal length");
+        // Its classifier still walks edge widths past the conv width.
+        let widths: Vec<usize> = c.network.layers().iter().map(|l| l.in_features()).collect();
+        assert!(
+            widths.iter().filter(|w| CHAIN_WIDTHS.contains(w)).count() >= 2,
+            "conv chain missing edge widths: {widths:?}"
+        );
+
+        // The rotation is deterministic.
+        assert_eq!(generate(4, 1).name, generate(4, 1).name);
     }
 
     #[test]

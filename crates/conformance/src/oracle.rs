@@ -10,10 +10,14 @@
 //!    bit-matrix kernels the serving hot path uses);
 //! 4. **RRAM** — [`rbnn_rram::NetworkEngine`] sensing on simulated 2T2R
 //!    arrays, both batched and single-sample;
-//! 5. **serve** — the full `rbnn-serve` enqueue → batcher → worker-pool
+//! 5. **plan** — a compiled op-graph [`rbnn_graph::ExecPlan`] replayed
+//!    through the fused packed-word kernels, in software and on the RRAM
+//!    fabric (the serving default; the legacy layer path above is its
+//!    permanent conformance reference);
+//! 6. **serve** — the full `rbnn-serve` enqueue → batcher → worker-pool
 //!    pipeline, on the software backend and on the RRAM backend.
 //!
-//! Agreement contract: paths 2–5 on noise-free fabric
+//! Agreement contract: paths 2–6 on noise-free fabric
 //! ([`rbnn_rram::EngineConfig::noise_free`]) must agree **bit-for-bit**
 //! (`f32::to_bits` equality of every logit — they all compute
 //! `scale·(2·popcount − n) + shift` from identical integer popcounts).
@@ -104,10 +108,17 @@ pub struct OracleReport {
     pub max_float_logit_dev: f32,
     /// Single-sample and batched binary kernels agree bitwise.
     pub batch_bitwise: bool,
+    /// Compiled execution-plan replay (fused packed-word kernels) agrees
+    /// bitwise with the legacy layer path, both at full batch and on a
+    /// smaller batch replayed into the same (dirty) plan buffers.
+    pub plan_bitwise: bool,
     /// Noise-free RRAM batch path agrees bitwise with the binary path.
     pub rram_batch_bitwise: bool,
     /// Noise-free RRAM single-sample path agrees bitwise.
     pub rram_single_bitwise: bool,
+    /// Execution-plan replay on the noise-free RRAM fabric
+    /// ([`rbnn_rram::NetworkEngine::replay_plan`]) agrees bitwise.
+    pub rram_plan_bitwise: bool,
     /// Serve pipeline (software backend) returned bitwise-equal logits in
     /// request order (`None` when the serve paths were skipped).
     pub serve_bitwise: Option<bool>,
@@ -123,8 +134,10 @@ impl OracleReport {
         self.float_sign_mismatches == 0
             && self.float_argmax_mismatches == 0
             && self.batch_bitwise
+            && self.plan_bitwise
             && self.rram_batch_bitwise
             && self.rram_single_bitwise
+            && self.rram_plan_bitwise
             && self.serve_bitwise.unwrap_or(true)
             && self.serve_rram_bitwise.unwrap_or(true)
             && self.noisy.as_ref().map_or(true, |n| n.within_bound)
@@ -172,6 +185,26 @@ pub fn check_model(model: &mut GeneratedModel, cfg: &OracleConfig) -> OracleRepo
     let batch_preds = model.network.classify_batch(&feats);
     let batch_bitwise = bits(batch_logits.as_slice()) == bits(&single_logits);
 
+    // Path: compiled op-graph execution plan through the fused kernels —
+    // full batch, then a smaller batch into the same dirty buffers (the
+    // serve replay pattern).
+    let row_refs: Vec<&[f32]> = (0..n)
+        .map(|i| &feats.as_slice()[i * width..(i + 1) * width])
+        .collect();
+    let plan = rbnn_graph::ExecPlan::compile(&model.network, n);
+    let mut plan_buffers = plan.buffers();
+    let mut plan_logits = vec![0.0f32; n * classes];
+    plan.replay_rows(&row_refs, &mut plan_buffers, &mut plan_logits);
+    let mut plan_bitwise = bits(&plan_logits) == bits(batch_logits.as_slice());
+    let k = n.min(5);
+    plan.replay_rows(
+        &row_refs[..k],
+        &mut plan_buffers,
+        &mut plan_logits[..k * classes],
+    );
+    plan_bitwise &=
+        bits(&plan_logits[..k * classes]) == bits(&batch_logits.as_slice()[..k * classes]);
+
     // Float ↔ binary: sign and argmax agreement outside the tie band.
     let mut float_sign_mismatches = 0usize;
     let mut float_argmax_mismatches = 0usize;
@@ -217,6 +250,17 @@ pub fn check_model(model: &mut GeneratedModel, cfg: &OracleConfig) -> OracleRepo
             rram_single_bitwise = false;
         }
     }
+    // Plan replay on the same noise-free fabric: fused steps mapped onto
+    // the partitioned-array tile dispatch.
+    let mut rram_plan_buffers = plan.buffers();
+    let mut rram_plan_logits = vec![0.0f32; n * classes];
+    engine.replay_plan(
+        &plan,
+        &row_refs,
+        &mut rram_plan_buffers,
+        &mut rram_plan_logits,
+    );
+    let rram_plan_bitwise = bits(&rram_plan_logits) == bits(batch_logits.as_slice());
 
     // Path 5: the serve pipeline (enqueue → batcher → worker pool).
     let (serve_bitwise, serve_rram_bitwise) = if cfg.serve {
@@ -273,8 +317,10 @@ pub fn check_model(model: &mut GeneratedModel, cfg: &OracleConfig) -> OracleRepo
         float_argmax_mismatches,
         max_float_logit_dev: max_dev,
         batch_bitwise,
+        plan_bitwise,
         rram_batch_bitwise,
         rram_single_bitwise,
+        rram_plan_bitwise,
         serve_bitwise,
         serve_rram_bitwise,
         noisy,
@@ -367,6 +413,49 @@ mod tests {
             let report = check_model(&mut model, &cfg);
             assert!(report.passed(), "{report:?}");
             assert!(report.max_float_logit_dev < 1e-2, "{report:?}");
+        }
+    }
+
+    #[test]
+    fn chain_families_pass_the_full_oracle() {
+        // The fused-chain families (deep 63/64/65/127/128 walks, 1-channel
+        // odd-length conv fronts) through every path including both plan
+        // replays.
+        let cfg = OracleConfig {
+            samples: 16,
+            serve: false,
+            noisy: false,
+            ..Default::default()
+        };
+        for index in [4usize, 5, 10, 11] {
+            let mut model = generate(index, 0xC0FFEE);
+            let report = check_model(&mut model, &cfg);
+            assert!(report.passed(), "{report:?}");
+        }
+    }
+
+    #[test]
+    fn plan_path_holds_under_forced_scalar_kernels() {
+        // The same oracle legs with SIMD dispatch pinned to the scalar
+        // kernels — the in-process version of the CI `RBNN_KERNELS=scalar`
+        // conformance leg.
+        rbnn_tensor::set_forced_scalar(true);
+        let result = std::panic::catch_unwind(|| {
+            let cfg = OracleConfig {
+                samples: 12,
+                serve: false,
+                noisy: false,
+                ..Default::default()
+            };
+            for index in [0usize, 4, 5] {
+                let mut model = generate(index, 0x5CA1A);
+                let report = check_model(&mut model, &cfg);
+                assert!(report.passed(), "{report:?}");
+            }
+        });
+        rbnn_tensor::clear_forced_scalar();
+        if let Err(e) = result {
+            std::panic::resume_unwind(e);
         }
     }
 

@@ -20,18 +20,23 @@
 //!    multi-sample windows) flow through a bounded backpressure queue →
 //!    the adaptive batcher forms micro-batches under a deadline/size
 //!    policy → a pool of worker threads, each owning its own engine
-//!    replica (software XNOR/popcount or Monte-Carlo RRAM), runs the
-//!    batched kernels → responses return through per-request channels
+//!    replica (software XNOR/popcount or Monte-Carlo RRAM), replays a
+//!    compiled `rbnn-graph` execution plan — fused packed-word kernels,
+//!    zero per-request allocation; the legacy layer-by-layer path stays
+//!    available as the conformance reference — → responses return
+//!    through per-request channels
 //!    while `ServerStats` tracks throughput, p50/p95/p99 latency, queue
 //!    depth and per-replica array counters. See `examples/serving.rs` and
 //!    `serve_bench` for the end-to-end flow.
-//! 4. **Conformance**: the same deployed model runs on four substrates —
+//! 4. **Conformance**: the same deployed model runs on five substrates —
 //!    float graph, single-sample XNOR/popcount, batched bit-matrix
-//!    kernels, and the simulated RRAM engine — and `rbnn-conformance`
+//!    kernels, compiled `rbnn-graph` plan replay (software and
+//!    RRAM-fabric), and the simulated RRAM engine — and `rbnn-conformance`
 //!    keeps them honest: a seeded generator draws paper-family models
 //!    (edge shapes included: 1-channel signals, odd lengths, 63/64/65-tap
-//!    kernels, word-boundary widths), a differential oracle asserts
-//!    bit-for-bit agreement across all four paths and the serving
+//!    kernels, word-boundary widths, fused-chain boundary walks), a
+//!    differential oracle asserts
+//!    bit-for-bit agreement across all five paths and the serving
 //!    pipeline on noise-free fabric (margin-model statistical bounds on
 //!    noisy fabric), and a fault campaign gates the paper's
 //!    bit-error-tolerance anchor. One command:

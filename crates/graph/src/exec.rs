@@ -1,0 +1,625 @@
+//! Static execution plans: compile once, replay with zero allocation.
+//!
+//! [`ExecPlan::compile`] runs the whole pipeline — lower, fuse, plan — for
+//! one `(model, max_batch)` pair and freezes the result: fused steps with
+//! resolved arena regions, folded thresholds, and affine parameters. A
+//! worker then replays the plan for any batch of up to `max_batch` rows via
+//! [`ExecPlan::replay_rows`], which touches only caller-provided storage
+//! ([`PlanBuffers`] and the output slice). The replay functions in this
+//! module form an `analysis.toml` zero-alloc zone (RA0005): no heap
+//! operation is permitted between a request arriving and its logits being
+//! written.
+//!
+//! Replay is bitwise-equal to the legacy layer-by-layer path by
+//! construction: packing uses the same dispatched sign-pack kernel,
+//! popcounts the same dispatched XNOR-popcount kernel, hidden activations
+//! the same [`FoldedThreshold::fire`] comparison, and logits the same
+//! `scale · (2p − n) + shift` float expression evaluated in the same
+//! per-sample, ascending-neuron order.
+
+use crate::fuse::{fuse, FusedOp};
+use crate::graph::lower;
+use crate::plan::{plan_arena, BufferRequest};
+use rbnn_binary::{BinaryNetwork, FoldedThreshold};
+use rbnn_tensor::{pack_signs_into, InterleavedRows};
+
+const WORD_BITS: usize = 64;
+
+#[inline]
+fn words_for(len: usize) -> usize {
+    len.div_ceil(WORD_BITS)
+}
+
+/// A resolved arena region holding one bit-packed activation matrix:
+/// `max_batch` rows of `width` bits, `words_per_row` words apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First word of the region in the arena.
+    pub offset: usize,
+    /// Words per packed row (`width.div_ceil(64)`).
+    pub words_per_row: usize,
+    /// Valid bits per row.
+    pub width: usize,
+}
+
+impl Region {
+    /// Row `i` of the region, immutably.
+    #[inline]
+    pub fn row<'a>(&self, arena: &'a [u64], i: usize) -> &'a [u64] {
+        &arena[self.offset + i * self.words_per_row..][..self.words_per_row]
+    }
+
+    /// Row `i` of the region, mutably.
+    #[inline]
+    pub fn row_mut<'a>(&self, arena: &'a mut [u64], i: usize) -> &'a mut [u64] {
+        &mut arena[self.offset + i * self.words_per_row..][..self.words_per_row]
+    }
+}
+
+/// One compiled step of an [`ExecPlan`].
+///
+/// The variants mirror [`FusedOp`](crate::FusedOp) with buffer indices
+/// resolved to arena [`Region`]s and per-layer parameters (folded
+/// thresholds, affine scale/shift) frozen at compile time so replay never
+/// recomputes them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// Binarize + pack the float input rows into `dst`.
+    Pack {
+        /// Packed-input region.
+        dst: Region,
+    },
+    /// Fused hidden layer: XNOR-popcount → threshold → sign-pack, one pass
+    /// from `src` to `dst` with no materialized count matrix.
+    FusedHidden {
+        /// Layer index into the plan's network.
+        layer: usize,
+        /// Input activation region.
+        src: Region,
+        /// Output activation region.
+        dst: Region,
+        /// Folded integer thresholds, one per output neuron.
+        thresholds: Vec<FoldedThreshold>,
+        /// Weight rows copied into the batched popcount kernel's
+        /// lane-interleaved layout at compile time.
+        weights: InterleavedRows,
+    },
+    /// Fused output layer: XNOR-popcount → affine logits straight into the
+    /// caller's output slice.
+    FusedLogits {
+        /// Layer index into the plan's network.
+        layer: usize,
+        /// Input activation region.
+        src: Region,
+        /// Per-class affine scale.
+        scale: Vec<f32>,
+        /// Per-class affine shift.
+        shift: Vec<f32>,
+        /// Weight rows copied into the batched popcount kernel's
+        /// lane-interleaved layout at compile time.
+        weights: InterleavedRows,
+    },
+}
+
+/// Caller-owned replay storage for one [`ExecPlan`]: the word arena every
+/// packed activation region lives in, plus the per-sample popcount scratch
+/// the fused kernels stream counts through. Allocated once by
+/// [`ExecPlan::buffers`]; replay never grows either.
+#[derive(Debug, Clone)]
+pub struct PlanBuffers {
+    arena: Vec<u64>,
+    counts: Vec<u32>,
+}
+
+impl PlanBuffers {
+    /// The arena words, immutably.
+    pub fn arena(&self) -> &[u64] {
+        &self.arena
+    }
+
+    /// The arena words, mutably (for engine-backed replay, e.g.
+    /// `rbnn-rram`).
+    pub fn arena_mut(&mut self) -> &mut [u64] {
+        &mut self.arena
+    }
+}
+
+/// A static execution plan for one `(model, max_batch)` pair.
+///
+/// Compiling is the expensive, allocating part (lowering, fusion, lifetime
+/// planning, threshold folding); replaying is allocation-free and valid for
+/// any batch of `1..=max_batch` rows — region offsets computed for
+/// `max_batch` rows remain correct for smaller batches because rows are
+/// packed from each region's start.
+#[derive(Debug, Clone)]
+pub struct ExecPlan {
+    network: BinaryNetwork,
+    steps: Vec<Step>,
+    arena_words: usize,
+    naive_words: usize,
+    counts_len: usize,
+    max_batch: usize,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl ExecPlan {
+    /// Compiles a plan: lowers the network, fuses the stage chains, plans
+    /// buffer lifetimes into a coalescing arena, and folds every hidden
+    /// layer's BatchNorm thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0`.
+    pub fn compile(network: &BinaryNetwork, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "a plan must admit at least one row");
+        let fused = fuse(&lower(network));
+        let widths = fused.buffer_widths();
+
+        // Buffer lifetimes: defined by the step whose `dst` names them,
+        // last read by the latest step whose `src` does.
+        let mut requests: Vec<BufferRequest> = widths
+            .iter()
+            .map(|&w| BufferRequest {
+                def: 0,
+                last_use: 0,
+                words: max_batch * words_for(w),
+            })
+            .collect();
+        for (s, step) in fused.steps().iter().enumerate() {
+            if step.dst != usize::MAX {
+                requests[step.dst].def = s;
+                requests[step.dst].last_use = requests[step.dst].last_use.max(s);
+            }
+            if step.src != usize::MAX {
+                requests[step.src].last_use = requests[step.src].last_use.max(s);
+            }
+        }
+        let plan = plan_arena(&requests);
+        let region = |b: usize| Region {
+            offset: plan.offsets[b],
+            words_per_row: words_for(widths[b]),
+            width: widths[b],
+        };
+
+        let layers = fused.network().layers();
+        let steps: Vec<Step> = fused
+            .steps()
+            .iter()
+            .map(|step| match step.op {
+                FusedOp::Pack => Step::Pack {
+                    dst: region(step.dst),
+                },
+                FusedOp::FusedHidden { layer } => Step::FusedHidden {
+                    layer,
+                    src: region(step.src),
+                    dst: region(step.dst),
+                    thresholds: layers[layer].folded_thresholds(),
+                    weights: InterleavedRows::from_matrix(layers[layer].weights()),
+                },
+                FusedOp::FusedLogits { layer } => {
+                    let (scale, shift) = layers[layer].affine();
+                    Step::FusedLogits {
+                        layer,
+                        src: region(step.src),
+                        scale: scale.to_vec(),
+                        shift: shift.to_vec(),
+                        weights: InterleavedRows::from_matrix(layers[layer].weights()),
+                    }
+                }
+            })
+            .collect();
+        let counts_len = steps
+            .iter()
+            .map(|s| match s {
+                Step::Pack { .. } => 0,
+                Step::FusedHidden { weights, .. } | Step::FusedLogits { weights, .. } => {
+                    weights.padded_rows()
+                }
+            })
+            .max()
+            .unwrap_or(0);
+
+        Self {
+            steps,
+            arena_words: plan.total_words,
+            naive_words: requests.iter().map(|r| r.words).sum(),
+            counts_len,
+            max_batch,
+            in_features: network.in_features(),
+            out_features: network.out_features(),
+            network: fused.network().clone(),
+        }
+    }
+
+    /// Allocates fresh, zeroed replay storage (arena + popcount scratch)
+    /// sized for this plan.
+    pub fn buffers(&self) -> PlanBuffers {
+        PlanBuffers {
+            arena: vec![0; self.arena_words],
+            counts: vec![0; self.counts_len],
+        }
+    }
+
+    /// Compiled steps in execution order (engine-backed replays walk these
+    /// directly).
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// The network the plan was compiled from.
+    pub fn network(&self) -> &BinaryNetwork {
+        &self.network
+    }
+
+    /// Planned arena size in words (peak plan memory).
+    pub fn arena_words(&self) -> usize {
+        self.arena_words
+    }
+
+    /// What naive per-op allocation of every packed buffer would cost, in
+    /// words — the planner's upper bound.
+    pub fn naive_words(&self) -> usize {
+        self.naive_words
+    }
+
+    /// Largest batch the plan can replay.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Input feature width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output classes.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Replays the plan over a batch of float feature rows, writing
+    /// `rows.len() × out_features` logits row-major into `out`.
+    ///
+    /// Allocation-free: everything lives in `buffers` and `out`
+    /// (`analysis.toml` zero-alloc zone). Bitwise-equal to
+    /// [`BinaryNetwork::logits_batch`] on the same rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() > max_batch`, a row's width differs from
+    /// `in_features`, `out` is shorter than `rows.len() * out_features`, or
+    /// `buffers` was built for a smaller plan.
+    pub fn replay_rows(&self, rows: &[&[f32]], buffers: &mut PlanBuffers, out: &mut [f32]) {
+        let n = rows.len();
+        assert!(n <= self.max_batch, "batch exceeds plan capacity");
+        assert!(
+            out.len() >= n * self.out_features,
+            "output slice too short for batch"
+        );
+        assert!(
+            buffers.arena.len() >= self.arena_words,
+            "buffers built for a smaller plan"
+        );
+        assert!(
+            buffers.counts.len() >= self.counts_len,
+            "popcount scratch built for a smaller plan"
+        );
+        let PlanBuffers { arena, counts } = buffers;
+        for step in &self.steps {
+            match step {
+                Step::Pack { dst } => pack_rows(rows, dst, arena),
+                Step::FusedHidden {
+                    src,
+                    dst,
+                    thresholds,
+                    weights,
+                    ..
+                } => fused_hidden(weights, src, dst, thresholds, n, arena, counts),
+                Step::FusedLogits {
+                    src,
+                    scale,
+                    shift,
+                    weights,
+                    ..
+                } => fused_logits(weights, src, scale, shift, n, arena, counts, out),
+            }
+        }
+    }
+}
+
+/// Packs each float row's sign bits into its row of `dst`, via the same
+/// runtime-dispatched kernel [`rbnn_tensor::BitMatrix::from_sign_rows`]
+/// uses — bit-identical words.
+///
+/// # Panics
+///
+/// Panics if a row's length differs from `dst.width`.
+pub fn pack_rows(rows: &[&[f32]], dst: &Region, arena: &mut [u64]) {
+    for (i, row) in rows.iter().enumerate() {
+        assert!(row.len() == dst.width, "row width mismatch");
+        pack_signs_into(row, dst.row_mut(arena, i));
+    }
+}
+
+/// Fused hidden-layer kernel: for each sample row, one batched
+/// XNOR-popcount sweep over the interleaved weight rows (a single kernel
+/// dispatch per sample), then the folded thresholds fire and the sign bits
+/// accumulate in a word register flushed straight into `dst`. Counts pass
+/// through the plan's fixed scratch — never a per-request allocation, never
+/// a materialized `[batch, out]` matrix.
+///
+/// The threshold comparison is written out against [`FoldedThreshold`]'s
+/// public fields rather than through `fire` so it inlines into the packing
+/// loop; the expression is identical.
+fn fused_hidden(
+    weights: &InterleavedRows,
+    src: &Region,
+    dst: &Region,
+    thresholds: &[FoldedThreshold],
+    n: usize,
+    arena: &mut [u64],
+    counts: &mut [u32],
+) {
+    let (src_words, dst_words) = split_src_dst(arena, src, dst, n);
+    for i in 0..n {
+        let x = &src_words[i * src.words_per_row..(i + 1) * src.words_per_row];
+        weights.popcounts_into(x, counts);
+        let drow = &mut dst_words[i * dst.words_per_row..(i + 1) * dst.words_per_row];
+        for (w, word) in drow.iter_mut().enumerate() {
+            let base = w * WORD_BITS;
+            let m = WORD_BITS.min(dst.width - base);
+            let mut acc = 0u64;
+            for b in 0..m {
+                let r = base + b;
+                let th = thresholds[r];
+                let fire = (counts[r] as i64 >= th.min_popcount) ^ th.negate;
+                acc |= (fire as u64) << b;
+            }
+            *word = acc;
+        }
+    }
+}
+
+/// Fused output-layer kernel: one batched XNOR-popcount sweep of the class
+/// rows per sample, then `scale[r] · (2p − n_in) + shift[r]` — the exact
+/// float expression, evaluation order included, of the legacy
+/// `forward_affine_batch`, so logits match it bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn fused_logits(
+    weights: &InterleavedRows,
+    src: &Region,
+    scale: &[f32],
+    shift: &[f32],
+    n: usize,
+    arena: &[u64],
+    counts: &mut [u32],
+    out: &mut [f32],
+) {
+    let classes = scale.len();
+    let n_in = src.width as f32;
+    for i in 0..n {
+        let x = src.row(arena, i);
+        weights.popcounts_into(x, counts);
+        let orow = &mut out[i * classes..(i + 1) * classes];
+        for (r, o) in orow.iter_mut().enumerate() {
+            *o = scale[r] * (2.0 * counts[r] as f32 - n_in) + shift[r];
+        }
+    }
+}
+
+/// Fires `thresholds` against pre-sensed popcounts and packs the verdict
+/// bits into one destination row, overwriting every word — the
+/// threshold+pack half of the fused hidden kernel, exposed for engines
+/// (e.g. the RRAM tile simulator) that produce popcounts externally.
+///
+/// Bit layout matches the fused hidden kernel's output exactly.
+///
+/// # Panics
+///
+/// Panics if `counts` is shorter than `thresholds` or `dst` does not hold
+/// exactly `thresholds.len().div_ceil(64)` words.
+pub fn threshold_pack_row(thresholds: &[FoldedThreshold], counts: &[u32], dst: &mut [u64]) {
+    assert!(
+        counts.len() >= thresholds.len(),
+        "counts shorter than layer"
+    );
+    assert!(
+        dst.len() == words_for(thresholds.len()),
+        "destination row width mismatch"
+    );
+    for (w, word) in dst.iter_mut().enumerate() {
+        let base = w * WORD_BITS;
+        let m = WORD_BITS.min(thresholds.len() - base);
+        let mut acc = 0u64;
+        for b in 0..m {
+            acc |= (thresholds[base + b].fire(counts[base + b]) as u64) << b;
+        }
+        *word = acc;
+    }
+}
+
+/// Splits the arena into this step's source (shared) and destination
+/// (mutable) rows. The planner guarantees the regions are disjoint — a
+/// reader and writer of the same step are simultaneously live — so the
+/// split is a pure reborrow.
+fn split_src_dst<'a>(
+    arena: &'a mut [u64],
+    src: &Region,
+    dst: &Region,
+    n: usize,
+) -> (&'a [u64], &'a mut [u64]) {
+    let s_len = n * src.words_per_row;
+    let d_len = n * dst.words_per_row;
+    if src.offset + s_len <= dst.offset {
+        let (lo, hi) = arena.split_at_mut(dst.offset);
+        (&lo[src.offset..src.offset + s_len], &mut hi[..d_len])
+    } else {
+        assert!(
+            dst.offset + d_len <= src.offset,
+            "planner produced aliasing src/dst regions"
+        );
+        let (lo, hi) = arena.split_at_mut(src.offset);
+        (&hi[..s_len], &mut lo[dst.offset..dst.offset + d_len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rbnn_binary::BinaryDense;
+    use rbnn_tensor::BitMatrix;
+
+    fn random_net(dims: &[usize], seed: u64) -> BinaryNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = dims
+            .windows(2)
+            .map(|w| {
+                let (inp, out) = (w[0], w[1]);
+                let signs: Vec<f32> = (0..inp * out)
+                    .map(|_| if rng.gen_range(0..2) == 0 { -1.0 } else { 1.0 })
+                    .collect();
+                // Mixed-sign scales exercise the negated threshold fold.
+                let scale: Vec<f32> = (0..out)
+                    .map(|_| (rng.gen_range(1..100) as f32 / 50.0) - 1.0)
+                    .collect();
+                let shift: Vec<f32> = (0..out)
+                    .map(|_| (rng.gen_range(0..100) as f32 / 10.0) - 5.0)
+                    .collect();
+                BinaryDense::new(BitMatrix::from_signs(&signs, out, inp), scale, shift)
+            })
+            .collect();
+        BinaryNetwork::new(layers)
+    }
+
+    fn random_rows(n: usize, width: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                (0..width)
+                    .map(|_| (rng.gen_range(0..200) as f32 / 10.0) - 10.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    fn assert_parity(dims: &[usize], n: usize, seed: u64) {
+        let net = random_net(dims, seed);
+        let rows = random_rows(n, dims[0], seed ^ 0xFEED);
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let legacy = net.logits_batch_rows(&refs);
+
+        let plan = ExecPlan::compile(&net, n.max(1));
+        let mut buffers = plan.buffers();
+        let mut out = vec![0.0f32; n * net.out_features()];
+        plan.replay_rows(&refs, &mut buffers, &mut out);
+        assert_eq!(
+            bits(&out),
+            bits(legacy.as_slice()),
+            "plan replay diverged from legacy path on dims {dims:?}"
+        );
+    }
+
+    #[test]
+    fn replay_is_bitwise_equal_to_legacy_at_every_edge_width() {
+        for (i, dims) in [
+            vec![63, 64, 2],
+            vec![64, 65, 127, 3],
+            vec![65, 63, 64, 127, 128, 5],
+            vec![128, 127, 4],
+            vec![33, 17, 2],
+            vec![1, 1, 2],
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert_parity(dims, 7, 0xA11CE + i as u64);
+        }
+    }
+
+    #[test]
+    fn replay_is_bitwise_equal_in_forced_scalar_mode() {
+        rbnn_tensor::set_forced_scalar(true);
+        let result = std::panic::catch_unwind(|| {
+            assert_parity(&[65, 127, 64, 3], 9, 0x5CA1A);
+        });
+        rbnn_tensor::clear_forced_scalar();
+        if let Err(e) = result {
+            std::panic::resume_unwind(e);
+        }
+    }
+
+    #[test]
+    fn smaller_batches_replay_against_a_larger_plan() {
+        let net = random_net(&[65, 64, 3], 0xB00);
+        let plan = ExecPlan::compile(&net, 32);
+        let mut buffers = plan.buffers();
+        for n in [1usize, 5, 31, 32] {
+            let rows = random_rows(n, 65, n as u64);
+            let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+            let mut out = vec![0.0f32; n * 3];
+            plan.replay_rows(&refs, &mut buffers, &mut out);
+            let legacy = net.logits_batch_rows(&refs);
+            assert_eq!(bits(&out), bits(legacy.as_slice()), "batch {n}");
+        }
+    }
+
+    #[test]
+    fn two_compiles_of_the_same_model_are_byte_identical() {
+        let net = random_net(&[127, 65, 63, 4], 0xD0D0);
+        let a = ExecPlan::compile(&net, 16);
+        let b = ExecPlan::compile(&net, 16);
+        assert_eq!(a.steps(), b.steps());
+        assert_eq!(a.arena_words(), b.arena_words());
+        assert_eq!(format!("{:?}", a.steps()), format!("{:?}", b.steps()));
+    }
+
+    #[test]
+    fn replay_reusing_dirty_buffers_is_deterministic() {
+        let net = random_net(&[64, 63, 2], 0xCAFE);
+        let plan = ExecPlan::compile(&net, 8);
+        let mut buffers = plan.buffers();
+        let rows = random_rows(8, 64, 1);
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut first = vec![0.0f32; 8 * 2];
+        plan.replay_rows(&refs, &mut buffers, &mut first);
+        // Second replay over the now-dirty arena — and over different rows
+        // in between — must give the same bits.
+        let other = random_rows(3, 64, 2);
+        let other_refs: Vec<&[f32]> = other.iter().map(|r| r.as_slice()).collect();
+        let mut scratch = vec![0.0f32; 3 * 2];
+        plan.replay_rows(&other_refs, &mut buffers, &mut scratch);
+        let mut second = vec![0.0f32; 8 * 2];
+        plan.replay_rows(&refs, &mut buffers, &mut second);
+        assert_eq!(bits(&first), bits(&second));
+    }
+
+    #[test]
+    fn deep_chains_reuse_arena_storage() {
+        let net = random_net(&[128, 128, 128, 128, 128, 2], 0xFADE);
+        let plan = ExecPlan::compile(&net, 64);
+        // Five packed buffers, but only two are ever live at once.
+        assert!(plan.arena_words() < plan.naive_words());
+        assert_eq!(plan.arena_words(), 2 * 64 * 2);
+    }
+
+    #[test]
+    fn threshold_pack_row_matches_the_fused_kernel_layout() {
+        let net = random_net(&[64, 65, 2], 0x7777);
+        let layer = &net.layers()[0];
+        let thresholds = layer.folded_thresholds();
+        let rows = random_rows(1, 64, 9);
+        let x = rbnn_tensor::BitVec::from_signs(&rows[0]);
+        let counts: Vec<u32> = layer.popcounts(&x);
+        let mut packed = vec![0u64; 2];
+        threshold_pack_row(&thresholds, &counts, &mut packed);
+        let expected = layer.forward_sign(&x);
+        assert_eq!(packed, expected.as_words());
+    }
+}

@@ -1,0 +1,211 @@
+//! Fusion: collapse unfused stage chains into single packed-word kernels.
+//!
+//! The pass pattern-matches runs of nodes in the lowered graph:
+//!
+//! * `XnorPopcount → Threshold → SignPack` becomes one
+//!   [`FusedOp::FusedHidden`] — per output word, popcounts are compared
+//!   against the folded thresholds and the verdict bits accumulated in a
+//!   register, so the `Counts` and `Flags` values vanish entirely;
+//! * `XnorPopcount → Affine` becomes one [`FusedOp::FusedLogits`] — each
+//!   popcount feeds the affine read-out directly;
+//! * `PackInput` stays as [`FusedOp::Pack`] (it is already a single
+//!   dispatched kernel writing packed words).
+//!
+//! After fusion the only materialized values are bit-packed activation
+//! matrices — exactly the operands the paper's in-memory arrays hold — and
+//! those are what the lifetime planner ([`crate::plan_arena`]) assigns
+//! arena storage to.
+
+use crate::graph::{Op, OpGraph, ValueKind};
+use rbnn_binary::BinaryNetwork;
+
+/// A fused kernel. `layer` indexes [`BinaryNetwork::layers`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedOp {
+    /// Binarize + pack a float input row into arena words.
+    Pack,
+    /// XNOR-popcount → folded threshold → sign-pack, one pass, no
+    /// materialized counts or flags.
+    FusedHidden {
+        /// Layer index.
+        layer: usize,
+    },
+    /// XNOR-popcount → affine logits, one pass.
+    FusedLogits {
+        /// Layer index.
+        layer: usize,
+    },
+}
+
+/// One fused step: consumes bit buffer `src` and defines `dst`.
+///
+/// Buffer indices refer to [`FusedGraph::buffer_widths`]; the float input
+/// and the float logits live outside the arena (caller-provided), so
+/// `Pack` has no meaningful `src` (it is `usize::MAX`) and `FusedLogits`
+/// no meaningful `dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusedStep {
+    /// The fused kernel.
+    pub op: FusedOp,
+    /// Consumed bit-buffer index (`usize::MAX` for `Pack`).
+    pub src: usize,
+    /// Defined bit-buffer index (`usize::MAX` for `FusedLogits`).
+    pub dst: usize,
+}
+
+/// The fused graph: steps in execution order plus the per-sample bit width
+/// of every surviving buffer.
+#[derive(Debug, Clone)]
+pub struct FusedGraph {
+    network: BinaryNetwork,
+    steps: Vec<FusedStep>,
+    buffer_widths: Vec<usize>,
+}
+
+impl FusedGraph {
+    /// The network the fused steps read weights/thresholds from.
+    pub fn network(&self) -> &BinaryNetwork {
+        &self.network
+    }
+
+    /// Fused steps in execution order.
+    pub fn steps(&self) -> &[FusedStep] {
+        &self.steps
+    }
+
+    /// Per-sample bit width of each surviving packed buffer.
+    pub fn buffer_widths(&self) -> &[usize] {
+        &self.buffer_widths
+    }
+}
+
+/// Runs the fusion pass over a lowered graph.
+///
+/// # Panics
+///
+/// Panics if the graph is not a chain of the patterns lowering emits —
+/// fusion is total over [`crate::lower`]'s output by construction, and a
+/// shape it cannot fuse is a lowering bug, not an input condition.
+pub fn fuse(graph: &OpGraph) -> FusedGraph {
+    let nodes = graph.nodes();
+    let mut steps = Vec::new();
+    let mut buffer_widths = Vec::new();
+    let mut i = 0;
+    // Index of the bit buffer currently holding the live activation.
+    let mut cur = usize::MAX;
+    while i < nodes.len() {
+        match nodes[i].op {
+            Op::PackInput { width } => {
+                buffer_widths.push(width);
+                cur = buffer_widths.len() - 1;
+                steps.push(FusedStep {
+                    op: FusedOp::Pack,
+                    src: usize::MAX,
+                    dst: cur,
+                });
+                i += 1;
+            }
+            Op::XnorPopcount { layer } => {
+                let counts = nodes[i].output;
+                assert_eq!(graph.values()[counts].kind, ValueKind::Counts);
+                match nodes.get(i + 1).map(|n| n.op) {
+                    Some(Op::Threshold { layer: tl }) => {
+                        assert_eq!(tl, layer, "threshold must follow its own popcount");
+                        let sign = nodes
+                            .get(i + 2)
+                            .unwrap_or_else(|| panic!("threshold without sign-pack"));
+                        assert!(
+                            matches!(sign.op, Op::SignPack { layer: sl } if sl == layer),
+                            "sign-pack must close the hidden chain"
+                        );
+                        buffer_widths.push(graph.values()[sign.output].width);
+                        let dst = buffer_widths.len() - 1;
+                        steps.push(FusedStep {
+                            op: FusedOp::FusedHidden { layer },
+                            src: cur,
+                            dst,
+                        });
+                        cur = dst;
+                        i += 3;
+                    }
+                    Some(Op::Affine { layer: al }) => {
+                        assert_eq!(al, layer, "affine must follow its own popcount");
+                        steps.push(FusedStep {
+                            op: FusedOp::FusedLogits { layer },
+                            src: cur,
+                            dst: usize::MAX,
+                        });
+                        i += 2;
+                    }
+                    other => panic!("unfusable op after popcount: {other:?}"),
+                }
+            }
+            other => panic!("unexpected op at fusion root: {other:?}"),
+        }
+    }
+    FusedGraph {
+        network: graph.network().clone(),
+        steps,
+        buffer_widths,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::lower;
+    use rbnn_binary::BinaryDense;
+    use rbnn_tensor::BitMatrix;
+
+    fn net(dims: &[usize]) -> BinaryNetwork {
+        let layers = dims
+            .windows(2)
+            .map(|w| {
+                let (inp, out) = (w[0], w[1]);
+                let signs: Vec<f32> = (0..inp * out)
+                    .map(|i| if i % 5 == 0 { -1.0 } else { 1.0 })
+                    .collect();
+                BinaryDense::new(
+                    BitMatrix::from_signs(&signs, out, inp),
+                    vec![1.0; out],
+                    vec![0.5; out],
+                )
+            })
+            .collect();
+        BinaryNetwork::new(layers)
+    }
+
+    #[test]
+    fn fusion_collapses_every_hidden_chain() {
+        // 3 hidden layers + logits: 1 + 3·3 + 2 = 12 unfused nodes…
+        let g = lower(&net(&[65, 63, 64, 127, 5]));
+        assert_eq!(g.nodes().len(), 12);
+        // …fuse to 1 + 3 + 1 = 5 steps over 4 bit buffers.
+        let f = fuse(&g);
+        let ops: Vec<FusedOp> = f.steps().iter().map(|s| s.op).collect();
+        assert_eq!(
+            ops,
+            vec![
+                FusedOp::Pack,
+                FusedOp::FusedHidden { layer: 0 },
+                FusedOp::FusedHidden { layer: 1 },
+                FusedOp::FusedHidden { layer: 2 },
+                FusedOp::FusedLogits { layer: 3 },
+            ]
+        );
+        assert_eq!(f.buffer_widths(), &[65, 63, 64, 127]);
+        // Each step consumes the buffer the previous step defined.
+        assert_eq!(f.steps()[1].src, f.steps()[0].dst);
+        assert_eq!(f.steps()[4].src, f.steps()[3].dst);
+    }
+
+    #[test]
+    fn no_counts_or_flags_survive_fusion() {
+        let g = lower(&net(&[128, 64, 2]));
+        let f = fuse(&g);
+        // Surviving buffers are exactly the packed activations; the
+        // Counts/Flags values of the unfused graph have no storage.
+        assert_eq!(f.buffer_widths().len(), 2);
+        assert_eq!(f.steps().len(), 3);
+    }
+}

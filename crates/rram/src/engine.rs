@@ -65,7 +65,7 @@ fn fabric_telemetry() -> &'static FabricTelemetry {
 
 /// Records a batch of sense events on the fleet counters (plus their
 /// estimated energy through [`sense_energy_nj`]).
-fn record_fabric_senses(senses: u64) {
+pub(crate) fn record_fabric_senses(senses: u64) {
     if senses == 0 {
         return;
     }
@@ -436,6 +436,12 @@ impl NetworkEngine {
     /// The per-layer engines.
     pub fn layers(&self) -> &[DenseEngine] {
         &self.layers
+    }
+
+    /// Mutable per-layer engines, for the op-graph plan replay
+    /// (`graph_exec`): sensing mutates device state and RNG streams.
+    pub(crate) fn layers_mut(&mut self) -> &mut [DenseEngine] {
+        &mut self.layers
     }
 
     /// Total physical arrays across layers.

@@ -44,6 +44,7 @@ pub mod endurance;
 pub mod energy;
 mod engine;
 pub mod faults;
+mod graph_exec;
 mod pcsa;
 pub mod stats;
 mod synapse;

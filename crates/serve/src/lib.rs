@@ -82,8 +82,8 @@ pub use fault::ChaosPlan;
 pub use registry::{demo_network, Backend, ModelEntry, ModelRegistry, ServeTask};
 pub use retry::RetryPolicy;
 pub use server::{
-    classify_matrix, AdmissionPolicy, Pending, PendingWindow, Prediction, Priority, ServeConfig,
-    ServeError, ServeHandle, Server, SubmitOptions, TaskClient,
+    classify_matrix, AdmissionPolicy, ExecutorMode, Pending, PendingWindow, Prediction, Priority,
+    ServeConfig, ServeError, ServeHandle, Server, SubmitOptions, TaskClient,
 };
 pub use stats::{EngineSnapshot, ServerStats, StatsSnapshot};
 pub use supervisor::{FleetHealth, ReplicaHealth, ReplicaReport, Supervisor, SupervisorPolicy};

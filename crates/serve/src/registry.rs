@@ -63,9 +63,13 @@ pub struct ModelEntry {
 
 /// Deployed classifiers keyed by [`ServeTask`].
 ///
-/// The registry is immutable once handed to a server: every worker
+/// The registry itself is immutable once handed to a server: every worker
 /// replicates engines from it at startup (replication is what lets
-/// Monte-Carlo `&mut self` engines serve concurrent traffic).
+/// Monte-Carlo `&mut self` engines serve concurrent traffic). To replace a
+/// deployed model on a *running* server, use
+/// [`ServeHandle::swap_model`](crate::ServeHandle::swap_model) — a
+/// versioned, width-stable hot swap that workers adopt before their next
+/// batch.
 #[derive(Debug, Clone, Default)]
 pub struct ModelRegistry {
     entries: BTreeMap<ServeTask, ModelEntry>,

@@ -20,11 +20,12 @@
 
 use std::collections::BTreeMap;
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use rbnn_binary::BinaryNetwork;
+use rbnn_graph::{ExecPlan, PlanBuffers};
 use rbnn_rram::{EngineConfig, NetworkEngine};
 use rbnn_telemetry::{SpanRecord, SpanRing};
 use rbnn_tensor::Tensor;
@@ -32,7 +33,7 @@ use rbnn_tensor::Tensor;
 use crate::batcher::{BatchPolicy, Batcher};
 use crate::fault::ChaosEvent;
 use crate::queue::{BoundedQueue, Lane, PushError};
-use crate::registry::{Backend, ModelRegistry, ServeTask};
+use crate::registry::{Backend, ModelEntry, ModelRegistry, ServeTask};
 use crate::retry::RetryPolicy;
 use crate::stats::{ServerStats, StatsSnapshot};
 use crate::supervisor::{FleetHealth, Supervisor, SupervisorPolicy};
@@ -54,6 +55,52 @@ pub enum AdmissionPolicy {
     /// realtime monitoring, where blocking turns overload into unbounded
     /// staleness.
     Block,
+}
+
+/// Which execution path workers evaluate batches on.
+///
+/// Both paths are bitwise-equal — the conformance oracle's fifth path and
+/// the CI executor matrix byte-compare them — so the choice is purely a
+/// performance/diagnostic knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutorMode {
+    /// Op-graph execution plans (the default): each `(model, batch)` pair
+    /// compiles once into a static [`rbnn_graph::ExecPlan`] of fused
+    /// packed-word kernels that workers replay with zero per-request
+    /// planning or allocation.
+    #[default]
+    Graph,
+    /// The layer-by-layer `Layer` path, retained permanently as the
+    /// conformance reference: every stage materializes its intermediate.
+    Legacy,
+}
+
+impl ExecutorMode {
+    /// Stable label used by bench envelopes and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecutorMode::Graph => "graph",
+            ExecutorMode::Legacy => "legacy",
+        }
+    }
+
+    /// Applies the `RBNN_EXECUTOR` environment override (`graph` /
+    /// `legacy`, the CI executor-matrix pin; any other value keeps
+    /// `self`). Mirrors the `RBNN_KERNELS` convention of the kernel
+    /// dispatch layer.
+    pub fn resolved(self) -> Self {
+        match std::env::var("RBNN_EXECUTOR").as_deref() {
+            Ok("graph") => ExecutorMode::Graph,
+            Ok("legacy") => ExecutorMode::Legacy,
+            _ => self,
+        }
+    }
+
+    /// The mode a default-configured server runs with right now (config
+    /// default plus environment override) — what bench envelopes record.
+    pub fn active_default() -> Self {
+        ExecutorMode::default().resolved()
+    }
 }
 
 /// Request priority, mapped onto the queue's two lanes.
@@ -135,6 +182,10 @@ pub struct ServeConfig {
     /// heavily-worn regime where Monte-Carlo senses dominate both the
     /// latency and the error budget.
     pub degrade_marginal_threshold: f64,
+    /// Which execution path workers use (default: compiled op-graph
+    /// plans). The `RBNN_EXECUTOR` environment variable overrides this at
+    /// [`Server::start`] — see [`ExecutorMode::resolved`].
+    pub executor: ExecutorMode,
 }
 
 impl Default for ServeConfig {
@@ -149,6 +200,7 @@ impl Default for ServeConfig {
             admission: AdmissionPolicy::Shed,
             supervisor: SupervisorPolicy::default(),
             degrade_marginal_threshold: 0.05,
+            executor: ExecutorMode::Graph,
         }
     }
 }
@@ -267,6 +319,15 @@ impl std::fmt::Debug for Request {
     }
 }
 
+/// One task's currently-deployed model, versioned so workers can detect a
+/// hot swap ([`ServeHandle::swap_model`]) and rebuild their replicas
+/// lazily on the next batch they serve for that task.
+#[derive(Debug)]
+struct ModelSlot {
+    version: u64,
+    entry: Arc<ModelEntry>,
+}
+
 /// State shared between the handle(s) and the workers.
 #[derive(Debug)]
 struct Shared {
@@ -275,14 +336,50 @@ struct Shared {
     /// Sampled request-lifecycle traces (1-in-N completions), for post-hoc
     /// tail decomposition into queue / batch-linger / service phases.
     spans: SpanRing,
+    /// Feature widths are fixed at start: a hot swap must preserve the
+    /// registered width (enforced by [`Shared::swap_model`]), so clients'
+    /// cached widths ([`TaskClient`]) stay valid across swaps.
     widths: BTreeMap<ServeTask, usize>,
+    /// Current model per task, bumped by [`Shared::swap_model`]. Workers
+    /// compare versions before serving and adopt the new entry lazily.
+    models: RwLock<BTreeMap<ServeTask, ModelSlot>>,
     supervisor: Supervisor,
     admission: AdmissionPolicy,
     /// See [`ServeConfig::degrade_marginal_threshold`].
     degrade_marginal_threshold: f64,
+    /// Resolved executor mode ([`ServeConfig::executor`] after the
+    /// `RBNN_EXECUTOR` override).
+    executor: ExecutorMode,
 }
 
 impl Shared {
+    /// The current model (and its version) deployed for `task`.
+    fn model_of(&self, task: ServeTask) -> Option<(u64, Arc<ModelEntry>)> {
+        let models = self.models.read().unwrap_or_else(PoisonError::into_inner);
+        models
+            .get(&task)
+            .map(|slot| (slot.version, Arc::clone(&slot.entry)))
+    }
+
+    /// Replaces the deployed model for `task`, returning the new version.
+    /// The replacement must keep the registered feature width — clients
+    /// cache widths at bind time, so a width change would silently break
+    /// them; deploy a width-changing model as a new server instead.
+    fn swap_model(&self, task: ServeTask, entry: ModelEntry) -> Result<u64, ServeError> {
+        let expected = *self
+            .widths
+            .get(&task)
+            .ok_or(ServeError::UnknownTask(task))?;
+        let got = entry.network.in_features();
+        if got != expected {
+            return Err(ServeError::FeatureWidth { expected, got });
+        }
+        let mut models = self.models.write().unwrap_or_else(PoisonError::into_inner);
+        let slot = models.get_mut(&task).ok_or(ServeError::UnknownTask(task))?;
+        slot.version += 1;
+        slot.entry = Arc::new(entry);
+        Ok(slot.version)
+    }
     /// The one enqueue path every client API funnels through: validates
     /// each sample against the pre-resolved feature `width`, stamps the
     /// deadline, then pushes onto the request's priority lane. Under
@@ -529,6 +626,21 @@ impl ServeHandle {
             task,
             width,
         })
+    }
+
+    /// Hot-swaps the model deployed for `task` without restarting the
+    /// pool, returning the new model version. Workers notice the version
+    /// bump on the next batch they serve for the task and rebuild their
+    /// replica (engine and compiled execution plan) from the new entry
+    /// before evaluating — a request is always answered by exactly one
+    /// model, never a blend, and a cached [`ExecPlan`] compiled for the
+    /// old model is invalidated atomically with the engine.
+    ///
+    /// The replacement must keep the registered feature width
+    /// ([`ServeError::FeatureWidth`] otherwise): clients cache widths at
+    /// bind time, so the swap contract is width-stable by design.
+    pub fn swap_model(&self, task: ServeTask, entry: ModelEntry) -> Result<u64, ServeError> {
+        self.shared.swap_model(task, entry)
     }
 }
 
@@ -782,6 +894,10 @@ struct ReplicaSpec {
     backend: Backend,
     engine_config: EngineConfig,
     engine_threads: usize,
+    /// Per-worker device-seed salt, retained so a hot-swapped model's
+    /// engine seed is derived exactly as at [`Server::start`]:
+    /// `entry_seed + salt` (wrapping).
+    seed_salt: u64,
 }
 
 impl ReplicaSpec {
@@ -796,6 +912,64 @@ impl ReplicaSpec {
             }
         }
     }
+
+    /// Re-targets this spec at a hot-swapped model entry, re-salting the
+    /// device seed with the retained per-worker salt.
+    fn retarget(&mut self, entry: &ModelEntry) {
+        self.network = entry.network.clone();
+        let mut engine_config = entry.engine_config.clone();
+        engine_config.seed = engine_config.seed.wrapping_add(self.seed_salt);
+        self.engine_config = engine_config;
+    }
+}
+
+/// A compiled execution plan plus its replay buffers, cached per replica.
+///
+/// Compiled once per `(model, batch capacity)` pair and replayed for every
+/// subsequent batch: the replay path performs no planning and no buffer
+/// allocation (the arena and logits storage live here). Invalidated only
+/// by a model swap ([`adopt_model`]) or a batch larger than
+/// `plan.max_batch()` — respawns and degrade fallbacks reuse it, since the
+/// network is unchanged.
+struct PlanState {
+    plan: ExecPlan,
+    buffers: PlanBuffers,
+    logits: Vec<f32>,
+}
+
+impl PlanState {
+    /// Compiles a plan for `network` sized to serve batches up to
+    /// `capacity` rows.
+    fn compile(network: &BinaryNetwork, capacity: usize) -> Self {
+        let plan = ExecPlan::compile(network, capacity);
+        let buffers = plan.buffers();
+        let logits = vec![0.0; capacity * plan.out_features()];
+        PlanState {
+            plan,
+            buffers,
+            logits,
+        }
+    }
+
+    /// Replays the cached plan over one batch on `engine`, returning the
+    /// logits tensor and the PCSA senses consumed (zero in software).
+    fn replay(&mut self, engine: &mut WorkerEngine, rows: &[&[f32]]) -> (Tensor, u64) {
+        let n = rows.len();
+        let classes = self.plan.out_features();
+        let out = &mut self.logits[..n * classes];
+        let senses = match engine {
+            WorkerEngine::Software(_) => {
+                self.plan.replay_rows(rows, &mut self.buffers, out);
+                0
+            }
+            WorkerEngine::Rram(e) => {
+                let before = e.stats().senses;
+                e.replay_plan(&self.plan, rows, &mut self.buffers, out);
+                e.stats().senses - before
+            }
+        };
+        (Tensor::from_vec(out.to_vec(), [n, classes]), senses)
+    }
 }
 
 /// One worker's replica slot: the rebuild recipe plus the live engine
@@ -803,6 +977,13 @@ impl ReplicaSpec {
 struct Replica {
     spec: ReplicaSpec,
     engine: Option<WorkerEngine>,
+    /// Version of the deployed model this replica was built from; compared
+    /// against the shared [`ModelSlot`] before each batch so a hot swap is
+    /// adopted before any request is evaluated against stale weights.
+    version: u64,
+    /// Cached execution plan for [`ExecutorMode::Graph`] dispatch, compiled
+    /// lazily on first use and invalidated on model swap.
+    plan: Option<PlanState>,
     /// Set by a respawn, cleared by the first successful batch — the
     /// signal to tell the supervisor the replica is stable again.
     fresh_respawn: bool,
@@ -832,14 +1013,29 @@ impl Server {
             .map(|t| (t, registry.in_features(t).expect("registered")))
             .collect();
         let tasks: Vec<ServeTask> = registry.tasks().collect();
+        let models: BTreeMap<ServeTask, ModelSlot> = registry
+            .tasks()
+            .map(|task| {
+                let entry = registry.get(task).expect("registered").clone();
+                (
+                    task,
+                    ModelSlot {
+                        version: 0,
+                        entry: Arc::new(entry),
+                    },
+                )
+            })
+            .collect();
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             stats: ServerStats::new(config.workers),
             spans: SpanRing::new(SPAN_RING_CAPACITY),
             widths,
+            models: RwLock::new(models),
             supervisor: Supervisor::new(config.supervisor.clone(), config.workers, &tasks),
             admission: config.admission,
             degrade_marginal_threshold: config.degrade_marginal_threshold,
+            executor: config.executor.resolved(),
         });
 
         let workers = (0..config.workers)
@@ -854,15 +1050,14 @@ impl Server {
                         // independently fabricated chips, not clones of
                         // one die — and a respawn programs yet another
                         // fresh fabric from the same recipe.
-                        engine_config.seed = engine_config
-                            .seed
-                            .wrapping_add(config.seed)
-                            .wrapping_add(worker_idx as u64 * 0x9E37_79B9);
+                        let seed_salt = config.seed.wrapping_add(worker_idx as u64 * 0x9E37_79B9);
+                        engine_config.seed = engine_config.seed.wrapping_add(seed_salt);
                         let spec = ReplicaSpec {
                             network: entry.network.clone(),
                             backend: config.backend,
                             engine_config,
                             engine_threads: config.engine_threads,
+                            seed_salt,
                         };
                         let engine = Some(spec.build());
                         (
@@ -870,6 +1065,8 @@ impl Server {
                             Replica {
                                 spec,
                                 engine,
+                                version: 0,
+                                plan: None,
                                 fresh_respawn: false,
                             },
                         )
@@ -891,6 +1088,12 @@ impl Server {
         ServeHandle {
             shared: Arc::clone(&self.shared),
         }
+    }
+
+    /// Hot-swaps the model deployed for `task` (see
+    /// [`ServeHandle::swap_model`]).
+    pub fn swap_model(&self, task: ServeTask, entry: ModelEntry) -> Result<u64, ServeError> {
+        self.shared.swap_model(task, entry)
     }
 
     /// Point-in-time server statistics.
@@ -1051,6 +1254,10 @@ fn serve_batch(
             fail_group(requests, ServeError::EngineFault);
             continue;
         };
+        // A hot-swapped model is adopted *before* the respawn check and
+        // the evaluation: no request is ever answered by a stale model or
+        // a stale execution plan.
+        adopt_model(shared, worker_idx, task, replica);
         // A retired replica whose backoff has elapsed respawns lazily on
         // first demand, so a fault under sustained traffic recovers
         // without waiting for an idle tick.
@@ -1064,6 +1271,10 @@ fn serve_batch(
             fail_group(requests, ServeError::EngineFault);
             continue;
         };
+        // Disjoint field borrows: the closure needs the engine, the plan
+        // cache and the network recipe at once.
+        let plan = &mut replica.plan;
+        let network = &replica.spec.network;
         let rows: Vec<&[f32]> = requests
             .iter()
             .flat_map(|r| r.rows.rows().iter().map(Vec::as_slice))
@@ -1081,7 +1292,7 @@ fn serve_batch(
                 Some(ChaosEvent::Drift { cycles }) => engine.age(cycles),
                 None => {}
             }
-            Ok(engine.logits_batch_rows(&rows))
+            Ok(dispatch_rows(engine, network, plan, shared.executor, &rows))
         }));
         let (logits, senses) = match outcome {
             Ok(Ok(result)) => result,
@@ -1141,6 +1352,72 @@ fn serve_batch(
     shared
         .stats
         .record_batch(worker_idx, samples_total, senses_total);
+}
+
+/// Smallest batch capacity an execution plan is compiled for: batches grow
+/// to the next power of two above this floor, so a ramp-up from
+/// single-sample traffic to full micro-batches recompiles the plan only
+/// O(log batch) times (and a plan compiled for the configured batch cap is
+/// never recompiled again).
+const MIN_PLAN_BATCH: usize = 16;
+
+/// Evaluates one task group on the configured executor. Under
+/// [`ExecutorMode::Graph`] the replica's cached [`PlanState`] is replayed
+/// — compiled here on first use (or when the batch outgrows its capacity),
+/// then reused with zero per-request planning or allocation. Under
+/// [`ExecutorMode::Legacy`] the layer-by-layer reference path runs
+/// directly. Both paths are bitwise-equal (locked by the conformance
+/// oracle's plan path and the CI executor matrix).
+fn dispatch_rows(
+    engine: &mut WorkerEngine,
+    network: &BinaryNetwork,
+    plan: &mut Option<PlanState>,
+    executor: ExecutorMode,
+    rows: &[&[f32]],
+) -> (Tensor, u64) {
+    let n = rows.len();
+    if executor == ExecutorMode::Graph {
+        if plan.as_ref().map_or(true, |p| p.plan.max_batch() < n) {
+            *plan = Some(PlanState::compile(
+                network,
+                n.next_power_of_two().max(MIN_PLAN_BATCH),
+            ));
+        }
+        if let Some(state) = plan.as_mut() {
+            return state.replay(engine, rows);
+        }
+    }
+    engine.logits_batch_rows(rows)
+}
+
+/// Adopts a hot-swapped model ([`ServeHandle::swap_model`]): when the
+/// shared slot's version differs from the replica's, the spec is
+/// re-targeted (re-salted device seed), the cached execution plan is
+/// dropped, and a live engine is rebuilt in place. A rebuild that panics
+/// retires the replica through the normal supervision path; a replica that
+/// was already down keeps its updated spec and rebuilds through the usual
+/// respawn flow.
+fn adopt_model(shared: &Shared, worker_idx: usize, task: ServeTask, replica: &mut Replica) {
+    let Some((version, entry)) = shared.model_of(task) else {
+        return;
+    };
+    if version == replica.version {
+        return;
+    }
+    replica.spec.retarget(&entry);
+    replica.plan = None;
+    replica.version = version;
+    if replica.engine.is_none() {
+        return;
+    }
+    let rebuilt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| replica.spec.build()));
+    match rebuilt {
+        Ok(engine) => replica.engine = Some(engine),
+        Err(_) => {
+            replica.engine = None;
+            shared.supervisor.record_fault(worker_idx, task);
+        }
+    }
 }
 
 /// Answers every request of a failed task group with `error`. A client

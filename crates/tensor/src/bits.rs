@@ -84,6 +84,24 @@ pub fn xnor_popcount(a: &[u64], b: &[u64], len: usize) -> u32 {
     count
 }
 
+/// Packs the signs of `values` into caller-provided `words` via the
+/// canonical [`sign_bit`](crate::sign_bit) predicate (`x ≥ 0` → bit 1 /
+/// value +1), through the runtime-dispatched packing kernel. Tail bits
+/// beyond `values.len()` are written as zero.
+///
+/// This is the word-level entry the op-graph executor uses to pack input
+/// rows directly into an execution-plan arena with no intermediate
+/// [`BitVec`]/[`BitMatrix`]; it produces exactly the words
+/// [`BitVec::from_signs`] would.
+///
+/// # Panics
+///
+/// Panics unless `words.len() == values.len().div_ceil(64)`.
+#[inline]
+pub fn pack_signs_into(values: &[f32], words: &mut [u64]) {
+    pack::pack_signs(values, words);
+}
+
 /// A bit-packed vector of ±1 values (`1 ↔ +1`, `0 ↔ −1`).
 ///
 /// ```
@@ -121,6 +139,28 @@ impl BitVec {
     pub fn from_signs(values: &[f32]) -> Self {
         let mut v = Self::zeros(values.len());
         pack::pack_signs(values, &mut v.words);
+        v
+    }
+
+    /// Builds a vector of `len` bits from pre-packed words (e.g. a row of
+    /// an execution-plan arena). Bits beyond `len` in the final word are
+    /// masked off, so callers may pass words whose tail bits are stale.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `words.len() == len.div_ceil(64)`.
+    pub fn from_words(words: &[u64], len: usize) -> Self {
+        assert!(
+            words.len() == words_for(len),
+            "from_words: words/len mismatch"
+        );
+        let mut v = Self {
+            words: words.to_vec(),
+            len,
+        };
+        if let Some(last) = v.words.last_mut() {
+            *last &= tail_mask(len);
+        }
         v
     }
 
@@ -637,6 +677,115 @@ impl fmt::Debug for BitMatrix {
     }
 }
 
+/// A [`BitMatrix`] copied into the lane-interleaved layout of the batched
+/// XNOR-popcount kernel: rows are grouped in blocks of four, and within a
+/// block word `j` of the four rows sits contiguously, so one 256-bit load
+/// fetches the same word column of the whole block.
+///
+/// Built once (an allocation — e.g. at execution-plan compile time) and
+/// queried many times with [`popcounts_into`](Self::popcounts_into), which
+/// resolves the popcount kernel **once per call** instead of once per row.
+/// For the short rows typical of fused-executor replay (a few words each),
+/// per-row dispatch, bounds checks, and SIMD remainder handling cost more
+/// than the popcounts themselves; this layout amortizes all three across
+/// the matrix.
+#[derive(Clone, PartialEq, Eq)]
+pub struct InterleavedRows {
+    words: Vec<u64>,
+    rows: usize,
+    words_per_row: usize,
+    len: usize,
+}
+
+impl InterleavedRows {
+    /// Copies `m` into interleaved layout, padding the row count up to a
+    /// multiple of the lane width with all-zero rows.
+    pub fn from_matrix(m: &BitMatrix) -> Self {
+        let rows = m.rows();
+        let len = m.cols();
+        let words_per_row = words_for(len);
+        let lanes = popcount::ROW_LANES;
+        let padded = rows.div_ceil(lanes) * lanes;
+        let mut words = vec![0u64; padded * words_per_row];
+        for r in 0..rows {
+            let src = m.row_words(r);
+            let (block, lane) = (r / lanes, r % lanes);
+            for (j, &w) in src.iter().enumerate() {
+                words[(block * words_per_row + j) * lanes + lane] = w;
+            }
+        }
+        Self {
+            words,
+            rows,
+            words_per_row,
+            len,
+        }
+    }
+
+    /// Number of real (unpadded) rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row count padded to the kernel's lane width — the minimum length of
+    /// the `out` slice passed to [`popcounts_into`](Self::popcounts_into).
+    pub fn padded_rows(&self) -> usize {
+        if self.words_per_row == 0 {
+            return self.rows.div_ceil(popcount::ROW_LANES) * popcount::ROW_LANES;
+        }
+        self.words.len() / self.words_per_row
+    }
+
+    /// Bits per row.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Writes `popcount(XNOR(row_r, x))` over `len` bits into `out[r]` for
+    /// every real row, with a single kernel dispatch. Entries of `out`
+    /// beyond [`rows`](Self::rows) (up to [`padded_rows`](Self::padded_rows))
+    /// are clobbered with unspecified values.
+    ///
+    /// Tail bits beyond `len` in `x`'s last word **must be zero** (as
+    /// [`pack_signs_into`] and [`BitVec::from_signs`] guarantee): the
+    /// kernel counts whole words — the XNOR of two all-zero tails is
+    /// all-ones — and subtracts the constant tail contribution afterwards,
+    /// which is exact only under that invariant. Debug builds assert it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is shorter than one row or `out` is shorter than
+    /// [`padded_rows`](Self::padded_rows).
+    #[inline]
+    pub fn popcounts_into(&self, x: &[u64], out: &mut [u32]) {
+        let padded = self.padded_rows();
+        assert!(x.len() >= self.words_per_row, "x shorter than one row");
+        assert!(out.len() >= padded, "out shorter than padded row count");
+        debug_assert!(
+            self.words_per_row == 0 || x[self.words_per_row - 1] & !tail_mask(self.len) == 0,
+            "x tail bits beyond len must be zero"
+        );
+        popcount::xnor_popcount_rows(&self.words, self.words_per_row, x, &mut out[..padded]);
+        let slack = (self.words_per_row * WORD_BITS - self.len) as u32;
+        if slack != 0 {
+            for c in &mut out[..self.rows] {
+                *c -= slack;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for InterleavedRows {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "InterleavedRows({}×{})", self.rows, self.len)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -676,6 +825,36 @@ mod tests {
             let bv_a = BitVec::from_signs(&a);
             let bv_b = BitVec::from_signs(&b);
             assert_eq!(bv_a.dot_pm1(&bv_b), fa, "len {len}");
+        }
+    }
+
+    #[test]
+    fn interleaved_rows_match_per_row_popcounts() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for cols in [1usize, 63, 64, 65, 127, 128, 200] {
+            for rows in [1usize, 2, 4, 5, 7, 75] {
+                let signs: Vec<f32> = (0..rows * cols)
+                    .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                    .collect();
+                let m = BitMatrix::from_signs(&signs, rows, cols);
+                let iw = InterleavedRows::from_matrix(&m);
+                assert_eq!(iw.rows(), rows);
+                assert_eq!(iw.len(), cols);
+                assert!(iw.padded_rows() >= rows && iw.padded_rows() % 4 == 0);
+
+                let xs: Vec<f32> = (0..cols)
+                    .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                    .collect();
+                let x = BitVec::from_signs(&xs);
+                // Dirty scratch: padded entries may be clobbered, real
+                // entries must be exact.
+                let mut out = vec![u32::MAX; iw.padded_rows()];
+                iw.popcounts_into(x.as_words(), &mut out);
+                for r in 0..rows {
+                    let want = xnor_popcount(m.row_words(r), x.as_words(), cols);
+                    assert_eq!(out[r], want, "row {r}, {rows}×{cols}");
+                }
+            }
         }
     }
 

@@ -33,6 +33,167 @@ pub(crate) fn xnor_popcount_words(a: &[u64], b: &[u64]) -> u32 {
     }
 }
 
+/// Rows interleaved per block in [`xnor_popcount_rows`]'s operand layout:
+/// word `j` of four consecutive rows sits contiguously, so one 256-bit
+/// load fetches the same word column of a whole row block.
+pub(crate) const ROW_LANES: usize = 4;
+
+/// Batched XNOR-popcount: counts matching bits of every interleaved row of
+/// `blocks` against the single operand `x`, over whole words, with **one**
+/// kernel dispatch for the entire matrix.
+///
+/// `blocks` holds `out.len()` rows of `words_per_row` words in
+/// [`ROW_LANES`]-interleaved layout (`blocks[(block * words_per_row + j) *
+/// ROW_LANES + lane]` is word `j` of row `block * ROW_LANES + lane`). This
+/// is the primitive behind [`InterleavedRows`](crate::InterleavedRows):
+/// per-row entry points pay the dispatch, bounds checks, and (for short
+/// rows) the SIMD remainder handling once per row, which dominates
+/// fused-executor replay where rows are a handful of words long.
+///
+/// # Panics
+///
+/// Panics unless `out.len()` is a multiple of [`ROW_LANES`], `blocks`
+/// holds exactly `out.len() * words_per_row` words, and `x` holds at least
+/// `words_per_row` words.
+pub(crate) fn xnor_popcount_rows(blocks: &[u64], words_per_row: usize, x: &[u64], out: &mut [u32]) {
+    assert!(
+        out.len() % ROW_LANES == 0,
+        "row count must be padded to a multiple of {ROW_LANES}"
+    );
+    assert_eq!(
+        blocks.len(),
+        out.len() * words_per_row,
+        "interleaved operand size mismatch"
+    );
+    assert!(x.len() >= words_per_row, "x shorter than one row");
+    match popcount_kernel() {
+        PopcountKernel::Scalar => xnor_popcount_rows_scalar(blocks, words_per_row, x, out),
+        // SAFETY: `Avx2` is only selected after runtime AVX2 detection;
+        // every CPU the `Avx512` variant can be selected on (avx512f +
+        // vpopcntdq) also executes AVX2.
+        #[cfg(target_arch = "x86_64")]
+        PopcountKernel::Avx2 | PopcountKernel::Avx512 => unsafe {
+            xnor_popcount_rows_avx2(blocks, words_per_row, x, out)
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => xnor_popcount_rows_scalar(blocks, words_per_row, x, out),
+    }
+}
+
+/// Scalar oracle for [`xnor_popcount_rows`] — walks the interleaved layout
+/// a block column at a time; the SIMD paths must match it bit for bit.
+fn xnor_popcount_rows_scalar(blocks: &[u64], words_per_row: usize, x: &[u64], out: &mut [u32]) {
+    if words_per_row == 0 {
+        out.fill(0);
+        return;
+    }
+    let block_words = words_per_row * ROW_LANES;
+    for (chunk, block) in out
+        .chunks_exact_mut(ROW_LANES)
+        .zip(blocks.chunks_exact(block_words))
+    {
+        let mut c = [0u32; ROW_LANES];
+        for (col, &xw) in block.chunks_exact(ROW_LANES).zip(x) {
+            for (acc, &w) in c.iter_mut().zip(col) {
+                *acc += (!(w ^ xw)).count_ones();
+            }
+        }
+        chunk.copy_from_slice(&c);
+    }
+}
+
+/// AVX2 batched kernel: one vector per block column (four rows' word `j`),
+/// `x[j]` broadcast across lanes, XNOR accumulated through a carry-save
+/// `ones`/`twos` pair so the nibble-LUT byte popcount runs once per two
+/// columns instead of once per column.
+///
+/// # Safety
+///
+/// Caller must ensure the host supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn xnor_popcount_rows_avx2(
+    blocks: &[u64],
+    words_per_row: usize,
+    x: &[u64],
+    out: &mut [u32],
+) {
+    use std::arch::x86_64::*;
+
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3,
+        3, 4,
+    );
+    let low = _mm256_set1_epi8(0x0f);
+    let ones = _mm256_set1_epi64x(-1);
+
+    /// Sums the popcounts of the 32 bytes of `v` into four u64 lanes.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be executing with AVX2 available (guaranteed here: only
+    /// called from inside this `#[target_feature(enable = "avx2")]` body).
+    #[inline(always)]
+    unsafe fn pc_bytes(v: __m256i, lut: __m256i, low: __m256i) -> __m256i {
+        let lo = _mm256_and_si256(v, low);
+        let hi = _mm256_and_si256(_mm256_srli_epi32::<4>(v), low);
+        let p = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+        _mm256_sad_epu8(p, _mm256_setzero_si256())
+    }
+
+    let bp = blocks.as_ptr() as *const __m256i;
+    let xp = x.as_ptr();
+    for (b, chunk) in out.chunks_exact_mut(ROW_LANES).enumerate() {
+        let base = b * words_per_row;
+        let mut onesv = _mm256_setzero_si256();
+        let mut twos = _mm256_setzero_si256();
+        let mut j = 0usize;
+        while j + 2 <= words_per_row {
+            // XNOR of each column vector with its broadcast x word
+            // (`xp.add(j)` stays in bounds: the dispatcher asserts
+            // `x.len() >= words_per_row`).
+            let v1 = _mm256_xor_si256(
+                _mm256_xor_si256(
+                    _mm256_loadu_si256(bp.add(base + j)),
+                    _mm256_set1_epi64x(*xp.add(j) as i64),
+                ),
+                ones,
+            );
+            let v2 = _mm256_xor_si256(
+                _mm256_xor_si256(
+                    _mm256_loadu_si256(bp.add(base + j + 1)),
+                    _mm256_set1_epi64x(*xp.add(j + 1) as i64),
+                ),
+                ones,
+            );
+            // Carry-save add: carries weigh 2, the running sum weighs 1.
+            let u = _mm256_xor_si256(v1, v2);
+            let carry = _mm256_or_si256(_mm256_and_si256(v1, v2), _mm256_and_si256(u, onesv));
+            onesv = _mm256_xor_si256(u, onesv);
+            twos = _mm256_add_epi64(twos, pc_bytes(carry, lut, low));
+            j += 2;
+        }
+        if j < words_per_row {
+            let v = _mm256_xor_si256(
+                _mm256_xor_si256(
+                    _mm256_loadu_si256(bp.add(base + j)),
+                    _mm256_set1_epi64x(*xp.add(j) as i64),
+                ),
+                ones,
+            );
+            let carry = _mm256_and_si256(onesv, v);
+            onesv = _mm256_xor_si256(onesv, v);
+            twos = _mm256_add_epi64(twos, pc_bytes(carry, lut, low));
+        }
+        let total = _mm256_add_epi64(_mm256_slli_epi64::<1>(twos), pc_bytes(onesv, lut, low));
+        let mut lanes = [0u64; ROW_LANES];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, total);
+        for (o, &lane) in chunk.iter_mut().zip(&lanes) {
+            *o = lane as u32;
+        }
+    }
+}
+
 /// The canonical scalar kernel — the parity oracle every SIMD path must
 /// match bit for bit (`zip` keeps it panic-free on any slice lengths).
 #[inline]
@@ -225,6 +386,47 @@ mod tests {
             // The dispatched entry point agrees with the oracle too,
             // whichever kernel it picked.
             assert_eq!(xnor_popcount_words(&a, &b), want);
+        }
+    }
+
+    #[test]
+    fn batched_rows_kernel_matches_per_row_oracle() {
+        let mut seed = 0x1357_9bdf_2468_ace0u64;
+        for words_per_row in [0usize, 1, 2, 3, 5, 7, 8, 13] {
+            for blocks in [1usize, 2, 5] {
+                let rows = blocks * ROW_LANES;
+                let data: Vec<u64> = (0..rows * words_per_row)
+                    .map(|_| xorshift(&mut seed))
+                    .collect();
+                let x: Vec<u64> = (0..words_per_row).map(|_| xorshift(&mut seed)).collect();
+                // Deinterleave each row and popcount it with the scalar
+                // word oracle.
+                let row_words = |r: usize| -> Vec<u64> {
+                    let (b, lane) = (r / ROW_LANES, r % ROW_LANES);
+                    (0..words_per_row)
+                        .map(|j| data[(b * words_per_row + j) * ROW_LANES + lane])
+                        .collect()
+                };
+                let want: Vec<u32> = (0..rows)
+                    .map(|r| xnor_popcount_words_scalar(&row_words(r), &x))
+                    .collect();
+
+                let mut got = vec![0u32; rows];
+                xnor_popcount_rows_scalar(&data, words_per_row, &x, &mut got);
+                assert_eq!(got, want, "scalar rows kernel, {words_per_row} words");
+
+                #[cfg(target_arch = "x86_64")]
+                if is_x86_feature_detected!("avx2") {
+                    let mut got = vec![0u32; rows];
+                    // SAFETY: avx2 detected on this host.
+                    unsafe { xnor_popcount_rows_avx2(&data, words_per_row, &x, &mut got) };
+                    assert_eq!(got, want, "avx2 rows kernel, {words_per_row} words");
+                }
+
+                let mut got = vec![0u32; rows];
+                xnor_popcount_rows(&data, words_per_row, &x, &mut got);
+                assert_eq!(got, want, "dispatched rows kernel, {words_per_row} words");
+            }
         }
     }
 

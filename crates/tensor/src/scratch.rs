@@ -71,6 +71,19 @@ impl Scratch {
         Tensor::from_vec(buf, shape)
     }
 
+    /// Drops every pooled buffer, releasing the arena's high-water memory.
+    ///
+    /// Best-fit reuse never shrinks a pooled buffer, so after serving a
+    /// large model the pool retains blocks sized for it even when every
+    /// later model is small (eviction only caps the *count*, and it keeps
+    /// the largest buffers). A worker that swaps models calls this at the
+    /// boundary so the next model starts from an empty pool and the large
+    /// blocks go back to the allocator.
+    pub fn reset_capacity(&mut self) {
+        self.free.clear();
+        self.free.shrink_to_fit();
+    }
+
     /// Returns a tensor's buffer to the pool.
     pub fn recycle(&mut self, t: Tensor) {
         self.recycle_vec(t.into_vec());
@@ -158,6 +171,38 @@ mod tests {
         assert!(s.pooled() <= MAX_POOLED);
         // The largest buffers survive eviction.
         assert!(s.free.iter().any(|b| b.capacity() >= MAX_POOLED + 20));
+    }
+
+    #[test]
+    fn big_then_small_model_sequence_releases_large_block() {
+        let mut s = Scratch::new();
+        // A "big model" retires a large buffer into the pool…
+        let big = s.tensor([1 << 20]);
+        s.recycle(big);
+        assert_eq!(s.pooled(), 1);
+        // …and without a reset, a later small model would be handed that
+        // megabyte block (best-fit keeps it alive forever).
+        let reused = s.tensor([8]);
+        assert!(reused.as_slice().len() == 8);
+        assert!(s.free.is_empty(), "large block was handed back out");
+        s.recycle(reused);
+        assert!(
+            s.free[0].capacity() >= 1 << 20,
+            "pool retains the big block"
+        );
+
+        // reset_capacity releases the high-water buffers; the next grab is
+        // a fresh, small allocation.
+        s.reset_capacity();
+        assert_eq!(s.pooled(), 0);
+        let small = s.tensor([8]);
+        assert!(
+            small.as_slice().len() == 8 && {
+                let v = small.into_vec();
+                v.capacity() < 1 << 20
+            },
+            "post-reset buffer must not be the retained large block"
+        );
     }
 
     #[test]
